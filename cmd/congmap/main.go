@@ -1,0 +1,94 @@
+// congmap renders the post-route congestion map of a benchmark design as
+// an ASCII heat map, the equivalent of Vivado's congestion device view used
+// in the paper's Figs. 1 and 6.
+//
+// Usage:
+//
+//	congmap [-design face_detection|digit_spam|bnn_render_of]
+//	        [-directives with|without|noinline|replication]
+//	        [-metric v|h|avg] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/congestion"
+	"repro/internal/flow"
+)
+
+func main() {
+	design := flag.String("design", "face_detection", "benchmark design")
+	directives := flag.String("directives", "with", "with|without|noinline|replication (face_detection only)")
+	metric := flag.String("metric", "avg", "v|h|avg")
+	seed := flag.Int64("seed", 1, "placement seed")
+	pgm := flag.String("pgm", "", "also write the map as a PGM image to this path")
+	flag.Parse()
+
+	var dir bench.Directives
+	switch *directives {
+	case "with":
+		dir = bench.WithDirectives()
+	case "without":
+		dir = bench.WithoutDirectives()
+	case "noinline":
+		dir = bench.NotInline()
+	case "replication":
+		dir = bench.Replication()
+	default:
+		fmt.Fprintf(os.Stderr, "congmap: unknown directives %q\n", *directives)
+		os.Exit(2)
+	}
+
+	gens := bench.Catalog()
+	gen, ok := gens[*design]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "congmap: unknown design %q (have:", *design)
+		for name := range gens {
+			fmt.Fprintf(os.Stderr, " %s", name)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+		os.Exit(2)
+	}
+
+	var mt congestion.Metric
+	switch *metric {
+	case "v":
+		mt = congestion.Vertical
+	case "h":
+		mt = congestion.Horizontal
+	case "avg":
+		mt = congestion.Average
+	default:
+		fmt.Fprintf(os.Stderr, "congmap: unknown metric %q\n", *metric)
+		os.Exit(2)
+	}
+
+	cfg := flow.DefaultConfig()
+	cfg.Seed = *seed
+	m := gen(dir)
+	res, err := flow.Run(m, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "congmap:", err)
+		os.Exit(1)
+	}
+	p := res.Perf(m.Name)
+	fmt.Printf("%s: WNS=%.3f ns  Fmax=%.1f MHz  latency=%d cycles  maxV=%.1f%%  maxH=%.1f%%  congested CLBs(>100%%)=%d\n",
+		m.Name, p.WNS, p.FmaxMHz, p.LatencyCycles, p.MaxVertPct, p.MaxHorizPct, p.CongestedCLBs)
+	fmt.Print(res.Routing.Map.RenderASCII(mt, 1, 2))
+	if *pgm != "" {
+		f, err := os.Create(*pgm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "congmap:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.Routing.Map.WritePGM(f, mt, 200); err != nil {
+			fmt.Fprintln(os.Stderr, "congmap:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *pgm)
+	}
+}

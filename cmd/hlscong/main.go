@@ -1,0 +1,230 @@
+// hlscong is the command-line front end of the congestion predictor: it
+// regenerates the paper's tables and figures, trains the model, and prints
+// predicted congestion hotspots for a benchmark design without running
+// placement and routing.
+//
+// Usage:
+//
+//	hlscong [flags] <command>
+//
+// Commands:
+//
+//	table1 | table3 | table4 | table5 | table6   regenerate a paper table
+//	fig1   | fig5   | fig6                       regenerate a paper figure
+//	all                                          everything above in order
+//	predict                                      train GBRT, predict hotspots
+//	                                             for Face Detection and
+//	                                             compare with the real PAR
+//	report                                       HLS synthesis/utilization/QoR
+//	tune                                         grid search + k-fold CV
+//	ablate                                       design-choice ablations
+//	hotspots                                     hotspot-detection score
+//	generalize                                   leave-one-design-out accuracy
+//
+// Flags:
+//
+//	-quick       use shrunken ML models (fast smoke run)
+//	-seed N      split/model seed (default 42)
+//	-design D    predict target: baseline|noinline|replication (default baseline)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/backtrace"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use shrunken ML models")
+	seed := flag.Int64("seed", 42, "split/model seed")
+	design := flag.String("design", "baseline", "predict target: baseline|noinline|replication")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.Seed = *seed
+
+	if err := run(cfg, flag.Arg(0), *design); err != nil {
+		fmt.Fprintln(os.Stderr, "hlscong:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, cmd, design string) error {
+	switch cmd {
+	case "table1":
+		return show(experiments.TableI(cfg))
+	case "table3":
+		return show(experiments.TableIII(cfg))
+	case "table4":
+		return show(experiments.TableIV(cfg))
+	case "table5":
+		return show(experiments.TableV(cfg))
+	case "table6":
+		return show(experiments.TableVI(cfg))
+	case "fig1":
+		return show(experiments.Figure1(cfg))
+	case "fig5":
+		return show(experiments.Figure5(cfg))
+	case "fig6":
+		return show(experiments.Figure6(cfg))
+	case "all":
+		for _, c := range []string{"table1", "fig1", "table3", "table4", "table5", "table6", "fig5", "fig6"} {
+			if err := run(cfg, c, design); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	case "predict":
+		return predict(cfg, design)
+	case "report":
+		var dir bench.Directives
+		switch design {
+		case "baseline":
+			dir = bench.WithDirectives()
+		case "noinline":
+			dir = bench.NotInline()
+		case "replication":
+			dir = bench.Replication()
+		default:
+			return fmt.Errorf("unknown design %q", design)
+		}
+		res, err := experiments.RunOnce(bench.FaceDetection(dir), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Full(res))
+		return nil
+	case "tune":
+		results, err := experiments.TuneAll(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTuning(results))
+		return nil
+	case "ablate":
+		return ablate(cfg)
+	case "hotspots":
+		res, err := experiments.HotspotDetection(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		return nil
+	case "generalize":
+		ds, _, err := cfg.PaperDataset()
+		if err != nil {
+			return err
+		}
+		res, err := experiments.Generalization(cfg, ds)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// formatter is what every experiment result knows how to do.
+type formatter interface{ Format() string }
+
+func show[T formatter](res T, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+// ablate runs the design-choice ablations: feature-category knockout, the
+// marginal-filter threshold sweep, and label-averaging depth.
+func ablate(cfg experiments.Config) error {
+	ds, _, err := cfg.PaperDataset()
+	if err != nil {
+		return err
+	}
+	cat, err := experiments.AblateCategories(cfg, ds)
+	if err != nil {
+		return err
+	}
+	fmt.Print(cat.Format())
+	sweep, err := experiments.SweepFilterThreshold(cfg, ds, []float64{0, 0.5, 0.75, 0.9, 1.0})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFilterSweep(sweep))
+	runs, err := experiments.AblateLabelAveraging(cfg, []int{1, 2, 3})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatLabelRuns(runs))
+	return nil
+}
+
+// predict demonstrates the prediction phase: train on the paper's dataset,
+// estimate per-op congestion for the requested Face Detection variant with
+// the HLS-side information only, report the hottest source lines, then run
+// the real PAR once to show where the actual congestion landed.
+func predict(cfg experiments.Config, design string) error {
+	var dir bench.Directives
+	switch design {
+	case "baseline":
+		dir = bench.WithDirectives()
+	case "noinline":
+		dir = bench.NotInline()
+	case "replication":
+		dir = bench.Replication()
+	default:
+		return fmt.Errorf("unknown design %q", design)
+	}
+	fmt.Println("building training dataset (3 implementations, full flow)...")
+	ds, _, err := cfg.PaperDataset()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d samples (%.2f%% marginal)\n", ds.Len(), 100*ds.MarginalFraction())
+	pred, err := core.Train(ds, core.TrainOptions{Kind: core.GBRT, Filter: true, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	m := bench.FaceDetection(dir)
+	preds, err := pred.PredictModule(m, cfg.Flow)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npredicted congestion hotspots for %s/%s (no PAR run):\n", m.Name, design)
+	hot := core.Hotspots(preds)
+	for i, h := range hot {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-22s ops=%-4d maxAvg=%6.1f%% meanV=%6.1f%% meanH=%6.1f%%\n",
+			h.Loc, h.Ops, h.MaxAvg, h.MeanV, h.MeanH)
+	}
+	fmt.Println("\nvalidating against one real place-and-route run...")
+	res, err := experiments.RunOnce(m, cfg)
+	if err != nil {
+		return err
+	}
+	actual := backtrace.HotspotsBySource(backtrace.Trace(res))
+	fmt.Println("actual congestion hotspots after PAR:")
+	for i, h := range actual {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-22s ops=%-4d maxAvg=%6.1f%% meanV=%6.1f%% meanH=%6.1f%%\n",
+			h.Loc, h.Ops, h.MaxAvg, h.MeanV, h.MeanH)
+	}
+	return nil
+}

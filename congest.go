@@ -1,0 +1,248 @@
+// Package congest is the public API of this repository: a from-scratch Go
+// reproduction of "Machine Learning Based Routing Congestion Prediction in
+// FPGA High-Level Synthesis" (Zhao, Liang, Sinha, Zhang — DATE 2019).
+//
+// The library predicts post-place-and-route routing congestion for FPGA
+// high-level-synthesis designs at the IR level — before placement and
+// routing ever run — and maps the predicted hotspots back to source
+// locations. It bundles every substrate the paper depends on: an HLS IR
+// with directive-aware builders, a scheduler/binder with a characterized
+// operator library, an RTL netlist elaborator, a Zynq XC7Z020 device model
+// with a simulated-annealing placer and PathFinder-style router, a
+// back-tracing flow from per-CLB congestion to IR operations, the paper's
+// 302-feature extractor, and Lasso/ANN/GBRT regressors written on the
+// standard library alone.
+//
+// Quick start:
+//
+//	ds, _, err := congest.BuildTrainingDataset(congest.DefaultFlowConfig())
+//	if err != nil { ... }
+//	pred, err := congest.TrainPredictor(ds, congest.TrainOptions{Kind: congest.GBRT, Filter: true})
+//	if err != nil { ... }
+//	design := congest.FaceDetection(congest.WithDirectives())
+//	preds, err := pred.PredictModule(design, congest.DefaultFlowConfig())
+//	hot := congest.Hotspots(preds) // hottest source lines first
+//
+// The experiment runners under internal/experiments regenerate every table
+// and figure of the paper; the root-level benchmarks (bench_test.go) and
+// the cmd/hlscong CLI expose them.
+package congest
+
+import (
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/congestion"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/flow"
+	"repro/internal/ir"
+	"repro/internal/report"
+	"repro/internal/timing"
+)
+
+// Re-exported core types. The aliases keep one canonical implementation in
+// the internal packages while giving library users a single import.
+type (
+	// Module is a whole HLS design: functions, arrays, loops, operations.
+	Module = ir.Module
+	// Builder constructs the dataflow graph of one function.
+	Builder = ir.Builder
+	// Op is one IR operation.
+	Op = ir.Op
+	// SourceLoc is a source-code position attached to operations.
+	SourceLoc = ir.SourceLoc
+	// Directives is the HLS optimization bundle of a generated benchmark.
+	Directives = bench.Directives
+	// FlowConfig selects the device, clock and tool options of the
+	// simulated C-to-FPGA flow.
+	FlowConfig = flow.Config
+	// FlowResult bundles the artifacts of one implementation run.
+	FlowResult = flow.Result
+	// PerfRow is the per-implementation performance summary row.
+	PerfRow = flow.PerfRow
+	// Dataset is the training dataset of (features, congestion) samples.
+	Dataset = dataset.Dataset
+	// Sample is one dataset row.
+	Sample = dataset.Sample
+	// Target selects a congestion label (Vertical, Horizontal, Average).
+	Target = dataset.Target
+	// Predictor is a trained congestion estimator.
+	Predictor = core.Predictor
+	// TrainOptions tunes predictor training.
+	TrainOptions = core.TrainOptions
+	// OpPrediction is the estimated congestion of one operation.
+	OpPrediction = core.OpPrediction
+	// Hotspot is predicted congestion aggregated per source location.
+	Hotspot = core.Hotspot
+	// ModelKind selects Linear, ANN or GBRT.
+	ModelKind = core.ModelKind
+	// CongestionMap is the per-tile routing congestion map.
+	CongestionMap = congestion.Map
+	// EvalRow is one Table IV accuracy row.
+	EvalRow = core.EvalRow
+)
+
+// Model kinds.
+const (
+	// Linear is the Lasso linear model.
+	Linear = core.Linear
+	// ANN is the multilayer-perceptron regressor.
+	ANN = core.ANN
+	// GBRT is the gradient-boosted regression tree ensemble, the paper's
+	// most accurate model.
+	GBRT = core.GBRT
+)
+
+// Congestion label targets.
+const (
+	// Vertical is the vertical routing congestion percentage.
+	Vertical = dataset.Vertical
+	// Horizontal is the horizontal routing congestion percentage.
+	Horizontal = dataset.Horizontal
+	// Average is the paper's Avg (V, H) metric.
+	Average = dataset.Average
+)
+
+// OpKind enumerates IR operation kinds.
+type OpKind = ir.OpKind
+
+// Operation kinds, re-exported for design construction through the facade.
+const (
+	KindAdd    = ir.KindAdd
+	KindSub    = ir.KindSub
+	KindMul    = ir.KindMul
+	KindDiv    = ir.KindDiv
+	KindRem    = ir.KindRem
+	KindAnd    = ir.KindAnd
+	KindOr     = ir.KindOr
+	KindXor    = ir.KindXor
+	KindNot    = ir.KindNot
+	KindShl    = ir.KindShl
+	KindLShr   = ir.KindLShr
+	KindAShr   = ir.KindAShr
+	KindICmp   = ir.KindICmp
+	KindFAdd   = ir.KindFAdd
+	KindFSub   = ir.KindFSub
+	KindFMul   = ir.KindFMul
+	KindFDiv   = ir.KindFDiv
+	KindFCmp   = ir.KindFCmp
+	KindSqrt   = ir.KindSqrt
+	KindSelect = ir.KindSelect
+	KindPhi    = ir.KindPhi
+	KindLoad   = ir.KindLoad
+	KindStore  = ir.KindStore
+	KindTrunc  = ir.KindTrunc
+	KindZExt   = ir.KindZExt
+	KindSExt   = ir.KindSExt
+	KindConcat = ir.KindConcat
+	KindBitSel = ir.KindBitSel
+	KindConst  = ir.KindConst
+	KindCall   = ir.KindCall
+	KindRet    = ir.KindRet
+	KindPort   = ir.KindPort
+)
+
+// MapMetric selects a congestion-map view for rendering.
+type MapMetric = congestion.Metric
+
+// Congestion-map metrics (distinct from the dataset Targets, which label
+// training samples).
+const (
+	MapVertical   = congestion.Vertical
+	MapHorizontal = congestion.Horizontal
+	MapAverage    = congestion.Average
+)
+
+// NewModule creates an empty design to build programmatically.
+func NewModule(name string) *Module { return ir.NewModule(name) }
+
+// NewBuilder returns a builder appending operations to a function.
+func NewBuilder(f *ir.Function) *Builder { return ir.NewBuilder(f) }
+
+// DefaultFlowConfig is the paper's setup: Zynq XC7Z020 at a 100 MHz target
+// with the tuned placer/router/timing options.
+func DefaultFlowConfig() FlowConfig { return flow.DefaultConfig() }
+
+// RunFlow executes the complete synthetic C-to-FPGA flow (schedule, bind,
+// elaborate, place, route, timing) on a design.
+func RunFlow(m *Module, cfg FlowConfig) (*FlowResult, error) { return flow.Run(m, cfg) }
+
+// TrainingModules returns the paper's three dataset implementations: Face
+// Detection (optimized, alone), Digit Recognition + Spam Filtering, and
+// BNN + 3D Rendering + Optical Flow.
+func TrainingModules() []*Module { return bench.TrainingModules() }
+
+// FaceDetection generates the Face Detection benchmark under a directive
+// set; see WithDirectives, WithoutDirectives, NotInline and Replication.
+func FaceDetection(d Directives) *Module { return bench.FaceDetection(d) }
+
+// DigitSpam generates the combined Digit Recognition + Spam Filtering
+// implementation.
+func DigitSpam() *Module { return bench.DigitSpam() }
+
+// BNNRenderFlow generates the combined BNN + 3D Rendering + Optical Flow
+// implementation.
+func BNNRenderFlow() *Module { return bench.BNNRenderFlow() }
+
+// WithDirectives is the paper's optimized Face Detection configuration
+// (inlining, unrolling, pipelining, complete array partitioning).
+func WithDirectives() Directives { return bench.WithDirectives() }
+
+// WithoutDirectives disables every optimization directive.
+func WithoutDirectives() Directives { return bench.WithoutDirectives() }
+
+// NotInline is the case study's first congestion-resolution step.
+func NotInline() Directives { return bench.NotInline() }
+
+// Replication is the case study's second congestion-resolution step.
+func Replication() Directives { return bench.Replication() }
+
+// BuildTrainingDataset runs the full flow over the paper's three training
+// implementations, back-traces per-CLB congestion onto IR operations and
+// extracts the 302 features per sample.
+func BuildTrainingDataset(cfg FlowConfig) (*Dataset, []*FlowResult, error) {
+	return core.BuildDataset(bench.TrainingModules(), cfg)
+}
+
+// BuildDataset is BuildTrainingDataset over caller-supplied designs.
+func BuildDataset(mods []*Module, cfg FlowConfig) (*Dataset, []*FlowResult, error) {
+	return core.BuildDataset(mods, cfg)
+}
+
+// TrainPredictor fits one regressor per congestion target.
+func TrainPredictor(ds *Dataset, opts TrainOptions) (*Predictor, error) {
+	return core.Train(ds, opts)
+}
+
+// Hotspots groups per-operation predictions by source line, hottest first.
+func Hotspots(preds []OpPrediction) []Hotspot { return core.Hotspots(preds) }
+
+// Evaluate scores one model/filtering combination with the paper's 80/20
+// protocol, returning MAE and MedAE per congestion target (a Table IV row).
+func Evaluate(ds *Dataset, kind ModelKind, filter bool, seed int64) (EvalRow, error) {
+	return core.Evaluate(ds, kind, filter, seed)
+}
+
+// Optimize runs the IR cleanup pipeline (common-subexpression merging,
+// then dead-code elimination) on a hand-built design, returning how many
+// operations were folded and removed. The benchmark generators emit clean
+// graphs; run this on designs you construct yourself.
+func Optimize(m *Module) (folded, removed int) { return ir.Optimize(m) }
+
+// Report renders the full designer-facing report bundle for a completed
+// flow run: the HLS synthesis report, the device utilization table and the
+// post-implementation QoR summary with the worst timing paths.
+func Report(res *FlowResult) string { return report.Full(res) }
+
+// CriticalPaths returns the k slowest timing paths of a completed run,
+// wire and logic delay split out, congestion-aware.
+func CriticalPaths(res *FlowResult, k int) []timing.Path {
+	return timing.CriticalPaths(res.Sched, res.Netlist, res.Routing, res.Config.Timing, k)
+}
+
+// SavePredictor serializes a trained predictor as JSON.
+func SavePredictor(p *Predictor, w io.Writer) error { return p.Save(w) }
+
+// LoadPredictor restores a predictor saved with SavePredictor.
+func LoadPredictor(r io.Reader) (*Predictor, error) { return core.LoadPredictor(r) }

@@ -1,0 +1,167 @@
+package congest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestFacadeEndToEnd drives the public API the way the README's quickstart
+// does: build designs, run the flow, build a dataset, train, predict,
+// report hotspots.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultFlowConfig()
+	cfg.Place.Moves = 4000
+
+	// A custom design through the builder facade.
+	m := NewModule("facade")
+	top := m.NewFunction("top")
+	b := NewBuilder(top).At("facade.cpp", 1)
+	p := b.Port("in", 16)
+	a := b.Array("buf", 32, 16, 4)
+	var outs []*Op
+	for i := 0; i < 8; i++ {
+		v := b.Load(a, nil)
+		outs = append(outs, b.Op(KindAdd, 16, v, p))
+	}
+	b.Ret(b.ReduceTree(KindAdd, 16, outs))
+
+	res, err := RunFlow(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := res.Perf("facade")
+	if perf.FmaxMHz <= 0 {
+		t.Fatal("flow produced no timing")
+	}
+
+	// Dataset over two variants, then train and predict.
+	mods := []*Module{m, FaceDetection(WithoutDirectives())}
+	ds, results, err := BuildDataset(mods, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || ds.Len() == 0 {
+		t.Fatal("dataset build failed")
+	}
+	pred, err := TrainPredictor(ds, TrainOptions{Kind: Linear, Filter: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := pred.PredictModule(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != m.NumOps() {
+		t.Fatalf("predictions = %d, want %d", len(preds), m.NumOps())
+	}
+	if hs := Hotspots(preds); len(hs) == 0 {
+		t.Fatal("no hotspots")
+	}
+	if _, err := Evaluate(ds, Linear, false, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBenchmarkFacade checks the generator and directive re-exports.
+func TestBenchmarkFacade(t *testing.T) {
+	if len(TrainingModules()) != 3 {
+		t.Fatal("TrainingModules must return the paper's three implementations")
+	}
+	for _, m := range []*Module{
+		FaceDetection(WithDirectives()),
+		FaceDetection(NotInline()),
+		FaceDetection(Replication()),
+		DigitSpam(),
+		BNNRenderFlow(),
+	} {
+		if m.NumOps() == 0 {
+			t.Fatalf("%s empty", m.Name)
+		}
+	}
+	if WithoutDirectives().Inline {
+		t.Fatal("directive re-export broken")
+	}
+}
+
+// TestExperimentConfigDefaults pins the experiment defaults the benchmarks
+// rely on.
+func TestExperimentConfigDefaults(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	if cfg.Quick {
+		t.Fatal("published numbers must not default to quick mode")
+	}
+	if cfg.Flow.Dev == nil || cfg.Flow.Dev.Name != "xc7z020clg484" {
+		t.Fatal("default device must be the paper's xc7z020")
+	}
+	if cfg.Flow.Clock.PeriodNS != 10 {
+		t.Fatal("default clock must be the paper's 100 MHz")
+	}
+}
+
+// TestFacadeReportsAndPersistence covers the report and save/load surface
+// of the facade.
+func TestFacadeReportsAndPersistence(t *testing.T) {
+	cfg := DefaultFlowConfig()
+	cfg.Place.Moves = 3000
+	m := NewModule("facade2")
+	top := m.NewFunction("top")
+	b := NewBuilder(top)
+	p := b.Port("in", 16)
+	cur := p
+	for i := 0; i < 6; i++ {
+		cur = b.Op(KindMul, 16, cur, cur)
+	}
+	b.Ret(cur)
+	res, err := RunFlow(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Report(res)
+	for _, want := range []string{"SYNTHESIS", "UTILIZATION", "QoR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("facade report missing %q", want)
+		}
+	}
+	paths := CriticalPaths(res, 3)
+	if len(paths) == 0 {
+		t.Fatal("no critical paths via facade")
+	}
+
+	ds, _, err := BuildDataset([]*Module{m}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := TrainPredictor(ds, TrainOptions{Kind: Linear, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SavePredictor(pred, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != Linear {
+		t.Error("facade load lost model kind")
+	}
+}
+
+// TestFacadeOptimize covers the IR cleanup entry point.
+func TestFacadeOptimize(t *testing.T) {
+	m := NewModule("opt")
+	top := m.NewFunction("top")
+	b := NewBuilder(top)
+	p := b.Port("p", 16)
+	a1 := b.Op(KindAdd, 16, p, p)
+	b.Op(KindAdd, 16, p, p) // duplicate, unused
+	b.Ret(a1)
+	folded, removed := Optimize(m)
+	if folded+removed == 0 {
+		t.Error("Optimize found nothing on a redundant design")
+	}
+}

@@ -1,0 +1,110 @@
+// Package bench generates the benchmark designs the paper builds its
+// dataset from: structural reproductions of the six Rosetta applications
+// (Face Detection, Digit Recognition, Spam Filtering, BNN, 3D Rendering,
+// Optical Flow), combined into the paper's three implementations — Face
+// Detection alone, Digit Recognition + Spam Filtering under one top
+// function, and BNN + 3D Rendering + Optical Flow under one top function.
+//
+// The generators are synthetic stand-ins for the Rosetta C++ sources: they
+// build the HLS IR those programs synthesize to, with the paper's directive
+// sets (function inlining, loop unrolling and pipelining, array
+// partitioning) applied as first-class IR transforms. Source locations on
+// the generated operations refer to the synthetic listing so congestion
+// reports still point at "source code".
+package bench
+
+import "repro/internal/ir"
+
+// Directives is the HLS optimization bundle a design is generated with,
+// mirroring the pragma sets the paper toggles.
+type Directives struct {
+	// Inline clones callee bodies into callers (the INLINE pragma); the
+	// paper's Face Detection baseline inlines the whole cascade.
+	Inline bool
+	// Unroll is the replication factor of the main processing loop.
+	Unroll int
+	// Pipeline enables loop pipelining with II=1..2 on inner loops.
+	Pipeline bool
+	// PartitionComplete completely partitions the hot arrays into
+	// registers; false keeps them monolithic block RAMs.
+	PartitionComplete bool
+	// ReplicateInputs applies the paper's case-study step 2: private
+	// copies of shared input data per consumer, cutting interconnect
+	// fan-out.
+	ReplicateInputs bool
+}
+
+// WithDirectives is the paper's optimized configuration (Table I row 1).
+func WithDirectives() Directives {
+	return Directives{Inline: true, Unroll: 4, Pipeline: true, PartitionComplete: true}
+}
+
+// WithoutDirectives is the plain configuration (Table I row 2).
+func WithoutDirectives() Directives { return Directives{Unroll: 1} }
+
+// NotInline is the case study's first resolution step: keep every
+// optimization except function inlining.
+func NotInline() Directives {
+	d := WithDirectives()
+	d.Inline = false
+	return d
+}
+
+// Replication is the case study's second step: NotInline plus input-data
+// replication.
+func Replication() Directives {
+	d := NotInline()
+	d.ReplicateInputs = true
+	return d
+}
+
+// clampUnroll keeps a directive's unroll factor sane for a loop.
+func clampUnroll(u int) int {
+	if u < 1 {
+		return 1
+	}
+	return u
+}
+
+// banks returns the partition factor for an array of `words` words under
+// the directives.
+func banks(d Directives, words int) int {
+	if d.PartitionComplete {
+		return words
+	}
+	return 1
+}
+
+// Generator builds one benchmark module under a directive set.
+type Generator func(Directives) *ir.Module
+
+// Catalog names every generator, for the command-line tools. Face
+// Detection honors the directive bundle; the other designs ship with their
+// fixed Rosetta directive sets.
+func Catalog() map[string]Generator {
+	fixed := func(f func() *ir.Module) Generator {
+		return func(Directives) *ir.Module { return f() }
+	}
+	return map[string]Generator{
+		"face_detection":    FaceDetection,
+		"digit_spam":        fixed(DigitSpam),
+		"bnn_render_of":     fixed(BNNRenderFlow),
+		"digit_recognition": fixed(DigitRecognition),
+		"spam_filtering":    fixed(SpamFiltering),
+		"bnn":               fixed(BNN),
+		"rendering3d":       fixed(Rendering3D),
+		"optical_flow":      fixed(OpticalFlow),
+	}
+}
+
+// TrainingModules returns the paper's three dataset implementations with
+// their published directive sets: Face Detection (fully optimized, tested
+// individually), Digit Recognition + Spam Filtering combined, and BNN + 3D
+// Rendering + Optical Flow combined.
+func TrainingModules() []*ir.Module {
+	return []*ir.Module{
+		FaceDetection(WithDirectives()),
+		DigitSpam(),
+		BNNRenderFlow(),
+	}
+}

@@ -1,0 +1,203 @@
+package bench
+
+import "repro/internal/ir"
+
+// BNN + 3D Rendering + Optical Flow: the paper's third dataset
+// implementation integrates three Rosetta applications under one top
+// function.
+
+// BNN (binarized neural network) parameters.
+const (
+	bnnNeurons = 1024 // output neurons per layer
+	bnnUnroll  = 19   // XNOR-popcount lanes
+	bnnLayers  = 2
+)
+
+// 3D Rendering parameters.
+const (
+	r3Triangles  = 3192 // triangles rasterized
+	r3VtxUnroll  = 10   // parallel vertex-transform lanes
+	r3EdgeUnroll = 10   // parallel edge-function lanes
+)
+
+// Optical Flow parameters.
+const (
+	ofPixels     = 4096 // pixels processed per frame
+	ofGradUnroll = 15   // parallel gradient lanes
+	ofWindow     = 5    // weighted-window taps accumulated per lane
+)
+
+// BNNRenderFlow generates the combined BNN + 3D Rendering + Optical Flow
+// design with the Rosetta directive sets (moderate unrolling, partitioned
+// hot arrays).
+func BNNRenderFlow() *ir.Module {
+	m := ir.NewModule("bnn_render_of")
+	top := m.NewFunction("bnn_render_of_top")
+
+	bnn := buildBNN(m)
+	render := buildRendering(m)
+	oflow := buildOpticalFlow(m)
+
+	b := ir.NewBuilder(top).At("bro_top.cpp", 10)
+	act := b.Port("activations", 32)
+	tri := b.Port("triangles", 32)
+	frame := b.Port("frames", 32)
+
+	b.Line(20)
+	r1 := b.Call(bnn, act)
+	b.Line(21)
+	r2 := b.Call(render, tri)
+	b.Line(22)
+	r3 := b.Call(oflow, frame)
+	b.Line(23)
+	lo := b.Op(ir.KindConcat, 32, r1, r2)
+	all := b.Op(ir.KindConcat, 32, lo, r3)
+	b.Ret(all)
+	return m
+}
+
+// buildBNN emits two binarized layers: XNOR against the weight words,
+// popcount, sign threshold.
+func buildBNN(m *ir.Module) *ir.Function {
+	f := m.NewFunction("bnn")
+	b := ir.NewBuilder(f).At("bnn.cpp", 16)
+	act := b.Port("act", 32)
+
+	cur := act
+	for layer := 0; layer < bnnLayers; layer++ {
+		weights := b.Array(layerName("wt", layer), 512, 32, bnnUnroll)
+		b.Line(30 + 20*layer)
+		var outs []*ir.Op
+		b.UnrolledLoop(layerName("neurons", layer), bnnNeurons, bnnUnroll, func(copy int) {
+			w := b.Load(weights, nil)
+			x := b.Op(ir.KindXor, 32, w, cur)
+			xn := b.Op(ir.KindNot, 32, x) // XNOR
+			var parts []*ir.Op
+			for i := 0; i < 4; i++ {
+				tap := b.OpBits(ir.KindBitSel, 8, xn, 8)
+				parts = append(parts, b.Op(ir.KindZExt, 8, tap))
+			}
+			pc := b.ReduceTree(ir.KindAdd, 8, parts)
+			sign := b.Op(ir.KindICmp, 1, pc, b.Const(8))
+			outs = append(outs, b.Op(ir.KindZExt, 8, sign))
+		})
+		packed := b.ReduceTree(ir.KindConcat, 32, outs)
+		cur = packed
+	}
+	b.Ret(cur)
+	return f
+}
+
+func layerName(prefix string, layer int) string {
+	return prefix + string(rune('0'+layer))
+}
+
+// buildRendering emits the projection + rasterization pipeline: 3x3 vertex
+// transforms with a perspective divide, then edge-function tests.
+func buildRendering(m *ir.Module) *ir.Function {
+	f := m.NewFunction("rendering3d")
+	b := ir.NewBuilder(f).At("rendering.cpp", 14)
+	tri := b.Port("tri", 32)
+
+	zbuf := b.Array("z_buffer", 256, 16, 4)
+	fbuf := b.Array("frame_buffer", 256, 8, 4)
+
+	b.Line(26)
+	var screen []*ir.Op
+	b.UnrolledLoop("vertex_xform", r3Triangles, r3VtxUnroll, func(copy int) {
+		x := b.OpBits(ir.KindBitSel, 16, tri, 16)
+		y := b.OpBits(ir.KindBitSel, 16, tri, 16)
+		z := b.OpBits(ir.KindBitSel, 16, tri, 16)
+		var acc []*ir.Op
+		for r := 0; r < 3; r++ {
+			mx := b.Op(ir.KindMul, 16, x, b.Const(16))
+			my := b.Op(ir.KindMul, 16, y, b.Const(16))
+			mz := b.Op(ir.KindMul, 16, z, b.Const(16))
+			s1 := b.Op(ir.KindAdd, 16, mx, my)
+			acc = append(acc, b.Op(ir.KindAdd, 16, s1, mz))
+		}
+		// Perspective divide on the projected coordinates.
+		px := b.Op(ir.KindDiv, 16, acc[0], acc[2])
+		py := b.Op(ir.KindDiv, 16, acc[1], acc[2])
+		screen = append(screen, b.Op(ir.KindConcat, 32, px, py))
+	})
+
+	b.Line(48)
+	var hits []*ir.Op
+	b.UnrolledLoop("rasterize", r3Triangles, r3EdgeUnroll, func(copy int) {
+		v := screen[copy%len(screen)]
+		px := b.OpBits(ir.KindBitSel, 16, v, 16)
+		py := b.OpBits(ir.KindBitSel, 16, v, 16)
+		e0 := b.Op(ir.KindSub, 16, px, py)
+		e1 := b.Op(ir.KindSub, 16, py, b.Const(16))
+		inside0 := b.Op(ir.KindICmp, 1, e0, b.Const(16))
+		inside1 := b.Op(ir.KindICmp, 1, e1, b.Const(16))
+		inside := b.Op(ir.KindAnd, 1, inside0, inside1)
+		depth := b.Load(zbuf, nil)
+		nearer := b.Op(ir.KindICmp, 1, px, depth)
+		write := b.Op(ir.KindAnd, 1, inside, nearer)
+		nd := b.Op(ir.KindSelect, 16, write, px, depth)
+		b.Store(zbuf, nd, nil)
+		color := b.Op(ir.KindSelect, 8, write, b.Const(8), b.Const(8))
+		b.Store(fbuf, color, nil)
+		hits = append(hits, b.Op(ir.KindZExt, 8, write))
+	})
+	b.Line(70)
+	total := b.ReduceTree(ir.KindAdd, 8, hits)
+	ext := b.Op(ir.KindZExt, 16, total)
+	b.Ret(ext)
+	return f
+}
+
+// buildOpticalFlow emits the Lucas-Kanade style pipeline: spatial/temporal
+// gradients, weighted window sums, and the final flow solve with divisions.
+func buildOpticalFlow(m *ir.Module) *ir.Function {
+	f := m.NewFunction("optical_flow")
+	b := ir.NewBuilder(f).At("optical_flow.cpp", 18)
+	frame := b.Port("frame", 32)
+
+	lines := b.Array("line_buffer", 512, 8, ofGradUnroll)
+
+	b.Line(30)
+	var gxs, gys, gts []*ir.Op
+	b.UnrolledLoop("gradients", ofPixels, ofGradUnroll, func(copy int) {
+		p0 := b.Load(lines, nil)
+		p1 := b.Load(lines, nil)
+		p2 := b.OpBits(ir.KindBitSel, 8, frame, 8)
+		gx := b.Op(ir.KindSub, 8, p1, p0)
+		gy := b.Op(ir.KindSub, 8, p2, p0)
+		gt := b.Op(ir.KindSub, 8, p2, p1)
+		gxs = append(gxs, b.Op(ir.KindSExt, 16, gx))
+		gys = append(gys, b.Op(ir.KindSExt, 16, gy))
+		gts = append(gts, b.Op(ir.KindSExt, 16, gt))
+	})
+
+	// Weighted window sums of the gradient products.
+	b.Line(46)
+	var num, den []*ir.Op
+	for i := 0; i < ofGradUnroll; i++ {
+		gx, gy, gt := gxs[i], gys[i], gts[i]
+		xx := b.Op(ir.KindMul, 16, gx, gx)
+		xy := b.Op(ir.KindMul, 16, gx, gy)
+		xt := b.Op(ir.KindMul, 16, gx, gt)
+		yt := b.Op(ir.KindMul, 16, gy, gt)
+		accN := xt
+		accD := xx
+		for wtap := 1; wtap < ofWindow; wtap++ {
+			accN = b.Op(ir.KindAdd, 16, accN, yt)
+			accD = b.Op(ir.KindAdd, 16, accD, xy)
+		}
+		num = append(num, accN)
+		den = append(den, accD)
+	}
+	b.Line(60)
+	sumN := b.ReduceTree(ir.KindAdd, 16, num)
+	sumD := b.ReduceTree(ir.KindAdd, 16, den)
+	one := b.Const(16)
+	safeD := b.Op(ir.KindOr, 16, sumD, one)
+	u := b.Op(ir.KindDiv, 16, sumN, safeD)
+	v := b.Op(ir.KindDiv, 16, sumN, safeD)
+	flow := b.Op(ir.KindConcat, 32, u, v)
+	b.Ret(flow)
+	return f
+}

@@ -1,0 +1,145 @@
+package bench
+
+import "repro/internal/ir"
+
+// Digit Recognition + Spam Filtering: the paper's second dataset
+// implementation invokes both applications from one top function so the
+// combined design exercises enough of the device to expose congestion.
+
+// Digit Recognition (KNN over binarized digits) parameters.
+const (
+	drTraining = 2000 // training vectors scanned
+	drUnroll   = 25   // distance units running in parallel
+	drK        = 4    // nearest neighbors tracked
+)
+
+// Spam Filtering (SGD logistic regression) parameters.
+const (
+	sfFeatures  = 1024 // model dimensionality
+	sfDotUnroll = 36   // parallel multiply-accumulate lanes
+	sfUpdUnroll = 24   // parallel weight-update lanes
+)
+
+// DigitSpam generates the combined Digit Recognition + Spam Filtering
+// design with the moderate unroll/partition directives the Rosetta versions
+// ship with.
+func DigitSpam() *ir.Module {
+	m := ir.NewModule("digit_spam")
+	top := m.NewFunction("digit_spam_top")
+
+	digit := buildDigitRec(m)
+	spam := buildSpamFilter(m)
+
+	b := ir.NewBuilder(top).At("digit_spam_top.cpp", 10)
+	testDigit := b.Port("test_digit", 32)
+	emailVec := b.Port("email_vec", 32)
+	rate := b.Port("learn_rate", 16)
+
+	b.Line(18)
+	dres := b.Call(digit, testDigit)
+	b.Line(19)
+	sres := b.Call(spam, emailVec, rate)
+	b.Line(20)
+	both := b.Op(ir.KindConcat, 32, dres, sres)
+	b.Ret(both)
+	return m
+}
+
+// buildDigitRec emits the KNN digit classifier: hamming distance against
+// the training set with an unrolled scan and a K-deep running minimum.
+func buildDigitRec(m *ir.Module) *ir.Function {
+	f := m.NewFunction("digit_rec")
+	b := ir.NewBuilder(f).At("digit_rec.cpp", 14)
+	test := b.Port("test", 32)
+
+	train := b.Array("training_set", 256, 32, drUnroll) // cyclic partition
+	labels := b.Array("training_labels", 256, 4, drUnroll)
+
+	// K running minima, initialized to the maximum distance.
+	mins := make([]*ir.Op, drK)
+	labs := make([]*ir.Op, drK)
+	for k := range mins {
+		mins[k] = b.Const(8)
+		labs[k] = b.Const(4)
+	}
+	b.Line(30)
+	b.UnrolledLoop("scan_training", drTraining, drUnroll, func(copy int) {
+		tv := b.Load(train, nil)
+		lv := b.Load(labels, nil)
+		diff := b.Op(ir.KindXor, 32, tv, test)
+		// Popcount: byte taps summed by a balanced tree.
+		var parts []*ir.Op
+		for i := 0; i < 4; i++ {
+			byteTap := b.OpBits(ir.KindBitSel, 8, diff, 8)
+			lo := b.OpBits(ir.KindBitSel, 4, byteTap, 4)
+			hi := b.OpBits(ir.KindBitSel, 4, byteTap, 4)
+			parts = append(parts, b.Op(ir.KindAdd, 8, lo, hi))
+		}
+		dist := b.ReduceTree(ir.KindAdd, 8, parts)
+		// Insert into the K-deep minimum chain.
+		for k := 0; k < drK; k++ {
+			closer := b.Op(ir.KindICmp, 1, dist, mins[k])
+			mins[k] = b.Op(ir.KindSelect, 8, closer, dist, mins[k])
+			labs[k] = b.Op(ir.KindSelect, 4, closer, lv, labs[k])
+		}
+	})
+	// Majority vote across the K labels.
+	b.Line(52)
+	eq01 := b.Op(ir.KindICmp, 1, labs[0], labs[1])
+	eq12 := b.Op(ir.KindICmp, 1, labs[1], labs[2])
+	winner := b.Op(ir.KindSelect, 4, eq12, labs[1], labs[0])
+	final := b.Op(ir.KindSelect, 4, eq01, labs[0], winner)
+	ext := b.Op(ir.KindZExt, 16, final)
+	b.Ret(ext)
+	return f
+}
+
+// buildSpamFilter emits one SGD epoch of the logistic-regression spam
+// filter: a wide fixed-point dot product, a sigmoid lookup, and the
+// unrolled weight update.
+func buildSpamFilter(m *ir.Module) *ir.Function {
+	f := m.NewFunction("spam_filter")
+	b := ir.NewBuilder(f).At("spam_filter.cpp", 12)
+	vec := b.Port("vec", 32)
+	rate := b.Port("rate", 16)
+
+	weights := b.Array("weights", 256, 16, sfUpdUnroll)
+	sigmoid := b.Array("sigmoid_lut", 128, 16, 1)
+
+	// Dot product with parallel MAC lanes.
+	b.Line(24)
+	var lanes []*ir.Op
+	b.UnrolledLoop("dot_product", sfFeatures, sfDotUnroll, func(copy int) {
+		w := b.Load(weights, nil)
+		x := b.OpBits(ir.KindBitSel, 16, vec, 16)
+		prod := b.Op(ir.KindMul, 16, w, x)
+		sh := b.Op(ir.KindAShr, 16, prod, b.Const(4))
+		lanes = append(lanes, sh)
+	})
+	dot := b.ReduceTree(ir.KindAdd, 16, lanes)
+
+	// Sigmoid via lookup table, then the prediction error.
+	b.Line(40)
+	idx := b.OpBits(ir.KindBitSel, 8, dot, 8)
+	prob := b.Load(sigmoid, idx)
+	label := b.OpBits(ir.KindBitSel, 1, vec, 1)
+	labExt := b.Op(ir.KindZExt, 16, label)
+	err := b.Op(ir.KindSub, 16, prob, labExt)
+	step := b.Op(ir.KindMul, 16, err, rate)
+
+	// Unrolled weight update.
+	b.Line(48)
+	b.UnrolledLoop("update", sfFeatures, sfUpdUnroll, func(copy int) {
+		w := b.Load(weights, nil)
+		x := b.OpBits(ir.KindBitSel, 16, vec, 16)
+		g := b.Op(ir.KindMul, 16, step, x)
+		gs := b.Op(ir.KindAShr, 16, g, b.Const(4))
+		nw := b.Op(ir.KindSub, 16, w, gs)
+		b.Store(weights, nw, nil)
+	})
+	b.Line(58)
+	spamBit := b.Op(ir.KindICmp, 1, prob, b.Const(16))
+	res := b.Op(ir.KindZExt, 16, spamBit)
+	b.Ret(res)
+	return f
+}

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Face Detection structural parameters, scaled down from Rosetta's
+// Viola-Jones cascade (25 stages, thousands of weak classifiers) to a size
+// the simulated flow turns around quickly while keeping the same dataflow
+// shape: a shared window buffer feeding a cascade of classifier stages
+// whose results are summed and compared.
+const (
+	fdStages      = 8     // cascade stages
+	fdFeatures    = 12    // weak classifiers per stage
+	fdCallWords   = 6     // 32-bit window words consumed per stage
+	fdWindowWords = 64    // window buffer depth (bytes)
+	fdWindowTrips = 40000 // scanning windows processed per frame
+)
+
+// FaceDetection generates the Face Detection design under a directive set.
+// The baseline (WithDirectives) inlines the whole cascade into the top
+// function, unrolls the window loop and completely partitions the window
+// buffer — the configuration whose congestion the paper's case study
+// resolves step by step.
+func FaceDetection(d Directives) *ir.Module {
+	m := ir.NewModule("face_detection")
+	top := m.NewFunction("face_detect")
+	b := ir.NewBuilder(top).At("face_detect.cpp", 12)
+
+	imgIn := b.Port("img_in", 32)
+	coefIn := b.Port("coef_in", 16)
+
+	// The shared window buffer. Under the case-study Replication step each
+	// classifier stage instead gets a private copy filled as the stream
+	// arrives, so the classifiers stop sharing one completely partitioned
+	// array — the paper's fix for the post-de-inlining congestion at the
+	// classifier inputs.
+	// replicated selects the case-study step-2 structure: each classifier
+	// function owns a private window copy filled from the stream, so the
+	// copies and their loads sit inside the classifier's own region.
+	replicated := d.ReplicateInputs && !d.Inline
+	var win *ir.Array
+	var winRep []*ir.Array
+	switch {
+	case replicated:
+		// Private copies live inside the classifier functions below.
+	case d.ReplicateInputs:
+		for s := 0; s < fdStages; s++ {
+			winRep = append(winRep, b.Array(fmt.Sprintf("window_buf_s%d", s),
+				fdWindowWords, 8, banks(d, fdWindowWords)))
+		}
+	default:
+		win = b.Array("window_buf", fdWindowWords, 8, banks(d, fdWindowWords))
+	}
+
+	// Integral-image style preamble: running sums over the incoming pixel
+	// stream.
+	b.Line(25)
+	acc := b.OpBits(ir.KindTrunc, 16, imgIn, 16)
+	b.PipelinedLoop("integral_rows", 320, 1, func() {
+		px := b.OpBits(ir.KindTrunc, 8, imgIn, 8)
+		ext := b.Op(ir.KindZExt, 16, px)
+		acc = b.Op(ir.KindAdd, 16, acc, ext)
+	})
+
+	// Fill the window buffer(s) from the stream: one store per private
+	// copy when replication is on, a single shared store otherwise.
+	b.Line(40)
+	fill := func() {
+		v := b.OpBits(ir.KindTrunc, 8, imgIn, 8)
+		if d.ReplicateInputs && !replicated {
+			for _, a := range winRep {
+				b.Store(a, v, nil)
+			}
+		} else {
+			b.Store(win, v, nil)
+		}
+	}
+	if !replicated {
+		if d.Pipeline {
+			b.PipelinedLoop("fill_window", fdWindowWords, 1, fill)
+		} else {
+			b.EnterLoop("fill_window", fdWindowWords)
+			fill()
+			b.ExitLoop()
+		}
+	}
+
+	// Classifier stage hardware. In the inlined configuration the body is
+	// cloned per stage inside the top function; otherwise each stage is a
+	// separate function invoked through its interface ports. The scan loop
+	// below is pipelined and unrolled, so every call site gets its own
+	// instance (sharing one instance across the unrolled copies would
+	// violate the initiation interval — Vivado HLS replicates instances in
+	// this situation).
+	unroll := clampUnroll(d.Unroll)
+	var classifiers [][]*ir.Function // [stage][copy]
+	if !d.Inline {
+		classifiers = make([][]*ir.Function, fdStages)
+		for s := 0; s < fdStages; s++ {
+			for c := 0; c < unroll; c++ {
+				classifiers[s] = append(classifiers[s], buildClassifierFunc(m, d, s, c))
+			}
+		}
+	}
+	// Main window-scanning loop: load the window words, run the cascade,
+	// accumulate the stage votes.
+	b.Line(55)
+	var votes []*ir.Op
+	body := func(copy int) {
+		// assemble builds the fdCallWords 32-bit window words from byte
+		// loads of an array.
+		assemble := func(a *ir.Array) []*ir.Op {
+			ws := make([]*ir.Op, fdCallWords)
+			for w := 0; w < fdCallWords; w++ {
+				bytes := make([]*ir.Op, 4)
+				for k := range bytes {
+					bytes[k] = b.Load(a, nil)
+				}
+				lo := b.Op(ir.KindConcat, 16, bytes[0], bytes[1])
+				hi := b.Op(ir.KindConcat, 16, bytes[2], bytes[3])
+				ws[w] = b.Op(ir.KindConcat, 32, lo, hi)
+			}
+			return ws
+		}
+		var shared []*ir.Op
+		if !d.ReplicateInputs {
+			shared = assemble(win)
+		}
+		var stageRes []*ir.Op
+		for s := 0; s < fdStages; s++ {
+			switch {
+			case replicated:
+				// The classifier instance pulls its own private data; the
+				// call just forwards the stream and threshold.
+				stageRes = append(stageRes, b.Call(classifiers[s][copy], imgIn, coefIn))
+			case d.Inline:
+				in := shared
+				if d.ReplicateInputs {
+					// Inline + replication: per-stage private word reads.
+					in = assemble(winRep[s])
+				}
+				stageRes = append(stageRes, classifierBody(b, in, coefIn, s))
+			default:
+				args := append(append([]*ir.Op(nil), shared...), coefIn)
+				stageRes = append(stageRes, b.Call(classifiers[s][copy], args...))
+			}
+		}
+		// Sum the stage results and compare against the cascade threshold —
+		// the hotspot the paper's model flags in the baseline.
+		b.Line(78)
+		sum := b.ReduceTree(ir.KindAdd, 16, stageRes)
+		limit := b.Const(16)
+		hit := b.Op(ir.KindICmp, 1, sum, limit)
+		votes = append(votes, b.Op(ir.KindZExt, 8, hit))
+	}
+	if d.Pipeline {
+		// Pipelined and unrolled: replicate the body, then mark the loop.
+		l := b.UnrolledLoop("scan_windows", fdWindowTrips, unroll, body)
+		l.Pipelined = true
+		l.II = 2
+	} else {
+		b.UnrolledLoop("scan_windows", fdWindowTrips, unroll, body)
+	}
+
+	b.Line(92)
+	total := b.ReduceTree(ir.KindAdd, 8, votes)
+	b.Ret(total)
+	return m
+}
+
+// buildClassifierFunc emits one classifier stage instance as its own
+// function: interface ports (or, under replication, a stream port plus a
+// private window copy and its own word assembly) feeding classifierBody.
+func buildClassifierFunc(m *ir.Module, d Directives, stage, copy int) *ir.Function {
+	replicated := d.ReplicateInputs && !d.Inline
+	f := m.NewFunction(fmt.Sprintf("classifier_%d_%d", stage, copy))
+	cb := ir.NewBuilder(f).At("classifier.cpp", 8)
+	var ws []*ir.Op
+	var thr *ir.Op
+	if replicated {
+		// The classifier owns a private window copy: it fills it from the
+		// stream port and assembles its own words, so all the heavy wiring
+		// stays inside the classifier's region.
+		stream := cb.Port("stream_in", 32)
+		thr = cb.Port("threshold", 16)
+		priv := cb.Array("window_copy", fdWindowWords, 8, banks(d, fdWindowWords))
+		cb.Line(14)
+		// The copy fills in wide bursts overlapped with the stream, so it
+		// costs a handful of cycles per window.
+		cb.PipelinedLoop("fill_copy", fdWindowWords/8, 1, func() {
+			v := cb.OpBits(ir.KindTrunc, 8, stream, 8)
+			cb.Store(priv, v, nil)
+		})
+		cb.Line(20)
+		ws = make([]*ir.Op, fdCallWords)
+		for w := 0; w < fdCallWords; w++ {
+			bytes := make([]*ir.Op, 4)
+			for k := range bytes {
+				bytes[k] = cb.Load(priv, nil)
+			}
+			lo := cb.Op(ir.KindConcat, 16, bytes[0], bytes[1])
+			hi := cb.Op(ir.KindConcat, 16, bytes[2], bytes[3])
+			ws[w] = cb.Op(ir.KindConcat, 32, lo, hi)
+		}
+	} else {
+		ws = make([]*ir.Op, fdCallWords)
+		for w := range ws {
+			ws[w] = cb.Port(fmt.Sprintf("win%d", w), 32)
+		}
+		thr = cb.Port("threshold", 16)
+	}
+	res := classifierBody(cb, ws, thr, stage)
+	cb.Line(60)
+	cb.Ret(res)
+	return f
+}
+
+// classifierBody emits one cascade stage: fdFeatures weak classifiers over
+// byte taps of the window words, a weighted vote per feature, and the
+// stage-level sum/compare.
+func classifierBody(b *ir.Builder, ws []*ir.Op, thr *ir.Op, stage int) *ir.Op {
+	b.Line(100 + stage)
+	var feats []*ir.Op
+	for f := 0; f < fdFeatures; f++ {
+		// Three rectangle taps as partial-bus selections (16 of 32 wires,
+		// the paper's edge-weight mechanism).
+		t0 := b.OpBits(ir.KindBitSel, 16, ws[(f)%len(ws)], 16)
+		t1 := b.OpBits(ir.KindBitSel, 16, ws[(f+1)%len(ws)], 16)
+		t2 := b.OpBits(ir.KindBitSel, 16, ws[(f+2)%len(ws)], 16)
+		d0 := b.Op(ir.KindSub, 16, t0, t1)
+		d1 := b.Op(ir.KindSub, 16, d0, t2)
+		ext := b.Op(ir.KindSExt, 16, d1)
+		w := b.Const(16)
+		// Every fourth feature weight multiply is full-precision and maps
+		// to a DSP48; the rest are narrow LUT multipliers — keeping the
+		// design inside the device's 220 DSP slices like the real cascade.
+		var prod *ir.Op
+		if f%4 == 0 {
+			prod = b.Op(ir.KindMul, 16, ext, w)
+		} else {
+			prod = b.Op(ir.KindMul, 10, ext, w)
+		}
+		cmp := b.Op(ir.KindICmp, 1, prod, thr)
+		wp := b.Const(16)
+		wn := b.Const(16)
+		feats = append(feats, b.Op(ir.KindSelect, 16, cmp, wp, wn))
+	}
+	sum := b.ReduceTree(ir.KindAdd, 16, feats)
+	stageThr := b.Const(16)
+	pass := b.Op(ir.KindICmp, 1, sum, stageThr)
+	return b.Op(ir.KindSelect, 16, pass, sum, stageThr)
+}

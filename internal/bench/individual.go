@@ -1,0 +1,51 @@
+package bench
+
+import "repro/internal/ir"
+
+// Individual application generators. The paper combines the six Rosetta
+// applications into three implementations to fill the device; these
+// standalone variants let library users study each workload's congestion
+// behaviour in isolation (and give the CLI tools per-app targets).
+
+// wrap builds a module whose top function forwards one 32-bit stream port
+// into the application function and returns its result.
+func wrap(name string, build func(*ir.Module) *ir.Function, extraArg bool) *ir.Module {
+	m := ir.NewModule(name)
+	top := m.NewFunction(name + "_top")
+	app := build(m)
+	b := ir.NewBuilder(top).At(name+"_top.cpp", 3)
+	in := b.Port("stream_in", 32)
+	args := []*ir.Op{in}
+	if extraArg {
+		args = append(args, b.OpBits(ir.KindTrunc, 16, in, 16))
+	}
+	b.Line(6)
+	res := b.Call(app, args...)
+	b.Ret(res)
+	return m
+}
+
+// DigitRecognition generates the standalone KNN digit classifier.
+func DigitRecognition() *ir.Module {
+	return wrap("digit_recognition", buildDigitRec, false)
+}
+
+// SpamFiltering generates the standalone SGD logistic-regression filter.
+func SpamFiltering() *ir.Module {
+	return wrap("spam_filtering", buildSpamFilter, true)
+}
+
+// BNN generates the standalone binarized neural network.
+func BNN() *ir.Module {
+	return wrap("bnn", buildBNN, false)
+}
+
+// Rendering3D generates the standalone 3D rendering pipeline.
+func Rendering3D() *ir.Module {
+	return wrap("rendering3d", buildRendering, false)
+}
+
+// OpticalFlow generates the standalone optical-flow pipeline.
+func OpticalFlow() *ir.Module {
+	return wrap("optical_flow", buildOpticalFlow, false)
+}

@@ -1,0 +1,39 @@
+package congestion
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/fpga"
+)
+
+// WritePGM emits the metric as a binary PGM (P5) grayscale image, one pixel
+// per tile, rows top-down like the device view. Intensity saturates at
+// maxPct (use 200 to match the ASCII ramp); overfull tiles render white.
+// PGM keeps the export dependency-free while remaining openable by any
+// image viewer, matching how the paper presents Figs. 1 and 6.
+func (m *Map) WritePGM(w io.Writer, mt Metric, maxPct float64) error {
+	if maxPct <= 0 {
+		maxPct = 200
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", m.Dev.Cols, m.Dev.Rows); err != nil {
+		return err
+	}
+	for y := m.Dev.Rows - 1; y >= 0; y-- {
+		for x := 0; x < m.Dev.Cols; x++ {
+			v := m.At(mt, fpga.XY{X: x, Y: y}) / maxPct
+			if v > 1 {
+				v = 1
+			}
+			if v < 0 {
+				v = 0
+			}
+			if err := bw.WriteByte(byte(v * 255)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,435 @@
+// Package core ties the whole reproduction together: it is the paper's
+// primary contribution as a library. The pipeline runs training designs
+// through the synthetic C-to-FPGA flow once, back-traces per-CLB congestion
+// onto IR operations, extracts the 302 features, trains the regression
+// models (Lasso / ANN / GBRT), and then predicts routing congestion for new
+// designs *without* running placement and routing — locating the congested
+// regions of the source code during HLS.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/backtrace"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/hls"
+	"repro/internal/ir"
+	"repro/internal/ml"
+	"repro/internal/ml/ann"
+	"repro/internal/ml/gbrt"
+	"repro/internal/ml/lasso"
+)
+
+// ModelKind selects one of the paper's three regression models.
+type ModelKind int
+
+const (
+	// Linear is the Lasso linear model.
+	Linear ModelKind = iota
+	// ANN is the multilayer-perceptron regressor.
+	ANN
+	// GBRT is the gradient-boosted regression tree ensemble, the paper's
+	// best model.
+	GBRT
+)
+
+func (k ModelKind) String() string {
+	switch k {
+	case Linear:
+		return "Linear"
+	case ANN:
+		return "ANN"
+	case GBRT:
+		return "GBRT"
+	}
+	return "?"
+}
+
+// ModelKinds lists the three models in Table IV order.
+var ModelKinds = []ModelKind{Linear, ANN, GBRT}
+
+// ModelSize selects the effort level of a model build: SizeFull is the
+// published configuration, SizeQuick a shrunken variant for unit tests.
+type ModelSize int
+
+const (
+	// SizeFull is the grid-search-tuned configuration the tables use.
+	SizeFull ModelSize = iota
+	// SizeQuick trades accuracy for speed (tests, smoke runs).
+	SizeQuick
+)
+
+// NewModel builds a fresh regressor of the given kind with the tuned
+// hyperparameters the experiments use (the values a grid search with
+// 10-fold cross-validation selects; see ml.GridSearchCV for the machinery).
+func NewModel(kind ModelKind, seed int64) ml.Regressor {
+	return NewModelSized(kind, seed, SizeFull)
+}
+
+// NewModelSized builds a regressor at the requested effort level.
+func NewModelSized(kind ModelKind, seed int64, size ModelSize) ml.Regressor {
+	switch kind {
+	case Linear:
+		m := lasso.New(0.01)
+		if size == SizeQuick {
+			m.MaxIter = 100
+		}
+		return m
+	case ANN:
+		m := ann.New([]int{128, 64}, seed)
+		m.Epochs = 60
+		m.BatchSize = 32
+		m.LR = 1e-3
+		m.L2 = 1e-4
+		m.NormalizeTarget = true
+		m.HuberDelta = 0.5
+		if size == SizeQuick {
+			m.Hidden = []int{16}
+			m.Epochs = 8
+		}
+		return m
+	case GBRT:
+		m := gbrt.New(200, 0.08, seed)
+		m.MaxDepth = 5
+		m.MinSamplesLeaf = 8
+		m.Subsample = 0.8
+		if size == SizeQuick {
+			m.NumTrees = 25
+			m.MaxDepth = 4
+		}
+		return m
+	}
+	panic(fmt.Sprintf("core: unknown model kind %d", int(kind)))
+}
+
+// Factory returns a grid-search factory for the model kind: each candidate
+// hyperparameter assignment (see TuningGrid) builds a fresh regressor. The
+// paper tunes each model this way with 10-fold cross-validation.
+func Factory(kind ModelKind, seed int64) ml.Factory {
+	switch kind {
+	case Linear:
+		return func(p ml.Params) ml.Regressor {
+			return lasso.New(p["alpha"])
+		}
+	case ANN:
+		return func(p ml.Params) ml.Regressor {
+			hidden := []int{int(p["hidden"])}
+			if p["hidden2"] > 0 {
+				hidden = append(hidden, int(p["hidden2"]))
+			}
+			m := ann.New(hidden, seed)
+			if p["epochs"] > 0 {
+				m.Epochs = int(p["epochs"])
+			}
+			if p["lr"] > 0 {
+				m.LR = p["lr"]
+			}
+			return m
+		}
+	case GBRT:
+		return func(p ml.Params) ml.Regressor {
+			m := gbrt.New(int(p["trees"]), p["lr"], seed)
+			if p["depth"] > 0 {
+				m.MaxDepth = int(p["depth"])
+			}
+			return m
+		}
+	}
+	panic(fmt.Sprintf("core: unknown model kind %d", int(kind)))
+}
+
+// TuningGrid returns the hyperparameter grid the paper-style search
+// explores for each model. Quick mode shrinks the grid for tests.
+func TuningGrid(kind ModelKind, quick bool) ml.Grid {
+	switch kind {
+	case Linear:
+		if quick {
+			return ml.Grid{"alpha": {0.01, 0.1}}
+		}
+		return ml.Grid{"alpha": {0.001, 0.01, 0.1, 1.0}}
+	case ANN:
+		if quick {
+			return ml.Grid{"hidden": {16}, "epochs": {6}, "lr": {2e-3}}
+		}
+		return ml.Grid{"hidden": {32, 64}, "hidden2": {0, 32}, "epochs": {40}, "lr": {1e-3, 2e-3}}
+	case GBRT:
+		if quick {
+			return ml.Grid{"trees": {20}, "lr": {0.1}, "depth": {3, 4}}
+		}
+		return ml.Grid{"trees": {100, 200}, "lr": {0.05, 0.08, 0.12}, "depth": {4, 5}}
+	}
+	panic(fmt.Sprintf("core: unknown model kind %d", int(kind)))
+}
+
+// LabelRuns is the number of placement seeds whose congestion labels are
+// averaged per operation when building the training dataset. The simulated
+// annealer is stochastic where Vivado is deterministic, so a single run's
+// label carries placement noise that no HLS-side feature could ever
+// explain; averaging defines the target as the operation's *expected*
+// congestion, the quantity a pre-PAR predictor can meaningfully estimate.
+const LabelRuns = 3
+
+// BuildDataset runs the complete implementation flow on every module,
+// back-traces congestion labels (averaged over LabelRuns placement seeds),
+// extracts features and assembles the combined dataset — the training
+// phase of Fig. 2. The returned flow results are the first run per module.
+func BuildDataset(mods []*ir.Module, cfg flow.Config) (*dataset.Dataset, []*flow.Result, error) {
+	return BuildDatasetRuns(mods, cfg, LabelRuns)
+}
+
+// BuildDatasetRuns is BuildDataset with an explicit number of label-
+// averaging placement runs; the ablation experiments use it to quantify
+// what the averaging buys.
+func BuildDatasetRuns(mods []*ir.Module, cfg flow.Config, labelRuns int) (*dataset.Dataset, []*flow.Result, error) {
+	if labelRuns < 1 {
+		labelRuns = 1
+	}
+	ds := dataset.New()
+	var results []*flow.Result
+	for _, m := range mods {
+		var traced []backtrace.OpCongestion
+		var first *flow.Result
+		marginVotes := make([]int, 0)
+		for run := 0; run < labelRuns; run++ {
+			runCfg := cfg
+			runCfg.Seed = cfg.Seed + int64(run)*7919
+			res, err := flow.Run(m, runCfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: dataset build on %q: %w", m.Name, err)
+			}
+			tr := backtrace.Trace(res)
+			if run == 0 {
+				first = res
+				traced = tr
+				marginVotes = make([]int, len(tr))
+				for i := range tr {
+					if tr[i].Margin {
+						marginVotes[i]++
+					}
+				}
+				continue
+			}
+			if len(tr) != len(traced) {
+				return nil, nil, fmt.Errorf("core: dataset build on %q: trace size changed across seeds (%d vs %d)",
+					m.Name, len(tr), len(traced))
+			}
+			for i := range traced {
+				traced[i].VertPct += tr[i].VertPct
+				traced[i].HorizPct += tr[i].HorizPct
+				traced[i].AvgPct += tr[i].AvgPct
+				if tr[i].Margin {
+					marginVotes[i]++
+				}
+			}
+		}
+		inv := 1.0 / float64(labelRuns)
+		for i := range traced {
+			traced[i].VertPct *= inv
+			traced[i].HorizPct *= inv
+			traced[i].AvgPct *= inv
+			// An operation is marginal when placement puts it at the die
+			// margin at least half the time.
+			traced[i].Margin = 2*marginVotes[i] >= labelRuns
+		}
+		g := graph.Build(m, first.Bind)
+		ex := features.NewExtractor(m, first.Sched, first.Bind, g, cfg.Dev)
+		ds.FromTrace(m.Name, traced, ex)
+		results = append(results, first)
+	}
+	return ds, results, nil
+}
+
+// Predictor is the trained congestion estimator: one regressor per
+// congestion target plus the feature scaler.
+type Predictor struct {
+	Kind   ModelKind
+	scaler *ml.Scaler
+	models map[dataset.Target]ml.Regressor
+}
+
+// TrainOptions tunes predictor training.
+type TrainOptions struct {
+	Kind ModelKind
+	// Filter removes marginal operations before training (Sec. III-C1).
+	Filter bool
+	Seed   int64
+}
+
+// Train fits one regressor per congestion target on the dataset.
+func Train(ds *dataset.Dataset, opts TrainOptions) (*Predictor, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("core: train on empty dataset")
+	}
+	if opts.Filter {
+		ds, _ = ds.FilterMarginal()
+	}
+	X, _ := ds.Matrix(dataset.Vertical)
+	scaler := ml.FitScaler(X)
+	Xs := scaler.Transform(X)
+	p := &Predictor{Kind: opts.Kind, scaler: scaler, models: make(map[dataset.Target]ml.Regressor)}
+	for _, t := range dataset.Targets {
+		_, y := ds.Matrix(t)
+		m := NewModel(opts.Kind, opts.Seed)
+		if err := m.Fit(Xs, y); err != nil {
+			return nil, fmt.Errorf("core: train %s/%s: %w", opts.Kind, t, err)
+		}
+		p.models[t] = m
+	}
+	return p, nil
+}
+
+// Model exposes the trained regressor for a target (nil if missing).
+func (p *Predictor) Model(t dataset.Target) ml.Regressor { return p.models[t] }
+
+// PredictSample estimates all three congestion metrics for one raw feature
+// vector.
+func (p *Predictor) PredictSample(feats []float64) (vert, horiz, avg float64) {
+	row := p.scaler.TransformRow(feats)
+	return p.models[dataset.Vertical].Predict(row),
+		p.models[dataset.Horizontal].Predict(row),
+		p.models[dataset.Average].Predict(row)
+}
+
+// OpPrediction is the estimated congestion of one IR operation.
+type OpPrediction struct {
+	Op       *ir.Op
+	VertPct  float64
+	HorizPct float64
+	AvgPct   float64
+}
+
+// PredictModule estimates per-operation congestion for a design running
+// only the HLS front half (schedule + bind + feature extraction) — no
+// placement, no routing. This is the prediction phase of Fig. 2: the whole
+// point of the paper is that this call replaces hours of RTL
+// implementation.
+func (p *Predictor) PredictModule(m *ir.Module, cfg flow.Config) ([]OpPrediction, error) {
+	sched, err := hls.ScheduleModule(m, cfg.Clock)
+	if err != nil {
+		return nil, fmt.Errorf("core: predict: %w", err)
+	}
+	bind := hls.BindModule(sched)
+	g := graph.Build(m, bind)
+	ex := features.NewExtractor(m, sched, bind, g, cfg.Dev)
+	var out []OpPrediction
+	for _, o := range m.AllOps() {
+		v, h, a := p.PredictSample(ex.Vector(o))
+		out = append(out, OpPrediction{Op: o, VertPct: v, HorizPct: h, AvgPct: a})
+	}
+	return out, nil
+}
+
+// Hotspot aggregates predicted congestion per source location — the
+// "congested region in the source code" report the designer acts on.
+type Hotspot struct {
+	Loc    ir.SourceLoc
+	Ops    int
+	MaxAvg float64
+	MeanV  float64
+	MeanH  float64
+}
+
+// Hotspots groups predictions by source line, sorted by descending maximum
+// predicted average congestion.
+func Hotspots(preds []OpPrediction) []Hotspot {
+	agg := make(map[ir.SourceLoc]*Hotspot)
+	for _, pr := range preds {
+		h := agg[pr.Op.Src]
+		if h == nil {
+			h = &Hotspot{Loc: pr.Op.Src}
+			agg[pr.Op.Src] = h
+		}
+		h.Ops++
+		h.MeanV += pr.VertPct
+		h.MeanH += pr.HorizPct
+		if pr.AvgPct > h.MaxAvg {
+			h.MaxAvg = pr.AvgPct
+		}
+	}
+	out := make([]Hotspot, 0, len(agg))
+	for _, h := range agg {
+		h.MeanV /= float64(h.Ops)
+		h.MeanH /= float64(h.Ops)
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MaxAvg != out[j].MaxAvg {
+			return out[i].MaxAvg > out[j].MaxAvg
+		}
+		if out[i].Loc.File != out[j].Loc.File {
+			return out[i].Loc.File < out[j].Loc.File
+		}
+		return out[i].Loc.Line < out[j].Loc.Line
+	})
+	return out
+}
+
+// Accuracy is one Table IV cell pair.
+type Accuracy struct {
+	MAE   float64
+	MedAE float64
+}
+
+// EvalRow is one Table IV row: accuracy per congestion target for one
+// model and filtering choice.
+type EvalRow struct {
+	Kind     ModelKind
+	Filtered bool
+	Acc      map[dataset.Target]Accuracy
+}
+
+// Evaluate reproduces one Table IV row: randomly split the dataset 80/20
+// (the split depends only on the seed, so every model and filtering choice
+// is compared on the same partition), optionally drop the marginal
+// operations from both sides (Sec. III-C1 filters during dataset
+// construction, before any split), train on the training portion and score
+// MAE/MedAE on the unseen test split.
+func Evaluate(ds *dataset.Dataset, kind ModelKind, filter bool, seed int64) (EvalRow, error) {
+	return EvaluateSized(ds, kind, filter, seed, SizeFull)
+}
+
+// EvaluateSized is Evaluate with an explicit model effort level.
+func EvaluateSized(ds *dataset.Dataset, kind ModelKind, filter bool, seed int64, size ModelSize) (EvalRow, error) {
+	row := EvalRow{Kind: kind, Filtered: filter, Acc: make(map[dataset.Target]Accuracy)}
+	rng := rand.New(rand.NewSource(seed))
+	split := ml.TrainTestSplit(ds.Len(), 0.2, rng)
+	marginal := ds.Marginal()
+
+	train := &dataset.Dataset{FeatureNames: ds.FeatureNames}
+	for _, i := range split.Train {
+		if filter && marginal[i] {
+			continue
+		}
+		train.Samples = append(train.Samples, ds.Samples[i])
+	}
+	test := &dataset.Dataset{FeatureNames: ds.FeatureNames}
+	for _, i := range split.Test {
+		if filter && marginal[i] {
+			continue
+		}
+		test.Samples = append(test.Samples, ds.Samples[i])
+	}
+
+	Xtr, _ := train.Matrix(dataset.Vertical)
+	scaler := ml.FitScaler(Xtr)
+	XtrS := scaler.Transform(Xtr)
+	Xte, _ := test.Matrix(dataset.Vertical)
+	XteS := scaler.Transform(Xte)
+
+	for _, t := range dataset.Targets {
+		_, ytr := train.Matrix(t)
+		_, yte := test.Matrix(t)
+		m := NewModelSized(kind, seed, size)
+		if err := m.Fit(XtrS, ytr); err != nil {
+			return row, fmt.Errorf("core: evaluate %s/%s: %w", kind, t, err)
+		}
+		pred := ml.PredictBatch(m, XteS)
+		row.Acc[t] = Accuracy{MAE: ml.MAE(yte, pred), MedAE: ml.MedAE(yte, pred)}
+	}
+	return row, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/ml/ann"
+	"repro/internal/ml/gbrt"
+	"repro/internal/ml/lasso"
+)
+
+// predictorJSON is the persisted form of a trained predictor: the model
+// kind, the feature scaler and one serialized regressor per congestion
+// target. The feature count is stored so stale models fail loudly when the
+// feature layout evolves.
+type predictorJSON struct {
+	Kind        ModelKind                  `json:"kind"`
+	NumFeatures int                        `json:"num_features"`
+	Scaler      *ml.Scaler                 `json:"scaler"`
+	Models      map[string]json.RawMessage `json:"models"`
+}
+
+// Save serializes the trained predictor as JSON.
+func (p *Predictor) Save(w io.Writer) error {
+	out := predictorJSON{
+		Kind:        p.Kind,
+		NumFeatures: features.NumFeatures,
+		Scaler:      p.scaler,
+		Models:      make(map[string]json.RawMessage, len(p.models)),
+	}
+	for _, t := range dataset.Targets {
+		m, ok := p.models[t]
+		if !ok {
+			return fmt.Errorf("core: save: predictor missing model for %s", t)
+		}
+		raw, err := json.Marshal(m)
+		if err != nil {
+			return fmt.Errorf("core: save %s: %w", t, err)
+		}
+		out.Models[t.String()] = raw
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// LoadPredictor restores a predictor saved with Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var in predictorJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: load predictor: %w", err)
+	}
+	if in.NumFeatures != features.NumFeatures {
+		return nil, fmt.Errorf("core: load predictor: model was trained on %d features, library has %d",
+			in.NumFeatures, features.NumFeatures)
+	}
+	if in.Scaler == nil {
+		return nil, fmt.Errorf("core: load predictor: missing scaler")
+	}
+	p := &Predictor{Kind: in.Kind, scaler: in.Scaler, models: make(map[dataset.Target]ml.Regressor)}
+	for _, t := range dataset.Targets {
+		raw, ok := in.Models[t.String()]
+		if !ok {
+			return nil, fmt.Errorf("core: load predictor: missing model for %s", t)
+		}
+		var m ml.Regressor
+		switch in.Kind {
+		case Linear:
+			m = &lasso.Model{}
+		case ANN:
+			m = &ann.Model{}
+		case GBRT:
+			m = &gbrt.Model{}
+		default:
+			return nil, fmt.Errorf("core: load predictor: unknown model kind %d", int(in.Kind))
+		}
+		if err := json.Unmarshal(raw, m); err != nil {
+			return nil, fmt.Errorf("core: load predictor %s: %w", t, err)
+		}
+		p.models[t] = m
+	}
+	return p, nil
+}

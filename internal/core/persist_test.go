@@ -1,0 +1,59 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func trainedPredictor(t *testing.T, kind ModelKind) (*Predictor, *dataset.Dataset) {
+	t.Helper()
+	ds, _, err := BuildDataset(tinyModules(), quickFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Train(ds, TrainOptions{Kind: kind, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pred, ds
+}
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	for _, kind := range ModelKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			pred, ds := trainedPredictor(t, kind)
+			var buf bytes.Buffer
+			if err := pred.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := LoadPredictor(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Kind != kind {
+				t.Fatalf("kind = %v", back.Kind)
+			}
+			// Predictions must match bit-for-bit.
+			for i := 0; i < 20 && i < ds.Len(); i++ {
+				v1, h1, a1 := pred.PredictSample(ds.Samples[i].Features)
+				v2, h2, a2 := back.PredictSample(ds.Samples[i].Features)
+				if v1 != v2 || h1 != h2 || a1 != a2 {
+					t.Fatalf("sample %d predictions differ after reload", i)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadPredictorRejectsGarbage(t *testing.T) {
+	if _, err := LoadPredictor(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"kind":0,"num_features":5}`)); err == nil {
+		t.Fatal("stale feature count accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes to the CSV reader: malformed input must
+// produce an error, never a panic, and accepted input must round-trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("design,op_id,kind,src,margin,replica,replica_root,vert_pct,horiz_pct,avg_pct,f0\n" +
+		"d,1,add,a.cpp:1,false,false,-1,1,2,1.5,0.25\n"))
+	f.Add([]byte("a,b\n1,2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round-trip of accepted dataset failed: %v", err)
+		}
+		if back.Len() != d.Len() {
+			t.Fatalf("round-trip changed sample count %d -> %d", d.Len(), back.Len())
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// LabelStats summarizes one congestion label's distribution.
+type LabelStats struct {
+	Mean, Std, Min, Max, Median float64
+}
+
+// Stats computes the distribution summary of a target over the dataset.
+func (d *Dataset) Stats(t Target) LabelStats {
+	if len(d.Samples) == 0 {
+		return LabelStats{}
+	}
+	vals := make([]float64, len(d.Samples))
+	var sum float64
+	st := LabelStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	for i, s := range d.Samples {
+		v := s.Label(t)
+		vals[i] = v
+		sum += v
+		st.Min = math.Min(st.Min, v)
+		st.Max = math.Max(st.Max, v)
+	}
+	st.Mean = sum / float64(len(vals))
+	var va float64
+	for _, v := range vals {
+		va += (v - st.Mean) * (v - st.Mean)
+	}
+	st.Std = math.Sqrt(va / float64(len(vals)))
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		st.Median = vals[n/2]
+	} else {
+		st.Median = (vals[n/2-1] + vals[n/2]) / 2
+	}
+	return st
+}
+
+// Summary renders a human-readable dataset overview: per-design sample
+// counts, label distributions per target, and the marginal fraction.
+func (d *Dataset) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataset: %d samples, %d features, %.2f%% marginal\n",
+		d.Len(), len(d.FeatureNames), 100*d.MarginalFraction())
+	byDesign := make(map[string]int)
+	var names []string
+	for _, s := range d.Samples {
+		if byDesign[s.Design] == 0 {
+			names = append(names, s.Design)
+		}
+		byDesign[s.Design]++
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-20s %5d samples\n", n, byDesign[n])
+	}
+	for _, t := range Targets {
+		st := d.Stats(t)
+		fmt.Fprintf(&b, "  %-12s mean %6.1f  std %5.1f  median %6.1f  range [%.1f, %.1f]\n",
+			t, st.Mean, st.Std, st.Median, st.Min, st.Max)
+	}
+	return b.String()
+}

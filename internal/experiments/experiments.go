@@ -1,0 +1,52 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section from the simulated flow: Table I (directive
+// comparison), Figure 1 (congestion maps), Table III (benchmark property
+// summary), Table IV (congestion estimation accuracy — the headline
+// result), Table V (important feature categories), Table VI (the Face
+// Detection case study) and Figures 5/6 (congestion distributions). Each
+// runner returns structured results plus a formatted text rendering; the
+// root-level benchmarks and cmd/hlscong call straight into them.
+package experiments
+
+import (
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/flow"
+	"repro/internal/ir"
+)
+
+// Config selects the flow setup and effort level for experiment runs.
+type Config struct {
+	Flow flow.Config
+	// Seed drives the train/test split and model seeds.
+	Seed int64
+	// Quick shrinks the ML models (fewer boosting stages / epochs) so unit
+	// tests finish fast; published numbers use Quick=false.
+	Quick bool
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{Flow: flow.DefaultConfig(), Seed: 42}
+}
+
+// buildModel adapts the model size to the effort level.
+func (c Config) evaluate(ds *dataset.Dataset, kind core.ModelKind, filter bool) (core.EvalRow, error) {
+	if !c.Quick {
+		return core.Evaluate(ds, kind, filter, c.Seed)
+	}
+	return core.EvaluateSized(ds, kind, filter, c.Seed, core.SizeQuick)
+}
+
+// RunOnce executes the flow on one module with the experiment's setup.
+func RunOnce(m *ir.Module, cfg Config) (*flow.Result, error) {
+	return flow.Run(m, cfg.Flow)
+}
+
+// PaperDataset builds the paper's 8111-sample-scale dataset from the three
+// combined implementations (Face Detection; Digit Recognition + Spam
+// Filtering; BNN + 3D Rendering + Optical Flow).
+func (c Config) PaperDataset() (*dataset.Dataset, []*flow.Result, error) {
+	return core.BuildDataset(bench.TrainingModules(), c.Flow)
+}

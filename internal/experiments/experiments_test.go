@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ir"
+)
+
+// benchModule returns a small design for plumbing tests.
+func benchModule() *ir.Module {
+	m := ir.NewModule("plumb")
+	b := ir.NewBuilder(m.NewFunction("plumb_top"))
+	p := b.Port("p", 16)
+	b.Ret(b.Op(ir.KindNot, 16, p))
+	return m
+}
+
+// quickCfg keeps experiment tests fast: shrunken models, fewer SA moves.
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Quick = true
+	cfg.Flow.Place.Moves = 8000
+	return cfg
+}
+
+func TestTableI(t *testing.T) {
+	res, err := TableI(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	with, without := res.Rows[0], res.Rows[1]
+	// The paper's qualitative claims: directives slash latency but raise
+	// congestion and cost frequency.
+	if with.LatencyCycles >= without.LatencyCycles {
+		t.Errorf("directives did not reduce latency: %d vs %d",
+			with.LatencyCycles, without.LatencyCycles)
+	}
+	if with.MaxCongPct <= without.MaxCongPct {
+		t.Errorf("directives did not increase congestion: %.1f vs %.1f",
+			with.MaxCongPct, without.MaxCongPct)
+	}
+	if with.FmaxMHz >= without.FmaxMHz {
+		t.Errorf("directives did not cost frequency: %.1f vs %.1f",
+			with.FmaxMHz, without.FmaxMHz)
+	}
+	out := res.Format()
+	for _, want := range []string{"TABLE I", "With Directives", "Without Directives"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+}
+
+func TestTableVI(t *testing.T) {
+	res, err := TableVI(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	base, ni, rep := res.Rows[0], res.Rows[1], res.Rows[2]
+	// Monotone congestion resolution: the congested-CLB count collapses.
+	if !(base.CongestedCLBs > ni.CongestedCLBs && ni.CongestedCLBs > rep.CongestedCLBs) {
+		t.Errorf("congested CLBs not monotone: %d -> %d -> %d",
+			base.CongestedCLBs, ni.CongestedCLBs, rep.CongestedCLBs)
+	}
+	// Frequency recovers at each step.
+	if !(base.FmaxMHz < ni.FmaxMHz && ni.FmaxMHz < rep.FmaxMHz) {
+		t.Errorf("Fmax not monotone: %.1f -> %.1f -> %.1f",
+			base.FmaxMHz, ni.FmaxMHz, rep.FmaxMHz)
+	}
+	// Latency stays roughly flat (within 15% of baseline).
+	for i, d := range res.DeltaLatency {
+		if float64(d) > 0.15*float64(base.LatencyCycles) {
+			t.Errorf("step %d latency regressed by %d cycles", i, d)
+		}
+	}
+	if !strings.Contains(res.Format(), "TABLE VI") {
+		t.Error("format header missing")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	res, err := Figure1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Maps) != 2 {
+		t.Fatalf("maps = %d", len(res.Maps))
+	}
+	out := res.Format()
+	if !strings.Contains(out, "with directives") || !strings.Contains(out, "without directives") {
+		t.Error("figure titles missing")
+	}
+	if len(strings.Split(out, "\n")) < 40 {
+		t.Error("rendered maps suspiciously short")
+	}
+}
+
+func TestFigure5CenterHot(t *testing.T) {
+	res, err := Figure5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CenterMean <= res.MarginMean {
+		t.Errorf("center %.1f not hotter than margin %.1f — Fig. 5 shape broken",
+			res.CenterMean, res.MarginMean)
+	}
+	if len(res.Profile) != 8 {
+		t.Errorf("profile bins = %d", len(res.Profile))
+	}
+	if !strings.Contains(res.Format(), "Fig. 5") {
+		t.Error("format header missing")
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	res, err := Figure6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Maps) != 6 {
+		t.Fatalf("maps = %d, want 3 steps x 2 directions", len(res.Maps))
+	}
+}
+
+func TestTableIIIAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full dataset flows in -short mode")
+	}
+	res, err := TableIII(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Impls) != 3 {
+		t.Fatalf("implementations = %d", len(res.Impls))
+	}
+	for col := 0; col < 5; col++ {
+		if !(res.Min[col] <= res.Avg[col] && res.Avg[col] <= res.Max[col]) {
+			t.Errorf("column %d not ordered: min %v avg %v max %v",
+				col, res.Min[col], res.Avg[col], res.Max[col])
+		}
+	}
+	if res.Samples < 7000 {
+		t.Errorf("only %d samples aggregated", res.Samples)
+	}
+	if !strings.Contains(res.Format(), "TABLE III") {
+		t.Error("format header missing")
+	}
+}
+
+func TestTableIVQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset build in -short mode")
+	}
+	res, err := TableIV(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 3 models x 2 filtering", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		for _, tg := range dataset.Targets {
+			if r.Acc[tg].MAE <= 0 {
+				t.Errorf("%v/%v: zero MAE is implausible", r.Kind, tg)
+			}
+			if r.Acc[tg].MedAE > r.Acc[tg].MAE {
+				t.Errorf("%v/%v: MedAE %v above MAE %v (label errors are right-skewed)",
+					r.Kind, tg, r.Acc[tg].MedAE, r.Acc[tg].MAE)
+			}
+		}
+	}
+	if !strings.Contains(res.Format(), "TABLE IV") {
+		t.Error("format header missing")
+	}
+}
+
+func TestTableVQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset build in -short mode")
+	}
+	res, err := TableV(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tg := range dataset.Targets {
+		rank := res.Ranking[tg]
+		if len(rank) == 0 {
+			t.Fatalf("no ranking for %v", tg)
+		}
+		total := 0.0
+		for i, ci := range rank {
+			total += ci.Importance
+			if i > 0 && rank[i-1].Importance < ci.Importance {
+				t.Fatal("ranking not sorted")
+			}
+		}
+		if total < 0.99 || total > 1.01 {
+			t.Errorf("%v importance sums to %v", tg, total)
+		}
+	}
+	if !strings.Contains(res.Format(), "TABLE V") {
+		t.Error("format header missing")
+	}
+}
+
+func TestFigure6Format(t *testing.T) {
+	res, err := Figure6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Format()
+	for _, want := range []string{"Baseline", "Not Inline", "Replication", "Vertical", "Horizontal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 6 format missing %q", want)
+		}
+	}
+}
+
+func TestRunOnce(t *testing.T) {
+	cfg := quickCfg()
+	res, err := RunOnce(benchModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timing == nil {
+		t.Fatal("RunOnce returned incomplete result")
+	}
+}

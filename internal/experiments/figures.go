@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/congestion"
+	"repro/internal/flow"
+)
+
+// FigureMap is one rendered congestion map.
+type FigureMap struct {
+	Title  string
+	Metric congestion.Metric
+	Map    *congestion.Map
+}
+
+// Render returns the ASCII heat map.
+func (f FigureMap) Render() string {
+	return f.Title + "\n" + f.Map.RenderASCII(f.Metric, 1, 2)
+}
+
+// Figure1Result holds the two Face Detection congestion maps of Fig. 1.
+type Figure1Result struct {
+	Maps []FigureMap
+}
+
+// Figure1 reproduces the motivation figure: congestion maps of Face
+// Detection with and without directives.
+func Figure1(cfg Config) (*Figure1Result, error) {
+	out := &Figure1Result{}
+	for _, c := range []struct {
+		name string
+		dir  bench.Directives
+	}{
+		{"Face Detection, with directives", bench.WithDirectives()},
+		{"Face Detection, without directives", bench.WithoutDirectives()},
+	} {
+		res, err := flow.Run(bench.FaceDetection(c.dir), cfg.Flow)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 1 (%s): %w", c.name, err)
+		}
+		out.Maps = append(out.Maps, FigureMap{
+			Title:  fmt.Sprintf("Fig. 1: %s (max %.1f%%)", c.name, res.Routing.Map.MaxCongestion()),
+			Metric: congestion.Average,
+			Map:    res.Routing.Map,
+		})
+	}
+	return out, nil
+}
+
+// Format renders both maps.
+func (f *Figure1Result) Format() string {
+	var b strings.Builder
+	for _, m := range f.Maps {
+		b.WriteString(m.Render())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure5Result quantifies Fig. 5: the distribution of vertical congestion
+// over the die for Face Detection, as a radial profile (margin low, center
+// high) plus the rendered map.
+type Figure5Result struct {
+	Map *congestion.Map
+	// Profile is the mean vertical congestion per normalized
+	// center-distance bin (bin 0 = die center, last bin = corners).
+	Profile []float64
+	// MarginMean and CenterMean summarize the paper's qualitative claim.
+	MarginMean float64
+	CenterMean float64
+}
+
+// Figure5 runs the optimized Face Detection and bins vertical congestion by
+// distance from the die center.
+func Figure5(cfg Config) (*Figure5Result, error) {
+	res, err := flow.Run(bench.FaceDetection(bench.WithDirectives()), cfg.Flow)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 5: %w", err)
+	}
+	m := res.Routing.Map
+	const bins = 8
+	out := &Figure5Result{Map: m, Profile: m.RadialProfile(congestion.Vertical, bins)}
+	// Center = inner quarter of bins, margin = outer quarter.
+	q := bins / 4
+	var cs, ms float64
+	for i := 0; i < q; i++ {
+		cs += out.Profile[i]
+		ms += out.Profile[bins-1-i]
+	}
+	out.CenterMean = cs / float64(q)
+	out.MarginMean = ms / float64(q)
+	return out, nil
+}
+
+// Format renders the profile and map.
+func (f *Figure5Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig. 5: distribution of vertical routing congestion (Face Detection)\n")
+	b.WriteString("mean vertical congestion by distance from die center:\n")
+	for i, v := range f.Profile {
+		bar := strings.Repeat("#", int(v/4))
+		fmt.Fprintf(&b, "  bin %d (r=%.2f..%.2f): %6.1f%% %s\n",
+			i, float64(i)/float64(len(f.Profile)), float64(i+1)/float64(len(f.Profile)), v, bar)
+	}
+	fmt.Fprintf(&b, "center mean %.1f%% vs margin mean %.1f%%\n", f.CenterMean, f.MarginMean)
+	b.WriteString(f.Map.RenderASCII(congestion.Vertical, 1, 2))
+	return b.String()
+}
+
+// Figure6Result holds the per-step congestion maps of the case study, one
+// vertical and one horizontal map per resolution step.
+type Figure6Result struct {
+	Maps []FigureMap
+}
+
+// Figure6 renders V and H congestion maps for Baseline, Not Inline and
+// Replication.
+func Figure6(cfg Config) (*Figure6Result, error) {
+	out := &Figure6Result{}
+	for _, c := range []struct {
+		name string
+		dir  bench.Directives
+	}{
+		{"Baseline", bench.WithDirectives()},
+		{"Not Inline", bench.NotInline()},
+		{"Replication", bench.Replication()},
+	} {
+		res, err := flow.Run(bench.FaceDetection(c.dir), cfg.Flow)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 6 (%s): %w", c.name, err)
+		}
+		for _, mt := range []congestion.Metric{congestion.Vertical, congestion.Horizontal} {
+			s := res.Routing.Map.Summarize(mt)
+			out.Maps = append(out.Maps, FigureMap{
+				Title:  fmt.Sprintf("Fig. 6: %s — %s (max %.1f%%)", c.name, mt, s.Max),
+				Metric: mt,
+				Map:    res.Routing.Map,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Format renders all six maps.
+func (f *Figure6Result) Format() string {
+	var b strings.Builder
+	for _, m := range f.Maps {
+		b.WriteString(m.Render())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

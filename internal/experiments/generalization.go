@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+)
+
+// Cross-design generalization: the paper's flow assumes the target design
+// (or similar applications) contributed to the training set — "if there
+// are not many available applications ... the target design should go
+// through the complete C-to-FPGA flow for one time to generate congestion
+// metrics which will be used to enrich the dataset" (Sec. III). This
+// experiment quantifies that caveat with leave-one-design-out evaluation:
+// train on two implementations, test on the third, and compare with the
+// random-split protocol of Table IV.
+
+// GeneralizationRow is one leave-one-design-out fold.
+type GeneralizationRow struct {
+	HeldOut string
+	Train   int
+	Test    int
+	Acc     map[dataset.Target]core.Accuracy
+}
+
+// GeneralizationResult bundles all folds plus the random-split reference.
+type GeneralizationResult struct {
+	Rows []GeneralizationRow
+	// RandomSplit is the GBRT filtered row of Table IV, for comparison.
+	RandomSplit map[dataset.Target]core.Accuracy
+}
+
+// Generalization runs leave-one-design-out with the GBRT (the best model).
+func Generalization(cfg Config, ds *dataset.Dataset) (*GeneralizationResult, error) {
+	size := core.SizeFull
+	if cfg.Quick {
+		size = core.SizeQuick
+	}
+	designs := map[string]bool{}
+	for _, s := range ds.Samples {
+		designs[s.Design] = true
+	}
+	var names []string
+	for n := range designs {
+		names = append(names, n)
+	}
+	// Insertion-order independent: sort.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := &GeneralizationResult{}
+	marginal := ds.Marginal()
+	for _, held := range names {
+		train := &dataset.Dataset{FeatureNames: ds.FeatureNames}
+		test := &dataset.Dataset{FeatureNames: ds.FeatureNames}
+		for i, s := range ds.Samples {
+			if s.Design == held {
+				test.Samples = append(test.Samples, s)
+			} else if !marginal[i] {
+				train.Samples = append(train.Samples, s)
+			}
+		}
+		if train.Len() == 0 || test.Len() == 0 {
+			continue
+		}
+		row := GeneralizationRow{
+			HeldOut: held,
+			Train:   train.Len(),
+			Test:    test.Len(),
+			Acc:     make(map[dataset.Target]core.Accuracy),
+		}
+		Xtr, _ := train.Matrix(dataset.Vertical)
+		scaler := ml.FitScaler(Xtr)
+		XtrS := scaler.Transform(Xtr)
+		Xte, _ := test.Matrix(dataset.Vertical)
+		XteS := scaler.Transform(Xte)
+		for _, tg := range dataset.Targets {
+			_, ytr := train.Matrix(tg)
+			_, yte := test.Matrix(tg)
+			m := core.NewModelSized(core.GBRT, cfg.Seed, size)
+			if err := m.Fit(XtrS, ytr); err != nil {
+				return nil, fmt.Errorf("experiments: generalization (%s/%s): %w", held, tg, err)
+			}
+			pred := ml.PredictBatch(m, XteS)
+			row.Acc[tg] = core.Accuracy{MAE: ml.MAE(yte, pred), MedAE: ml.MedAE(yte, pred)}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	// Reference: the standard random-split protocol.
+	ref, err := cfg.evaluate(ds, core.GBRT, true)
+	if err != nil {
+		return nil, err
+	}
+	out.RandomSplit = ref.Acc
+	return out, nil
+}
+
+// Format renders the generalization table.
+func (g *GeneralizationResult) Format() string {
+	var b strings.Builder
+	b.WriteString("CROSS-DESIGN GENERALIZATION (GBRT, leave-one-design-out)\n")
+	fmt.Fprintf(&b, "%-22s %6s %6s", "held-out design", "train", "test")
+	for _, tg := range dataset.Targets {
+		fmt.Fprintf(&b, " | %-11s MAE MedAE", tg)
+	}
+	b.WriteString("\n")
+	for _, r := range g.Rows {
+		fmt.Fprintf(&b, "%-22s %6d %6d", r.HeldOut, r.Train, r.Test)
+		for _, tg := range dataset.Targets {
+			fmt.Fprintf(&b, " | %12.2f %8.2f", r.Acc[tg].MAE, r.Acc[tg].MedAE)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-22s %6s %6s", "(random 80/20 split)", "-", "-")
+	for _, tg := range dataset.Targets {
+		fmt.Fprintf(&b, " | %12.2f %8.2f", g.RandomSplit[tg].MAE, g.RandomSplit[tg].MedAE)
+	}
+	b.WriteString("\n")
+	b.WriteString("Unseen-design error quantifies the paper's advice to enrich the dataset\nwith one full flow of the target design when few applications are available.\n")
+	return b.String()
+}

@@ -1,0 +1,345 @@
+// Package features implements the paper's feature extraction (Sec. III-B,
+// Table II): 302 features per IR operation in seven categories — Bitwidth,
+// Interconnection, Resource (per LUT/FF/DSP/BRAM), Timing, #Resource/ΔTcs,
+// Operator Type and Global Information. Features are computed on the merged
+// dependency graph (shared functional units count once), use schedule
+// control states for the ΔTcs terms, and include the two-hop-neighborhood
+// variants the paper found most influential.
+package features
+
+import (
+	"fmt"
+
+	"repro/internal/fpga"
+	"repro/internal/graph"
+	"repro/internal/hls"
+	"repro/internal/ir"
+)
+
+// Category labels one of the paper's seven feature categories.
+type Category int
+
+// The seven categories of Table II.
+const (
+	CatBitwidth Category = iota
+	CatInterconnect
+	CatResource
+	CatTiming
+	CatResourceDT
+	CatOpType
+	CatGlobal
+
+	categoryCount
+)
+
+// CategoryCount is the number of feature categories.
+const CategoryCount = int(categoryCount)
+
+func (c Category) String() string {
+	switch c {
+	case CatBitwidth:
+		return "Bitwidth"
+	case CatInterconnect:
+		return "Interconnection"
+	case CatResource:
+		return "Resource"
+	case CatTiming:
+		return "Timing"
+	case CatResourceDT:
+		return "#Resource/dTcs"
+	case CatOpType:
+		return "Operator Type"
+	case CatGlobal:
+		return "Global Information"
+	}
+	return "?"
+}
+
+// NumFeatures is the paper's feature-vector length.
+const NumFeatures = 302
+
+// spec is one registered feature.
+type spec struct {
+	name string
+	cat  Category
+	eval func(*Extractor, *opCtx) float64
+}
+
+var registry []spec
+
+func register(name string, cat Category, eval func(*Extractor, *opCtx) float64) {
+	registry = append(registry, spec{name: name, cat: cat, eval: eval})
+}
+
+// Names returns the 302 feature names in vector order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Categories returns the category of each feature in vector order.
+func Categories() []Category {
+	out := make([]Category, len(registry))
+	for i, s := range registry {
+		out[i] = s.cat
+	}
+	return out
+}
+
+// Extractor computes feature vectors for one implemented design. It caches
+// per-function aggregates so per-op extraction stays cheap.
+type Extractor struct {
+	Mod   *ir.Module
+	Sched *hls.Schedule
+	Bind  *hls.Binding
+	Graph *graph.Graph
+	Dev   *fpga.Device
+
+	funcInfo map[*ir.Function]*funcInfo
+	topInfo  *funcInfo
+}
+
+type funcInfo struct {
+	res      hls.Resources
+	estClock float64
+	latency  int64
+	memWords float64
+	memBanks float64
+	memBits  float64
+	memPrims float64
+	mux      hls.MuxStats
+}
+
+// NewExtractor prepares feature extraction from the HLS artifacts of a
+// design. The graph must be the merged dependency graph of the same module
+// and binding.
+func NewExtractor(m *ir.Module, s *hls.Schedule, b *hls.Binding, g *graph.Graph, dev *fpga.Device) *Extractor {
+	e := &Extractor{
+		Mod:      m,
+		Sched:    s,
+		Bind:     b,
+		Graph:    g,
+		Dev:      dev,
+		funcInfo: make(map[*ir.Function]*funcInfo),
+	}
+	for _, f := range m.LiveFuncs() {
+		fi := &funcInfo{res: b.FuncBoundResources(f), mux: b.FuncMuxStats(f)}
+		worst := 0.0
+		for _, o := range f.Ops {
+			if d := s.Slots[o].FinishDelay; d > worst {
+				worst = d
+			}
+		}
+		fi.estClock = worst + s.Clock.UncertaintyNS
+		if fs := s.Funcs[f]; fs != nil {
+			fi.latency = fs.LatencyCycles
+		}
+		for _, a := range f.Arrays {
+			fi.memWords += float64(a.Words)
+			fi.memBanks += float64(a.Banks)
+			fi.memBits += float64(a.Bits)
+			fi.memPrims += float64(a.Primitives())
+		}
+		e.funcInfo[f] = fi
+		if f.IsTop {
+			e.topInfo = fi
+		}
+	}
+	if e.topInfo == nil {
+		e.topInfo = &funcInfo{}
+	}
+	return e
+}
+
+// opCtx caches the per-op intermediates shared by many features.
+type opCtx struct {
+	op   *ir.Op
+	node *graph.Node
+	fi   *funcInfo
+
+	n1both []*graph.Node // one-hop neighborhood (both directions)
+	n2pred []*graph.Node // second ring, predecessor side
+	n2succ []*graph.Node // second ring, successor side
+	n2both []*graph.Node // second ring, both directions
+
+	char hls.OpCharacter
+}
+
+func (e *Extractor) context(op *ir.Op) *opCtx {
+	node := e.Graph.OfOp[op]
+	if node == nil {
+		panic(fmt.Sprintf("features: op %s missing from graph", op.Name))
+	}
+	c := &opCtx{
+		op:   op,
+		node: node,
+		fi:   e.funcInfo[op.Func],
+		char: hls.Characterize(op.Kind, op.Bitwidth),
+	}
+	if c.fi == nil {
+		c.fi = &funcInfo{}
+	}
+	c.n1both = node.NeighborsK(1, graph.DirBoth)
+	c.n2pred = ring2(node, graph.DirPred)
+	c.n2succ = ring2(node, graph.DirSucc)
+	c.n2both = ring2(node, graph.DirBoth)
+	return c
+}
+
+// ring2 returns the nodes at exactly two hops (the second ring).
+func ring2(n *graph.Node, dir int) []*graph.Node {
+	one := n.NeighborsK(1, dir)
+	all := n.NeighborsK(2, dir)
+	inOne := make(map[*graph.Node]bool, len(one))
+	for _, x := range one {
+		inOne[x] = true
+	}
+	var out []*graph.Node
+	for _, x := range all {
+		if !inOne[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Vector computes the 302-entry feature vector of one operation.
+func (e *Extractor) Vector(op *ir.Op) []float64 {
+	c := e.context(op)
+	out := make([]float64, len(registry))
+	for i, s := range registry {
+		out[i] = s.eval(e, c)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+
+func sumRes(nodes []*graph.Node, t int) float64 {
+	s := 0.0
+	for _, n := range nodes {
+		s += float64(n.Res().ByType(t))
+	}
+	return s
+}
+
+func maxRes(nodes []*graph.Node, t int) float64 {
+	m := 0.0
+	for _, n := range nodes {
+		if v := float64(n.Res().ByType(t)); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func countPorts(nodes []*graph.Node) float64 {
+	n := 0.0
+	for _, x := range nodes {
+		if x.IsPort() {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Extractor) devTotal(t int) float64 {
+	return float64(e.Dev.Totals.ByType(t))
+}
+
+func (e *Extractor) funcTotal(c *opCtx, t int) float64 {
+	return float64(c.fi.res.ByType(t))
+}
+
+// dtPred sums resource/ΔTcs over the op's direct producers.
+func (e *Extractor) dtPred(c *opCtx, t int) (sum, max float64) {
+	for _, edge := range c.op.Operands {
+		d := edge.Def
+		dn := e.Graph.OfOp[d]
+		if dn == nil || dn == c.node {
+			continue
+		}
+		dt := float64(e.Sched.DeltaTcs(d, c.op))
+		v := float64(dn.Res().ByType(t)) / dt
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	return sum, max
+}
+
+// dtSucc sums resource/ΔTcs over the op's direct consumers.
+func (e *Extractor) dtSucc(c *opCtx, t int) (sum, max float64) {
+	for _, u := range c.op.Users() {
+		un := e.Graph.OfOp[u]
+		if un == nil || un == c.node {
+			continue
+		}
+		dt := float64(e.Sched.DeltaTcs(c.op, u))
+		v := float64(un.Res().ByType(t)) / dt
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	return sum, max
+}
+
+// dtPred2 extends the term through the second predecessor ring, dividing by
+// the accumulated schedule distance over the two hops.
+func (e *Extractor) dtPred2(c *opCtx, t int) float64 {
+	sum := 0.0
+	for _, edge := range c.op.Operands {
+		mid := edge.Def
+		dt1 := float64(e.Sched.DeltaTcs(mid, c.op))
+		for _, edge2 := range mid.Operands {
+			d2 := edge2.Def
+			dn := e.Graph.OfOp[d2]
+			if dn == nil || dn == c.node {
+				continue
+			}
+			dt2 := float64(e.Sched.DeltaTcs(d2, mid))
+			sum += float64(dn.Res().ByType(t)) / (dt1 + dt2)
+		}
+	}
+	return sum
+}
+
+// dtSucc2 is the successor-side two-hop variant.
+func (e *Extractor) dtSucc2(c *opCtx, t int) float64 {
+	sum := 0.0
+	for _, mid := range c.op.Users() {
+		dt1 := float64(e.Sched.DeltaTcs(c.op, mid))
+		for _, u2 := range mid.Users() {
+			un := e.Graph.OfOp[u2]
+			if un == nil || un == c.node {
+				continue
+			}
+			dt2 := float64(e.Sched.DeltaTcs(mid, u2))
+			sum += float64(un.Res().ByType(t)) / (dt1 + dt2)
+		}
+	}
+	return sum
+}
+
+func countKind(nodes []*graph.Node, k ir.OpKind) float64 {
+	n := 0.0
+	for _, x := range nodes {
+		if x.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,117 @@
+// Package flow chains the complete synthetic C-to-FPGA implementation flow
+// the paper runs once per training design: scheduling, binding, RTL
+// elaboration, placement, routing and static timing. Everything downstream
+// (back-tracing, dataset construction, the experiment tables) consumes its
+// Result.
+package flow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fpga"
+	"repro/internal/hls"
+	"repro/internal/ir"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/rtl"
+	"repro/internal/timing"
+)
+
+// Config selects the device, clock and tool options for one implementation
+// run. The zero value is unusable; start from DefaultConfig.
+type Config struct {
+	Dev    *fpga.Device
+	Clock  hls.Clock
+	Seed   int64
+	Place  place.Options
+	Route  route.Options
+	Timing timing.Model
+}
+
+// DefaultConfig is the paper's setup: XC7Z020 at a 100 MHz target.
+func DefaultConfig() Config {
+	return Config{
+		Dev:    fpga.XC7Z020(),
+		Clock:  hls.DefaultClock(),
+		Seed:   1,
+		Place:  place.DefaultOptions(),
+		Route:  route.DefaultOptions(),
+		Timing: timing.DefaultModel(),
+	}
+}
+
+// Result bundles every artifact of one implementation run.
+type Result struct {
+	Mod       *ir.Module
+	Config    Config
+	Sched     *hls.Schedule
+	Bind      *hls.Binding
+	Netlist   *rtl.Netlist
+	Placement *place.Placement
+	Routing   *route.Result
+	Timing    *timing.Report
+}
+
+// Run executes the full flow on a module.
+func Run(m *ir.Module, cfg Config) (*Result, error) {
+	if cfg.Dev == nil {
+		return nil, fmt.Errorf("flow: config has no device")
+	}
+	sched, err := hls.ScheduleModule(m, cfg.Clock)
+	if err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
+	bind := hls.BindModule(sched)
+	nl := rtl.Elaborate(bind)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pl, err := place.Place(nl, cfg.Dev, rng, cfg.Place)
+	if err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
+	rr := route.Route(pl, rng, cfg.Route)
+	rep := timing.Analyze(sched, nl, rr, cfg.Timing)
+	return &Result{
+		Mod:       m,
+		Config:    cfg,
+		Sched:     sched,
+		Bind:      bind,
+		Netlist:   nl,
+		Placement: pl,
+		Routing:   rr,
+		Timing:    rep,
+	}, nil
+}
+
+// PerfRow is the performance summary the paper's tables report per
+// implementation.
+type PerfRow struct {
+	Name          string
+	WNS           float64
+	FmaxMHz       float64
+	LatencyCycles int64
+	MaxVertPct    float64
+	MaxHorizPct   float64
+	MaxCongPct    float64
+	CongestedCLBs int
+}
+
+// Perf extracts the table row for a run.
+func (r *Result) Perf(name string) PerfRow {
+	vs := r.Routing.Map.Summarize(0) // Vertical
+	hs := r.Routing.Map.Summarize(1) // Horizontal
+	max := vs.Max
+	if hs.Max > max {
+		max = hs.Max
+	}
+	return PerfRow{
+		Name:          name,
+		WNS:           timing.RoundWNS(r.Timing.WNS),
+		FmaxMHz:       r.Timing.FmaxMHz,
+		LatencyCycles: r.Timing.LatencyCycles,
+		MaxVertPct:    vs.Max,
+		MaxHorizPct:   hs.Max,
+		MaxCongPct:    max,
+		CongestedCLBs: r.Routing.Map.CongestedTiles(100),
+	}
+}

@@ -1,0 +1,102 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func smallModule() *ir.Module {
+	m := ir.NewModule("small")
+	b := ir.NewBuilder(m.NewFunction("f"))
+	p := b.Port("p", 16)
+	a := b.Array("mem", 32, 16, 4)
+	var outs []*ir.Op
+	for i := 0; i < 12; i++ {
+		v := b.Load(a, nil)
+		outs = append(outs, b.Op(ir.KindMul, 16, v, p))
+	}
+	b.Ret(b.ReduceTree(ir.KindAdd, 16, outs))
+	return m
+}
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Place.Moves = 3000
+	return cfg
+}
+
+func TestRunProducesAllArtifacts(t *testing.T) {
+	res, err := Run(smallModule(), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sched == nil || res.Bind == nil || res.Netlist == nil ||
+		res.Placement == nil || res.Routing == nil || res.Timing == nil {
+		t.Fatal("missing artifacts")
+	}
+	if res.Timing.FmaxMHz <= 0 || res.Timing.LatencyCycles <= 0 {
+		t.Error("timing report empty")
+	}
+}
+
+func TestRunRequiresDevice(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Dev = nil
+	if _, err := Run(smallModule(), cfg); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestRunRejectsInvalidModule(t *testing.T) {
+	if _, err := Run(&ir.Module{Name: "broken"}, quickConfig()); err == nil {
+		t.Fatal("invalid module accepted")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	cfg := quickConfig()
+	r1, err := Run(smallModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(smallModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Timing.WNS != r2.Timing.WNS || r1.Routing.Overflow != r2.Routing.Overflow {
+		t.Error("identical configs produced different results")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 999
+	r3, err := Run(smallModule(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Placement.HPWL() == r3.Placement.HPWL() {
+		t.Error("different seeds produced identical placements (suspicious)")
+	}
+}
+
+func TestPerfRowConsistency(t *testing.T) {
+	res, err := Run(smallModule(), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Perf("x")
+	if p.Name != "x" {
+		t.Error("name not propagated")
+	}
+	if p.MaxCongPct < p.MaxVertPct-1e-9 || p.MaxCongPct < p.MaxHorizPct-1e-9 {
+		t.Error("MaxCongPct below a directional max")
+	}
+	if p.MaxCongPct != p.MaxVertPct && p.MaxCongPct != p.MaxHorizPct {
+		t.Error("MaxCongPct equals neither direction")
+	}
+	if p.CongestedCLBs != res.Routing.Map.CongestedTiles(100) {
+		t.Error("congested CLB count mismatch")
+	}
+	if p.FmaxMHz != res.Timing.FmaxMHz {
+		t.Error("Fmax mismatch")
+	}
+}

@@ -1,0 +1,175 @@
+// Package fpga models the target device: a grid of tiles with per-tile
+// logic capacity and per-tile vertical/horizontal routing capacity. The
+// default device mirrors the paper's Xilinx Zynq XC7Z020 (Artix-7 fabric):
+// CLB columns interleaved with DSP48 and block-RAM columns, with the
+// official resource totals used for utilization-ratio features.
+package fpga
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hls"
+)
+
+// TileKind classifies a fabric tile.
+type TileKind int
+
+const (
+	// TileCLB is a configurable logic block tile (LUTs + flip-flops).
+	TileCLB TileKind = iota
+	// TileDSP is a DSP48 column tile.
+	TileDSP
+	// TileBRAM is a block-RAM column tile.
+	TileBRAM
+)
+
+func (k TileKind) String() string {
+	switch k {
+	case TileCLB:
+		return "CLB"
+	case TileDSP:
+		return "DSP"
+	case TileBRAM:
+		return "BRAM"
+	}
+	return "?"
+}
+
+// XY is a tile coordinate: X indexes columns, Y rows.
+type XY struct {
+	X, Y int
+}
+
+func (p XY) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// ManhattanDist returns the L1 distance between two tiles.
+func ManhattanDist(a, b XY) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Device describes one FPGA fabric.
+type Device struct {
+	Name string
+	Cols int
+	Rows int
+
+	// Columns occupied by DSP and BRAM tiles.
+	DSPCols  []int
+	BRAMCols []int
+
+	// Per-CLB-tile logic capacity.
+	TileLUT int
+	TileFF  int
+	// Per-special-tile capacity.
+	TileDSP  int
+	TileBRAM int
+
+	// Routing-channel capacity: wires available across each tile boundary
+	// in the vertical and horizontal directions. Congestion percentages are
+	// demand/capacity*100, so >100 means the router must detour (the
+	// paper's definition).
+	VCap float64
+	HCap float64
+
+	// Official device totals used for utilization-ratio features.
+	Totals hls.Resources
+}
+
+// XC7Z020 returns the paper's target device, the Zynq-7020's Artix-7
+// fabric: 53,200 LUTs, 106,400 FFs, 220 DSP48 slices, 280 RAMB18s, modeled
+// on a 60x110 tile grid with two DSP columns and two BRAM column pairs.
+func XC7Z020() *Device {
+	d := &Device{
+		Name:     "xc7z020clg484",
+		Cols:     60,
+		Rows:     110,
+		DSPCols:  []int{14, 44},
+		BRAMCols: []int{7, 22, 37, 52},
+		TileLUT:  8,
+		TileFF:   16,
+		TileDSP:  2,
+		TileBRAM: 1,
+		VCap:     155,
+		HCap:     132,
+		Totals:   hls.Resources{LUT: 53200, FF: 106400, DSP: 220, BRAM: 280},
+	}
+	return d
+}
+
+// InBounds reports whether the coordinate is on the device.
+func (d *Device) InBounds(p XY) bool {
+	return p.X >= 0 && p.X < d.Cols && p.Y >= 0 && p.Y < d.Rows
+}
+
+// KindAt returns the tile kind at a coordinate.
+func (d *Device) KindAt(x, y int) TileKind {
+	for _, c := range d.DSPCols {
+		if x == c {
+			return TileDSP
+		}
+	}
+	for _, c := range d.BRAMCols {
+		if x == c {
+			return TileBRAM
+		}
+	}
+	return TileCLB
+}
+
+// NumTiles returns the total tile count.
+func (d *Device) NumTiles() int { return d.Cols * d.Rows }
+
+// Center returns the die center in tile coordinates.
+func (d *Device) Center() (float64, float64) {
+	return float64(d.Cols-1) / 2, float64(d.Rows-1) / 2
+}
+
+// MarginFrac is the outer fraction of the die treated as the "margin" for
+// the paper's marginal-operation analysis (Fig. 5, Sec. III-C1).
+const MarginFrac = 0.16
+
+// IsMargin reports whether the tile lies in the outer margin band of the
+// die.
+func (d *Device) IsMargin(p XY) bool {
+	mx := int(float64(d.Cols) * MarginFrac)
+	my := int(float64(d.Rows) * MarginFrac)
+	return p.X < mx || p.X >= d.Cols-mx || p.Y < my || p.Y >= d.Rows-my
+}
+
+// CenterDist returns the normalized distance of a tile from the die center
+// (0 at the center, ~1 at the corners).
+func (d *Device) CenterDist(p XY) float64 {
+	cx, cy := d.Center()
+	dx := (float64(p.X) - cx) / (float64(d.Cols) / 2)
+	dy := (float64(p.Y) - cy) / (float64(d.Rows) / 2)
+	return math.Sqrt(dx*dx+dy*dy) / math.Sqrt2
+}
+
+// DSPColNearest returns the DSP column nearest to x.
+func (d *Device) DSPColNearest(x int) int { return nearest(d.DSPCols, x) }
+
+// BRAMColNearest returns the BRAM column nearest to x.
+func (d *Device) BRAMColNearest(x int) int { return nearest(d.BRAMCols, x) }
+
+func nearest(cols []int, x int) int {
+	best, bestD := cols[0], 1<<30
+	for _, c := range cols {
+		dd := c - x
+		if dd < 0 {
+			dd = -dd
+		}
+		if dd < bestD {
+			best, bestD = c, dd
+		}
+	}
+	return best
+}

@@ -1,0 +1,133 @@
+package fpga
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestXC7Z020Totals(t *testing.T) {
+	d := XC7Z020()
+	if d.Totals.LUT != 53200 || d.Totals.FF != 106400 || d.Totals.DSP != 220 || d.Totals.BRAM != 280 {
+		t.Errorf("device totals %+v do not match the xc7z020", d.Totals)
+	}
+	if d.NumTiles() != d.Cols*d.Rows {
+		t.Error("NumTiles mismatch")
+	}
+}
+
+func TestKindAtColumns(t *testing.T) {
+	d := XC7Z020()
+	for _, c := range d.DSPCols {
+		if d.KindAt(c, 0) != TileDSP {
+			t.Errorf("col %d should be DSP", c)
+		}
+	}
+	for _, c := range d.BRAMCols {
+		if d.KindAt(c, 5) != TileBRAM {
+			t.Errorf("col %d should be BRAM", c)
+		}
+	}
+	if d.KindAt(0, 0) != TileCLB {
+		t.Error("col 0 should be CLB")
+	}
+}
+
+func TestTileKindString(t *testing.T) {
+	if TileCLB.String() != "CLB" || TileDSP.String() != "DSP" || TileBRAM.String() != "BRAM" {
+		t.Error("TileKind strings wrong")
+	}
+	if TileKind(9).String() != "?" {
+		t.Error("unknown TileKind should print ?")
+	}
+}
+
+func TestManhattanDist(t *testing.T) {
+	if ManhattanDist(XY{0, 0}, XY{3, 4}) != 7 {
+		t.Error("dist(0,0 -> 3,4) != 7")
+	}
+	if ManhattanDist(XY{5, 5}, XY{2, 9}) != 7 {
+		t.Error("dist with negative deltas wrong")
+	}
+	// Symmetry property.
+	f := func(ax, ay, bx, by int8) bool {
+		a := XY{int(ax), int(ay)}
+		b := XY{int(bx), int(by)}
+		return ManhattanDist(a, b) == ManhattanDist(b, a) && ManhattanDist(a, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInBounds(t *testing.T) {
+	d := XC7Z020()
+	cases := []struct {
+		p    XY
+		want bool
+	}{
+		{XY{0, 0}, true},
+		{XY{d.Cols - 1, d.Rows - 1}, true},
+		{XY{-1, 0}, false},
+		{XY{0, d.Rows}, false},
+		{XY{d.Cols, 0}, false},
+	}
+	for _, c := range cases {
+		if d.InBounds(c.p) != c.want {
+			t.Errorf("InBounds(%v) = %v", c.p, !c.want)
+		}
+	}
+}
+
+func TestMarginBand(t *testing.T) {
+	d := XC7Z020()
+	if !d.IsMargin(XY{0, 0}) || !d.IsMargin(XY{d.Cols - 1, d.Rows / 2}) {
+		t.Error("edges must be margin")
+	}
+	cx, cy := d.Center()
+	if d.IsMargin(XY{int(cx), int(cy)}) {
+		t.Error("center must not be margin")
+	}
+}
+
+func TestCenterDist(t *testing.T) {
+	d := XC7Z020()
+	cx, cy := d.Center()
+	if got := d.CenterDist(XY{int(cx), int(cy)}); got > 0.05 {
+		t.Errorf("center dist = %v, want ~0", got)
+	}
+	corner := d.CenterDist(XY{0, 0})
+	if corner < 0.9 || corner > 1.01 {
+		t.Errorf("corner dist = %v, want ~1", corner)
+	}
+	mid := d.CenterDist(XY{0, int(cy)})
+	if mid >= corner {
+		t.Error("edge midpoint must be closer than corner")
+	}
+}
+
+func TestNearestColumns(t *testing.T) {
+	d := XC7Z020()
+	if got := d.DSPColNearest(0); got != d.DSPCols[0] {
+		t.Errorf("DSPColNearest(0) = %d", got)
+	}
+	if got := d.DSPColNearest(d.Cols); got != d.DSPCols[len(d.DSPCols)-1] {
+		t.Errorf("DSPColNearest(right edge) = %d", got)
+	}
+	// Nearest is actually nearest for every x.
+	for x := 0; x < d.Cols; x++ {
+		got := d.BRAMColNearest(x)
+		for _, c := range d.BRAMCols {
+			da := got - x
+			if da < 0 {
+				da = -da
+			}
+			db := c - x
+			if db < 0 {
+				db = -db
+			}
+			if db < da {
+				t.Fatalf("BRAMColNearest(%d) = %d but %d is closer", x, got, c)
+			}
+		}
+	}
+}

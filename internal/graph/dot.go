@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT emits the dependency graph in GraphViz DOT format: one node per
+// (possibly merged) vertex labeled with its kind and width, edges labeled
+// with their wire weight, port nodes drawn as boxes. Designs of a few
+// hundred nodes render usefully; the maxNodes cap truncates larger graphs
+// (0 = no cap) so a debug dump of a full benchmark stays loadable.
+func (g *Graph) WriteDOT(w io.Writer, maxNodes int) error {
+	if _, err := fmt.Fprintln(w, "digraph dependency {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  rankdir=TB; node [fontsize=9];"); err != nil {
+		return err
+	}
+	nodes := g.Nodes
+	truncated := false
+	if maxNodes > 0 && len(nodes) > maxNodes {
+		nodes = nodes[:maxNodes]
+		truncated = true
+	}
+	inSet := make(map[*Node]bool, len(nodes))
+	for _, n := range nodes {
+		inSet[n] = true
+	}
+	for _, n := range nodes {
+		shape := "ellipse"
+		if n.IsPort() {
+			shape = "box"
+		}
+		label := fmt.Sprintf("%s i%d", n.Kind, n.Bitwidth)
+		if n.IsMerged() {
+			label = fmt.Sprintf("%s x%d", label, len(n.Ops))
+			shape = "doublecircle"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q shape=%s];\n", n.ID, label, shape); err != nil {
+			return err
+		}
+	}
+	var edges []*Edge
+	for _, n := range nodes {
+		for _, e := range n.Out {
+			if inSet[e.To] {
+				edges = append(edges, e)
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From.ID != edges[j].From.ID {
+			return edges[i].From.ID < edges[j].From.ID
+		}
+		return edges[i].To.ID < edges[j].To.ID
+	})
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=%d];\n", e.From.ID, e.To.ID, e.Wires); err != nil {
+			return err
+		}
+	}
+	if truncated {
+		if _, err := fmt.Fprintf(w, "  trunc [label=\"(%d more nodes)\" shape=plaintext];\n",
+			len(g.Nodes)-len(nodes)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

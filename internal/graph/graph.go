@@ -1,0 +1,261 @@
+// Package graph builds the paper's dependency graph (Sec. III-A2): one node
+// per IR operation, directed edges between dependent operations weighted by
+// the number of wires of the connection, operations that share one RTL
+// module merged into a single combined node (Fig. 4), and "port"-type nodes
+// marking which operators meet at the same function I/O port. The feature
+// extractor reads interconnection, resource and #Resource/ΔTcs features off
+// this graph, including the two-hop neighborhoods the paper found most
+// influential.
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/hls"
+	"repro/internal/ir"
+)
+
+// Node is one dependency-graph vertex: a single operation, or several
+// operations merged because they share a functional unit.
+type Node struct {
+	ID   int
+	Ops  []*ir.Op
+	Kind ir.OpKind
+	// Bitwidth is the widest member operation.
+	Bitwidth int
+
+	In  []*Edge
+	Out []*Edge
+}
+
+// IsMerged reports whether the node combines shared operations.
+func (n *Node) IsMerged() bool { return len(n.Ops) > 1 }
+
+// IsPort reports whether the node represents a function I/O port.
+func (n *Node) IsPort() bool { return n.Kind == ir.KindPort }
+
+// Res returns the characterized resource usage of the node's hardware: one
+// functional-unit instance (merged operations share it, so it is counted
+// once, exactly why the paper merges the nodes).
+func (n *Node) Res() hls.Resources {
+	return hls.Characterize(n.Kind, n.Bitwidth).Res
+}
+
+// FanIn returns the summed wire weight of incoming edges.
+func (n *Node) FanIn() int {
+	w := 0
+	for _, e := range n.In {
+		w += e.Wires
+	}
+	return w
+}
+
+// FanOut returns the summed wire weight of outgoing edges.
+func (n *Node) FanOut() int {
+	w := 0
+	for _, e := range n.Out {
+		w += e.Wires
+	}
+	return w
+}
+
+// Edge is a directed, wire-weighted dependence between nodes. Parallel
+// dependences between the same pair are combined with their wire counts
+// summed.
+type Edge struct {
+	From, To *Node
+	Wires    int
+}
+
+// Graph is the module-wide dependency graph.
+type Graph struct {
+	Nodes []*Node
+	OfOp  map[*ir.Op]*Node
+}
+
+// Build constructs the graph for a module. When binding is non-nil,
+// operations bound to one shared functional unit collapse into a combined
+// node; passing nil keeps one node per operation (the pre-merge graph).
+func Build(m *ir.Module, binding *hls.Binding) *Graph {
+	g := &Graph{OfOp: make(map[*ir.Op]*Node, m.NumOps())}
+
+	newNode := func(ops []*ir.Op) *Node {
+		n := &Node{ID: len(g.Nodes), Ops: ops, Kind: ops[0].Kind}
+		for _, o := range ops {
+			if o.Bitwidth > n.Bitwidth {
+				n.Bitwidth = o.Bitwidth
+			}
+			g.OfOp[o] = n
+		}
+		g.Nodes = append(g.Nodes, n)
+		return n
+	}
+
+	if binding != nil {
+		for _, u := range binding.Units {
+			newNode(u.Ops)
+		}
+		// Ops a binder never saw (none today, but keep the graph total).
+		for _, o := range m.AllOps() {
+			if g.OfOp[o] == nil {
+				newNode([]*ir.Op{o})
+			}
+		}
+	} else {
+		for _, o := range m.AllOps() {
+			newNode([]*ir.Op{o})
+		}
+	}
+
+	// Edges: combine parallel dependences, drop self-loops created by
+	// merging.
+	type key struct{ from, to int }
+	wires := make(map[key]int)
+	for _, o := range m.AllOps() {
+		to := g.OfOp[o]
+		for _, e := range o.Operands {
+			from := g.OfOp[e.Def]
+			if from == nil || from == to {
+				continue
+			}
+			wires[key{from.ID, to.ID}] += e.Bits
+		}
+	}
+	keys := make([]key, 0, len(wires))
+	for k := range wires {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		e := &Edge{From: g.Nodes[k.from], To: g.Nodes[k.to], Wires: wires[k]}
+		e.From.Out = append(e.From.Out, e)
+		e.To.In = append(e.To.In, e)
+	}
+	return g
+}
+
+// Preds returns the distinct predecessor nodes.
+func (n *Node) Preds() []*Node {
+	out := make([]*Node, 0, len(n.In))
+	for _, e := range n.In {
+		out = append(out, e.From)
+	}
+	return out
+}
+
+// Succs returns the distinct successor nodes.
+func (n *Node) Succs() []*Node {
+	out := make([]*Node, 0, len(n.Out))
+	for _, e := range n.Out {
+		out = append(out, e.To)
+	}
+	return out
+}
+
+// Hop direction selectors for NeighborsK.
+const (
+	// DirPred walks edges backwards (towards producers).
+	DirPred = iota
+	// DirSucc walks edges forwards (towards consumers).
+	DirSucc
+	// DirBoth walks both directions.
+	DirBoth
+)
+
+// NeighborsK returns the distinct nodes reachable from n within at most k
+// hops in the given direction, excluding n itself. k=1 gives the one-hop
+// neighborhood; the paper's "after including two-hop neighbors" features
+// use k=2.
+func (n *Node) NeighborsK(k, dir int) []*Node {
+	seen := map[*Node]bool{n: true}
+	frontier := []*Node{n}
+	var out []*Node
+	for hop := 0; hop < k; hop++ {
+		var next []*Node
+		for _, cur := range frontier {
+			if dir == DirPred || dir == DirBoth {
+				for _, e := range cur.In {
+					if !seen[e.From] {
+						seen[e.From] = true
+						next = append(next, e.From)
+						out = append(out, e.From)
+					}
+				}
+			}
+			if dir == DirSucc || dir == DirBoth {
+				for _, e := range cur.Out {
+					if !seen[e.To] {
+						seen[e.To] = true
+						next = append(next, e.To)
+						out = append(out, e.To)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// MaxEdge returns the largest wire weight among the node's direct
+// connections and that edge's share of the node's fan-in and fan-out — the
+// paper's "max number of wires among all connections" features.
+func (n *Node) MaxEdge() (wires int, fracIn, fracOut float64) {
+	for _, e := range n.In {
+		if e.Wires > wires {
+			wires = e.Wires
+		}
+	}
+	for _, e := range n.Out {
+		if e.Wires > wires {
+			wires = e.Wires
+		}
+	}
+	if fi := n.FanIn(); fi > 0 {
+		fracIn = float64(wires) / float64(fi)
+	}
+	if fo := n.FanOut(); fo > 0 {
+		fracOut = float64(wires) / float64(fo)
+	}
+	return wires, fracIn, fracOut
+}
+
+// EdgeStatsK aggregates the wire weights of all edges incident to the k-hop
+// neighborhood of n (edges with at least one endpoint in the neighborhood
+// or at n): total weight, edge count, and the maximum single edge.
+func (n *Node) EdgeStatsK(k int) (total, count, max int) {
+	nodes := append([]*Node{n}, n.NeighborsK(k, DirBoth)...)
+	inSet := make(map[*Node]bool, len(nodes))
+	for _, x := range nodes {
+		inSet[x] = true
+	}
+	seen := make(map[*Edge]bool)
+	for _, x := range nodes {
+		for _, e := range x.In {
+			if !seen[e] && (inSet[e.From] || inSet[e.To]) {
+				seen[e] = true
+				total += e.Wires
+				count++
+				if e.Wires > max {
+					max = e.Wires
+				}
+			}
+		}
+		for _, e := range x.Out {
+			if !seen[e] && (inSet[e.From] || inSet[e.To]) {
+				seen[e] = true
+				total += e.Wires
+				count++
+				if e.Wires > max {
+					max = e.Wires
+				}
+			}
+		}
+	}
+	return total, count, max
+}

@@ -1,0 +1,85 @@
+// Package hls implements the synthesis middle-end the paper's predictor
+// reads its information from: a characterized operator library (resource
+// usage, delay and latency per operation kind and bitwidth), a
+// resource-constrained list scheduler that assigns IR operations to control
+// states with operator chaining, and a binder that shares functional units
+// across control steps and inserts the multiplexers that sharing requires.
+//
+// Scheduling supplies the control-state numbers behind the paper's
+// #Resource/ΔTcs feature category; binding supplies the merged dependency
+// graph nodes (Fig. 4) and the multiplexer statistics in the Global
+// Information feature category.
+package hls
+
+import "fmt"
+
+// Clock captures the synthesis timing target.
+type Clock struct {
+	PeriodNS      float64 // target clock period, ns
+	UncertaintyNS float64 // clock uncertainty subtracted from the budget
+}
+
+// DefaultClock is the paper's 100 MHz target with Vivado HLS' default
+// 12.5 % uncertainty.
+func DefaultClock() Clock {
+	return Clock{PeriodNS: 10.0, UncertaintyNS: 1.25}
+}
+
+// Budget returns the usable combinational delay per control step.
+func (c Clock) Budget() float64 { return c.PeriodNS - c.UncertaintyNS }
+
+// Resources tallies the four FPGA resource types the paper's feature set
+// distinguishes.
+type Resources struct {
+	LUT  int
+	FF   int
+	DSP  int
+	BRAM int
+}
+
+// Add returns the element-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.LUT + o.LUT, r.FF + o.FF, r.DSP + o.DSP, r.BRAM + o.BRAM}
+}
+
+// Scale returns r with every component multiplied by k.
+func (r Resources) Scale(k int) Resources {
+	return Resources{r.LUT * k, r.FF * k, r.DSP * k, r.BRAM * k}
+}
+
+// Total returns a scalar weight used when one number must summarize the
+// vector (DSP and BRAM are weighted by their approximate LUT-equivalent
+// area).
+func (r Resources) Total() float64 {
+	return float64(r.LUT) + 0.5*float64(r.FF) + 100*float64(r.DSP) + 300*float64(r.BRAM)
+}
+
+// ByType returns the component for a dense resource-type index in the order
+// {LUT, FF, DSP, BRAM} used by the feature extractor.
+func (r Resources) ByType(i int) int {
+	switch i {
+	case 0:
+		return r.LUT
+	case 1:
+		return r.FF
+	case 2:
+		return r.DSP
+	case 3:
+		return r.BRAM
+	}
+	panic(fmt.Sprintf("hls: resource type index %d out of range", i))
+}
+
+// ResourceTypeCount is the number of resource types (LUT, FF, DSP, BRAM).
+const ResourceTypeCount = 4
+
+// ResourceTypeNames names the dense resource-type indices.
+var ResourceTypeNames = [ResourceTypeCount]string{"LUT", "FF", "DSP", "BRAM"}
+
+// OpCharacter is one row of the pre-characterization library: what a single
+// operator of a given kind and width costs.
+type OpCharacter struct {
+	Res     Resources
+	DelayNS float64 // combinational delay through the operator
+	Latency int     // pipeline latency in cycles (0 = combinational)
+}

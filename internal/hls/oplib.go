@@ -1,0 +1,162 @@
+package hls
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Characterize returns the operator-library entry for an operation: its
+// resource usage, combinational delay and pipeline latency as a function of
+// kind and bitwidth. The numbers follow the scaling behaviour of Xilinx
+// 7-series characterization data (adders scale linearly in LUTs, multipliers
+// consume DSP48 slices above ~11 bits, floating-point cores are deeply
+// pipelined macro blocks, bit-manipulation ops are free wiring).
+func Characterize(kind ir.OpKind, bitwidth int) OpCharacter {
+	w := bitwidth
+	if w < 1 {
+		w = 1
+	}
+	fw := float64(w)
+	switch kind {
+	case ir.KindAdd, ir.KindSub:
+		return OpCharacter{
+			Res:     Resources{LUT: w, FF: 0},
+			DelayNS: 0.9 + 0.049*fw,
+		}
+	case ir.KindMul:
+		if w <= 10 {
+			return OpCharacter{
+				Res:     Resources{LUT: (w*w + 1) / 2},
+				DelayNS: 1.4 + 0.08*fw,
+			}
+		}
+		d := (w + 17) / 18 // DSP48E1 operand chunks
+		return OpCharacter{
+			Res:     Resources{DSP: d * d, LUT: 2 * w, FF: 2 * w},
+			DelayNS: 3.2,
+			Latency: 3,
+		}
+	case ir.KindDiv, ir.KindRem:
+		return OpCharacter{
+			Res:     Resources{LUT: w * (w + 2) / 2, FF: 3 * w},
+			DelayNS: 2.1,
+			Latency: w + 2,
+		}
+	case ir.KindAnd, ir.KindOr, ir.KindXor:
+		return OpCharacter{
+			Res:     Resources{LUT: (w + 1) / 2},
+			DelayNS: 0.45,
+		}
+	case ir.KindNot:
+		return OpCharacter{
+			Res:     Resources{LUT: (w + 3) / 4},
+			DelayNS: 0.35,
+		}
+	case ir.KindShl, ir.KindLShr, ir.KindAShr:
+		stages := int(math.Ceil(math.Log2(fw + 1)))
+		return OpCharacter{
+			Res:     Resources{LUT: w * stages / 2},
+			DelayNS: 0.8 + 0.12*float64(stages),
+		}
+	case ir.KindICmp:
+		return OpCharacter{
+			Res:     Resources{LUT: w/2 + 1},
+			DelayNS: 0.7 + 0.02*fw,
+		}
+	case ir.KindFAdd, ir.KindFSub:
+		return OpCharacter{
+			Res:     Resources{DSP: 2, LUT: 214, FF: 324},
+			DelayNS: 3.6,
+			Latency: 4,
+		}
+	case ir.KindFMul:
+		return OpCharacter{
+			Res:     Resources{DSP: 3, LUT: 110, FF: 166},
+			DelayNS: 3.3,
+			Latency: 3,
+		}
+	case ir.KindFDiv:
+		return OpCharacter{
+			Res:     Resources{LUT: 780, FF: 1444},
+			DelayNS: 3.9,
+			Latency: 15,
+		}
+	case ir.KindFCmp:
+		return OpCharacter{
+			Res:     Resources{LUT: 66, FF: 72},
+			DelayNS: 1.9,
+			Latency: 1,
+		}
+	case ir.KindSqrt:
+		return OpCharacter{
+			Res:     Resources{LUT: 468, FF: 620},
+			DelayNS: 3.8,
+			Latency: 16,
+		}
+	case ir.KindSelect, ir.KindPhi:
+		return OpCharacter{
+			Res:     Resources{LUT: (w + 1) / 2},
+			DelayNS: 0.55,
+		}
+	case ir.KindLoad:
+		return OpCharacter{
+			Res:     Resources{LUT: (w + 7) / 8},
+			DelayNS: 1.2,
+			Latency: 1, // synchronous memory read
+		}
+	case ir.KindStore:
+		return OpCharacter{
+			Res:     Resources{LUT: (w + 7) / 8},
+			DelayNS: 1.0,
+			Latency: 1,
+		}
+	case ir.KindTrunc, ir.KindZExt, ir.KindSExt, ir.KindConcat, ir.KindBitSel:
+		return OpCharacter{DelayNS: 0.05} // pure wiring
+	case ir.KindConst:
+		return OpCharacter{}
+	case ir.KindPort:
+		return OpCharacter{Res: Resources{FF: w}, DelayNS: 0.2}
+	case ir.KindCall:
+		return OpCharacter{Res: Resources{FF: w, LUT: (w + 3) / 4}, DelayNS: 0.4, Latency: 1}
+	case ir.KindRet:
+		return OpCharacter{DelayNS: 0.1}
+	}
+	return OpCharacter{DelayNS: 0.5, Res: Resources{LUT: w}}
+}
+
+// ArrayResources returns the memory resources an array instance consumes:
+// small or heavily partitioned arrays become distributed LUT-RAM/registers,
+// large monolithic arrays become block RAM (18 kb halves of RAMB36E1).
+func ArrayResources(a *ir.Array) Resources {
+	bitsPerBank := a.WordsPerBank() * a.Bits
+	const bramThreshold = 256 // bits below which a bank stays in fabric
+	if bitsPerBank <= bramThreshold || a.Banks >= a.Words {
+		// Distributed: registers plus LUT addressing per bank.
+		return Resources{
+			FF:  a.Words * a.Bits,
+			LUT: a.Banks * ((a.Bits+1)/2 + 4),
+		}
+	}
+	per := (bitsPerBank + 18*1024 - 1) / (18 * 1024)
+	return Resources{
+		BRAM: per * a.Banks,
+		LUT:  a.Banks * 6,
+	}
+}
+
+// Sharable reports whether operations of this kind are candidates for
+// functional-unit sharing. Cheap operators (wiring, small logic) are cheaper
+// to replicate than to multiplex, matching real HLS binding policy.
+func Sharable(kind ir.OpKind, bitwidth int) bool {
+	switch kind {
+	case ir.KindMul:
+		return bitwidth > 10
+	case ir.KindDiv, ir.KindRem, ir.KindFAdd, ir.KindFSub, ir.KindFMul,
+		ir.KindFDiv, ir.KindFCmp, ir.KindSqrt:
+		return true
+	case ir.KindAdd, ir.KindSub:
+		return bitwidth >= 16
+	}
+	return false
+}

@@ -1,0 +1,186 @@
+package hls
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func TestClockBudget(t *testing.T) {
+	c := DefaultClock()
+	if c.PeriodNS != 10.0 {
+		t.Errorf("default period = %v, want 10ns (100 MHz)", c.PeriodNS)
+	}
+	if got := c.Budget(); got != 8.75 {
+		t.Errorf("budget = %v, want 8.75", got)
+	}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{LUT: 1, FF: 2, DSP: 3, BRAM: 4}
+	b := Resources{LUT: 10, FF: 20, DSP: 30, BRAM: 40}
+	sum := a.Add(b)
+	if sum != (Resources{11, 22, 33, 44}) {
+		t.Errorf("Add = %+v", sum)
+	}
+	if a.Scale(3) != (Resources{3, 6, 9, 12}) {
+		t.Errorf("Scale = %+v", a.Scale(3))
+	}
+	for i := 0; i < ResourceTypeCount; i++ {
+		want := []int{1, 2, 3, 4}[i]
+		if a.ByType(i) != want {
+			t.Errorf("ByType(%d) = %d, want %d", i, a.ByType(i), want)
+		}
+	}
+	if a.Total() <= 0 {
+		t.Error("Total must be positive for nonzero resources")
+	}
+}
+
+func TestByTypePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ByType(4) did not panic")
+		}
+	}()
+	Resources{}.ByType(4)
+}
+
+func TestCharacterizeAdderScalesLinearly(t *testing.T) {
+	c8 := Characterize(ir.KindAdd, 8)
+	c32 := Characterize(ir.KindAdd, 32)
+	if c8.Res.LUT != 8 || c32.Res.LUT != 32 {
+		t.Errorf("adder LUTs: %d/%d", c8.Res.LUT, c32.Res.LUT)
+	}
+	if c32.DelayNS <= c8.DelayNS {
+		t.Error("wider adder must be slower")
+	}
+	if c8.Latency != 0 {
+		t.Error("adder must be combinational")
+	}
+}
+
+func TestCharacterizeMultiplierDSPThreshold(t *testing.T) {
+	small := Characterize(ir.KindMul, 8)
+	if small.Res.DSP != 0 || small.Res.LUT == 0 {
+		t.Errorf("8-bit mul should be LUT-based: %+v", small.Res)
+	}
+	big := Characterize(ir.KindMul, 16)
+	if big.Res.DSP == 0 {
+		t.Errorf("16-bit mul should use DSP: %+v", big.Res)
+	}
+	if big.Latency == 0 {
+		t.Error("DSP multiplier must be pipelined")
+	}
+	wide := Characterize(ir.KindMul, 32)
+	if wide.Res.DSP <= big.Res.DSP {
+		t.Error("32-bit mul needs more DSPs than 16-bit")
+	}
+}
+
+func TestCharacterizeFloatCores(t *testing.T) {
+	fa := Characterize(ir.KindFAdd, 32)
+	if fa.Latency < 2 || fa.Res.DSP == 0 {
+		t.Errorf("fadd should be a pipelined DSP core: %+v", fa)
+	}
+	fd := Characterize(ir.KindFDiv, 32)
+	if fd.Latency <= fa.Latency {
+		t.Error("fdiv latency must exceed fadd latency")
+	}
+}
+
+func TestCharacterizeWiringIsFree(t *testing.T) {
+	for _, k := range []ir.OpKind{ir.KindTrunc, ir.KindZExt, ir.KindSExt, ir.KindConcat, ir.KindBitSel} {
+		c := Characterize(k, 32)
+		if c.Res != (Resources{}) {
+			t.Errorf("%v should consume no resources: %+v", k, c.Res)
+		}
+		if c.Latency != 0 {
+			t.Errorf("%v should be combinational", k)
+		}
+	}
+}
+
+func TestCharacterizeDivLatencyTracksWidth(t *testing.T) {
+	d8 := Characterize(ir.KindDiv, 8)
+	d32 := Characterize(ir.KindDiv, 32)
+	if d32.Latency <= d8.Latency {
+		t.Error("wider divide must take more cycles")
+	}
+}
+
+// Property: every kind/width combination yields sane characterization.
+func TestCharacterizeAlwaysSane(t *testing.T) {
+	f := func(kindIdx uint8, width uint8) bool {
+		k := ir.KindFromIndex(int(kindIdx) % ir.KindCount)
+		w := 1 + int(width)%64
+		c := Characterize(k, w)
+		if c.DelayNS < 0 || c.Latency < 0 {
+			return false
+		}
+		r := c.Res
+		return r.LUT >= 0 && r.FF >= 0 && r.DSP >= 0 && r.BRAM >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrayResourcesBRAMVsDistributed(t *testing.T) {
+	small := &ir.Array{Words: 16, Bits: 8, Banks: 1} // 128 bits -> fabric
+	rs := ArrayResources(small)
+	if rs.BRAM != 0 || rs.FF == 0 {
+		t.Errorf("small array should be distributed: %+v", rs)
+	}
+	big := &ir.Array{Words: 1024, Bits: 32, Banks: 1} // 32kb -> BRAM
+	rb := ArrayResources(big)
+	if rb.BRAM == 0 {
+		t.Errorf("big array should use BRAM: %+v", rb)
+	}
+	if rb.BRAM != 2 {
+		t.Errorf("32kb/18kb = 2 RAMB18, got %d", rb.BRAM)
+	}
+	// Complete partitioning always lands in fabric registers.
+	part := &ir.Array{Words: 1024, Bits: 32, Banks: 1024}
+	rp := ArrayResources(part)
+	if rp.BRAM != 0 || rp.FF != 1024*32 {
+		t.Errorf("completely partitioned array: %+v", rp)
+	}
+}
+
+func TestSharablePolicy(t *testing.T) {
+	cases := []struct {
+		kind ir.OpKind
+		w    int
+		want bool
+	}{
+		{ir.KindMul, 16, true},
+		{ir.KindMul, 8, false}, // cheap LUT mul: replicate, don't mux
+		{ir.KindDiv, 8, true},
+		{ir.KindFAdd, 32, true},
+		{ir.KindAdd, 8, false},
+		{ir.KindAdd, 32, true},
+		{ir.KindAnd, 32, false},
+		{ir.KindBitSel, 32, false},
+	}
+	for _, c := range cases {
+		if got := Sharable(c.kind, c.w); got != c.want {
+			t.Errorf("Sharable(%v, %d) = %v, want %v", c.kind, c.w, got, c.want)
+		}
+	}
+}
+
+func TestMuxResources(t *testing.T) {
+	if MuxResources(1, 32) != (Resources{}) {
+		t.Error("1-input mux should be free")
+	}
+	m2 := MuxResources(2, 32)
+	m8 := MuxResources(8, 32)
+	if m8.LUT <= m2.LUT {
+		t.Error("mux cost must grow with inputs")
+	}
+	if MuxResources(4, 16).LUT >= MuxResources(4, 64).LUT {
+		t.Error("mux cost must grow with width")
+	}
+}

@@ -1,0 +1,278 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderSourceTracking(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f")).At("k.cpp", 10)
+	o1 := b.Const(8)
+	b.Line(20)
+	o2 := b.Const(8)
+	if o1.Src != (SourceLoc{File: "k.cpp", Line: 10}) {
+		t.Errorf("o1.Src = %v", o1.Src)
+	}
+	if o2.Src != (SourceLoc{File: "k.cpp", Line: 20}) {
+		t.Errorf("o2.Src = %v", o2.Src)
+	}
+}
+
+func TestBuilderLoopScopes(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	top := b.Const(8)
+	l1 := b.EnterLoop("outer", 10)
+	in1 := b.Const(8)
+	l2 := b.EnterLoop("inner", 5)
+	in2 := b.Const(8)
+	b.ExitLoop()
+	b.ExitLoop()
+	after := b.Const(8)
+
+	if top.Loop != nil || after.Loop != nil {
+		t.Error("top-level ops must have nil loop")
+	}
+	if in1.Loop != l1 || in2.Loop != l2 {
+		t.Error("loop scoping wrong")
+	}
+	if l2.Parent != l1 || len(l1.Kids) != 1 || l1.Kids[0] != l2 {
+		t.Error("loop nesting wrong")
+	}
+	if b.CurLoop() != nil {
+		t.Error("CurLoop after exits should be nil")
+	}
+}
+
+func TestExitLoopWithoutEnterPanics(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExitLoop without EnterLoop did not panic")
+		}
+	}()
+	b.ExitLoop()
+}
+
+func TestBuilderOpEdgeWeights(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	p := b.Port("p", 32)
+	full := b.Op(KindNot, 32, p)
+	partial := b.OpBits(KindBitSel, 8, p, 8)
+	if full.Operands[0].Bits != 32 {
+		t.Errorf("full edge bits = %d", full.Operands[0].Bits)
+	}
+	if partial.Operands[0].Bits != 8 {
+		t.Errorf("partial edge bits = %d", partial.Operands[0].Bits)
+	}
+	// Weight larger than producer width clamps.
+	clamped := b.OpBits(KindZExt, 64, p, 99)
+	if clamped.Operands[0].Bits != 32 {
+		t.Errorf("clamped edge bits = %d, want 32", clamped.Operands[0].Bits)
+	}
+}
+
+func TestBuilderInvalidOpsPanic(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	for name, fn := range map[string]func(){
+		"invalid kind":  func() { b.Op(KindInvalid, 8) },
+		"zero bitwidth": func() { b.Op(KindAdd, 0) },
+		"empty reduce":  func() { b.ReduceTree(KindAdd, 8, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestArrayBankClamping(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	a := b.Array("a", 16, 8, 100)
+	if a.Banks != 16 {
+		t.Errorf("banks = %d, want clamp to words (16)", a.Banks)
+	}
+	a2 := b.Array("a2", 16, 8, 0)
+	if a2.Banks != 1 {
+		t.Errorf("banks = %d, want 1", a2.Banks)
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	a := b.Array("mem", 64, 16, 2)
+	addr := b.Const(6)
+	ld := b.Load(a, addr)
+	if ld.Kind != KindLoad || ld.Array != a || ld.Bitwidth != 16 {
+		t.Errorf("load malformed: %v", ld)
+	}
+	st := b.Store(a, ld, addr)
+	if st.Kind != KindStore || st.Array != a || st.Bitwidth != 1 {
+		t.Errorf("store malformed: %v", st)
+	}
+	ld2 := b.Load(a, nil)
+	if len(ld2.Operands) != 0 {
+		t.Error("load with nil addr should have no operands")
+	}
+}
+
+func TestCallRecordsCallGraph(t *testing.T) {
+	m := NewModule("m")
+	callee := m.NewFunction("leaf")
+	cb := NewBuilder(callee)
+	p := cb.Port("x", 16)
+	cb.Ret(cb.Op(KindNot, 16, p))
+
+	top := m.NewFunction("top")
+	m.SetTop(top)
+	tb := NewBuilder(top)
+	arg := tb.Port("a", 16)
+	c1 := tb.Call(callee, arg)
+	c2 := tb.Call(callee, arg)
+	if c1.Bitwidth != 16 {
+		t.Errorf("call result width = %d, want callee ret width 16", c1.Bitwidth)
+	}
+	if len(top.Callees) != 1 || top.Callees[0] != callee {
+		t.Errorf("Callees = %v, want single edge", top.Callees)
+	}
+	if c1.Name != "call_leaf" || c2.Name != "call_leaf" {
+		t.Errorf("call names: %q %q", c1.Name, c2.Name)
+	}
+}
+
+func TestReduceTree(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	var vals []*Op
+	for i := 0; i < 7; i++ {
+		vals = append(vals, b.Const(16))
+	}
+	before := len(b.F.Ops)
+	root := b.ReduceTree(KindAdd, 16, vals)
+	added := len(b.F.Ops) - before
+	if added != 6 {
+		t.Errorf("reduce over 7 leaves added %d adds, want 6", added)
+	}
+	if root.Kind != KindAdd {
+		t.Errorf("root kind = %v", root.Kind)
+	}
+	// Single value passes through.
+	single := b.ReduceTree(KindAdd, 16, vals[:1])
+	if single != vals[0] {
+		t.Error("reduce of single value should be identity")
+	}
+}
+
+func TestUnrolledLoopReplicaMarking(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	p := b.Port("p", 8)
+	l := b.UnrolledLoop("u", 100, 4, func(copy int) {
+		v := b.Op(KindNot, 8, p)
+		b.Op(KindAdd, 8, v, p)
+	})
+	if l.Unroll != 4 || l.TripCount != 100 {
+		t.Fatalf("loop = %+v", l)
+	}
+	var originals, replicas []*Op
+	for _, o := range b.F.Ops {
+		if o.Loop != l {
+			continue
+		}
+		if o.IsReplica() {
+			replicas = append(replicas, o)
+		} else {
+			originals = append(originals, o)
+		}
+	}
+	if len(originals) != 2 || len(replicas) != 6 {
+		t.Fatalf("originals=%d replicas=%d, want 2/6", len(originals), len(replicas))
+	}
+	for _, r := range replicas {
+		root := m.OpByID(r.ReplicaOf)
+		if root == nil || root.IsReplica() {
+			t.Errorf("replica %v has bad root %v", r, root)
+		}
+		if root.Kind != r.Kind {
+			t.Errorf("replica kind %v != root kind %v", r.Kind, root.Kind)
+		}
+		if r.ReplicaIdx < 1 || r.ReplicaIdx > 3 {
+			t.Errorf("replica idx %d out of range", r.ReplicaIdx)
+		}
+	}
+}
+
+func TestUnrolledLoopFactorClamping(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	l := b.UnrolledLoop("u", 3, 10, func(copy int) { b.Const(8) })
+	if l.Unroll != 3 {
+		t.Errorf("unroll = %d, want clamp to trips 3", l.Unroll)
+	}
+	l2 := b.UnrolledLoop("u2", 5, 0, func(copy int) { b.Const(8) })
+	if l2.Unroll != 1 {
+		t.Errorf("unroll = %d, want 1", l2.Unroll)
+	}
+}
+
+func TestPipelinedLoop(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	l := b.PipelinedLoop("p", 64, 2, func() { b.Const(8) })
+	if !l.Pipelined || l.II != 2 {
+		t.Fatalf("loop = %+v", l)
+	}
+	l2 := b.PipelinedLoop("p2", 64, 0, func() { b.Const(8) })
+	if l2.II != 1 {
+		t.Errorf("II = %d, want clamp to 1", l2.II)
+	}
+}
+
+// TestRandomDAGsValidate is the builder's property test: any graph built
+// through the Builder API must satisfy Validate, and fan-in/fan-out
+// bookkeeping must be mutually consistent.
+func TestRandomDAGsValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModule("rand")
+		b := NewBuilder(m.NewFunction("f")).At("rand.cpp", 1)
+		ops := []*Op{b.Port("p0", 16), b.Port("p1", 32)}
+		kinds := []OpKind{KindAdd, KindSub, KindAnd, KindXor, KindMul, KindICmp, KindNot}
+		n := 5 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			k := kinds[rng.Intn(len(kinds))]
+			w := 1 + rng.Intn(32)
+			nArgs := 1 + rng.Intn(2)
+			var args []*Op
+			for j := 0; j < nArgs; j++ {
+				args = append(args, ops[rng.Intn(len(ops))])
+			}
+			ops = append(ops, b.Op(k, w, args...))
+		}
+		if err := Validate(m); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Conservation: total fan-out over all ops equals total fan-in.
+		totalIn, totalOut := 0, 0
+		for _, o := range m.AllOps() {
+			totalIn += o.FanIn()
+			totalOut += o.FanOut()
+		}
+		return totalIn == totalOut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package ir
+
+import "sort"
+
+// Optimization passes a front end would run before handing the IR to the
+// middle end. The benchmark generators emit clean graphs, but
+// user-constructed designs routinely contain dead values and duplicated
+// subexpressions; these passes keep the scheduler and feature extractor
+// from characterizing hardware that synthesis would never instantiate.
+
+// opsWithSideEffects reports whether an op must be preserved even without
+// users: memory writes, returns, calls (callee effects) and ports
+// (interface contract).
+func opsWithSideEffects(o *Op) bool {
+	switch o.Kind {
+	case KindStore, KindRet, KindCall, KindPort:
+		return true
+	}
+	return false
+}
+
+// EliminateDeadOps removes operations whose results are never used and
+// that have no side effects, iterating until a fixed point (removing one
+// dead op can orphan its operands). It returns the number of operations
+// removed.
+func EliminateDeadOps(m *Module) int {
+	removed := 0
+	for {
+		var dead []*Op
+		for _, f := range m.Funcs {
+			if f.Inlined {
+				continue
+			}
+			for _, o := range f.Ops {
+				if o.NumUsers() == 0 && !opsWithSideEffects(o) {
+					dead = append(dead, o)
+				}
+			}
+		}
+		if len(dead) == 0 {
+			return removed
+		}
+		for _, o := range dead {
+			for _, e := range o.Operands {
+				removeUser(e.Def, o)
+			}
+			o.Operands = nil
+			removeOp(o.Func, o)
+			removed++
+		}
+	}
+}
+
+// cseKey identifies structurally identical pure operations: same kind,
+// width, and operand identity (defs and tap widths, order-sensitive).
+type cseKey struct {
+	kind     OpKind
+	bitwidth int
+	loop     *Loop
+	a, b     *Op
+	aBits    int
+	bBits    int
+	extra    int // number of operands beyond two (not folded)
+}
+
+// MergeCommonSubexpressions folds duplicate pure operations with identical
+// operands inside the same function and loop scope, rewiring users to the
+// first occurrence. Memory operations, calls, ports, constants and
+// operations with more than two operands are left alone (constants carry
+// distinct values the IR does not model; >2-operand ops are rare and not
+// worth the key complexity). Returns the number of operations folded.
+//
+// Loop scope matters: ops in different unrolled copies are NOT merged even
+// when structurally identical, because replicas are real parallel hardware.
+func MergeCommonSubexpressions(m *Module) int {
+	folded := 0
+	for _, f := range m.Funcs {
+		if f.Inlined {
+			continue
+		}
+		seen := make(map[cseKey]*Op)
+		// Walk in creation order so the survivor dominates its users.
+		ops := append([]*Op(nil), f.Ops...)
+		sort.Slice(ops, func(i, j int) bool { return ops[i].ID < ops[j].ID })
+		for _, o := range ops {
+			if opsWithSideEffects(o) || o.Kind.IsMemory() || o.Kind == KindConst ||
+				o.Kind == KindPhi || len(o.Operands) == 0 || len(o.Operands) > 2 {
+				continue
+			}
+			if o.IsReplica() {
+				continue
+			}
+			k := cseKey{kind: o.Kind, bitwidth: o.Bitwidth, loop: o.Loop}
+			k.a = o.Operands[0].Def
+			k.aBits = o.Operands[0].Bits
+			if len(o.Operands) == 2 {
+				k.b = o.Operands[1].Def
+				k.bBits = o.Operands[1].Bits
+			}
+			first, ok := seen[k]
+			if !ok {
+				seen[k] = o
+				continue
+			}
+			// Rewire o's users onto first, then delete o.
+			for _, u := range append([]*Op(nil), o.users...) {
+				for i := range u.Operands {
+					if u.Operands[i].Def == o {
+						u.Operands[i].Def = first
+						first.users = append(first.users, u)
+					}
+				}
+				removeUser(o, u)
+			}
+			for _, e := range o.Operands {
+				removeUser(e.Def, o)
+			}
+			o.Operands = nil
+			removeOp(f, o)
+			folded++
+		}
+	}
+	return folded
+}
+
+// Optimize runs the standard pass pipeline (CSE, then DCE to collect the
+// operands CSE orphaned) and returns (folded, removed).
+func Optimize(m *Module) (folded, removed int) {
+	folded = MergeCommonSubexpressions(m)
+	removed = EliminateDeadOps(m)
+	return folded, removed
+}

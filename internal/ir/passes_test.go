@@ -1,0 +1,140 @@
+package ir
+
+import "testing"
+
+func TestEliminateDeadOps(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	p := b.Port("p", 8)
+	live := b.Op(KindNot, 8, p)
+	b.Ret(live)
+	// A dead chain: d2 uses d1, nobody uses d2.
+	d1 := b.Op(KindAdd, 8, p, p)
+	d2 := b.Op(KindXor, 8, d1, p)
+	_ = d2
+	// A dead store must survive (side effect).
+	a := b.Array("mem", 8, 8, 1)
+	b.Store(a, live, nil)
+
+	before := m.NumOps()
+	removed := EliminateDeadOps(m)
+	if removed != 2 {
+		t.Fatalf("removed %d ops, want 2 (the dead chain)", removed)
+	}
+	if m.NumOps() != before-2 {
+		t.Fatalf("NumOps = %d", m.NumOps())
+	}
+	if err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if EliminateDeadOps(m) != 0 {
+		t.Error("second DCE pass removed ops")
+	}
+}
+
+func TestDCEKeepsPortsAndCalls(t *testing.T) {
+	m := NewModule("m")
+	leaf := m.NewFunction("leaf")
+	lb := NewBuilder(leaf)
+	lp := lb.Port("x", 8)
+	lb.Ret(lb.Op(KindNot, 8, lp))
+	top := m.NewFunction("top")
+	m.SetTop(top)
+	tb := NewBuilder(top)
+	tp := tb.Port("unused_port", 8)
+	call := tb.Call(leaf, tp) // result unused, but callee has effects
+	_ = call
+	if removed := EliminateDeadOps(m); removed != 0 {
+		t.Fatalf("DCE removed %d ops; ports and calls must survive", removed)
+	}
+}
+
+func TestMergeCommonSubexpressions(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	p := b.Port("p", 16)
+	q := b.Port("q", 16)
+	s1 := b.Op(KindAdd, 16, p, q)
+	s2 := b.Op(KindAdd, 16, p, q) // duplicate
+	s3 := b.Op(KindAdd, 16, q, p) // different operand order: kept
+	u1 := b.Op(KindNot, 16, s1)
+	u2 := b.Op(KindNot, 16, s2) // after CSE both use s1 -> u2 duplicates u1
+	out := b.Op(KindXor, 16, u1, u2)
+	b.Ret(b.Op(KindOr, 16, out, s3))
+
+	folded := MergeCommonSubexpressions(m)
+	// The fold cascades: s2 merges into s1, which makes u2 a duplicate of
+	// u1, which then merges too.
+	if folded != 2 {
+		t.Fatalf("folded %d, want 2 (duplicate add, then cascaded not)", folded)
+	}
+	if err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	// s1 now feeds exactly one surviving not.
+	users := 0
+	for _, u := range s1.Users() {
+		if u.Kind == KindNot {
+			users++
+		}
+	}
+	if users != 1 {
+		t.Errorf("survivor add has %d not-users, want 1 after the cascade", users)
+	}
+	// The xor reads the surviving not through both operands.
+	if out.Operands[0].Def != u1 || out.Operands[1].Def != u1 {
+		t.Error("xor operands not rewired to the surviving not")
+	}
+	_ = u2
+	// Different operand order remains.
+	found := false
+	for _, o := range m.AllOps() {
+		if o == s3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("operand-order-distinct add was merged")
+	}
+}
+
+func TestCSESkipsReplicasAndMemory(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	p := b.Port("p", 8)
+	a := b.Array("mem", 8, 8, 1)
+	// Two identical loads: must NOT merge (memory state).
+	l1 := b.Load(a, nil)
+	l2 := b.Load(a, nil)
+	b.Ret(b.Op(KindAdd, 8, l1, l2))
+	// Unrolled loop: replicas are real parallel hardware.
+	b.UnrolledLoop("u", 8, 2, func(copy int) {
+		b.Op(KindNot, 8, p)
+	})
+	if folded := MergeCommonSubexpressions(m); folded != 0 {
+		t.Fatalf("folded %d ops; loads and replicas must be preserved", folded)
+	}
+}
+
+func TestOptimizePipeline(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m.NewFunction("f"))
+	p := b.Port("p", 16)
+	a1 := b.Op(KindAdd, 16, p, p)
+	a2 := b.Op(KindAdd, 16, p, p) // CSE folds into a1...
+	b.Ret(a1)
+	_ = a2 // ...and a2's orphaned self is then DCE'd
+	folded, removed := Optimize(m)
+	if folded != 1 {
+		t.Errorf("folded = %d", folded)
+	}
+	if removed != 0 {
+		// a2 had no users, so CSE's rewiring leaves nothing dead — but a2
+		// itself was already folded away. Nothing left to remove.
+		t.Errorf("removed = %d", removed)
+	}
+	if err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package ir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// textRoundTripModule builds a module exercising every serialized feature:
+// ports with names, arrays, nested loops with directives, partial-bus taps,
+// replica marks and source locations.
+func textRoundTripModule() *Module {
+	m := NewModule("rt")
+	leaf := m.NewFunction("leaf")
+	lb := NewBuilder(leaf).At("leaf.cpp", 2)
+	lp := lb.Port("x", 32)
+	lv := lb.OpBits(KindBitSel, 8, lp, 8)
+	lb.Ret(lb.Op(KindNot, 8, lv))
+
+	top := m.NewFunction("top")
+	m.SetTop(top)
+	b := NewBuilder(top).At("top.cpp", 5)
+	p := b.Port("in", 32)
+	a := b.Array("buf", 32, 16, 4)
+	b.EnterLoop("outer", 100)
+	var vals []*Op
+	b.UnrolledLoop("inner", 64, 2, func(copy int) {
+		v := b.Load(a, nil)
+		vals = append(vals, b.Op(KindAdd, 16, v, b.OpBits(KindTrunc, 16, p, 16)))
+	})
+	b.ExitLoop()
+	b.PipelinedLoop("pipe", 16, 2, func() {
+		b.Store(a, vals[0], nil)
+	})
+	call := b.Call(leaf, p)
+	sum := b.ReduceTree(KindAdd, 16, vals)
+	b.Ret(b.Op(KindXor, 16, sum, b.OpBits(KindTrunc, 16, call, 16)))
+	return m
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	m := textRoundTripModule()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\ninput:\n%s", err, buf.String())
+	}
+	if back.Name != m.Name {
+		t.Errorf("module name %q", back.Name)
+	}
+	if back.NumOps() != m.NumOps() {
+		t.Fatalf("ops %d != %d", back.NumOps(), m.NumOps())
+	}
+	if back.Top == nil || back.Top.Name != "top" {
+		t.Fatal("top function lost")
+	}
+	for _, o := range m.AllOps() {
+		bo := back.OpByID(o.ID)
+		if bo == nil {
+			t.Fatalf("op %%%d missing after round trip", o.ID)
+		}
+		if bo.Kind != o.Kind || bo.Bitwidth != o.Bitwidth {
+			t.Fatalf("op %%%d signature changed: %v/%d vs %v/%d",
+				o.ID, bo.Kind, bo.Bitwidth, o.Kind, o.Bitwidth)
+		}
+		if bo.Src != o.Src {
+			t.Errorf("op %%%d src %v != %v", o.ID, bo.Src, o.Src)
+		}
+		if bo.FanIn() != o.FanIn() || bo.NumUsers() != o.NumUsers() {
+			t.Errorf("op %%%d connectivity changed", o.ID)
+		}
+		if (bo.Loop == nil) != (o.Loop == nil) {
+			t.Errorf("op %%%d loop membership changed", o.ID)
+		}
+		if bo.ReplicaOf != o.ReplicaOf || bo.ReplicaIdx != o.ReplicaIdx {
+			t.Errorf("op %%%d replica mark changed", o.ID)
+		}
+	}
+	// A second round trip is bit-identical (canonical form).
+	var buf2 bytes.Buffer
+	if err := WriteText(&buf2, back); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("text form not canonical across round trips")
+	}
+	// Loops survive with directives.
+	var pipe *Loop
+	for _, l := range back.Top.Loops {
+		if l.Name == "pipe" {
+			pipe = l
+		}
+	}
+	if pipe == nil || !pipe.Pipelined || pipe.II != 2 || pipe.TripCount != 16 {
+		t.Errorf("pipelined loop lost: %+v", pipe)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"op before func":  "module m\n  %0 = add i8\n",
+		"unknown kind":    "module m\nfunc f top\n  %0 = zorp i8\n",
+		"forward operand": "module m\nfunc f top\n  %0 = add i8 %1\n",
+		"unknown array":   "module m\nfunc f top\n  %0 = load i8 mem=nope\n",
+		"bad width":       "module m\nfunc f top\n  %0 = add ix\n",
+		"bad directive":   "module m\nfunc f top\n  garbage here\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseText(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTextBenchmarkDesignRoundTrips(t *testing.T) {
+	// The serializer must handle a real benchmark-sized design.
+	m := textRoundTripModule()
+	for i := 0; i < 3; i++ {
+		var buf bytes.Buffer
+		if err := WriteText(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseText(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m = back
+	}
+	if err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}

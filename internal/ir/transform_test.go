@@ -1,0 +1,180 @@
+package ir
+
+import "testing"
+
+// buildCallPair returns a module with a leaf function (not x + y style
+// body) called twice from the top.
+func buildCallPair(t *testing.T) (*Module, *Function, *Function, []*Op) {
+	t.Helper()
+	m := NewModule("m")
+	top := m.NewFunction("top")
+	leaf := m.NewFunction("leaf")
+
+	lb := NewBuilder(leaf).At("leaf.cpp", 1)
+	x := lb.Port("x", 16)
+	y := lb.Port("y", 16)
+	sum := lb.Op(KindAdd, 16, x, y)
+	neg := lb.Op(KindNot, 16, sum)
+	lb.Ret(neg)
+
+	tb := NewBuilder(top).At("top.cpp", 1)
+	a := tb.Port("a", 16)
+	c := tb.Port("c", 16)
+	r1 := tb.Call(leaf, a, c)
+	r2 := tb.Call(leaf, r1, c)
+	out := tb.Op(KindXor, 16, r1, r2)
+	tb.Ret(out)
+	if err := Validate(m); err != nil {
+		t.Fatalf("pre-inline validate: %v", err)
+	}
+	return m, top, leaf, []*Op{a, c, out}
+}
+
+func TestInlineFunction(t *testing.T) {
+	m, top, leaf, keep := buildCallPair(t)
+	preOps := m.NumOps()
+	if err := InlineFunction(m, leaf); err != nil {
+		t.Fatal(err)
+	}
+	if !leaf.Inlined {
+		t.Fatal("leaf not marked inlined")
+	}
+	if err := Validate(m); err != nil {
+		t.Fatalf("post-inline validate: %v", err)
+	}
+	// Both call sites replaced by the cloned body: 2 calls removed, 2x2
+	// body ops added (ports map to args, rets dissolve).
+	if got, want := m.NumOps(), preOps-len(leaf.Ops)-2+2*2; got != want {
+		t.Errorf("NumOps after inline = %d, want %d", got, want)
+	}
+	for _, o := range top.Ops {
+		if o.Kind == KindCall {
+			t.Errorf("call op %v survived inlining", o)
+		}
+	}
+	// The xor consumer must now read cloned not-ops.
+	out := keep[2]
+	for _, e := range out.Operands {
+		if e.Def.Kind != KindNot {
+			t.Errorf("out operand kind = %v, want not", e.Def.Kind)
+		}
+		if e.Def.Func != top {
+			t.Errorf("out operand not cloned into top")
+		}
+	}
+	if len(top.Callees) != 0 {
+		t.Errorf("call-graph edge survived: %v", top.Callees)
+	}
+}
+
+func TestInlineTopRejected(t *testing.T) {
+	m, top, _, _ := buildCallPair(t)
+	if err := InlineFunction(m, top); err == nil {
+		t.Fatal("inlining the top function must fail")
+	}
+}
+
+func TestInlineRequiresCalleesFirst(t *testing.T) {
+	m := NewModule("m")
+	top := m.NewFunction("top")
+	mid := m.NewFunction("mid")
+	leaf := m.NewFunction("leaf")
+
+	lb := NewBuilder(leaf)
+	lp := lb.Port("x", 8)
+	lb.Ret(lb.Op(KindNot, 8, lp))
+
+	mb := NewBuilder(mid)
+	mp := mb.Port("x", 8)
+	mv := mb.Call(leaf, mp)
+	mb.Ret(mv)
+
+	tb := NewBuilder(top)
+	tp := tb.Port("x", 8)
+	tb.Ret(tb.Call(mid, tp))
+
+	if err := InlineFunction(m, mid); err == nil {
+		t.Fatal("inlining mid before leaf must fail")
+	}
+	if err := InlineFunction(m, leaf); err != nil {
+		t.Fatal(err)
+	}
+	if err := InlineFunction(m, mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumOps() == 0 || len(m.LiveFuncs()) != 1 {
+		t.Errorf("live funcs = %d", len(m.LiveFuncs()))
+	}
+}
+
+func TestInlineClonesArrays(t *testing.T) {
+	m := NewModule("m")
+	top := m.NewFunction("top")
+	leaf := m.NewFunction("leaf")
+	lb := NewBuilder(leaf)
+	lp := lb.Port("x", 8)
+	arr := lb.Array("buf", 16, 8, 2)
+	ld := lb.Load(arr, lp)
+	lb.Ret(ld)
+
+	tb := NewBuilder(top)
+	tp := tb.Port("x", 8)
+	tb.Ret(tb.Call(leaf, tp))
+	tb.Ret(tb.Call(leaf, tp))
+
+	if err := InlineFunction(m, leaf); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Arrays) != 2 {
+		t.Fatalf("top has %d arrays after inlining two call sites, want 2", len(top.Arrays))
+	}
+	if err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicateProducer(t *testing.T) {
+	m := NewModule("m")
+	f := m.NewFunction("f")
+	b := NewBuilder(f)
+	p := b.Port("p", 32)
+	src := b.Op(KindNot, 32, p)
+	var users []*Op
+	for i := 0; i < 4; i++ {
+		users = append(users, b.Op(KindAdd, 32, src, p))
+	}
+	clones := ReplicateProducer(m, src)
+	if len(clones) != 3 {
+		t.Fatalf("clones = %d, want 3", len(clones))
+	}
+	if src.NumUsers() != 1 {
+		t.Errorf("src retains %d users, want 1", src.NumUsers())
+	}
+	for _, c := range clones {
+		if c.NumUsers() != 1 {
+			t.Errorf("clone has %d users, want 1", c.NumUsers())
+		}
+		if c.Kind != KindNot || c.Bitwidth != 32 {
+			t.Errorf("clone malformed: %v", c)
+		}
+	}
+	if err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	_ = users
+}
+
+func TestReplicateProducerSingleUserNoop(t *testing.T) {
+	m := NewModule("m")
+	f := m.NewFunction("f")
+	b := NewBuilder(f)
+	p := b.Port("p", 8)
+	v := b.Op(KindNot, 8, p)
+	b.Op(KindNot, 8, v)
+	if clones := ReplicateProducer(m, v); clones != nil {
+		t.Fatalf("single-user replicate returned %d clones", len(clones))
+	}
+}

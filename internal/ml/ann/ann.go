@@ -1,0 +1,234 @@
+// Package ann implements a multilayer-perceptron regressor trained with
+// mini-batch Adam — the paper's artificial-neural-network model: hidden
+// layers of weighted linear transformations followed by a non-linear
+// activation, with the usual pile of hyperparameters to tune. Inputs should
+// be standardized; ml.Scaler does that.
+package ann
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model is an MLP with ReLU hidden layers and a linear output.
+type Model struct {
+	Hidden    []int   // hidden layer widths, e.g. {64, 32}
+	Epochs    int     // training epochs (default 60)
+	BatchSize int     // mini-batch size (default 32)
+	LR        float64 // Adam step size (default 1e-3)
+	L2        float64 // weight decay (default 0)
+	Seed      int64   // weight-init / shuffle seed
+	// HuberDelta switches the loss from squared error to the Huber loss
+	// with the given transition point when positive: residuals beyond the
+	// delta contribute linearly, so label outliers stop dominating training
+	// — the right choice when the evaluation metric is MAE/MedAE. The delta
+	// is expressed in standardized target units when NormalizeTarget is on.
+	HuberDelta float64
+	// NormalizeTarget standardizes y to zero mean / unit variance during
+	// training and un-scales predictions, so the output layer does not have
+	// to learn the raw label magnitude.
+	NormalizeTarget bool
+
+	weights [][]float64 // layer l: (in+1) x out, row-major, bias last row
+	dims    []int
+	yMean   float64
+	yStd    float64
+}
+
+// New returns an MLP with the given hidden layout.
+func New(hidden []int, seed int64) *Model {
+	return &Model{Hidden: append([]int(nil), hidden...), Epochs: 60, BatchSize: 32, LR: 1e-3, Seed: seed}
+}
+
+// Fit trains the network.
+func (m *Model) Fit(X [][]float64, y []float64) error {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return fmt.Errorf("ann: fit on %d rows / %d targets", n, len(y))
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 60
+	}
+	if m.BatchSize <= 0 {
+		m.BatchSize = 32
+	}
+	if m.LR <= 0 {
+		m.LR = 1e-3
+	}
+	in := len(X[0])
+	m.dims = append([]int{in}, m.Hidden...)
+	m.dims = append(m.dims, 1)
+	rng := rand.New(rand.NewSource(m.Seed))
+
+	m.yMean, m.yStd = 0, 1
+	if m.NormalizeTarget {
+		for _, v := range y {
+			m.yMean += v
+		}
+		m.yMean /= float64(n)
+		va := 0.0
+		for _, v := range y {
+			va += (v - m.yMean) * (v - m.yMean)
+		}
+		m.yStd = math.Sqrt(va / float64(n))
+		if m.yStd < 1e-12 {
+			m.yStd = 1
+		}
+		scaled := make([]float64, n)
+		for i, v := range y {
+			scaled[i] = (v - m.yMean) / m.yStd
+		}
+		y = scaled
+	}
+
+	layers := len(m.dims) - 1
+	m.weights = make([][]float64, layers)
+	for l := 0; l < layers; l++ {
+		fanIn, fanOut := m.dims[l], m.dims[l+1]
+		w := make([]float64, (fanIn+1)*fanOut)
+		scale := math.Sqrt(2.0 / float64(fanIn)) // He init for ReLU
+		for i := 0; i < fanIn*fanOut; i++ {
+			w[i] = rng.NormFloat64() * scale
+		}
+		m.weights[l] = w
+	}
+
+	// Adam state.
+	mom := make([][]float64, layers)
+	vel := make([][]float64, layers)
+	grad := make([][]float64, layers)
+	for l := range m.weights {
+		mom[l] = make([]float64, len(m.weights[l]))
+		vel[l] = make([]float64, len(m.weights[l]))
+		grad[l] = make([]float64, len(m.weights[l]))
+	}
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+
+	acts := make([][]float64, layers+1)
+	deltas := make([][]float64, layers+1)
+	for l, d := range m.dims {
+		acts[l] = make([]float64, d)
+		deltas[l] = make([]float64, d)
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += m.BatchSize {
+			end := start + m.BatchSize
+			if end > n {
+				end = n
+			}
+			for l := range grad {
+				for i := range grad[l] {
+					grad[l][i] = 0
+				}
+			}
+			for _, idx := range order[start:end] {
+				m.forward(X[idx], acts)
+				// Squared loss: d(0.5*(pred-y)^2)/dpred = residual. Huber
+				// clips the gradient at +/- delta.
+				r := acts[layers][0] - y[idx]
+				if m.HuberDelta > 0 {
+					if r > m.HuberDelta {
+						r = m.HuberDelta
+					} else if r < -m.HuberDelta {
+						r = -m.HuberDelta
+					}
+				}
+				deltas[layers][0] = r
+				m.backward(acts, deltas, grad)
+			}
+			bs := float64(end - start)
+			step++
+			lr := m.LR * math.Sqrt(1-math.Pow(beta2, float64(step))) / (1 - math.Pow(beta1, float64(step)))
+			for l := range m.weights {
+				w := m.weights[l]
+				for i := range w {
+					g := grad[l][i]/bs + m.L2*w[i]
+					mom[l][i] = beta1*mom[l][i] + (1-beta1)*g
+					vel[l][i] = beta2*vel[l][i] + (1-beta2)*g*g
+					w[i] -= lr * mom[l][i] / (math.Sqrt(vel[l][i]) + eps)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// forward fills acts[0..layers]; hidden layers apply ReLU.
+func (m *Model) forward(x []float64, acts [][]float64) {
+	copy(acts[0], x)
+	layers := len(m.weights)
+	for l := 0; l < layers; l++ {
+		fanIn, fanOut := m.dims[l], m.dims[l+1]
+		w := m.weights[l]
+		out := acts[l+1]
+		for o := 0; o < fanOut; o++ {
+			s := w[fanIn*fanOut+o] // bias row
+			for i := 0; i < fanIn; i++ {
+				s += acts[l][i] * w[i*fanOut+o]
+			}
+			if l < layers-1 && s < 0 {
+				s = 0 // ReLU
+			}
+			out[o] = s
+		}
+	}
+}
+
+// backward accumulates gradients into grad given deltas at the output.
+func (m *Model) backward(acts, deltas, grad [][]float64) {
+	layers := len(m.weights)
+	for l := layers - 1; l >= 0; l-- {
+		fanIn, fanOut := m.dims[l], m.dims[l+1]
+		w := m.weights[l]
+		g := grad[l]
+		dOut := deltas[l+1]
+		dIn := deltas[l]
+		for i := 0; i < fanIn; i++ {
+			dIn[i] = 0
+		}
+		for o := 0; o < fanOut; o++ {
+			d := dOut[o]
+			if d == 0 {
+				continue
+			}
+			g[fanIn*fanOut+o] += d
+			for i := 0; i < fanIn; i++ {
+				g[i*fanOut+o] += d * acts[l][i]
+				dIn[i] += d * w[i*fanOut+o]
+			}
+		}
+		if l > 0 {
+			// ReLU derivative at the previous activation.
+			for i := 0; i < fanIn; i++ {
+				if acts[l][i] <= 0 {
+					dIn[i] = 0
+				}
+			}
+		}
+	}
+}
+
+// Predict runs a forward pass.
+func (m *Model) Predict(x []float64) float64 {
+	if m.weights == nil {
+		return 0
+	}
+	acts := make([][]float64, len(m.dims))
+	for l, d := range m.dims {
+		acts[l] = make([]float64, d)
+	}
+	m.forward(x, acts)
+	out := acts[len(acts)-1][0]
+	if m.yStd != 0 && (m.yMean != 0 || m.yStd != 1) {
+		out = out*m.yStd + m.yMean
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package ann
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func TestANNFitsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 300
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = 2*X[i][0] - X[i][1] + 0.5
+	}
+	m := New([]int{16}, 1)
+	m.Epochs = 120
+	m.LR = 5e-3
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if mae := ml.MAE(y, ml.PredictBatch(m, X)); mae > 0.15 {
+		t.Errorf("linear fit MAE = %v", mae)
+	}
+}
+
+func TestANNFitsNonlinearFunction(t *testing.T) {
+	// y = |x| is unreachable for a purely linear model but easy for one
+	// hidden ReLU layer.
+	rng := rand.New(rand.NewSource(2))
+	n := 400
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64() * 2}
+		y[i] = math.Abs(X[i][0])
+	}
+	m := New([]int{16, 8}, 3)
+	m.Epochs = 200
+	m.LR = 5e-3
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	mae := ml.MAE(y, ml.PredictBatch(m, X))
+	if mae > 0.2 {
+		t.Errorf("nonlinear fit MAE = %v", mae)
+	}
+	// Linear lower bound: best linear fit of |x| over symmetric data has
+	// MAE around E|x|-ish; the network must beat 0.5 comfortably.
+	if mae > 0.5 {
+		t.Errorf("network failed to beat a linear model on |x|: MAE %v", mae)
+	}
+}
+
+func TestANNDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X := make([][]float64, 50)
+	y := make([]float64, 50)
+	for i := range X {
+		X[i] = []float64{rng.Float64()}
+		y[i] = X[i][0]
+	}
+	m1 := New([]int{8}, 42)
+	m2 := New([]int{8}, 42)
+	m1.Epochs, m2.Epochs = 10, 10
+	if err := m1.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if m1.Predict(X[i]) != m2.Predict(X[i]) {
+			t.Fatal("same seed produced different models")
+		}
+	}
+	m3 := New([]int{8}, 43)
+	m3.Epochs = 10
+	if err := m3.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range X {
+		if m1.Predict(X[i]) != m3.Predict(X[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical models")
+	}
+}
+
+func TestANNErrors(t *testing.T) {
+	m := New([]int{4}, 1)
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if err := m.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched fit accepted")
+	}
+}
+
+func TestANNPredictBeforeFit(t *testing.T) {
+	m := New([]int{4}, 1)
+	if got := m.Predict([]float64{1}); got != 0 {
+		t.Errorf("unfitted Predict = %v, want 0", got)
+	}
+}
+
+func TestANNWeightDecayShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X := make([][]float64, 100)
+	y := make([]float64, 100)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64()}
+		y[i] = 3 * X[i][0]
+	}
+	free := New([]int{8}, 9)
+	free.Epochs = 50
+	decayed := New([]int{8}, 9)
+	decayed.Epochs = 50
+	decayed.L2 = 0.1
+	if err := free.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := decayed.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	norm := func(m *Model) float64 {
+		s := 0.0
+		for _, layer := range m.weights {
+			for _, w := range layer {
+				s += w * w
+			}
+		}
+		return s
+	}
+	if norm(decayed) >= norm(free) {
+		t.Errorf("L2 did not shrink weights: %v vs %v", norm(decayed), norm(free))
+	}
+}

@@ -1,0 +1,72 @@
+package ann
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// modelJSON is the wire form of a trained MLP.
+type modelJSON struct {
+	Hidden    []int       `json:"hidden"`
+	Epochs    int         `json:"epochs"`
+	BatchSize int         `json:"batch_size"`
+	LR        float64     `json:"lr"`
+	L2        float64     `json:"l2"`
+	Huber     float64     `json:"huber,omitempty"`
+	NormY     bool        `json:"norm_y,omitempty"`
+	YMean     float64     `json:"y_mean,omitempty"`
+	YStd      float64     `json:"y_std,omitempty"`
+	Seed      int64       `json:"seed"`
+	Dims      []int       `json:"dims"`
+	Weights   [][]float64 `json:"weights"`
+}
+
+// MarshalJSON serializes the trained network.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{
+		Hidden:    m.Hidden,
+		Epochs:    m.Epochs,
+		BatchSize: m.BatchSize,
+		LR:        m.LR,
+		L2:        m.L2,
+		Huber:     m.HuberDelta,
+		NormY:     m.NormalizeTarget,
+		YMean:     m.yMean,
+		YStd:      m.yStd,
+		Seed:      m.Seed,
+		Dims:      m.dims,
+		Weights:   m.weights,
+	})
+}
+
+// UnmarshalJSON restores a trained network.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("ann: %w", err)
+	}
+	if len(in.Dims) > 0 {
+		if len(in.Weights) != len(in.Dims)-1 {
+			return fmt.Errorf("ann: %d weight layers for %d dims", len(in.Weights), len(in.Dims))
+		}
+		for l := 0; l < len(in.Weights); l++ {
+			want := (in.Dims[l] + 1) * in.Dims[l+1]
+			if len(in.Weights[l]) != want {
+				return fmt.Errorf("ann: layer %d has %d weights, want %d", l, len(in.Weights[l]), want)
+			}
+		}
+	}
+	m.Hidden = in.Hidden
+	m.Epochs = in.Epochs
+	m.BatchSize = in.BatchSize
+	m.LR = in.LR
+	m.L2 = in.L2
+	m.HuberDelta = in.Huber
+	m.NormalizeTarget = in.NormY
+	m.yMean = in.YMean
+	m.yStd = in.YStd
+	m.Seed = in.Seed
+	m.dims = in.Dims
+	m.weights = in.Weights
+	return nil
+}

@@ -1,0 +1,47 @@
+package ann
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestANNSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X := make([][]float64, 100)
+	y := make([]float64, 100)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = X[i][0] + X[i][1]
+	}
+	m := New([]int{8, 4}, 7)
+	m.Epochs = 15
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if m.Predict(X[i]) != back.Predict(X[i]) {
+			t.Fatalf("prediction %d differs after reload", i)
+		}
+	}
+}
+
+func TestANNUnmarshalValidatesShapes(t *testing.T) {
+	var m Model
+	bad := `{"dims":[2,3,1],"weights":[[1,2,3]]}`
+	if err := json.Unmarshal([]byte(bad), &m); err == nil {
+		t.Fatal("layer-count mismatch accepted")
+	}
+	bad2 := `{"dims":[2,1],"weights":[[1,2]]}`
+	if err := json.Unmarshal([]byte(bad2), &m); err == nil {
+		t.Fatal("weight-size mismatch accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package gbrt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+// stepData builds a piecewise-constant target over one informative feature
+// plus noise features — trees should nail it, linear models cannot.
+func stepData(n, d int, rng *rand.Rand) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = rng.Float64()
+		}
+		switch {
+		case X[i][0] < 0.3:
+			y[i] = 10
+		case X[i][0] < 0.7:
+			y[i] = 50
+		default:
+			y[i] = 90
+		}
+	}
+	return X, y
+}
+
+func TestGBRTFitsStepFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := stepData(500, 5, rng)
+	m := New(100, 0.1, 1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if mae := ml.MAE(y, ml.PredictBatch(m, X)); mae > 2 {
+		t.Errorf("step-function MAE = %v", mae)
+	}
+}
+
+func TestGBRTImportanceFindsSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := stepData(500, 8, rng)
+	m := New(60, 0.1, 1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportance()
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("importance sums to %v", total)
+	}
+	for j := 1; j < len(imp); j++ {
+		if imp[j] >= imp[0] {
+			t.Errorf("noise feature %d importance %v >= signal feature %v", j, imp[j], imp[0])
+		}
+	}
+	if imp[0] < 0.5 {
+		t.Errorf("signal feature importance = %v, want dominant", imp[0])
+	}
+	splits := m.NumSplits()
+	if splits[0] == 0 {
+		t.Error("signal feature never used as split point")
+	}
+}
+
+func TestGBRTMoreTreesFitBetter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := stepData(400, 4, rng)
+	few := New(5, 0.1, 1)
+	many := New(80, 0.1, 1)
+	if err := few.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := many.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	maeFew := ml.MAE(y, ml.PredictBatch(few, X))
+	maeMany := ml.MAE(y, ml.PredictBatch(many, X))
+	if maeMany >= maeFew {
+		t.Errorf("80 trees (%v) no better than 5 trees (%v)", maeMany, maeFew)
+	}
+}
+
+func TestGBRTDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, y := stepData(200, 4, rng)
+	m1 := New(20, 0.1, 7)
+	m2 := New(20, 0.1, 7)
+	if err := m1.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if m1.Predict(X[i]) != m2.Predict(X[i]) {
+			t.Fatal("same seed produced different ensembles")
+		}
+	}
+}
+
+func TestGBRTConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}, {10}}
+	y := make([]float64, 10)
+	for i := range y {
+		y[i] = 42
+	}
+	m := New(10, 0.1, 1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{5}); math.Abs(got-42) > 1e-9 {
+		t.Errorf("constant target predicted as %v", got)
+	}
+	for _, c := range m.NumSplits() {
+		if c != 0 {
+			t.Error("constant target produced splits")
+		}
+	}
+}
+
+func TestGBRTMinSamplesLeafRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := stepData(100, 3, rng)
+	m := New(10, 0.1, 1)
+	m.MinSamplesLeaf = 40 // only very coarse splits possible
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// With 100 rows and min leaf 40, each tree can split at most once.
+	for _, tr := range m.trees {
+		internal := 0
+		for _, nd := range tr.nodes {
+			if nd.feature >= 0 {
+				internal++
+			}
+		}
+		if internal > 1 {
+			t.Fatalf("tree has %d splits despite MinSamplesLeaf=40", internal)
+		}
+	}
+}
+
+func TestGBRTErrors(t *testing.T) {
+	m := New(5, 0.1, 1)
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if err := m.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched fit accepted")
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	th := []float64{1, 2, 3}
+	cases := map[float64]uint8{0.5: 0, 1: 0, 1.5: 1, 2: 1, 2.5: 2, 3: 2, 99: 3}
+	for v, want := range cases {
+		if got := binOf(v, th); got != want {
+			t.Errorf("binOf(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestGBRTSubsampleStillLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, y := stepData(400, 4, rng)
+	m := New(80, 0.1, 9)
+	m.Subsample = 0.5
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if mae := ml.MAE(y, ml.PredictBatch(m, X)); mae > 4 {
+		t.Errorf("stochastic GBM MAE = %v", mae)
+	}
+}

@@ -1,0 +1,51 @@
+package gbrt
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestGBRTSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := stepData(300, 4, rng)
+	m := New(30, 0.1, 5)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if m.Predict(X[i]) != back.Predict(X[i]) {
+			t.Fatalf("prediction %d differs after reload", i)
+		}
+	}
+	// Importance survives too.
+	a, b := m.FeatureImportance(), back.FeatureImportance()
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("importance differs after reload")
+		}
+	}
+}
+
+func TestGBRTUnmarshalRejectsCorruptTrees(t *testing.T) {
+	var m Model
+	bad := `{"trees":[[{"f":0,"l":99,"r":1},{"f":-1,"v":1}]],"thresholds":[[0.5]]}`
+	if err := json.Unmarshal([]byte(bad), &m); err == nil {
+		t.Fatal("dangling children accepted")
+	}
+	empty := `{"trees":[[]]}`
+	if err := json.Unmarshal([]byte(empty), &m); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+	if err := json.Unmarshal([]byte("{"), &m); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}

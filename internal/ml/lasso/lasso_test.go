@@ -1,0 +1,132 @@
+package lasso
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+// sparseLinearData generates y = 3*x0 - 2*x3 + 1 + noise over d features.
+func sparseLinearData(n, d int, noise float64, rng *rand.Rand) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+		y[i] = 3*X[i][0] - 2*X[i][3] + 1 + noise*rng.NormFloat64()
+	}
+	return X, y
+}
+
+func TestLassoRecoversSparseSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := sparseLinearData(400, 10, 0.01, rng)
+	m := New(0.01)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-3) > 0.1 {
+		t.Errorf("w0 = %v, want ~3", m.Weights[0])
+	}
+	if math.Abs(m.Weights[3]+2) > 0.1 {
+		t.Errorf("w3 = %v, want ~-2", m.Weights[3])
+	}
+	if math.Abs(m.Intercept-1) > 0.1 {
+		t.Errorf("intercept = %v, want ~1", m.Intercept)
+	}
+	pred := ml.PredictBatch(m, X)
+	if mae := ml.MAE(y, pred); mae > 0.1 {
+		t.Errorf("train MAE = %v", mae)
+	}
+}
+
+func TestLassoSparsityGrowsWithAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := sparseLinearData(300, 20, 0.05, rng)
+	weak := New(0.001)
+	strong := New(1.0)
+	if err := weak.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := strong.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if strong.NumNonZero() >= weak.NumNonZero() {
+		t.Errorf("alpha=1.0 kept %d weights, alpha=0.001 kept %d — L1 not shrinking",
+			strong.NumNonZero(), weak.NumNonZero())
+	}
+	// Strong regularization must still keep the two real signals.
+	if strong.Weights[0] == 0 {
+		t.Error("strongest signal eliminated")
+	}
+}
+
+func TestLassoHugeAlphaPredictsMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := sparseLinearData(100, 5, 0.01, rng)
+	m := New(1e6)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNonZero() != 0 {
+		t.Fatalf("alpha=1e6 kept %d weights", m.NumNonZero())
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	if math.Abs(m.Predict(X[0])-mean) > 1e-6 {
+		t.Errorf("all-zero model predicts %v, want mean %v", m.Predict(X[0]), mean)
+	}
+}
+
+func TestLassoErrors(t *testing.T) {
+	m := New(0.1)
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if err := m.Fit([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("row/target mismatch accepted")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestLassoConstantColumnIgnored(t *testing.T) {
+	X := [][]float64{{1, 1}, {1, 2}, {1, 3}, {1, 4}}
+	y := []float64{2, 4, 6, 8}
+	m := New(0.001)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Weights[0] != 0 {
+		t.Errorf("constant column got weight %v", m.Weights[0])
+	}
+	if math.Abs(m.Predict([]float64{1, 5})-10) > 0.2 {
+		t.Errorf("prediction at x=5: %v, want ~10", m.Predict([]float64{1, 5}))
+	}
+}
+
+func TestSoftThreshold(t *testing.T) {
+	cases := []struct{ v, t, want float64 }{
+		{5, 2, 3}, {-5, 2, -3}, {1, 2, 0}, {-1, 2, 0}, {2, 2, 0},
+	}
+	for _, c := range cases {
+		if got := softThreshold(c.v, c.t); got != c.want {
+			t.Errorf("soft(%v,%v) = %v, want %v", c.v, c.t, got, c.want)
+		}
+	}
+}
+
+func TestLassoPredictShortRow(t *testing.T) {
+	m := New(0.1)
+	_ = m.Fit([][]float64{{1, 2}, {2, 1}, {0, 1}}, []float64{1, 2, 3})
+	// A row shorter than the weight vector must not panic.
+	_ = m.Predict([]float64{1})
+}

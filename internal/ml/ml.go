@@ -1,0 +1,266 @@
+// Package ml provides the model-agnostic machinery the paper gets from
+// scikit-learn: the Regressor interface, feature standardization, the MAE
+// and MedAE accuracy metrics, shuffled train/test splitting, k-fold
+// cross-validation and exhaustive grid search. The three model families the
+// paper compares live in the subpackages lasso, ann and gbrt.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Regressor is a trainable single-target regression model.
+type Regressor interface {
+	// Fit trains on rows X with targets y. Implementations must not retain
+	// the caller's slices.
+	Fit(X [][]float64, y []float64) error
+	// Predict returns the estimate for one feature vector.
+	Predict(x []float64) float64
+}
+
+// PredictBatch runs Predict over many rows.
+func PredictBatch(r Regressor, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = r.Predict(x)
+	}
+	return out
+}
+
+// MAE returns the mean absolute error between targets and predictions.
+func MAE(y, pred []float64) float64 {
+	if len(y) != len(pred) {
+		panic(fmt.Sprintf("ml: MAE length mismatch %d vs %d", len(y), len(pred)))
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range y {
+		s += math.Abs(y[i] - pred[i])
+	}
+	return s / float64(len(y))
+}
+
+// MedAE returns the median absolute error, the outlier-robust companion
+// metric the paper reports next to MAE.
+func MedAE(y, pred []float64) float64 {
+	if len(y) != len(pred) {
+		panic(fmt.Sprintf("ml: MedAE length mismatch %d vs %d", len(y), len(pred)))
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	errs := make([]float64, len(y))
+	for i := range y {
+		errs[i] = math.Abs(y[i] - pred[i])
+	}
+	sort.Float64s(errs)
+	n := len(errs)
+	if n%2 == 1 {
+		return errs[n/2]
+	}
+	return (errs[n/2-1] + errs[n/2]) / 2
+}
+
+// RMSE returns the root-mean-square error.
+func RMSE(y, pred []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range y {
+		d := y[i] - pred[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(y)))
+}
+
+// R2 returns the coefficient of determination.
+func R2(y, pred []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		d := y[i] - pred[i]
+		ssRes += d * d
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Spearman returns the Spearman rank-correlation coefficient between two
+// equal-length samples: the Pearson correlation of their rank vectors,
+// with ties sharing the average rank. It measures how well one score
+// *orders* another, which is what hotspot detection needs.
+func Spearman(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra := ranks(a)
+	rb := ranks(b)
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	n := float64(len(ra))
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range ra {
+		da := ra[i] - ma
+		db := rb[i] - mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// ranks returns average ranks (1-based) with ties averaged.
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return v[idx[i]] < v[idx[j]] })
+	out := make([]float64, len(v))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Scaler standardizes features to zero mean and unit variance, the
+// preprocessing both the Lasso and the ANN need to train well.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler learns per-column statistics.
+func FitScaler(X [][]float64) *Scaler {
+	if len(X) == 0 {
+		return &Scaler{}
+	}
+	d := len(X[0])
+	s := &Scaler{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns standardized copies of the rows.
+func (s *Scaler) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.TransformRow(row)
+	}
+	return out
+}
+
+// TransformRow standardizes one row.
+func (s *Scaler) TransformRow(row []float64) []float64 {
+	if len(s.Mean) == 0 {
+		return append([]float64(nil), row...)
+	}
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// Split holds index sets of one train/test partition.
+type Split struct {
+	Train []int
+	Test  []int
+}
+
+// TrainTestSplit shuffles indices 0..n-1 and carves off testFrac of them,
+// the paper's random 80/20 partition.
+func TrainTestSplit(n int, testFrac float64, rng *rand.Rand) Split {
+	idx := rng.Perm(n)
+	k := int(float64(n) * testFrac)
+	if k < 1 && n > 1 {
+		k = 1
+	}
+	return Split{Test: idx[:k], Train: idx[k:]}
+}
+
+// KFold returns k cross-validation splits over shuffled indices.
+func KFold(n, k int, rng *rand.Rand) []Split {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	idx := rng.Perm(n)
+	folds := make([]Split, k)
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		test := append([]int(nil), idx[lo:hi]...)
+		train := make([]int, 0, n-len(test))
+		train = append(train, idx[:lo]...)
+		train = append(train, idx[hi:]...)
+		folds[f] = Split{Train: train, Test: test}
+	}
+	return folds
+}
+
+// Take gathers the selected rows and targets.
+func Take(X [][]float64, y []float64, idx []int) ([][]float64, []float64) {
+	xs := make([][]float64, len(idx))
+	ys := make([]float64, len(idx))
+	for i, j := range idx {
+		xs[i] = X[j]
+		ys[i] = y[j]
+	}
+	return xs, ys
+}

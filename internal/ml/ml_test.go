@@ -1,0 +1,214 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMAE(t *testing.T) {
+	y := []float64{1, 2, 3}
+	p := []float64{2, 2, 1}
+	if got := MAE(y, p); got != 1 {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+	if MAE(nil, nil) != 0 {
+		t.Error("empty MAE != 0")
+	}
+}
+
+func TestMedAE(t *testing.T) {
+	y := []float64{0, 0, 0, 0}
+	p := []float64{1, 2, 3, 100}
+	if got := MedAE(y, p); got != 2.5 {
+		t.Errorf("MedAE = %v, want 2.5 (robust to the outlier)", got)
+	}
+	yo := []float64{0, 0, 0}
+	po := []float64{1, 5, 9}
+	if got := MedAE(yo, po); got != 5 {
+		t.Errorf("odd MedAE = %v, want 5", got)
+	}
+}
+
+func TestMetricsPanicOnMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MAE":   func() { MAE([]float64{1}, []float64{1, 2}) },
+		"MedAE": func() { MedAE([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRMSEAndR2(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if got := RMSE(y, y); got != 0 {
+		t.Errorf("RMSE(self) = %v", got)
+	}
+	if got := R2(y, y); got != 1 {
+		t.Errorf("R2(self) = %v", got)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := R2(y, mean); math.Abs(got) > 1e-12 {
+		t.Errorf("R2(mean) = %v, want 0", got)
+	}
+}
+
+// Property: MedAE never exceeds the max error and MAE sits between min and
+// max error.
+func TestMetricBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		y := make([]float64, n)
+		p := make([]float64, n)
+		minE, maxE := math.Inf(1), math.Inf(-1)
+		for i := range y {
+			y[i] = rng.NormFloat64() * 10
+			p[i] = rng.NormFloat64() * 10
+			e := math.Abs(y[i] - p[i])
+			minE = math.Min(minE, e)
+			maxE = math.Max(maxE, e)
+		}
+		mae, med := MAE(y, p), MedAE(y, p)
+		return mae >= minE-1e-12 && mae <= maxE+1e-12 && med <= maxE+1e-12 && med >= minE-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{1, 100}, {2, 200}, {3, 300}}
+	s := FitScaler(X)
+	out := s.Transform(X)
+	for j := 0; j < 2; j++ {
+		mean, va := 0.0, 0.0
+		for i := range out {
+			mean += out[i][j]
+		}
+		mean /= 3
+		for i := range out {
+			va += (out[i][j] - mean) * (out[i][j] - mean)
+		}
+		va /= 3
+		if math.Abs(mean) > 1e-12 || math.Abs(va-1) > 1e-9 {
+			t.Errorf("col %d standardized to mean %v var %v", j, mean, va)
+		}
+	}
+	// Constant columns keep std=1 to avoid division blowups.
+	c := FitScaler([][]float64{{5}, {5}})
+	if c.Std[0] != 1 {
+		t.Errorf("constant column std = %v", c.Std[0])
+	}
+	// Empty scaler copies rows untouched.
+	e := FitScaler(nil)
+	row := e.TransformRow([]float64{1, 2})
+	if row[0] != 1 || row[1] != 2 {
+		t.Error("empty scaler mangled the row")
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sp := TrainTestSplit(100, 0.2, rng)
+	if len(sp.Test) != 20 || len(sp.Train) != 80 {
+		t.Fatalf("split sizes %d/%d", len(sp.Train), len(sp.Test))
+	}
+	seen := make(map[int]bool)
+	for _, i := range append(append([]int{}, sp.Train...), sp.Test...) {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("split does not cover all indices")
+	}
+	// Tiny datasets still carve out one test sample.
+	sp2 := TrainTestSplit(3, 0.1, rng)
+	if len(sp2.Test) != 1 {
+		t.Errorf("tiny split test size = %d", len(sp2.Test))
+	}
+}
+
+func TestKFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	folds := KFold(50, 10, rng)
+	if len(folds) != 10 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	covered := make(map[int]int)
+	for _, f := range folds {
+		if len(f.Test)+len(f.Train) != 50 {
+			t.Fatal("fold does not partition")
+		}
+		for _, i := range f.Test {
+			covered[i]++
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if covered[i] != 1 {
+			t.Fatalf("index %d in %d test folds, want exactly 1", i, covered[i])
+		}
+	}
+	// k > n clamps.
+	if got := len(KFold(3, 10, rng)); got != 3 {
+		t.Errorf("KFold(3,10) gave %d folds", got)
+	}
+}
+
+func TestTake(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}}
+	y := []float64{10, 11, 12}
+	xs, ys := Take(X, y, []int{2, 0})
+	if xs[0][0] != 2 || ys[0] != 12 || xs[1][0] != 0 || ys[1] != 10 {
+		t.Error("Take gathered wrong rows")
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	m := constModel(7)
+	out := PredictBatch(m, [][]float64{{1}, {2}})
+	if len(out) != 2 || out[0] != 7 || out[1] != 7 {
+		t.Error("PredictBatch wrong")
+	}
+}
+
+type constModel float64
+
+func (c constModel) Fit(X [][]float64, y []float64) error { return nil }
+func (c constModel) Predict(x []float64) float64          { return float64(c) }
+
+func TestSpearman(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if got := Spearman(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation = %v", got)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if got := Spearman(a, rev); math.Abs(got+1) > 1e-12 {
+		t.Errorf("reversed correlation = %v", got)
+	}
+	// Monotone transform leaves rank correlation at 1.
+	sq := []float64{1, 4, 9, 16, 25}
+	if got := Spearman(a, sq); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone transform correlation = %v", got)
+	}
+	// Ties average: {1,1,2} vs {1,2,2} still positively correlated.
+	if got := Spearman([]float64{1, 1, 2}, []float64{1, 2, 2}); got <= 0 {
+		t.Errorf("tied correlation = %v", got)
+	}
+	if Spearman(a, a[:3]) != 0 {
+		t.Error("length mismatch should return 0")
+	}
+	if Spearman([]float64{1, 1}, []float64{2, 2}) != 0 {
+		t.Error("constant input should return 0")
+	}
+}

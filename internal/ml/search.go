@@ -1,0 +1,87 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Params is one hyperparameter assignment.
+type Params map[string]float64
+
+// Grid enumerates the cross product of per-parameter candidate values, the
+// exhaustive grid the paper searches with 10-fold cross-validation.
+type Grid map[string][]float64
+
+// Enumerate returns every parameter combination in deterministic order.
+func (g Grid) Enumerate() []Params {
+	keys := make([]string, 0, len(g))
+	for k := range g {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	out := []Params{{}}
+	for _, k := range keys {
+		var next []Params
+		for _, base := range out {
+			for _, v := range g[k] {
+				p := Params{}
+				for bk, bv := range base {
+					p[bk] = bv
+				}
+				p[k] = v
+				next = append(next, p)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Factory builds a fresh regressor from a hyperparameter assignment.
+type Factory func(Params) Regressor
+
+// SearchResult reports the winning configuration of a grid search.
+type SearchResult struct {
+	Best      Params
+	BestScore float64 // mean CV MAE of the winner (lower is better)
+	Evaluated int
+}
+
+// GridSearchCV exhaustively evaluates the grid with k-fold cross-validation
+// on (X, y), scoring by mean MAE across folds, and returns the best
+// parameters. The rng seeds the fold shuffling; folds are identical across
+// candidates so the comparison is paired.
+func GridSearchCV(factory Factory, grid Grid, X [][]float64, y []float64, k int, rng *rand.Rand) (SearchResult, error) {
+	if len(X) != len(y) || len(X) == 0 {
+		return SearchResult{}, fmt.Errorf("ml: grid search on %d rows / %d targets", len(X), len(y))
+	}
+	folds := KFold(len(X), k, rng)
+	res := SearchResult{BestScore: -1}
+	for _, p := range grid.Enumerate() {
+		score := 0.0
+		for _, fold := range folds {
+			trX, trY := Take(X, y, fold.Train)
+			teX, teY := Take(X, y, fold.Test)
+			m := factory(p)
+			if err := m.Fit(trX, trY); err != nil {
+				return SearchResult{}, fmt.Errorf("ml: grid search fit: %w", err)
+			}
+			score += MAE(teY, PredictBatch(m, teX))
+		}
+		score /= float64(len(folds))
+		res.Evaluated++
+		if res.BestScore < 0 || score < res.BestScore {
+			res.BestScore = score
+			res.Best = p
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package ml
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestGridEnumerate(t *testing.T) {
+	g := Grid{"a": {1, 2}, "b": {10, 20, 30}}
+	all := g.Enumerate()
+	if len(all) != 6 {
+		t.Fatalf("enumeration size = %d, want 6", len(all))
+	}
+	seen := make(map[[2]float64]bool)
+	for _, p := range all {
+		seen[[2]float64{p["a"], p["b"]}] = true
+	}
+	if len(seen) != 6 {
+		t.Fatal("duplicate combinations")
+	}
+	// Empty grid yields the single empty assignment.
+	if got := len(Grid{}.Enumerate()); got != 1 {
+		t.Errorf("empty grid enumerations = %d", got)
+	}
+}
+
+// biasModel predicts a constant chosen by the "bias" hyperparameter.
+type biasModel struct{ bias float64 }
+
+func (m *biasModel) Fit(X [][]float64, y []float64) error { return nil }
+func (m *biasModel) Predict(x []float64) float64          { return m.bias }
+
+func TestGridSearchFindsBest(t *testing.T) {
+	// Targets are all 5.0; the candidate with bias 5 must win.
+	n := 40
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{0}
+		y[i] = 5
+	}
+	factory := func(p Params) Regressor { return &biasModel{bias: p["bias"]} }
+	res, err := GridSearchCV(factory, Grid{"bias": {1, 3, 5, 9}}, X, y, 5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best["bias"] != 5 {
+		t.Errorf("best bias = %v, want 5", res.Best["bias"])
+	}
+	if res.BestScore != 0 {
+		t.Errorf("best score = %v, want 0", res.BestScore)
+	}
+	if res.Evaluated != 4 {
+		t.Errorf("evaluated %d candidates", res.Evaluated)
+	}
+}
+
+type failModel struct{}
+
+func (failModel) Fit(X [][]float64, y []float64) error { return errors.New("boom") }
+func (failModel) Predict(x []float64) float64          { return 0 }
+
+func TestGridSearchPropagatesErrors(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{0, 1, 2, 3}
+	_, err := GridSearchCV(func(Params) Regressor { return failModel{} },
+		Grid{"a": {1}}, X, y, 2, rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Fatal("fit error swallowed")
+	}
+	if _, err := GridSearchCV(func(Params) Regressor { return failModel{} },
+		Grid{}, nil, nil, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

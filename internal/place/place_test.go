@@ -1,0 +1,214 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fpga"
+	"repro/internal/hls"
+	"repro/internal/ir"
+	"repro/internal/rtl"
+)
+
+// testNetlist builds a modest two-function design with DSP and BRAM cells.
+func testNetlist(t *testing.T) *rtl.Netlist {
+	t.Helper()
+	m := ir.NewModule("m")
+	top := m.NewFunction("top")
+	leaf := m.NewFunction("leaf")
+	lb := ir.NewBuilder(leaf)
+	lp := lb.Port("x", 16)
+	lv := lb.Op(ir.KindMul, 16, lp, lp) // DSP cell
+	lb.Ret(lv)
+	b := ir.NewBuilder(top)
+	p := b.Port("p", 16)
+	a := b.Array("big", 2048, 16, 1) // BRAM bank
+	var outs []*ir.Op
+	for i := 0; i < 20; i++ {
+		v := b.Load(a, nil)
+		outs = append(outs, b.Op(ir.KindAdd, 16, v, p))
+	}
+	sum := b.ReduceTree(ir.KindAdd, 16, outs)
+	call := b.Call(leaf, sum)
+	b.Ret(call)
+	s, err := hls.ScheduleModule(m, hls.DefaultClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rtl.Elaborate(hls.BindModule(s))
+}
+
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.Moves = 5000
+	return o
+}
+
+func TestPlaceBoundsAndLegality(t *testing.T) {
+	nl := testNetlist(t)
+	dev := fpga.XC7Z020()
+	pl, err := Place(nl, dev, rand.New(rand.NewSource(1)), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range nl.Cells {
+		p := pl.At(c)
+		if !dev.InBounds(p) {
+			t.Fatalf("cell %s placed out of bounds at %v", c.Name, p)
+		}
+		kind := dev.KindAt(p.X, p.Y)
+		switch classify(c) {
+		case classDSP:
+			if kind != fpga.TileDSP {
+				t.Errorf("DSP cell %s on %v tile", c.Name, kind)
+			}
+		case classBRAM:
+			if kind != fpga.TileBRAM {
+				t.Errorf("BRAM cell %s on %v tile", c.Name, kind)
+			}
+		case classCLB:
+			if kind != fpga.TileCLB {
+				t.Errorf("CLB cell %s on %v tile", c.Name, kind)
+			}
+		}
+	}
+}
+
+func TestPlaceDeterministicPerSeed(t *testing.T) {
+	nl := testNetlist(t)
+	dev := fpga.XC7Z020()
+	p1, err := Place(nl, dev, rand.New(rand.NewSource(7)), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Place(nl, dev, rand.New(rand.NewSource(7)), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Pos {
+		if p1.Pos[i] != p2.Pos[i] {
+			t.Fatalf("cell %d differs across identical seeds: %v vs %v", i, p1.Pos[i], p2.Pos[i])
+		}
+	}
+	p3, err := Place(nl, dev, rand.New(rand.NewSource(8)), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range p1.Pos {
+		if p1.Pos[i] == p3.Pos[i] {
+			same++
+		}
+	}
+	if same == len(p1.Pos) {
+		t.Error("different seeds produced identical placements")
+	}
+}
+
+func TestPlaceImprovesWirelength(t *testing.T) {
+	nl := testNetlist(t)
+	dev := fpga.XC7Z020()
+	// Random baseline: initial() without annealing.
+	optsNoAnneal := quickOpts()
+	optsNoAnneal.Moves = 1
+	base, err := Place(nl, dev, rand.New(rand.NewSource(3)), optsNoAnneal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annealed, err := Place(nl, dev, rand.New(rand.NewSource(3)), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if annealed.HPWL() >= base.HPWL() {
+		t.Errorf("annealing did not improve HPWL: %v -> %v", base.HPWL(), annealed.HPWL())
+	}
+}
+
+func TestPlaceEmptyNetlistFails(t *testing.T) {
+	if _, err := Place(&rtl.Netlist{}, fpga.XC7Z020(), rand.New(rand.NewSource(1)), Options{}); err == nil {
+		t.Fatal("empty netlist must fail")
+	}
+}
+
+func TestRectDist(t *testing.T) {
+	r := rect{x0: 2, y0: 3, x1: 5, y1: 8}
+	cases := []struct {
+		p    fpga.XY
+		want int
+	}{
+		{fpga.XY{X: 3, Y: 4}, 0},
+		{fpga.XY{X: 2, Y: 3}, 0},
+		{fpga.XY{X: 0, Y: 4}, 2},
+		{fpga.XY{X: 6, Y: 9}, 2},
+		{fpga.XY{X: 0, Y: 0}, 5},
+	}
+	for _, c := range cases {
+		if got := r.dist(c.p); got != c.want {
+			t.Errorf("dist(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if r.width() != 4 || r.height() != 6 {
+		t.Error("rect dims wrong")
+	}
+}
+
+func TestReflect(t *testing.T) {
+	n := 10
+	for v := -25; v < 35; v++ {
+		got := reflect(v, n)
+		if got < 0 || got >= n {
+			t.Fatalf("reflect(%d, %d) = %d out of range", v, n, got)
+		}
+	}
+	if reflect(3, 10) != 3 {
+		t.Error("in-range value must be unchanged")
+	}
+	if reflect(-1, 10) != 1 || reflect(10, 10) != 8 {
+		t.Error("boundary reflection wrong")
+	}
+	if reflect(5, 1) != 0 {
+		t.Error("degenerate size must clamp to 0")
+	}
+}
+
+// TestPartitionRegionsProperty: regions of the sorted functions tile the
+// die without overlap and each function gets one.
+func TestPartitionRegionsProperty(t *testing.T) {
+	f := func(nFuncs uint8, seed int64) bool {
+		n := 1 + int(nFuncs)%9
+		rng := rand.New(rand.NewSource(seed))
+		var funcs []*ir.Function
+		areaOf := make(map[*ir.Function]float64)
+		for i := 0; i < n; i++ {
+			fn := &ir.Function{Name: string(rune('a' + i))}
+			funcs = append(funcs, fn)
+			areaOf[fn] = 1 + rng.Float64()*1000
+		}
+		die := rect{0, 0, 59, 109}
+		out := make(map[*ir.Function]rect)
+		partitionRegions(funcs, areaOf, die, out)
+		if len(out) != n {
+			return false
+		}
+		area := 0
+		for _, r := range out {
+			if r.x0 < 0 || r.y0 < 0 || r.x1 > 59 || r.y1 > 109 || r.x0 > r.x1 || r.y0 > r.y1 {
+				return false
+			}
+			area += r.width() * r.height()
+		}
+		// Non-overlap + coverage <=> total area equals die area.
+		return area == die.width()*die.height()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellAreaFloor(t *testing.T) {
+	c := &rtl.Cell{Res: hls.Resources{}}
+	if cellArea(c) != 1 {
+		t.Error("zero-resource cell must still occupy unit area")
+	}
+}

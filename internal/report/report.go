@@ -1,0 +1,132 @@
+// Package report renders the designer-facing text reports an HLS tool
+// ships: a synthesis report per function (latency, initiation intervals,
+// resource usage, schedule depth), a module-level utilization summary
+// against the target device, and a post-implementation quality report that
+// folds in the routed congestion and timing — the artifacts a user of this
+// library reads alongside the congestion predictions.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/flow"
+	"repro/internal/hls"
+	"repro/internal/ir"
+	"repro/internal/timing"
+)
+
+// Synthesis renders the HLS synthesis report of a scheduled, bound design:
+// per-function control-state depth, latency, loop table, resource
+// estimate, and multiplexer summary.
+func Synthesis(sched *hls.Schedule, bind *hls.Binding) string {
+	var b strings.Builder
+	m := sched.Mod
+	fmt.Fprintf(&b, "== HLS SYNTHESIS REPORT: %s ==\n", m.Name)
+	fmt.Fprintf(&b, "target clock %.2f ns (uncertainty %.2f ns)\n\n",
+		sched.Clock.PeriodNS, sched.Clock.UncertaintyNS)
+	for _, f := range m.LiveFuncs() {
+		fs := sched.Funcs[f]
+		res := bind.FuncBoundResources(f)
+		mux := bind.FuncMuxStats(f)
+		role := ""
+		if f.IsTop {
+			role = " (top)"
+		}
+		fmt.Fprintf(&b, "function %s%s\n", f.Name, role)
+		fmt.Fprintf(&b, "  ops %d   control states %d   latency %d cycles\n",
+			f.NumOps(), fs.Steps, fs.LatencyCycles)
+		if mob := sched.ComputeMobility(f); mob != nil && f.NumOps() > 0 {
+			fmt.Fprintf(&b, "  scheduling slack: %d critical ops (zero mobility), mean mobility %.1f states\n",
+				len(mob.CriticalOps()), mob.MeanSlack())
+		}
+		fmt.Fprintf(&b, "  resources: LUT %d  FF %d  DSP %d  BRAM %d\n",
+			res.LUT, res.FF, res.DSP, res.BRAM)
+		if mux.Count > 0 {
+			fmt.Fprintf(&b, "  muxes: %d (avg %.1f inputs, %.1f bits, %d LUT)\n",
+				mux.Count, mux.AvgInputs, mux.AvgWidth, mux.Res.LUT)
+		}
+		if len(f.Loops) > 0 {
+			fmt.Fprintf(&b, "  loops:\n")
+			for _, l := range loopsInOrder(f) {
+				attrs := []string{fmt.Sprintf("trips %d", l.TripCount)}
+				if l.Unroll > 1 {
+					attrs = append(attrs, fmt.Sprintf("unroll %d", l.Unroll))
+				}
+				if l.Pipelined {
+					attrs = append(attrs, fmt.Sprintf("pipelined II=%d", l.II))
+				}
+				fmt.Fprintf(&b, "    %s%s: %s\n",
+					strings.Repeat("  ", l.Depth()-1), l.Name, strings.Join(attrs, ", "))
+			}
+		}
+		if len(f.Arrays) > 0 {
+			fmt.Fprintf(&b, "  memories:\n")
+			for _, a := range f.Arrays {
+				r := hls.ArrayResources(a)
+				kind := "distributed"
+				if r.BRAM > 0 {
+					kind = fmt.Sprintf("%d x RAMB18", r.BRAM)
+				}
+				fmt.Fprintf(&b, "    %s: %d x %d bits, %d bank(s), %s\n",
+					a.Name, a.Words, a.Bits, a.Banks, kind)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func loopsInOrder(f *ir.Function) []*ir.Loop {
+	loops := append([]*ir.Loop(nil), f.Loops...)
+	sort.Slice(loops, func(i, j int) bool { return loops[i].ID < loops[j].ID })
+	return loops
+}
+
+// Utilization renders the post-binding device utilization table.
+func Utilization(res *flow.Result) string {
+	var b strings.Builder
+	bound := res.Bind.ModuleBoundResources()
+	tot := res.Config.Dev.Totals
+	fmt.Fprintf(&b, "== UTILIZATION: %s on %s ==\n", res.Mod.Name, res.Config.Dev.Name)
+	row := func(name string, used, avail int) {
+		pct := 0.0
+		if avail > 0 {
+			pct = 100 * float64(used) / float64(avail)
+		}
+		fmt.Fprintf(&b, "%-6s %8d / %8d  (%5.1f%%)\n", name, used, avail, pct)
+	}
+	row("LUT", bound.LUT, tot.LUT)
+	row("FF", bound.FF, tot.FF)
+	row("DSP", bound.DSP, tot.DSP)
+	row("BRAM", bound.BRAM, tot.BRAM)
+	st := res.Netlist.ComputeStats()
+	fmt.Fprintf(&b, "cells %d   nets %d   pins %d   bus wires %d\n",
+		st.Cells, st.Nets, st.Pins, st.TotalWires)
+	return b.String()
+}
+
+// Quality renders the post-implementation quality-of-results report:
+// timing, congestion summary and the worst paths.
+func Quality(res *flow.Result, worstPaths int) string {
+	var b strings.Builder
+	p := res.Perf(res.Mod.Name)
+	fmt.Fprintf(&b, "== IMPLEMENTATION QoR: %s ==\n", res.Mod.Name)
+	fmt.Fprintf(&b, "WNS %.3f ns   Fmax %.1f MHz   latency %d cycles\n",
+		p.WNS, p.FmaxMHz, p.LatencyCycles)
+	fmt.Fprintf(&b, "congestion: max V %.1f%%  max H %.1f%%  tiles >100%%: %d  routing overflow: %d\n",
+		p.MaxVertPct, p.MaxHorizPct, p.CongestedCLBs, res.Routing.Overflow)
+	if worstPaths > 0 {
+		paths := timing.CriticalPaths(res.Sched, res.Netlist, res.Routing, res.Config.Timing, worstPaths)
+		b.WriteString(timing.FormatPaths(paths))
+	}
+	return b.String()
+}
+
+// Full renders all three reports for a completed run.
+func Full(res *flow.Result) string {
+	return Synthesis(res.Sched, res.Bind) + "\n" +
+		Utilization(res) + "\n" +
+		Quality(res, 5)
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/ir"
+)
+
+func runReportDesign(t *testing.T) *flow.Result {
+	t.Helper()
+	m := ir.NewModule("reportable")
+	top := m.NewFunction("top")
+	b := ir.NewBuilder(top).At("r.cpp", 1)
+	p := b.Port("p", 16)
+	a := b.Array("big_mem", 2048, 16, 1) // BRAM
+	small := b.Array("regs", 8, 8, 8)    // distributed
+	_ = small
+	var outs []*ir.Op
+	b.PipelinedLoop("lanes", 256, 2, func() {
+		v := b.Load(a, nil)
+		outs = append(outs, b.Op(ir.KindMul, 16, v, p))
+	})
+	cur := b.ReduceTree(ir.KindAdd, 16, outs)
+	for i := 0; i < 3; i++ {
+		cur = b.Op(ir.KindMul, 16, cur, cur) // serial -> shared unit + muxes
+	}
+	b.Ret(cur)
+	cfg := flow.DefaultConfig()
+	cfg.Place.Moves = 3000
+	res, err := flow.Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSynthesisReport(t *testing.T) {
+	res := runReportDesign(t)
+	out := Synthesis(res.Sched, res.Bind)
+	for _, want := range []string{
+		"HLS SYNTHESIS REPORT", "(top)", "control states", "latency",
+		"lanes: trips 256, pipelined II=2",
+		"big_mem", "RAMB18", "regs", "distributed", "muxes:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("synthesis report missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestUtilizationReport(t *testing.T) {
+	res := runReportDesign(t)
+	out := Utilization(res)
+	for _, want := range []string{"UTILIZATION", "xc7z020", "LUT", "DSP", "BRAM", "nets"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("utilization report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("NaN leaked into the report")
+	}
+}
+
+func TestQualityReport(t *testing.T) {
+	res := runReportDesign(t)
+	out := Quality(res, 3)
+	for _, want := range []string{"QoR", "WNS", "Fmax", "congestion", "WORST TIMING PATHS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quality report missing %q", want)
+		}
+	}
+	// Zero worst paths suppresses the listing.
+	if strings.Contains(Quality(res, 0), "WORST TIMING PATHS") {
+		t.Error("path listing printed despite worstPaths=0")
+	}
+}
+
+func TestFullReportComposes(t *testing.T) {
+	res := runReportDesign(t)
+	out := Full(res)
+	for _, want := range []string{"SYNTHESIS", "UTILIZATION", "QoR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full report missing %q section", want)
+		}
+	}
+}

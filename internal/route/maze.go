@@ -1,0 +1,184 @@
+package route
+
+import (
+	"container/heap"
+
+	"repro/internal/fpga"
+)
+
+// Maze routing: when every candidate pattern for a connection crosses a
+// badly overfull tile, a Dijkstra search over the routing grid finds the
+// cheapest detour under the same congestion-aware edge costs — the
+// "real router" escape hatch PathFinder implementations fall back to once
+// pattern routing saturates.
+
+// mazeNode is one priority-queue entry.
+type mazeNode struct {
+	pos  fpga.XY
+	cost float64
+	idx  int // heap index
+}
+
+type mazeHeap []*mazeNode
+
+func (h mazeHeap) Len() int            { return len(h) }
+func (h mazeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h mazeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *mazeHeap) Push(x interface{}) { n := x.(*mazeNode); n.idx = len(*h); *h = append(*h, n) }
+func (h *mazeHeap) Pop() interface{} {
+	old := *h
+	n := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return n
+}
+
+// mazeStep encodes the move taken to reach a tile, for path reconstruction.
+type mazeStep int8
+
+const (
+	stepNone mazeStep = iota
+	stepLeft          // arrived moving +X (crossed H edge at x-1)
+	stepRight
+	stepDown // arrived moving +Y (crossed V edge at y-1)
+	stepUp
+)
+
+// mazeRoute runs Dijkstra from src to dst under the router's congestion
+// cost, restricted to the bounding box inflated by `slack` tiles (keeping
+// the search local, as global routers do). It returns the tile-crossing
+// walk in order, or nil when src == dst.
+func (r *router) mazeRoute(src, dst fpga.XY, wires float64, visited map[int]bool, slack int) []crossing {
+	if src == dst {
+		return nil
+	}
+	x0, x1 := minInt(src.X, dst.X)-slack, maxIntr(src.X, dst.X)+slack
+	y0, y1 := minInt(src.Y, dst.Y)-slack, maxIntr(src.Y, dst.Y)+slack
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 >= r.dev.Cols {
+		x1 = r.dev.Cols - 1
+	}
+	if y1 >= r.dev.Rows {
+		y1 = r.dev.Rows - 1
+	}
+	w := x1 - x0 + 1
+	hgt := y1 - y0 + 1
+	local := func(p fpga.XY) int { return (p.X-x0)*hgt + (p.Y - y0) }
+
+	dist := make([]float64, w*hgt)
+	from := make([]mazeStep, w*hgt)
+	done := make([]bool, w*hgt)
+	for i := range dist {
+		dist[i] = -1
+	}
+	pq := &mazeHeap{}
+	start := &mazeNode{pos: src, cost: 0}
+	dist[local(src)] = 0
+	heap.Push(pq, start)
+
+	// stepCost prices crossing from cur to next; the crossing is charged at
+	// the lower-coordinate tile of the pair, matching walk()'s convention
+	// (H edge at min-x tile, V edge at min-y tile). A crossing the net
+	// already owns is free.
+	stepCost := func(vertical bool, x, y int) float64 {
+		if visited[r.crossKey(vertical, x, y)] {
+			return 0
+		}
+		return r.edgeCost(vertical, x, y, wires)
+	}
+
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(*mazeNode)
+		li := local(cur.pos)
+		if done[li] {
+			continue
+		}
+		done[li] = true
+		if cur.pos == dst {
+			break
+		}
+		type move struct {
+			np   fpga.XY
+			step mazeStep
+			cost float64
+		}
+		var moves []move
+		if cur.pos.X > x0 {
+			moves = append(moves, move{fpga.XY{X: cur.pos.X - 1, Y: cur.pos.Y}, stepRight,
+				stepCost(false, cur.pos.X-1, cur.pos.Y)})
+		}
+		if cur.pos.X < x1 {
+			moves = append(moves, move{fpga.XY{X: cur.pos.X + 1, Y: cur.pos.Y}, stepLeft,
+				stepCost(false, cur.pos.X, cur.pos.Y)})
+		}
+		if cur.pos.Y > y0 {
+			moves = append(moves, move{fpga.XY{X: cur.pos.X, Y: cur.pos.Y - 1}, stepUp,
+				stepCost(true, cur.pos.X, cur.pos.Y-1)})
+		}
+		if cur.pos.Y < y1 {
+			moves = append(moves, move{fpga.XY{X: cur.pos.X, Y: cur.pos.Y + 1}, stepDown,
+				stepCost(true, cur.pos.X, cur.pos.Y)})
+		}
+		for _, mv := range moves {
+			ni := local(mv.np)
+			nc := cur.cost + mv.cost
+			if dist[ni] < 0 || nc < dist[ni] {
+				dist[ni] = nc
+				from[ni] = mv.step
+				heap.Push(pq, &mazeNode{pos: mv.np, cost: nc})
+			}
+		}
+	}
+	if dist[local(dst)] < 0 {
+		return nil // boxed search failed (cannot happen with slack >= 0)
+	}
+	// Reconstruct dst -> src, emitting crossings, then reverse.
+	var rev []crossing
+	cur := dst
+	for cur != src {
+		switch from[local(cur)] {
+		case stepLeft: // came from x-1
+			rev = append(rev, crossing{vertical: false, x: cur.X - 1, y: cur.Y})
+			cur.X--
+		case stepRight: // came from x+1
+			rev = append(rev, crossing{vertical: false, x: cur.X, y: cur.Y})
+			cur.X++
+		case stepDown: // came from y-1
+			rev = append(rev, crossing{vertical: true, x: cur.X, y: cur.Y - 1})
+			cur.Y--
+		case stepUp: // came from y+1
+			rev = append(rev, crossing{vertical: true, x: cur.X, y: cur.Y})
+			cur.Y++
+		default:
+			return nil // corrupt predecessor chain
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// crossing is one tile-boundary traversal.
+type crossing struct {
+	vertical bool
+	x, y     int
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxIntr(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

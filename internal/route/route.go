@@ -1,0 +1,413 @@
+// Package route implements a PathFinder-style iterative global router over
+// the placed netlist. Each two-pin connection is routed with the cheapest of
+// several L- and Z-shaped patterns under a cost that combines present
+// congestion and accumulated history, then the whole design is ripped up and
+// rerouted for a few iterations so demand negotiates away from overflowed
+// tiles. The result is the per-tile vertical/horizontal congestion map the
+// predictor learns to estimate, plus per-connection route statistics the
+// timing analyzer turns into congestion-dependent wire delays.
+package route
+
+import (
+	"math/rand"
+
+	"repro/internal/congestion"
+	"repro/internal/fpga"
+	"repro/internal/place"
+	"repro/internal/rtl"
+)
+
+// Options tunes the router.
+type Options struct {
+	// Iterations is the number of rip-up-and-reroute passes.
+	Iterations int
+	// HistoryGain scales how fast overflowed tiles accumulate history cost.
+	HistoryGain float64
+	// OverflowPenalty scales the present-congestion cost term.
+	OverflowPenalty float64
+	// MazeThreshold enables a Dijkstra maze fallback: when the best
+	// L/Z pattern for a connection would cross a tile above this
+	// utilization ratio (e.g. 1.2 = 120 %), the connection is maze-routed
+	// instead. Zero disables the fallback (the calibrated default — the
+	// experiments' congestion maps come from pattern routing, as do the
+	// paper's Vivado reports before the router gives up and detours).
+	MazeThreshold float64
+	// MazeSlack inflates the maze search's bounding box in tiles
+	// (default 6).
+	MazeSlack int
+}
+
+// DefaultOptions returns the tuning used by the experiments.
+func DefaultOptions() Options {
+	return Options{Iterations: 3, HistoryGain: 0.6, OverflowPenalty: 4.0}
+}
+
+// PinStats describes the final route of one driver->sink connection.
+type PinStats struct {
+	Net     *rtl.Net
+	Sink    rtl.Sink
+	Length  int     // tiles traversed
+	AvgUtil float64 // mean demand/capacity along the path (1.0 = 100 %)
+	MaxUtil float64 // worst tile on the path
+}
+
+// Result is the routing outcome.
+type Result struct {
+	Map      *congestion.Map
+	Pins     []PinStats
+	Overflow int // tile-direction pairs above capacity after the last pass
+}
+
+// Route routes the placement. The rng only breaks ties between equal-cost
+// patterns, keeping results deterministic per seed.
+func Route(pl *place.Placement, rng *rand.Rand, opts Options) *Result {
+	if opts.Iterations < 1 {
+		opts.Iterations = 1
+	}
+	r := newRouter(pl, opts)
+	for it := 0; it < opts.Iterations; it++ {
+		final := it == opts.Iterations-1
+		r.reset()
+		r.routeAll(rng, final)
+		if !final {
+			r.accumulateHistory()
+		}
+	}
+	return r.result()
+}
+
+type router struct {
+	pl   *place.Placement
+	dev  *fpga.Device
+	opts Options
+
+	// Demand in wires crossing each tile, per direction.
+	useV, useH []float64
+	histV      []float64
+	histH      []float64
+
+	// radius is the footprint radius of each cell: a placed macro of many
+	// LUTs occupies a region, so its pins land spread over that region
+	// instead of on a single tile (otherwise wide shared interfaces create
+	// artificial single-tile hubs no real fabric exhibits).
+	radius []int
+
+	pins []PinStats
+}
+
+func newRouter(pl *place.Placement, opts Options) *router {
+	n := pl.Dev.Cols * pl.Dev.Rows
+	r := &router{
+		pl:    pl,
+		dev:   pl.Dev,
+		opts:  opts,
+		useV:  make([]float64, n),
+		useH:  make([]float64, n),
+		histV: make([]float64, n),
+		histH: make([]float64, n),
+	}
+	r.radius = pl.NL.FootprintRadii()
+	return r
+}
+
+// pinPos returns the routing terminal of a net at a cell: the placed
+// location jittered deterministically within the cell's footprint.
+func (r *router) pinPos(netID int, c *rtl.Cell) fpga.XY {
+	p := r.pl.Pos[c.ID]
+	rad := r.radius[c.ID]
+	if rad == 0 {
+		return p
+	}
+	h := uint32(netID)*2654435761 ^ uint32(c.ID)*40503
+	span := 2*rad + 1
+	p.X += int(h%uint32(span)) - rad
+	p.Y += int((h/31)%uint32(span)) - rad
+	if p.X < 0 {
+		p.X = 0
+	}
+	if p.X >= r.dev.Cols {
+		p.X = r.dev.Cols - 1
+	}
+	if p.Y < 0 {
+		p.Y = 0
+	}
+	if p.Y >= r.dev.Rows {
+		p.Y = r.dev.Rows - 1
+	}
+	return p
+}
+
+func (r *router) idx(x, y int) int { return x*r.dev.Rows + y }
+
+func (r *router) reset() {
+	for i := range r.useV {
+		r.useV[i] = 0
+		r.useH[i] = 0
+	}
+	r.pins = r.pins[:0]
+}
+
+func (r *router) accumulateHistory() {
+	for i := range r.useV {
+		if r.useV[i] > r.dev.VCap {
+			r.histV[i] += r.opts.HistoryGain * (r.useV[i] - r.dev.VCap) / r.dev.VCap
+		}
+		if r.useH[i] > r.dev.HCap {
+			r.histH[i] += r.opts.HistoryGain * (r.useH[i] - r.dev.HCap) / r.dev.HCap
+		}
+	}
+}
+
+// edgeCost prices one tile crossing in the given direction for a connection
+// of `wires` wires.
+func (r *router) edgeCost(vertical bool, x, y int, wires float64) float64 {
+	i := r.idx(x, y)
+	var use, cap, hist float64
+	if vertical {
+		use, cap, hist = r.useV[i], r.dev.VCap, r.histV[i]
+	} else {
+		use, cap, hist = r.useH[i], r.dev.HCap, r.histH[i]
+	}
+	c := 1.0 + hist
+	if over := (use + wires - cap) / cap; over > 0 {
+		c += r.opts.OverflowPenalty * over
+	}
+	return c
+}
+
+// pattern is a candidate route: up to three segments through two corners.
+type pattern struct {
+	corners [2]fpga.XY
+	n       int // corners used (1 for L, 2 for Z)
+}
+
+func (r *router) routeAll(rng *rand.Rand, final bool) {
+	visited := make(map[int]bool)
+	for _, n := range r.pl.NL.Nets {
+		src := r.pinPos(n.ID, n.Driver)
+		wires := float64(n.Wires())
+		// A multi-terminal net shares trunk wiring between its branches:
+		// each (tile, direction) crossing consumes the net's wires once no
+		// matter how many sinks pass through it, approximating a Steiner
+		// tree. `visited` tracks the crossings this net already owns.
+		for k := range visited {
+			delete(visited, k)
+		}
+		for _, s := range n.Sinks {
+			dst := r.pinPos(n.ID, s.Cell)
+			ps := r.routePin(rng, src, dst, wires, visited)
+			if final {
+				ps.Net = n
+				ps.Sink = s
+				r.pins = append(r.pins, ps)
+			}
+		}
+	}
+}
+
+// routePin picks the cheapest pattern between src and dst given the net's
+// already-owned crossings, commits its usage, and returns its statistics.
+// With MazeThreshold set, connections whose best pattern still crosses a
+// badly overfull tile fall back to Dijkstra maze routing.
+func (r *router) routePin(rng *rand.Rand, src, dst fpga.XY, wires float64, visited map[int]bool) PinStats {
+	cands := r.candidates(rng, src, dst)
+	bestCost := -1.0
+	var best pattern
+	for _, p := range cands {
+		c := r.patternCost(src, dst, p, wires, visited)
+		if bestCost < 0 || c < bestCost {
+			bestCost = c
+			best = p
+		}
+	}
+	if r.opts.MazeThreshold > 0 && r.patternWorstUtil(src, dst, best, wires) > r.opts.MazeThreshold {
+		slack := r.opts.MazeSlack
+		if slack <= 0 {
+			slack = 6
+		}
+		if path := r.mazeRoute(src, dst, wires, visited, slack); path != nil {
+			return r.commitCrossings(path, wires, visited)
+		}
+	}
+	return r.commit(src, dst, best, wires, visited)
+}
+
+// patternWorstUtil predicts the worst post-commit utilization along a
+// pattern.
+func (r *router) patternWorstUtil(src, dst fpga.XY, p pattern, wires float64) float64 {
+	worst := 0.0
+	walk(src, dst, p, func(vertical bool, x, y int) {
+		i := r.idx(x, y)
+		var u float64
+		if vertical {
+			u = (r.useV[i] + wires) / r.dev.VCap
+		} else {
+			u = (r.useH[i] + wires) / r.dev.HCap
+		}
+		if u > worst {
+			worst = u
+		}
+	})
+	return worst
+}
+
+// commitCrossings books usage along an explicit crossing list (maze paths).
+func (r *router) commitCrossings(path []crossing, wires float64, visited map[int]bool) PinStats {
+	var length int
+	var sumUtil, maxUtil float64
+	for _, c := range path {
+		i := r.idx(c.x, c.y)
+		key := r.crossKey(c.vertical, c.x, c.y)
+		if !visited[key] {
+			visited[key] = true
+			if c.vertical {
+				r.useV[i] += wires
+			} else {
+				r.useH[i] += wires
+			}
+		}
+		var u float64
+		if c.vertical {
+			u = r.useV[i] / r.dev.VCap
+		} else {
+			u = r.useH[i] / r.dev.HCap
+		}
+		sumUtil += u
+		if u > maxUtil {
+			maxUtil = u
+		}
+		length++
+	}
+	ps := PinStats{Length: length, MaxUtil: maxUtil}
+	if length > 0 {
+		ps.AvgUtil = sumUtil / float64(length)
+	}
+	return ps
+}
+
+// crossKey packs a (direction, tile) crossing into one map key.
+func (r *router) crossKey(vertical bool, x, y int) int {
+	k := r.idx(x, y) * 2
+	if vertical {
+		k++
+	}
+	return k
+}
+
+// candidates proposes the two L patterns plus two Z patterns through a
+// random interior coordinate.
+func (r *router) candidates(rng *rand.Rand, src, dst fpga.XY) []pattern {
+	ps := []pattern{
+		{corners: [2]fpga.XY{{X: dst.X, Y: src.Y}}, n: 1},
+		{corners: [2]fpga.XY{{X: src.X, Y: dst.Y}}, n: 1},
+	}
+	if src.X != dst.X && src.Y != dst.Y {
+		mx := midpoint(rng, src.X, dst.X)
+		my := midpoint(rng, src.Y, dst.Y)
+		ps = append(ps,
+			pattern{corners: [2]fpga.XY{{X: mx, Y: src.Y}, {X: mx, Y: dst.Y}}, n: 2},
+			pattern{corners: [2]fpga.XY{{X: src.X, Y: my}, {X: dst.X, Y: my}}, n: 2},
+		)
+	}
+	return ps
+}
+
+func midpoint(rng *rand.Rand, a, b int) int {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi-lo <= 1 {
+		return lo
+	}
+	return lo + 1 + rng.Intn(hi-lo-1)
+}
+
+// walk visits each tile crossing of the pattern.
+func walk(src, dst fpga.XY, p pattern, visit func(vertical bool, x, y int)) {
+	cur := src
+	via := append([]fpga.XY{}, p.corners[:p.n]...)
+	via = append(via, dst)
+	for _, next := range via {
+		// Horizontal leg then vertical leg to reach `next`.
+		step := 1
+		if next.X < cur.X {
+			step = -1
+		}
+		for x := cur.X; x != next.X; x += step {
+			visit(false, x, cur.Y)
+		}
+		cur.X = next.X
+		step = 1
+		if next.Y < cur.Y {
+			step = -1
+		}
+		for y := cur.Y; y != next.Y; y += step {
+			visit(true, cur.X, y)
+		}
+		cur.Y = next.Y
+	}
+}
+
+func (r *router) patternCost(src, dst fpga.XY, p pattern, wires float64, visited map[int]bool) float64 {
+	cost := 0.0
+	walk(src, dst, p, func(vertical bool, x, y int) {
+		if visited[r.crossKey(vertical, x, y)] {
+			return // reusing the net's own trunk is free
+		}
+		cost += r.edgeCost(vertical, x, y, wires)
+	})
+	return cost
+}
+
+func (r *router) commit(src, dst fpga.XY, p pattern, wires float64, visited map[int]bool) PinStats {
+	var length int
+	var sumUtil, maxUtil float64
+	walk(src, dst, p, func(vertical bool, x, y int) {
+		i := r.idx(x, y)
+		key := r.crossKey(vertical, x, y)
+		if !visited[key] {
+			visited[key] = true
+			if vertical {
+				r.useV[i] += wires
+			} else {
+				r.useH[i] += wires
+			}
+		}
+		var u float64
+		if vertical {
+			u = r.useV[i] / r.dev.VCap
+		} else {
+			u = r.useH[i] / r.dev.HCap
+		}
+		sumUtil += u
+		if u > maxUtil {
+			maxUtil = u
+		}
+		length++
+	})
+	ps := PinStats{Length: length, MaxUtil: maxUtil}
+	if length > 0 {
+		ps.AvgUtil = sumUtil / float64(length)
+	}
+	return ps
+}
+
+func (r *router) result() *Result {
+	m := congestion.New(r.dev)
+	overflow := 0
+	for x := 0; x < r.dev.Cols; x++ {
+		for y := 0; y < r.dev.Rows; y++ {
+			i := r.idx(x, y)
+			m.V[x][y] = 100 * r.useV[i] / r.dev.VCap
+			m.H[x][y] = 100 * r.useH[i] / r.dev.HCap
+			if r.useV[i] > r.dev.VCap {
+				overflow++
+			}
+			if r.useH[i] > r.dev.HCap {
+				overflow++
+			}
+		}
+	}
+	return &Result{Map: m, Pins: append([]PinStats(nil), r.pins...), Overflow: overflow}
+}

@@ -1,0 +1,18 @@
+package rtl
+
+import "testing"
+
+// FuzzParseNetOpID hammers the provenance parser with arbitrary strings:
+// it must never panic and must round-trip every well-formed name.
+func FuzzParseNetOpID(f *testing.F) {
+	f.Add("top/add_3_reg_3")
+	f.Add("_reg_")
+	f.Add("")
+	f.Add("f/x_reg_18446744073709551615")
+	f.Fuzz(func(t *testing.T, name string) {
+		id := ParseNetOpID(name)
+		if id < -1 {
+			t.Fatalf("ParseNetOpID(%q) = %d", name, id)
+		}
+	})
+}

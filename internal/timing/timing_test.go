@@ -1,0 +1,149 @@
+package timing
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fpga"
+	"repro/internal/hls"
+	"repro/internal/ir"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/rtl"
+)
+
+func TestWireDelayMonotonicInLength(t *testing.T) {
+	md := DefaultModel()
+	short := md.WireDelay(route.PinStats{Length: 5, AvgUtil: 0.3, MaxUtil: 0.4})
+	long := md.WireDelay(route.PinStats{Length: 50, AvgUtil: 0.3, MaxUtil: 0.4})
+	if long <= short {
+		t.Errorf("longer wire not slower: %v vs %v", short, long)
+	}
+}
+
+func TestWireDelayMonotonicInCongestion(t *testing.T) {
+	md := DefaultModel()
+	cool := md.WireDelay(route.PinStats{Length: 20, AvgUtil: 0.4, MaxUtil: 0.5})
+	warm := md.WireDelay(route.PinStats{Length: 20, AvgUtil: 0.9, MaxUtil: 1.1})
+	hot := md.WireDelay(route.PinStats{Length: 20, AvgUtil: 1.2, MaxUtil: 1.8})
+	if !(cool < warm && warm < hot) {
+		t.Errorf("congestion ordering broken: %v %v %v", cool, warm, hot)
+	}
+	// The quadratic overflow term dominates for badly overfull tiles.
+	if hot-warm <= warm-cool {
+		t.Errorf("overflow penalty should accelerate: deltas %v then %v", warm-cool, hot-warm)
+	}
+}
+
+func TestWireDelayProperty(t *testing.T) {
+	md := DefaultModel()
+	f := func(length uint8, avgQ, maxQ uint8) bool {
+		avg := float64(avgQ) / 100
+		max := avg + float64(maxQ)/100
+		d := md.WireDelay(route.PinStats{Length: int(length), AvgUtil: avg, MaxUtil: max})
+		return d >= md.BaseNS
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundWNS(t *testing.T) {
+	if RoundWNS(-13.6434999) != -13.643 {
+		t.Errorf("RoundWNS = %v", RoundWNS(-13.6434999))
+	}
+	if RoundWNS(0.0005) != 0.001 {
+		t.Errorf("RoundWNS = %v", RoundWNS(0.0005))
+	}
+}
+
+// analyze runs the full flow by hand on a small design.
+func analyze(t *testing.T) (*hls.Schedule, *Report) {
+	t.Helper()
+	m := ir.NewModule("m")
+	b := ir.NewBuilder(m.NewFunction("f"))
+	p := b.Port("p", 16)
+	cur := p
+	for i := 0; i < 10; i++ {
+		cur = b.Op(ir.KindAdd, 16, cur, p)
+	}
+	b.Ret(cur)
+	s, err := hls.ScheduleModule(m, hls.DefaultClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := rtl.Elaborate(hls.BindModule(s))
+	opts := place.DefaultOptions()
+	opts.Moves = 2000
+	pl, err := place.Place(nl, fpga.XC7Z020(), rand.New(rand.NewSource(1)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := route.Route(pl, rand.New(rand.NewSource(1)), route.DefaultOptions())
+	return s, Analyze(s, nl, rr, DefaultModel())
+}
+
+func TestAnalyzeConsistency(t *testing.T) {
+	s, rep := analyze(t)
+	if rep.CriticalNS <= s.Clock.UncertaintyNS {
+		t.Errorf("critical %v must exceed the uncertainty alone", rep.CriticalNS)
+	}
+	// WNS + critical == target period, by construction.
+	if diff := rep.WNS + rep.CriticalNS - s.Clock.PeriodNS; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("WNS (%v) + critical (%v) != period (%v)", rep.WNS, rep.CriticalNS, s.Clock.PeriodNS)
+	}
+	if fm := 1000.0 / rep.CriticalNS; fm != rep.FmaxMHz {
+		t.Errorf("Fmax %v != 1000/critical %v", rep.FmaxMHz, fm)
+	}
+	if rep.LatencyCycles <= 0 {
+		t.Error("latency missing")
+	}
+	// An uncongested tiny design must be near the 100 MHz target.
+	if rep.FmaxMHz < 60 {
+		t.Errorf("tiny design Fmax = %v MHz, suspiciously slow", rep.FmaxMHz)
+	}
+}
+
+func TestCriticalPaths(t *testing.T) {
+	m := ir.NewModule("m")
+	b := ir.NewBuilder(m.NewFunction("f"))
+	p := b.Port("p", 16)
+	cur := p
+	for i := 0; i < 6; i++ {
+		cur = b.Op(ir.KindAdd, 16, cur, p)
+	}
+	b.Ret(cur)
+	s, err := hls.ScheduleModule(m, hls.DefaultClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := rtl.Elaborate(hls.BindModule(s))
+	opts := place.DefaultOptions()
+	opts.Moves = 1500
+	pl, err := place.Place(nl, fpga.XC7Z020(), rand.New(rand.NewSource(2)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := route.Route(pl, rand.New(rand.NewSource(2)), route.DefaultOptions())
+	md := DefaultModel()
+	paths := CriticalPaths(s, nl, rr, md, 5)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i-1].TotalNS < paths[i].TotalNS {
+			t.Fatal("paths not sorted by delay")
+		}
+	}
+	// Consistency with the summary report.
+	rep := Analyze(s, nl, rr, md)
+	if diff := paths[0].TotalNS + s.Clock.UncertaintyNS - rep.CriticalNS; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("worst path %v + uncertainty != critical %v", paths[0].TotalNS, rep.CriticalNS)
+	}
+	out := FormatPaths(paths)
+	if !strings.Contains(out, "WORST TIMING PATHS") {
+		t.Error("format header missing")
+	}
+}
