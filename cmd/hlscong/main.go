@@ -26,17 +26,23 @@
 //	-quick       use shrunken ML models (fast smoke run)
 //	-seed N      split/model seed (default 42)
 //	-design D    predict target: baseline|noinline|replication (default baseline)
+//	-timeout D   abort after D (e.g. 90s, 10m); flow runs stop within one
+//	             placer/router iteration
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/backtrace"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/flow"
 	"repro/internal/report"
 )
 
@@ -44,19 +50,81 @@ func main() {
 	quick := flag.Bool("quick", false, "use shrunken ML models")
 	seed := flag.Int64("seed", 42, "split/model seed")
 	design := flag.String("design", "baseline", "predict target: baseline|noinline|replication")
+	timeout := flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// No internal invariant panic may take the process down without a
+	// diagnosis: convert it to a message and a non-zero exit.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "hlscong: internal panic: %v\n", r)
+			os.Exit(3)
+		}
+	}()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
+
 	cfg := experiments.DefaultConfig()
 	cfg.Quick = *quick
 	cfg.Seed = *seed
+	cfg.Ctx = ctx
 
 	if err := run(cfg, flag.Arg(0), *design); err != nil {
-		fmt.Fprintln(os.Stderr, "hlscong:", err)
+		reportError(err)
 		os.Exit(1)
 	}
+}
+
+// reportError prints the failure with its stage-error chain spelled out,
+// so a failed dataset build names every skipped design, stage and seed.
+func reportError(err error) {
+	fmt.Fprintln(os.Stderr, "hlscong:", err)
+	for _, se := range stageErrors(err) {
+		fmt.Fprintf(os.Stderr, "hlscong:   stage=%s design=%q seed=%d attempt-cause: %v\n",
+			se.Stage, se.Design, se.Seed, se.Err)
+	}
+	switch {
+	case errors.Is(err, flow.ErrTimedOut):
+		fmt.Fprintln(os.Stderr, "hlscong: run exceeded -timeout; rerun with a larger budget or -quick")
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "hlscong: interrupted")
+	}
+}
+
+// stageErrors collects every *flow.StageError in the error tree, walking
+// both single-cause chains and errors.Join lists.
+func stageErrors(err error) []*flow.StageError {
+	var out []*flow.StageError
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		if se, ok := e.(*flow.StageError); ok {
+			out = append(out, se)
+			return
+		}
+		switch u := e.(type) {
+		case interface{ Unwrap() error }:
+			walk(u.Unwrap())
+		case interface{ Unwrap() []error }:
+			for _, c := range u.Unwrap() {
+				walk(c)
+			}
+		}
+	}
+	walk(err)
+	return out
 }
 
 func run(cfg experiments.Config, cmd, design string) error {

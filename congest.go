@@ -29,12 +29,15 @@
 package congest
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"repro/internal/bench"
 	"repro/internal/congestion"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/flow"
 	"repro/internal/ir"
 	"repro/internal/report"
@@ -81,6 +84,32 @@ type (
 	CongestionMap = congestion.Map
 	// EvalRow is one Table IV accuracy row.
 	EvalRow = core.EvalRow
+	// StageError reports which stage of which design's run failed; match
+	// its sentinel causes with errors.Is.
+	StageError = flow.StageError
+	// Convergence is the router's convergence status on a FlowResult.
+	Convergence = flow.Convergence
+	// RetryPolicy governs flow retries with seed re-roll and router
+	// escalation.
+	RetryPolicy = flow.RetryPolicy
+	// FaultInjector deterministically injects stage failures into the flow
+	// (FlowConfig.Faults); see internal/faults for implementations.
+	FaultInjector = faults.Injector
+	// BuildSummary reports which modules a dataset build skipped and why.
+	BuildSummary = core.BuildSummary
+	// BuildOptions tunes the resilient dataset builder.
+	BuildOptions = core.BuildOptions
+)
+
+// Sentinel flow errors, re-exported for errors.Is matching at the facade.
+var (
+	// ErrUnroutable marks a router that exhausted its iterations with
+	// overused tiles (under strict convergence or fault injection).
+	ErrUnroutable = flow.ErrUnroutable
+	// ErrPlacementOverflow marks a design exceeding device capacity.
+	ErrPlacementOverflow = flow.ErrPlacementOverflow
+	// ErrTimedOut marks a flow run cancelled by a context deadline.
+	ErrTimedOut = flow.ErrTimedOut
 )
 
 // Model kinds.
@@ -164,9 +193,40 @@ func NewBuilder(f *ir.Function) *Builder { return ir.NewBuilder(f) }
 // with the tuned placer/router/timing options.
 func DefaultFlowConfig() FlowConfig { return flow.DefaultConfig() }
 
+// guard is the facade's panic firewall: it converts internal invariant
+// panics (ir validation, feature extraction, model internals) escaping an
+// exported entry point into a wrapped error naming that entry point, so no
+// malformed input can crash a caller that checks errors.
+func guard(entry string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = fmt.Errorf("congest: %s: internal panic: %v", entry, r)
+	}
+}
+
 // RunFlow executes the complete synthetic C-to-FPGA flow (schedule, bind,
 // elaborate, place, route, timing) on a design.
-func RunFlow(m *Module, cfg FlowConfig) (*FlowResult, error) { return flow.Run(m, cfg) }
+func RunFlow(m *Module, cfg FlowConfig) (*FlowResult, error) {
+	return RunFlowContext(context.Background(), m, cfg)
+}
+
+// RunFlowContext is RunFlow under a context: cancellation and deadlines
+// are honored within one placer/router iteration, and a deadline expiry
+// returns an error matching both ErrTimedOut and context.DeadlineExceeded.
+// Stage failures come back as *StageError.
+func RunFlowContext(ctx context.Context, m *Module, cfg FlowConfig) (res *FlowResult, err error) {
+	defer guard("RunFlowContext", &err)
+	return flow.RunContext(ctx, m, cfg)
+}
+
+// RunFlowRetry is RunFlowContext under a RetryPolicy: failed runs are
+// retried with a re-rolled seed and escalated router effort.
+func RunFlowRetry(ctx context.Context, m *Module, cfg FlowConfig, p RetryPolicy) (res *FlowResult, err error) {
+	defer guard("RunFlowRetry", &err)
+	return flow.RunWithRetry(ctx, m, cfg, p)
+}
+
+// DefaultRetryPolicy is the escalation used by resilient dataset builds.
+func DefaultRetryPolicy() RetryPolicy { return flow.DefaultRetryPolicy() }
 
 // TrainingModules returns the paper's three dataset implementations: Face
 // Detection (optimized, alone), Digit Recognition + Spam Filtering, and
@@ -202,17 +262,40 @@ func Replication() Directives { return bench.Replication() }
 // implementations, back-traces per-CLB congestion onto IR operations and
 // extracts the 302 features per sample.
 func BuildTrainingDataset(cfg FlowConfig) (*Dataset, []*FlowResult, error) {
-	return core.BuildDataset(bench.TrainingModules(), cfg)
+	return BuildDataset(bench.TrainingModules(), cfg)
 }
 
 // BuildDataset is BuildTrainingDataset over caller-supplied designs.
-func BuildDataset(mods []*Module, cfg FlowConfig) (*Dataset, []*FlowResult, error) {
+func BuildDataset(mods []*Module, cfg FlowConfig) (ds *Dataset, results []*FlowResult, err error) {
+	defer guard("BuildDataset", &err)
 	return core.BuildDataset(mods, cfg)
 }
 
+// BuildDatasetResilient is BuildDataset with cancellation, per-run retry
+// under the policy in opts, and degradation: modules that still fail after
+// retrying are skipped (their errors joined into err) while the remaining
+// modules' samples are returned, with a BuildSummary reporting what
+// happened.
+func BuildDatasetResilient(ctx context.Context, mods []*Module, cfg FlowConfig, opts BuildOptions) (ds *Dataset, results []*FlowResult, sum *BuildSummary, err error) {
+	defer guard("BuildDatasetResilient", &err)
+	return core.BuildDatasetContext(ctx, mods, cfg, opts)
+}
+
 // TrainPredictor fits one regressor per congestion target.
-func TrainPredictor(ds *Dataset, opts TrainOptions) (*Predictor, error) {
+func TrainPredictor(ds *Dataset, opts TrainOptions) (p *Predictor, err error) {
+	defer guard("TrainPredictor", &err)
 	return core.Train(ds, opts)
+}
+
+// PredictModule estimates per-operation congestion for a design running
+// only the HLS front half — no placement, no routing. It is the
+// panic-guarded facade form of Predictor.PredictModule.
+func PredictModule(p *Predictor, m *Module, cfg FlowConfig) (preds []OpPrediction, err error) {
+	defer guard("PredictModule", &err)
+	if p == nil {
+		return nil, fmt.Errorf("congest: PredictModule: nil predictor")
+	}
+	return p.PredictModule(m, cfg)
 }
 
 // Hotspots groups per-operation predictions by source line, hottest first.
@@ -220,7 +303,8 @@ func Hotspots(preds []OpPrediction) []Hotspot { return core.Hotspots(preds) }
 
 // Evaluate scores one model/filtering combination with the paper's 80/20
 // protocol, returning MAE and MedAE per congestion target (a Table IV row).
-func Evaluate(ds *Dataset, kind ModelKind, filter bool, seed int64) (EvalRow, error) {
+func Evaluate(ds *Dataset, kind ModelKind, filter bool, seed int64) (row EvalRow, err error) {
+	defer guard("Evaluate", &err)
 	return core.Evaluate(ds, kind, filter, seed)
 }
 
@@ -242,7 +326,17 @@ func CriticalPaths(res *FlowResult, k int) []timing.Path {
 }
 
 // SavePredictor serializes a trained predictor as JSON.
-func SavePredictor(p *Predictor, w io.Writer) error { return p.Save(w) }
+func SavePredictor(p *Predictor, w io.Writer) (err error) {
+	defer guard("SavePredictor", &err)
+	if p == nil {
+		return fmt.Errorf("congest: SavePredictor: nil predictor")
+	}
+	return p.Save(w)
+}
 
-// LoadPredictor restores a predictor saved with SavePredictor.
-func LoadPredictor(r io.Reader) (*Predictor, error) { return core.LoadPredictor(r) }
+// LoadPredictor restores a predictor saved with SavePredictor, validating
+// the payload (model kind, feature count, finite weights) before use.
+func LoadPredictor(r io.Reader) (p *Predictor, err error) {
+	defer guard("LoadPredictor", &err)
+	return core.LoadPredictor(r)
+}

@@ -1,0 +1,161 @@
+package congest
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/ir"
+)
+
+// brokenModule builds a module whose function list contains a nil op — the
+// kind of internal-invariant violation that panics deep inside scheduling
+// or feature extraction if the facade's recover guard is missing.
+func brokenModule() *Module {
+	m := NewModule("broken")
+	f := m.NewFunction("top")
+	f.Ops = append(f.Ops, nil)
+	return m
+}
+
+// brokenDataset returns a dataset with a nil sample entry — an invariant
+// violation the matrix internals dereference unconditionally.
+func brokenDataset() *Dataset {
+	return &Dataset{Samples: []*Sample{
+		{Design: "a", Features: []float64{1, 2}},
+		nil,
+	}}
+}
+
+// mustNotPanic runs fn and reports the entry point that let a panic escape.
+func mustNotPanic(t *testing.T, entry string, fn func() error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s let a panic escape: %v", entry, r)
+		}
+	}()
+	if err := fn(); err == nil {
+		t.Fatalf("%s accepted malformed input without error", entry)
+	}
+}
+
+// TestFacadeNeverPanics drives every facade entry point with malformed
+// inputs: each must return an error, never panic.
+func TestFacadeNeverPanics(t *testing.T) {
+	cfg := DefaultFlowConfig()
+	cfg.Place.Moves = 1000
+
+	mustNotPanic(t, "RunFlow", func() error {
+		_, err := RunFlow(brokenModule(), cfg)
+		return err
+	})
+	mustNotPanic(t, "RunFlowContext", func() error {
+		_, err := RunFlowContext(context.Background(), brokenModule(), cfg)
+		return err
+	})
+	mustNotPanic(t, "RunFlowRetry", func() error {
+		_, err := RunFlowRetry(context.Background(), brokenModule(), cfg, RetryPolicy{MaxAttempts: 2})
+		return err
+	})
+	mustNotPanic(t, "BuildDataset", func() error {
+		_, _, err := BuildDataset([]*Module{brokenModule()}, cfg)
+		return err
+	})
+	mustNotPanic(t, "BuildDatasetResilient", func() error {
+		_, _, _, err := BuildDatasetResilient(context.Background(), []*Module{brokenModule()}, cfg, BuildOptions{LabelRuns: 1})
+		return err
+	})
+	mustNotPanic(t, "TrainPredictor", func() error {
+		_, err := TrainPredictor(brokenDataset(), TrainOptions{Kind: Linear})
+		return err
+	})
+	mustNotPanic(t, "PredictModule(zero predictor)", func() error {
+		_, err := PredictModule(&Predictor{}, brokenModule(), cfg)
+		return err
+	})
+	mustNotPanic(t, "PredictModule(nil predictor)", func() error {
+		_, err := PredictModule(nil, brokenModule(), cfg)
+		return err
+	})
+	mustNotPanic(t, "Evaluate", func() error {
+		_, err := Evaluate(brokenDataset(), GBRT, false, 1)
+		return err
+	})
+	mustNotPanic(t, "SavePredictor", func() error {
+		var sb strings.Builder
+		return SavePredictor(&Predictor{}, &sb)
+	})
+	mustNotPanic(t, "SavePredictor(nil)", func() error {
+		var sb strings.Builder
+		return SavePredictor(nil, &sb)
+	})
+	mustNotPanic(t, "LoadPredictor", func() error {
+		_, err := LoadPredictor(strings.NewReader(`{"kind":0,"num_features":302,"scaler":{"Mean":[],"Std":[]}}`))
+		return err
+	})
+}
+
+// TestFacadePanicErrorNamesEntryPoint checks the guard wraps the panic
+// with the entry point's name so logs identify where it escaped from.
+func TestFacadePanicErrorNamesEntryPoint(t *testing.T) {
+	_, err := PredictModule(&Predictor{}, smallFacadeModule(), DefaultFlowConfig())
+	if err == nil || !strings.Contains(err.Error(), "PredictModule") {
+		t.Fatalf("guard error does not name entry point: %v", err)
+	}
+	if !strings.Contains(err.Error(), "internal panic") {
+		t.Fatalf("guard error does not mark the panic: %v", err)
+	}
+}
+
+// smallFacadeModule is a tiny valid design (so the HLS front half runs and
+// the panic comes from the zero-value predictor's missing models).
+func smallFacadeModule() *Module {
+	m := NewModule("ok")
+	b := NewBuilder(m.NewFunction("top"))
+	p := b.Port("p", 16)
+	b.Ret(b.Op(ir.KindAdd, 16, p, p))
+	return m
+}
+
+func TestFacadeContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := smallFacadeModule()
+	if _, err := RunFlowContext(ctx, m, DefaultFlowConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	var se *StageError
+	_, err := RunFlowContext(ctx, m, DefaultFlowConfig())
+	if !errors.As(err, &se) {
+		t.Fatalf("cancellation not wrapped in StageError: %v", err)
+	}
+}
+
+func TestFacadeDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	_, err := RunFlowContext(ctx, smallFacadeModule(), DefaultFlowConfig())
+	if !errors.Is(err, ErrTimedOut) {
+		t.Fatalf("got %v, want ErrTimedOut", err)
+	}
+}
+
+func TestFacadeSentinelsExported(t *testing.T) {
+	for _, e := range []error{ErrUnroutable, ErrPlacementOverflow, ErrTimedOut} {
+		if e == nil {
+			t.Fatal("nil sentinel")
+		}
+	}
+	p := DefaultRetryPolicy()
+	if p.MaxAttempts < 2 || p.SeedStride == 0 {
+		t.Fatalf("default retry policy is not a real escalation: %+v", p)
+	}
+	if len(dataset.Targets) == 0 {
+		t.Fatal("dataset targets missing")
+	}
+}

@@ -8,6 +8,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -174,6 +176,44 @@ func TuningGrid(kind ModelKind, quick bool) ml.Grid {
 // congestion, the quantity a pre-PAR predictor can meaningfully estimate.
 const LabelRuns = 3
 
+// BuildOptions tunes a resilient dataset build.
+type BuildOptions struct {
+	// LabelRuns is the number of placement seeds averaged per label;
+	// values below 1 mean 1.
+	LabelRuns int
+	// Retry governs per-flow-run retries with escalation. The zero value
+	// disables retrying (single attempt per run).
+	Retry flow.RetryPolicy
+}
+
+// ModuleFailure records one module the dataset build had to skip.
+type ModuleFailure struct {
+	Module string
+	Err    error
+}
+
+// BuildSummary reports what a dataset build actually did: how many
+// modules survived, which failed and why, and how much retrying it took.
+type BuildSummary struct {
+	Modules   int
+	Succeeded int
+	Failed    []ModuleFailure
+	// FlowRuns counts successful flow executions (label runs included).
+	FlowRuns int
+}
+
+// Format renders the summary as a short human-readable report.
+func (s *BuildSummary) Format() string {
+	out := fmt.Sprintf("dataset build: %d/%d modules, %d flow runs", s.Succeeded, s.Modules, s.FlowRuns)
+	for _, f := range s.Failed {
+		out += fmt.Sprintf("\n  skipped %q: %v", f.Module, f.Err)
+	}
+	return out + "\n"
+}
+
+// Err joins the per-module failures (nil when every module succeeded).
+func (s *BuildSummary) Err() error { return errors.Join(errList(s)...) }
+
 // BuildDataset runs the complete implementation flow on every module,
 // back-traces congestion labels (averaged over LabelRuns placement seeds),
 // extracts features and assembles the combined dataset — the training
@@ -186,62 +226,106 @@ func BuildDataset(mods []*ir.Module, cfg flow.Config) (*dataset.Dataset, []*flow
 // averaging placement runs; the ablation experiments use it to quantify
 // what the averaging buys.
 func BuildDatasetRuns(mods []*ir.Module, cfg flow.Config, labelRuns int) (*dataset.Dataset, []*flow.Result, error) {
+	ds, results, _, err := BuildDatasetContext(context.Background(), mods, cfg, BuildOptions{LabelRuns: labelRuns})
+	return ds, results, err
+}
+
+// BuildDatasetContext is the resilient dataset builder. Unlike the plain
+// wrappers it does not abort on the first failure: each flow run is
+// retried under opts.Retry with seed re-rolling and router escalation,
+// modules that still fail are skipped and collected (errors.Join) while
+// the remaining modules' samples are kept, and a BuildSummary reports what
+// happened. The returned dataset and results are always non-nil alongside
+// a non-nil error when at least one module survived; only context
+// cancellation aborts the whole build.
+func BuildDatasetContext(ctx context.Context, mods []*ir.Module, cfg flow.Config, opts BuildOptions) (*dataset.Dataset, []*flow.Result, *BuildSummary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	labelRuns := opts.LabelRuns
 	if labelRuns < 1 {
 		labelRuns = 1
 	}
 	ds := dataset.New()
 	var results []*flow.Result
+	sum := &BuildSummary{Modules: len(mods)}
 	for _, m := range mods {
-		var traced []backtrace.OpCongestion
-		var first *flow.Result
-		marginVotes := make([]int, 0)
-		for run := 0; run < labelRuns; run++ {
-			runCfg := cfg
-			runCfg.Seed = cfg.Seed + int64(run)*7919
-			res, err := flow.Run(m, runCfg)
-			if err != nil {
-				return nil, nil, fmt.Errorf("core: dataset build on %q: %w", m.Name, err)
+		traced, first, runs, err := buildModuleLabels(ctx, m, cfg, labelRuns, opts.Retry)
+		sum.FlowRuns += runs
+		if err != nil {
+			if ctx.Err() != nil {
+				// Cancellation is not a per-module condition: stop the
+				// whole build and report how far it got.
+				return ds, results, sum, errors.Join(append([]error{err}, errList(sum)...)...)
 			}
-			tr := backtrace.Trace(res)
-			if run == 0 {
-				first = res
-				traced = tr
-				marginVotes = make([]int, len(tr))
-				for i := range tr {
-					if tr[i].Margin {
-						marginVotes[i]++
-					}
-				}
-				continue
-			}
-			if len(tr) != len(traced) {
-				return nil, nil, fmt.Errorf("core: dataset build on %q: trace size changed across seeds (%d vs %d)",
-					m.Name, len(tr), len(traced))
-			}
-			for i := range traced {
-				traced[i].VertPct += tr[i].VertPct
-				traced[i].HorizPct += tr[i].HorizPct
-				traced[i].AvgPct += tr[i].AvgPct
-				if tr[i].Margin {
-					marginVotes[i]++
-				}
-			}
-		}
-		inv := 1.0 / float64(labelRuns)
-		for i := range traced {
-			traced[i].VertPct *= inv
-			traced[i].HorizPct *= inv
-			traced[i].AvgPct *= inv
-			// An operation is marginal when placement puts it at the die
-			// margin at least half the time.
-			traced[i].Margin = 2*marginVotes[i] >= labelRuns
+			sum.Failed = append(sum.Failed, ModuleFailure{Module: m.Name, Err: err})
+			continue
 		}
 		g := graph.Build(m, first.Bind)
 		ex := features.NewExtractor(m, first.Sched, first.Bind, g, cfg.Dev)
 		ds.FromTrace(m.Name, traced, ex)
 		results = append(results, first)
+		sum.Succeeded++
 	}
-	return ds, results, nil
+	return ds, results, sum, sum.Err()
+}
+
+// errList converts the summary's failures for joining with an abort cause.
+func errList(s *BuildSummary) []error {
+	errs := make([]error, len(s.Failed))
+	for i, f := range s.Failed {
+		errs[i] = fmt.Errorf("core: dataset build on %q: %w", f.Module, f.Err)
+	}
+	return errs
+}
+
+// buildModuleLabels runs the flow labelRuns times on one module and
+// returns the seed-averaged trace plus the first run's artifacts. runs
+// counts the successful flow executions.
+func buildModuleLabels(ctx context.Context, m *ir.Module, cfg flow.Config, labelRuns int, policy flow.RetryPolicy) (traced []backtrace.OpCongestion, first *flow.Result, runs int, err error) {
+	var marginVotes []int
+	for run := 0; run < labelRuns; run++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + int64(run)*7919
+		res, rerr := flow.RunWithRetry(ctx, m, runCfg, policy)
+		if rerr != nil {
+			return nil, nil, runs, rerr
+		}
+		runs++
+		tr := backtrace.Trace(res)
+		if run == 0 {
+			first = res
+			traced = tr
+			marginVotes = make([]int, len(tr))
+			for i := range tr {
+				if tr[i].Margin {
+					marginVotes[i]++
+				}
+			}
+			continue
+		}
+		if len(tr) != len(traced) {
+			return nil, nil, runs, fmt.Errorf("trace size changed across seeds (%d vs %d)", len(tr), len(traced))
+		}
+		for i := range traced {
+			traced[i].VertPct += tr[i].VertPct
+			traced[i].HorizPct += tr[i].HorizPct
+			traced[i].AvgPct += tr[i].AvgPct
+			if tr[i].Margin {
+				marginVotes[i]++
+			}
+		}
+	}
+	inv := 1.0 / float64(labelRuns)
+	for i := range traced {
+		traced[i].VertPct *= inv
+		traced[i].HorizPct *= inv
+		traced[i].AvgPct *= inv
+		// An operation is marginal when placement puts it at the die
+		// margin at least half the time.
+		traced[i].Margin = 2*marginVotes[i] >= labelRuns
+	}
+	return traced, first, runs, nil
 }
 
 // Predictor is the trained congestion estimator: one regressor per

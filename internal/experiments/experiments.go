@@ -9,6 +9,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -24,6 +26,17 @@ type Config struct {
 	// Quick shrinks the ML models (fewer boosting stages / epochs) so unit
 	// tests finish fast; published numbers use Quick=false.
 	Quick bool
+	// Ctx optionally bounds every flow run of the experiment (deadline,
+	// Ctrl-C); nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx normalizes the optional context.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -41,12 +54,14 @@ func (c Config) evaluate(ds *dataset.Dataset, kind core.ModelKind, filter bool) 
 
 // RunOnce executes the flow on one module with the experiment's setup.
 func RunOnce(m *ir.Module, cfg Config) (*flow.Result, error) {
-	return flow.Run(m, cfg.Flow)
+	return flow.RunContext(cfg.ctx(), m, cfg.Flow)
 }
 
 // PaperDataset builds the paper's 8111-sample-scale dataset from the three
 // combined implementations (Face Detection; Digit Recognition + Spam
 // Filtering; BNN + 3D Rendering + Optical Flow).
 func (c Config) PaperDataset() (*dataset.Dataset, []*flow.Result, error) {
-	return core.BuildDataset(bench.TrainingModules(), c.Flow)
+	ds, results, _, err := core.BuildDatasetContext(c.ctx(), bench.TrainingModules(), c.Flow,
+		core.BuildOptions{LabelRuns: core.LabelRuns, Retry: flow.DefaultRetryPolicy()})
+	return ds, results, err
 }

@@ -1,0 +1,111 @@
+// Package faults provides deterministic, seed-driven fault injection for
+// the implementation flow. An Injector decides, per (stage, attempt) pair,
+// whether that stage should fail before doing any work; the flow runner
+// consults it at every stage boundary when Config.Faults is set. Because
+// every injector here is a pure function of its configuration, injected
+// failures are perfectly reproducible — the property the resilience tests
+// rely on to prove retry and degradation paths without flaky sleeps or
+// global state.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Injector decides whether a flow stage fails. Check is called once per
+// stage per flow run with the design name, the stage's canonical name (see
+// flow.Stage*) and the zero-based retry attempt; a non-nil return aborts
+// the stage with that error. Implementations must be deterministic and
+// safe for concurrent use.
+type Injector interface {
+	Check(design, stage string, attempt int) error
+}
+
+// Key identifies one injection point: a stage name plus the zero-based
+// retry attempt of the flow run asking.
+type Key struct {
+	Stage   string
+	Attempt int
+}
+
+// Script is an explicit injection table: exactly the (stage, attempt)
+// pairs present fail, with the mapped error, regardless of design. It is
+// the precision tool the resilience tests use ("fail routing on the first
+// attempt only"); combine with ForDesign to target one design.
+type Script map[Key]error
+
+// Check implements Injector.
+func (s Script) Check(design, stage string, attempt int) error {
+	return s[Key{Stage: stage, Attempt: attempt}]
+}
+
+// FailFirst returns a script that fails the named stage on attempts
+// 0..n-1 with err, succeeding from attempt n on — the canonical
+// "retry eventually wins" scenario.
+func FailFirst(stage string, n int, err error) Script {
+	s := make(Script, n)
+	for a := 0; a < n; a++ {
+		s[Key{Stage: stage, Attempt: a}] = err
+	}
+	return s
+}
+
+// Seeded fails stages pseudo-randomly at a configured rate, keyed only by
+// (Seed, stage, attempt) so a given seed always injects the same faults.
+// Rate is the failure probability in [0, 1]; Err is the injected cause
+// (wrapped with stage context). A nil Err injects a generic fault error.
+type Seeded struct {
+	Seed int64
+	Rate float64
+	Err  error
+}
+
+// ForDesign restricts an injector to one design by name, passing every
+// other design through untouched — how a multi-module dataset build
+// injects failures into a single member.
+func ForDesign(design string, inner Injector) Injector {
+	return designFilter{design: design, inner: inner}
+}
+
+type designFilter struct {
+	design string
+	inner  Injector
+}
+
+// Check implements Injector.
+func (f designFilter) Check(design, stage string, attempt int) error {
+	if design != f.design {
+		return nil
+	}
+	return f.inner.Check(design, stage, attempt)
+}
+
+// Check implements Injector.
+func (s *Seeded) Check(design, stage string, attempt int) error {
+	if s == nil || s.Rate <= 0 {
+		return nil
+	}
+	if s.Rate < 1 && hashFloat(s.Seed, stage, attempt) >= s.Rate {
+		return nil
+	}
+	cause := s.Err
+	if cause == nil {
+		cause = fmt.Errorf("injected fault")
+	}
+	return fmt.Errorf("faults: seeded(%d) %s/attempt %d: %w", s.Seed, stage, attempt, cause)
+}
+
+// hashFloat maps (seed, stage, attempt) to a uniform-ish value in [0, 1).
+func hashFloat(seed int64, stage string, attempt int) float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(seed >> (8 * i))
+		buf[8+i] = byte(attempt >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(stage))
+	const mask = 1<<53 - 1
+	return float64(h.Sum64()&mask) / float64(1<<53)
+}

@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestScriptChecksExactKeys(t *testing.T) {
+	boom := errors.New("boom")
+	s := Script{{Stage: "route", Attempt: 1}: boom}
+	if err := s.Check("d", "route", 0); err != nil {
+		t.Fatalf("attempt 0 failed: %v", err)
+	}
+	if err := s.Check("d", "route", 1); !errors.Is(err, boom) {
+		t.Fatalf("attempt 1: got %v, want boom", err)
+	}
+	if err := s.Check("d", "place", 1); err != nil {
+		t.Fatalf("other stage failed: %v", err)
+	}
+}
+
+func TestFailFirst(t *testing.T) {
+	boom := errors.New("boom")
+	s := FailFirst("route", 2, boom)
+	for a := 0; a < 2; a++ {
+		if err := s.Check("d", "route", a); !errors.Is(err, boom) {
+			t.Fatalf("attempt %d: got %v, want boom", a, err)
+		}
+	}
+	if err := s.Check("d", "route", 2); err != nil {
+		t.Fatalf("attempt 2 should succeed: %v", err)
+	}
+}
+
+func TestSeededDeterministicAndRated(t *testing.T) {
+	boom := errors.New("boom")
+	inj := &Seeded{Seed: 7, Rate: 0.5, Err: boom}
+	again := &Seeded{Seed: 7, Rate: 0.5, Err: boom}
+	stages := []string{"schedule", "bind", "elaborate", "place", "route", "timing"}
+	hits := 0
+	total := 0
+	for _, st := range stages {
+		for a := 0; a < 50; a++ {
+			e1, e2 := inj.Check("d", st, a), again.Check("d", st, a)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("non-deterministic at %s/%d", st, a)
+			}
+			if e1 != nil {
+				if !errors.Is(e1, boom) {
+					t.Fatalf("injected error lost cause: %v", e1)
+				}
+				hits++
+			}
+			total++
+		}
+	}
+	if hits == 0 || hits == total {
+		t.Fatalf("rate 0.5 produced %d/%d failures", hits, total)
+	}
+}
+
+func TestForDesignFiltersByName(t *testing.T) {
+	boom := errors.New("boom")
+	inj := ForDesign("victim", FailFirst("route", 1, boom))
+	if err := inj.Check("victim", "route", 0); !errors.Is(err, boom) {
+		t.Fatalf("victim not injected: %v", err)
+	}
+	if err := inj.Check("other", "route", 0); err != nil {
+		t.Fatalf("other design injected: %v", err)
+	}
+	if err := inj.Check("victim", "route", 1); err != nil {
+		t.Fatalf("victim retry injected: %v", err)
+	}
+}
+
+func TestSeededEdgeRates(t *testing.T) {
+	if err := (&Seeded{Seed: 1, Rate: 0}).Check("d", "route", 0); err != nil {
+		t.Fatalf("rate 0 injected: %v", err)
+	}
+	if err := (&Seeded{Seed: 1, Rate: 1}).Check("d", "route", 0); err == nil {
+		t.Fatal("rate 1 did not inject")
+	}
+	var nilInj *Seeded
+	if err := nilInj.Check("d", "route", 0); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	if err := (&Seeded{Seed: 1, Rate: 1}).Check("d", "route", 3); err == nil {
+		t.Fatal("nil Err should still inject a generic fault")
+	}
+}

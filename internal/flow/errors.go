@@ -1,0 +1,62 @@
+package flow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Canonical stage names, in flow order. They key fault injection
+// (faults.Injector.Check) and identify the failing stage in StageError.
+const (
+	StageSchedule  = "schedule"
+	StageBind      = "bind"
+	StageElaborate = "elaborate"
+	StagePlace     = "place"
+	StageRoute     = "route"
+	StageTiming    = "timing"
+)
+
+// Stages lists the canonical stage names in execution order.
+var Stages = []string{StageSchedule, StageBind, StageElaborate, StagePlace, StageRoute, StageTiming}
+
+// Sentinel causes a StageError can wrap. Match them with errors.Is.
+var (
+	// ErrUnroutable marks a router that exhausted its iterations without
+	// resolving overuse (only surfaced as an error under
+	// Config.StrictConvergence or fault injection; the default flow
+	// degrades to a partial Result instead — see Result.Convergence).
+	ErrUnroutable = errors.New("design unroutable: router exhausted iterations with overused tiles")
+	// ErrPlacementOverflow marks a design whose resource demand exceeds
+	// the device capacity, so no legal placement exists.
+	ErrPlacementOverflow = errors.New("placement overflow: design exceeds device capacity")
+	// ErrTimedOut marks a run cancelled by a context deadline.
+	ErrTimedOut = errors.New("flow run timed out")
+)
+
+// StageError reports which stage of which design's implementation run
+// failed. It wraps the underlying cause, so errors.Is/errors.As reach both
+// the sentinel causes above and stage-specific errors.
+type StageError struct {
+	Stage  string // canonical stage name (Stage* constants)
+	Design string // module name
+	Seed   int64  // placement seed of the failing attempt
+	Err    error
+}
+
+// Error implements error.
+func (e *StageError) Error() string {
+	return fmt.Sprintf("flow: %s stage on %q (seed %d): %v", e.Stage, e.Design, e.Seed, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// stageErr wraps err with stage context, avoiding double wrapping when the
+// cause already is a StageError.
+func stageErr(stage, design string, seed int64, err error) error {
+	var se *StageError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &StageError{Stage: stage, Design: design, Seed: seed, Err: err}
+}

@@ -3,12 +3,29 @@
 // elaboration, placement, routing and static timing. Everything downstream
 // (back-tracing, dataset construction, the experiment tables) consumes its
 // Result.
+//
+// The package is also the flow's resilience layer. RunContext threads a
+// context.Context through the placer's annealing loop and the router's
+// negotiation iterations so deadlines and cancellation take effect within
+// one iteration; every stage failure is wrapped in a StageError carrying
+// the stage name, design and seed, with sentinel causes (ErrUnroutable,
+// ErrPlacementOverflow, ErrTimedOut) reachable through errors.Is; a
+// non-converging router degrades to a partial Result whose Convergence
+// field records the residual overuse instead of silently reporting clean
+// congestion; and RunWithRetry reruns failed flows under a RetryPolicy
+// with seed re-rolling and router escalation. Config.Faults accepts a
+// deterministic fault injector (internal/faults) so all of those paths are
+// testable.
 package flow
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/congestion"
+	"repro/internal/faults"
 	"repro/internal/fpga"
 	"repro/internal/hls"
 	"repro/internal/ir"
@@ -27,6 +44,20 @@ type Config struct {
 	Place  place.Options
 	Route  route.Options
 	Timing timing.Model
+
+	// StrictConvergence makes RunContext fail with ErrUnroutable when the
+	// router exhausts its iterations with overused tiles, instead of
+	// degrading to a partial Result (the default, matching the paper:
+	// congestion above 100 % is the signal being studied, not a failure).
+	StrictConvergence bool
+
+	// Faults optionally injects deterministic stage failures (tests,
+	// chaos runs). Nil disables injection.
+	Faults faults.Injector
+	// Attempt is the zero-based retry attempt this run represents; it keys
+	// fault injection and is stamped into StageError. RunWithRetry sets it
+	// per attempt.
+	Attempt int
 }
 
 // DefaultConfig is the paper's setup: XC7Z020 at a 100 MHz target.
@@ -41,6 +72,21 @@ func DefaultConfig() Config {
 	}
 }
 
+// Convergence reports how cleanly the router finished: a run counts as
+// converged when no tile-direction pair is left above capacity. A
+// non-converged run is still a usable partial result — congestion above
+// 100 % is precisely what the predictor learns — but callers that need
+// clean routing can check this instead of trusting the map blindly.
+type Convergence struct {
+	// Converged is true when the final pass left no overused crossings.
+	Converged bool
+	// OverusedEdges counts tile-direction pairs above capacity after the
+	// final pass.
+	OverusedEdges int
+	// Iterations is the number of rip-up-and-reroute passes executed.
+	Iterations int
+}
+
 // Result bundles every artifact of one implementation run.
 type Result struct {
 	Mod       *ir.Module
@@ -51,36 +97,135 @@ type Result struct {
 	Placement *place.Placement
 	Routing   *route.Result
 	Timing    *timing.Report
+
+	// Convergence is the router's convergence status; see Convergence.
+	Convergence Convergence
 }
 
-// Run executes the full flow on a module.
+// Run executes the full flow on a module. It is RunContext without
+// cancellation.
 func Run(m *ir.Module, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), m, cfg)
+}
+
+// RunContext executes the full flow on a module under a context. The
+// context is checked at every stage boundary, between the placer's
+// annealing sweeps, and between the router's negotiation iterations, so
+// cancellation or a deadline terminates the run within one iteration. A
+// deadline expiry returns an error matching both ErrTimedOut and
+// context.DeadlineExceeded; plain cancellation matches context.Canceled.
+func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	design := "<nil>"
+	if m != nil {
+		design = m.Name
+	}
+	fail := func(stage string, err error) error {
+		return stageErr(stage, design, cfg.Seed, err)
+	}
+	if m == nil {
+		return nil, fail(StageSchedule, fmt.Errorf("nil module"))
+	}
 	if cfg.Dev == nil {
-		return nil, fmt.Errorf("flow: config has no device")
+		return nil, fail(StagePlace, fmt.Errorf("config has no device"))
+	}
+
+	// enter guards one stage: context first, then injected faults.
+	enter := func(stage string) error {
+		if err := ctxErr(ctx); err != nil {
+			return fail(stage, err)
+		}
+		if cfg.Faults != nil {
+			if err := cfg.Faults.Check(design, stage, cfg.Attempt); err != nil {
+				return fail(stage, err)
+			}
+		}
+		return nil
+	}
+
+	if err := enter(StageSchedule); err != nil {
+		return nil, err
 	}
 	sched, err := hls.ScheduleModule(m, cfg.Clock)
 	if err != nil {
-		return nil, fmt.Errorf("flow: %w", err)
+		return nil, fail(StageSchedule, err)
+	}
+
+	if err := enter(StageBind); err != nil {
+		return nil, err
 	}
 	bind := hls.BindModule(sched)
-	nl := rtl.Elaborate(bind)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	pl, err := place.Place(nl, cfg.Dev, rng, cfg.Place)
-	if err != nil {
-		return nil, fmt.Errorf("flow: %w", err)
+
+	if err := enter(StageElaborate); err != nil {
+		return nil, err
 	}
-	rr := route.Route(pl, rng, cfg.Route)
+	nl := rtl.Elaborate(bind)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if err := enter(StagePlace); err != nil {
+		return nil, err
+	}
+	pl, err := place.PlaceContext(ctx, nl, cfg.Dev, rng, cfg.Place)
+	if err != nil {
+		if errors.Is(err, place.ErrCapacity) {
+			err = fmt.Errorf("%w: %w", ErrPlacementOverflow, err)
+		}
+		return nil, fail(StagePlace, decorateCtx(err))
+	}
+
+	if err := enter(StageRoute); err != nil {
+		return nil, err
+	}
+	rr, err := route.RouteContext(ctx, pl, rng, cfg.Route)
+	if err != nil {
+		return nil, fail(StageRoute, decorateCtx(err))
+	}
+	conv := Convergence{
+		Converged:     rr.Overflow == 0,
+		OverusedEdges: rr.Overflow,
+		Iterations:    rr.Iterations,
+	}
+	if cfg.StrictConvergence && !conv.Converged {
+		return nil, fail(StageRoute, fmt.Errorf("%w: %d overused crossings after %d iterations",
+			ErrUnroutable, conv.OverusedEdges, conv.Iterations))
+	}
+
+	if err := enter(StageTiming); err != nil {
+		return nil, err
+	}
 	rep := timing.Analyze(sched, nl, rr, cfg.Timing)
+
 	return &Result{
-		Mod:       m,
-		Config:    cfg,
-		Sched:     sched,
-		Bind:      bind,
-		Netlist:   nl,
-		Placement: pl,
-		Routing:   rr,
-		Timing:    rep,
+		Mod:         m,
+		Config:      cfg,
+		Sched:       sched,
+		Bind:        bind,
+		Netlist:     nl,
+		Placement:   pl,
+		Routing:     rr,
+		Timing:      rep,
+		Convergence: conv,
 	}, nil
+}
+
+// ctxErr returns the context's error, tagging deadline expiry with
+// ErrTimedOut so callers can match either the context sentinel or the
+// flow's.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return decorateCtx(err)
+	}
+	return nil
+}
+
+// decorateCtx pairs context.DeadlineExceeded with ErrTimedOut.
+func decorateCtx(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrTimedOut) {
+		return fmt.Errorf("%w: %w", ErrTimedOut, err)
+	}
+	return err
 }
 
 // PerfRow is the performance summary the paper's tables report per
@@ -98,8 +243,8 @@ type PerfRow struct {
 
 // Perf extracts the table row for a run.
 func (r *Result) Perf(name string) PerfRow {
-	vs := r.Routing.Map.Summarize(0) // Vertical
-	hs := r.Routing.Map.Summarize(1) // Horizontal
+	vs := r.Routing.Map.Summarize(congestion.Vertical)
+	hs := r.Routing.Map.Summarize(congestion.Horizontal)
 	max := vs.Max
 	if hs.Max > max {
 		max = hs.Max

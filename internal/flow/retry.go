@@ -1,0 +1,120 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ir"
+)
+
+// RetryPolicy governs how a failed flow run is retried. Each retry
+// escalates: the placement seed is re-rolled (SeedStride) so a stochastic
+// placer failure does not repeat, the router gets extra negotiation
+// iterations (RouteIterStep) and a softened overflow penalty
+// (CapacityRelax) so hard-to-route designs trade congestion quality for
+// completion. The zero value retries nothing; start from
+// DefaultRetryPolicy.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// Values below 1 mean a single attempt.
+	MaxAttempts int
+	// SeedStride is added to Config.Seed on every retry, re-rolling the
+	// stochastic placement. Zero keeps the seed fixed.
+	SeedStride int64
+	// RouteIterStep adds this many router iterations per retry, giving
+	// the negotiation more room to resolve overuse.
+	RouteIterStep int
+	// CapacityRelax softens the router's overflow penalty per retry:
+	// attempt k scales Route.OverflowPenalty by 1/(1 + CapacityRelax*k),
+	// accepting more congestion in exchange for convergence.
+	CapacityRelax float64
+	// Backoff is the wait between attempts — pointless for the in-process
+	// flow, but the hook future remote implementation backends need. The
+	// wait respects context cancellation.
+	Backoff time.Duration
+	// Retryable optionally filters which errors are retried; nil retries
+	// every failure except context cancellation, which always aborts.
+	Retryable func(error) bool
+}
+
+// DefaultRetryPolicy is the escalation used by dataset builds: three
+// attempts, a large prime seed stride, two extra router iterations and a
+// 30 % overflow-penalty relax per retry.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:   3,
+		SeedStride:    104729,
+		RouteIterStep: 2,
+		CapacityRelax: 0.3,
+	}
+}
+
+// attempts normalizes MaxAttempts.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// escalate derives the config for a given zero-based attempt.
+func (p RetryPolicy) escalate(cfg Config, attempt int) Config {
+	cfg.Attempt = attempt
+	if attempt == 0 {
+		return cfg
+	}
+	cfg.Seed += int64(attempt) * p.SeedStride
+	cfg.Route.Iterations += attempt * p.RouteIterStep
+	if p.CapacityRelax > 0 {
+		cfg.Route.OverflowPenalty /= 1 + p.CapacityRelax*float64(attempt)
+	}
+	return cfg
+}
+
+// RunWithRetry executes the flow under the policy, escalating on each
+// failed attempt. It returns the first successful Result; after the last
+// attempt it returns the final StageError, annotated with the attempt
+// count. Context cancellation aborts immediately and is never retried.
+func RunWithRetry(ctx context.Context, m *ir.Module, cfg Config, p RetryPolicy) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var last error
+	n := p.attempts()
+	for attempt := 0; attempt < n; attempt++ {
+		if attempt > 0 && p.Backoff > 0 {
+			if err := sleepCtx(ctx, p.Backoff); err != nil {
+				return nil, err
+			}
+		}
+		res, err := RunContext(ctx, m, p.escalate(cfg, attempt))
+		if err == nil {
+			return res, nil
+		}
+		last = err
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		if p.Retryable != nil && !p.Retryable(err) {
+			return nil, err
+		}
+	}
+	if n > 1 {
+		last = fmt.Errorf("flow: %d attempts exhausted: %w", n, last)
+	}
+	return nil, last
+}
+
+// sleepCtx waits d or until the context is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctxErr(ctx)
+	case <-t.C:
+		return nil
+	}
+}

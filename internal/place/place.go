@@ -11,6 +11,8 @@
 package place
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -20,6 +22,11 @@ import (
 	"repro/internal/ir"
 	"repro/internal/rtl"
 )
+
+// ErrCapacity marks a netlist whose resource demand exceeds the device, so
+// no legal placement exists. The flow layer maps it to
+// flow.ErrPlacementOverflow.
+var ErrCapacity = errors.New("place: design exceeds device capacity")
 
 // Options tunes the annealer.
 type Options struct {
@@ -118,8 +125,20 @@ func cellArea(c *rtl.Cell) float64 {
 }
 
 // Place runs the annealer. The rng makes the result deterministic for a
-// given seed.
+// given seed. It is PlaceContext without cancellation.
 func Place(nl *rtl.Netlist, dev *fpga.Device, rng *rand.Rand, opts Options) (*Placement, error) {
+	return PlaceContext(context.Background(), nl, dev, rng, opts)
+}
+
+// PlaceContext runs the annealer under a context: cancellation is checked
+// between annealing sweeps, so a deadline or Ctrl-C terminates within a
+// fraction of the move budget rather than after it. Netlists whose
+// resource demand cannot fit the device fail fast with ErrCapacity before
+// any annealing runs.
+func PlaceContext(ctx context.Context, nl *rtl.Netlist, dev *fpga.Device, rng *rand.Rand, opts Options) (*Placement, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(nl.Cells) == 0 {
 		return nil, fmt.Errorf("place: empty netlist")
 	}
@@ -132,10 +151,47 @@ func Place(nl *rtl.Netlist, dev *fpga.Device, rng *rand.Rand, opts Options) (*Pl
 			opts.Moves = 20000
 		}
 	}
+	if err := checkCapacity(nl, dev); err != nil {
+		return nil, err
+	}
 	st := newState(nl, dev, opts)
 	st.initial(rng)
-	st.anneal(rng)
+	if err := st.anneal(ctx, rng); err != nil {
+		return nil, err
+	}
 	return &Placement{Dev: dev, NL: nl, Pos: st.pos, RegionCenter: st.regionCenter}, nil
+}
+
+// checkCapacity rejects netlists that cannot legally fit the device: more
+// logic area than the CLB fabric holds, or more DSP/BRAM demand than the
+// special columns provide.
+func checkCapacity(nl *rtl.Netlist, dev *fpga.Device) error {
+	var area, dsp, bram float64
+	for _, c := range nl.Cells {
+		area += cellArea(c)
+		dsp += float64(c.Res.DSP)
+		bram += float64(c.Res.BRAM)
+	}
+	clbTiles := 0
+	for x := 0; x < dev.Cols; x++ {
+		for y := 0; y < dev.Rows; y++ {
+			if dev.KindAt(x, y) == fpga.TileCLB {
+				clbTiles++
+			}
+		}
+	}
+	capArea := float64(clbTiles) * (float64(dev.TileLUT) + 0.5*float64(dev.TileFF))
+	capDSP := float64(len(dev.DSPCols) * dev.Rows * dev.TileDSP)
+	capBRAM := float64(len(dev.BRAMCols) * dev.Rows * dev.TileBRAM)
+	switch {
+	case area > capArea:
+		return fmt.Errorf("%w: logic area %.0f > fabric capacity %.0f", ErrCapacity, area, capArea)
+	case dsp > capDSP:
+		return fmt.Errorf("%w: %d DSP slices > device %d", ErrCapacity, int(dsp), int(capDSP))
+	case bram > capBRAM:
+		return fmt.Errorf("%w: %d BRAM banks > device %d", ErrCapacity, int(bram), int(capBRAM))
+	}
+	return nil
 }
 
 // state carries the annealer's incremental bookkeeping.
@@ -487,7 +543,12 @@ func (st *state) commit(ci int, np fpga.XY, delta float64) {
 	_ = delta
 }
 
-func (st *state) anneal(rng *rand.Rand) {
+// cancelCheckEvery is how many annealing moves run between context
+// checks: frequent enough that cancellation lands within milliseconds,
+// rare enough that the check never shows up in a profile.
+const cancelCheckEvery = 2048
+
+func (st *state) anneal(ctx context.Context, rng *rand.Rand) error {
 	n := len(st.nl.Cells)
 	moves := st.opts.Moves
 	// Seed temperature from the spread of random-move deltas.
@@ -507,6 +568,11 @@ func (st *state) anneal(rng *rand.Rand) {
 	cool := math.Pow(0.005, 1/float64(maxInt(moves, 1))) // end at 0.5% of T0
 
 	for i := 0; i < moves; i++ {
+		if i%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		ci := rng.Intn(n)
 		w := int(window)
 		if w < 2 {
@@ -523,6 +589,7 @@ func (st *state) anneal(rng *rand.Rand) {
 		temp *= cool
 		window = math.Max(2, window*math.Pow(cool, 0.5))
 	}
+	return nil
 }
 
 // randomTarget proposes a legal location within a window around the cell.

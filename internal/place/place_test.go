@@ -1,6 +1,8 @@
 package place
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -210,5 +212,32 @@ func TestCellAreaFloor(t *testing.T) {
 	c := &rtl.Cell{Res: hls.Resources{}}
 	if cellArea(c) != 1 {
 		t.Error("zero-resource cell must still occupy unit area")
+	}
+}
+
+func TestPlaceContextCancellation(t *testing.T) {
+	nl := testNetlist(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PlaceContext(ctx, nl, fpga.XC7Z020(), rand.New(rand.NewSource(1)), quickOpts())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestPlaceCapacityOverflow(t *testing.T) {
+	nl := testNetlist(t)
+	tiny := *fpga.XC7Z020()
+	tiny.Cols, tiny.Rows = 1, 1
+	tiny.DSPCols, tiny.BRAMCols = nil, nil
+	_, err := Place(nl, &tiny, rand.New(rand.NewSource(1)), quickOpts())
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatalf("got %v, want ErrCapacity", err)
+	}
+}
+
+func TestPlaceCapacityFitsRealDevice(t *testing.T) {
+	if err := checkCapacity(testNetlist(t), fpga.XC7Z020()); err != nil {
+		t.Fatalf("real design rejected: %v", err)
 	}
 }

@@ -9,6 +9,7 @@
 package route
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/congestion"
@@ -53,19 +54,39 @@ type PinStats struct {
 
 // Result is the routing outcome.
 type Result struct {
-	Map      *congestion.Map
-	Pins     []PinStats
-	Overflow int // tile-direction pairs above capacity after the last pass
+	Map        *congestion.Map
+	Pins       []PinStats
+	Overflow   int // tile-direction pairs above capacity after the last pass
+	Iterations int // rip-up-and-reroute passes executed
 }
 
+// Converged reports whether the final pass left no overused crossings.
+func (r *Result) Converged() bool { return r.Overflow == 0 }
+
 // Route routes the placement. The rng only breaks ties between equal-cost
-// patterns, keeping results deterministic per seed.
+// patterns, keeping results deterministic per seed. It is RouteContext
+// without cancellation.
 func Route(pl *place.Placement, rng *rand.Rand, opts Options) *Result {
+	res, _ := RouteContext(context.Background(), pl, rng, opts)
+	return res
+}
+
+// RouteContext routes the placement under a context, checking cancellation
+// between rip-up-and-reroute passes so a deadline terminates within one
+// negotiation iteration. On cancellation it returns the context's error
+// and a nil Result.
+func RouteContext(ctx context.Context, pl *place.Placement, rng *rand.Rand, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Iterations < 1 {
 		opts.Iterations = 1
 	}
 	r := newRouter(pl, opts)
 	for it := 0; it < opts.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		final := it == opts.Iterations-1
 		r.reset()
 		r.routeAll(rng, final)
@@ -73,7 +94,7 @@ func Route(pl *place.Placement, rng *rand.Rand, opts Options) *Result {
 			r.accumulateHistory()
 		}
 	}
-	return r.result()
+	return r.result(), nil
 }
 
 type router struct {
@@ -409,5 +430,10 @@ func (r *router) result() *Result {
 			}
 		}
 	}
-	return &Result{Map: m, Pins: append([]PinStats(nil), r.pins...), Overflow: overflow}
+	return &Result{
+		Map:        m,
+		Pins:       append([]PinStats(nil), r.pins...),
+		Overflow:   overflow,
+		Iterations: r.opts.Iterations,
+	}
 }

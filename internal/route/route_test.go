@@ -1,6 +1,8 @@
 package route
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -286,5 +288,28 @@ func TestMazeFallbackCommitsCrossings(t *testing.T) {
 		if p.Length < 0 || p.AvgUtil < 0 || p.MaxUtil+1e-9 < p.AvgUtil {
 			t.Fatalf("malformed maze pin stats %+v", p)
 		}
+	}
+}
+
+func TestRouteContextCancellation(t *testing.T) {
+	pl := placedDesign(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RouteContext(ctx, pl, rand.New(rand.NewSource(1)), DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestRouteResultRecordsIterations(t *testing.T) {
+	pl := placedDesign(t, 1)
+	opts := DefaultOptions()
+	opts.Iterations = 4
+	rr := Route(pl, rand.New(rand.NewSource(1)), opts)
+	if rr.Iterations != 4 {
+		t.Fatalf("iterations = %d, want 4", rr.Iterations)
+	}
+	if rr.Converged() != (rr.Overflow == 0) {
+		t.Fatalf("Converged()=%v inconsistent with overflow %d", rr.Converged(), rr.Overflow)
 	}
 }

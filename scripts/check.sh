@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, vet, test, and race-test the whole module.
+# This is the gate every PR must keep green (see ROADMAP.md).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "tier-1 checks passed"
