@@ -10,6 +10,7 @@
 package congest
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -26,10 +27,10 @@ func benchCfg() experiments.Config {
 var printOnce sync.Map
 
 func printArtifact(b *testing.B, key, text string) {
+	b.StopTimer()
 	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
 		fmt.Println(text)
 	}
-	b.StopTimer()
 	b.StartTimer()
 }
 
@@ -256,6 +257,28 @@ func BenchmarkHotspotDetection(b *testing.B) {
 			b.ReportMetric(p, "precision@5")
 		}
 		printArtifact(b, "hotspots", res.Format())
+	}
+}
+
+// BenchmarkBuildDataset measures the end-to-end training-dataset build —
+// the hot loop the parallel execution layer targets — at several worker
+// counts. Workers=1 is the sequential baseline; parallel builds produce
+// byte-identical output (core's determinism test), so the sub-benchmark
+// times are directly comparable. On a single-CPU host all worker counts
+// collapse to sequential throughput; scripts/bench.sh records the CPU
+// count alongside the timings for that reason.
+func BenchmarkBuildDataset(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mods := TrainingModules()
+				_, _, _, err := BuildDatasetResilient(context.Background(), mods,
+					DefaultFlowConfig(), BuildOptions{LabelRuns: 2, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -28,6 +28,8 @@
 //	-design D    predict target: baseline|noinline|replication (default baseline)
 //	-timeout D   abort after D (e.g. 90s, 10m); flow runs stop within one
 //	             placer/router iteration
+//	-workers N   concurrent flow runs / grid-search cells (0 = one per CPU,
+//	             1 = sequential; the output is identical either way)
 package main
 
 import (
@@ -51,6 +53,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "split/model seed")
 	design := flag.String("design", "baseline", "predict target: baseline|noinline|replication")
 	timeout := flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
+	workers := flag.Int("workers", 0, "concurrent flow runs / CV cells (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -77,6 +80,7 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	cfg.Quick = *quick
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.Ctx = ctx
 
 	if err := run(cfg, flag.Arg(0), *design); err != nil {

@@ -260,7 +260,9 @@ func Replication() Directives { return bench.Replication() }
 
 // BuildTrainingDataset runs the full flow over the paper's three training
 // implementations, back-traces per-CLB congestion onto IR operations and
-// extracts the 302 features per sample.
+// extracts the 302 features per sample. Flow runs execute concurrently,
+// one worker per CPU; the result is byte-identical to a sequential build
+// (see BuildDatasetResilient for the Workers knob).
 func BuildTrainingDataset(cfg FlowConfig) (*Dataset, []*FlowResult, error) {
 	return BuildDataset(bench.TrainingModules(), cfg)
 }
@@ -275,7 +277,9 @@ func BuildDataset(mods []*Module, cfg FlowConfig) (ds *Dataset, results []*FlowR
 // under the policy in opts, and degradation: modules that still fail after
 // retrying are skipped (their errors joined into err) while the remaining
 // modules' samples are returned, with a BuildSummary reporting what
-// happened.
+// happened. opts.Workers bounds how many flow runs execute concurrently
+// (0 = one per CPU, 1 = sequential); rows, labels, summary counts and
+// joined error order are identical for every worker count.
 func BuildDatasetResilient(ctx context.Context, mods []*Module, cfg FlowConfig, opts BuildOptions) (ds *Dataset, results []*FlowResult, sum *BuildSummary, err error) {
 	defer guard("BuildDatasetResilient", &err)
 	return core.BuildDatasetContext(ctx, mods, cfg, opts)

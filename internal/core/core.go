@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/backtrace"
 	"repro/internal/dataset"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/ml/ann"
 	"repro/internal/ml/gbrt"
 	"repro/internal/ml/lasso"
+	"repro/internal/parallel"
 )
 
 // ModelKind selects one of the paper's three regression models.
@@ -184,6 +186,14 @@ type BuildOptions struct {
 	// Retry governs per-flow-run retries with escalation. The zero value
 	// disables retrying (single attempt per run).
 	Retry flow.RetryPolicy
+	// Workers bounds how many flow runs execute concurrently. Zero (the
+	// default) uses runtime.GOMAXPROCS(0); 1 forces the sequential
+	// reference execution. Whatever the value, the build is deterministic:
+	// every run derives its placement seed from Config.Seed and its
+	// (module, label-run) position alone, and results are reduced in index
+	// order, so the dataset, summary and joined error are byte-identical
+	// across worker counts.
+	Workers int
 }
 
 // ModuleFailure records one module the dataset build had to skip.
@@ -238,6 +248,14 @@ func BuildDatasetRuns(mods []*ir.Module, cfg flow.Config, labelRuns int) (*datas
 // happened. The returned dataset and results are always non-nil alongside
 // a non-nil error when at least one module survived; only context
 // cancellation aborts the whole build.
+//
+// The build fans out: every (module, label-run) pair is an independent
+// flow execution, and opts.Workers of them run concurrently (default: one
+// per CPU). Parallel execution is an implementation detail — the per-run
+// seed derivation, the row order, the label-averaging float arithmetic,
+// the BuildSummary counts and the errors.Join order are reproduced by a
+// sequential reduce over the per-cell results, so any worker count yields
+// byte-identical output (see TestBuildDatasetDeterministicAcrossWorkers).
 func BuildDatasetContext(ctx context.Context, mods []*ir.Module, cfg flow.Config, opts BuildOptions) (*dataset.Dataset, []*flow.Result, *BuildSummary, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -246,11 +264,13 @@ func BuildDatasetContext(ctx context.Context, mods []*ir.Module, cfg flow.Config
 	if labelRuns < 1 {
 		labelRuns = 1
 	}
+	cells := runCells(ctx, mods, cfg, labelRuns, opts)
+
 	ds := dataset.New()
 	var results []*flow.Result
 	sum := &BuildSummary{Modules: len(mods)}
-	for _, m := range mods {
-		traced, first, runs, err := buildModuleLabels(ctx, m, cfg, labelRuns, opts.Retry)
+	for mi, m := range mods {
+		traced, first, runs, err := reduceModuleCells(cells[mi*labelRuns : (mi+1)*labelRuns])
 		sum.FlowRuns += runs
 		if err != nil {
 			if ctx.Err() != nil {
@@ -270,31 +290,82 @@ func BuildDatasetContext(ctx context.Context, mods []*ir.Module, cfg flow.Config
 	return ds, results, sum, sum.Err()
 }
 
-// errList converts the summary's failures for joining with an abort cause.
-func errList(s *BuildSummary) []error {
-	errs := make([]error, len(s.Failed))
-	for i, f := range s.Failed {
-		errs[i] = fmt.Errorf("core: dataset build on %q: %w", f.Module, f.Err)
-	}
-	return errs
+// runCell is the outcome of one (module, label-run) flow execution.
+type runCell struct {
+	traced []backtrace.OpCongestion
+	res    *flow.Result
+	err    error
 }
 
-// buildModuleLabels runs the flow labelRuns times on one module and
-// returns the seed-averaged trace plus the first run's artifacts. runs
-// counts the successful flow executions.
-func buildModuleLabels(ctx context.Context, m *ir.Module, cfg flow.Config, labelRuns int, policy flow.RetryPolicy) (traced []backtrace.OpCongestion, first *flow.Result, runs int, err error) {
-	var marginVotes []int
-	for run := 0; run < labelRuns; run++ {
+// errRunSkipped marks a label run never executed because an earlier seed
+// of the same module had already failed. The reduce stops at that earlier
+// failure, so this sentinel never reaches a caller; it only saves flow
+// runs the sequential build would not have made either.
+var errRunSkipped = errors.New("core: label run skipped after an earlier seed failed")
+
+// runCells executes the flattened (module × label-run) grid on a bounded
+// worker pool. Cell k covers module k/labelRuns, run k%labelRuns, and its
+// placement seed depends only on that position — never on scheduling — so
+// every worker count produces the same per-cell outcome.
+func runCells(ctx context.Context, mods []*ir.Module, cfg flow.Config, labelRuns int, opts BuildOptions) []runCell {
+	cells := make([]runCell, len(mods)*labelRuns)
+	// failedAt[mi] is the lowest label-run index of module mi that has
+	// failed so far (labelRuns = none yet). Later runs of a failed module
+	// are skipped best-effort, mirroring the sequential early exit.
+	failedAt := make([]atomic.Int64, len(mods))
+	for i := range failedAt {
+		failedAt[i].Store(int64(labelRuns))
+	}
+	perr := parallel.ForEach(ctx, len(cells), opts.Workers, func(ctx context.Context, k int) {
+		mi, run := k/labelRuns, k%labelRuns
+		if int64(run) > failedAt[mi].Load() {
+			cells[k].err = errRunSkipped
+			return
+		}
 		runCfg := cfg
 		runCfg.Seed = cfg.Seed + int64(run)*7919
-		res, rerr := flow.RunWithRetry(ctx, m, runCfg, policy)
-		if rerr != nil {
-			return nil, nil, runs, rerr
+		res, err := flow.RunWithRetry(ctx, mods[mi], runCfg, opts.Retry)
+		if err != nil {
+			for {
+				cur := failedAt[mi].Load()
+				if int64(run) >= cur || failedAt[mi].CompareAndSwap(cur, int64(run)) {
+					break
+				}
+			}
+			cells[k].err = err
+			return
+		}
+		cells[k].res = res
+		cells[k].traced = backtrace.Trace(res)
+	})
+	if perr != nil {
+		// The pool stopped early: cells no task ever touched carry the
+		// cancellation cause so the reduce reports them as aborted runs.
+		for k := range cells {
+			if cells[k].err == nil && cells[k].res == nil {
+				cells[k].err = perr
+			}
+		}
+	}
+	return cells
+}
+
+// reduceModuleCells folds one module's label runs into the seed-averaged
+// trace, replaying the sequential aggregation in run order: the first
+// failed run aborts the module with that error and a runs count of the
+// successes before it, and the float accumulation order matches the
+// sequential build exactly.
+func reduceModuleCells(cells []runCell) (traced []backtrace.OpCongestion, first *flow.Result, runs int, err error) {
+	labelRuns := len(cells)
+	var marginVotes []int
+	for run, c := range cells {
+		if c.err != nil {
+			return nil, nil, runs, c.err
 		}
 		runs++
-		tr := backtrace.Trace(res)
+		tr := c.traced
 		if run == 0 {
-			first = res
+			first = c.res
 			traced = tr
 			marginVotes = make([]int, len(tr))
 			for i := range tr {
@@ -326,6 +397,15 @@ func buildModuleLabels(ctx context.Context, m *ir.Module, cfg flow.Config, label
 		traced[i].Margin = 2*marginVotes[i] >= labelRuns
 	}
 	return traced, first, runs, nil
+}
+
+// errList converts the summary's failures for joining with an abort cause.
+func errList(s *BuildSummary) []error {
+	errs := make([]error, len(s.Failed))
+	for i, f := range s.Failed {
+		errs[i] = fmt.Errorf("core: dataset build on %q: %w", f.Module, f.Err)
+	}
+	return errs
 }
 
 // Predictor is the trained congestion estimator: one regressor per

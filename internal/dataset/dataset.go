@@ -94,15 +94,20 @@ func New() *Dataset {
 }
 
 // FromTrace extracts features for every traced operation of one design and
-// appends the samples.
+// appends the samples. All feature vectors of the batch share one flat
+// preallocated backing array (full-capacity row slices, so an append on a
+// row can never bleed into its neighbor), cutting per-op allocations to the
+// Sample headers.
 func (d *Dataset) FromTrace(design string, traced []backtrace.OpCongestion, ex *features.Extractor) {
-	for _, t := range traced {
+	flat := make([]float64, len(traced)*features.NumFeatures)
+	for i, t := range traced {
+		row := flat[i*features.NumFeatures : (i+1)*features.NumFeatures : (i+1)*features.NumFeatures]
 		d.Samples = append(d.Samples, &Sample{
 			Design:      design,
 			OpID:        t.Op.ID,
 			Kind:        t.Op.Kind,
 			Src:         t.Op.Src,
-			Features:    ex.Vector(t.Op),
+			Features:    ex.VectorInto(row, t.Op),
 			VertPct:     t.VertPct,
 			HorizPct:    t.HorizPct,
 			AvgPct:      t.AvgPct,

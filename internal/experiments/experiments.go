@@ -26,6 +26,11 @@ type Config struct {
 	// Quick shrinks the ML models (fewer boosting stages / epochs) so unit
 	// tests finish fast; published numbers use Quick=false.
 	Quick bool
+	// Workers bounds how many flow runs (dataset builds) and grid-search
+	// cells evaluate concurrently. Zero means one worker per CPU; 1 forces
+	// sequential execution. Results are identical either way — see
+	// core.BuildOptions.Workers and ml.GridSearchCVWorkers.
+	Workers int
 	// Ctx optionally bounds every flow run of the experiment (deadline,
 	// Ctrl-C); nil means context.Background().
 	Ctx context.Context
@@ -62,6 +67,6 @@ func RunOnce(m *ir.Module, cfg Config) (*flow.Result, error) {
 // Filtering; BNN + 3D Rendering + Optical Flow).
 func (c Config) PaperDataset() (*dataset.Dataset, []*flow.Result, error) {
 	ds, results, _, err := core.BuildDatasetContext(c.ctx(), bench.TrainingModules(), c.Flow,
-		core.BuildOptions{LabelRuns: core.LabelRuns, Retry: flow.DefaultRetryPolicy()})
+		core.BuildOptions{LabelRuns: core.LabelRuns, Retry: flow.DefaultRetryPolicy(), Workers: c.Workers})
 	return ds, results, err
 }

@@ -44,8 +44,8 @@ func Tuning(cfg Config, ds *dataset.Dataset, kind core.ModelKind) (*TuningResult
 	scaler := ml.FitScaler(Xtr)
 	XtrS := scaler.Transform(Xtr)
 
-	res, err := ml.GridSearchCV(core.Factory(kind, cfg.Seed), core.TuningGrid(kind, cfg.Quick),
-		XtrS, ytr, folds, rng)
+	res, err := ml.GridSearchCVWorkers(core.Factory(kind, cfg.Seed), core.TuningGrid(kind, cfg.Quick),
+		XtrS, ytr, folds, rng, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: tuning %s: %w", kind, err)
 	}

@@ -11,13 +11,18 @@ package faults
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 )
 
 // Injector decides whether a flow stage fails. Check is called once per
 // stage per flow run with the design name, the stage's canonical name (see
 // flow.Stage*) and the zero-based retry attempt; a non-nil return aborts
 // the stage with that error. Implementations must be deterministic and
-// safe for concurrent use.
+// safe for concurrent use: the parallel dataset builder shares one
+// injector across every worker, so Check races with itself. Every
+// injector in this package is either stateless (Script, Seeded, ForDesign
+// — pure functions of their configuration, safe to share as-is) or
+// mutex-guarded (Counting).
 type Injector interface {
 	Check(design, stage string, attempt int) error
 }
@@ -32,7 +37,8 @@ type Key struct {
 // Script is an explicit injection table: exactly the (stage, attempt)
 // pairs present fail, with the mapped error, regardless of design. It is
 // the precision tool the resilience tests use ("fail routing on the first
-// attempt only"); combine with ForDesign to target one design.
+// attempt only"); combine with ForDesign to target one design. The map is
+// only ever read after construction, so concurrent Check calls are safe.
 type Script map[Key]error
 
 // Check implements Injector.
@@ -79,6 +85,44 @@ func (f designFilter) Check(design, stage string, attempt int) error {
 		return nil
 	}
 	return f.inner.Check(design, stage, attempt)
+}
+
+// Counting wraps an injector and counts, under a mutex, how often it was
+// consulted and how often it injected. It is the observability tool for
+// concurrent builds: a parallel dataset build shares one injector across
+// all workers, and Counting is how a test (or a chaos run) asserts the
+// number of injected faults without racing the pool. The zero value with
+// a nil Inner counts checks and injects nothing.
+type Counting struct {
+	// Inner is the wrapped decision-maker; nil never injects.
+	Inner Injector
+
+	mu       sync.Mutex
+	checks   int
+	injected int
+}
+
+// Check implements Injector; safe for concurrent use.
+func (c *Counting) Check(design, stage string, attempt int) error {
+	var err error
+	if c.Inner != nil {
+		err = c.Inner.Check(design, stage, attempt)
+	}
+	c.mu.Lock()
+	c.checks++
+	if err != nil {
+		c.injected++
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// Stats returns how many stage checks were made and how many injected a
+// fault so far.
+func (c *Counting) Stats() (checks, injected int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checks, c.injected
 }
 
 // Check implements Injector.

@@ -88,3 +88,59 @@ func TestSeededEdgeRates(t *testing.T) {
 		t.Fatal("nil Err should still inject a generic fault")
 	}
 }
+
+func TestCountingTracksChecksAndInjections(t *testing.T) {
+	boom := errors.New("boom")
+	c := &Counting{Inner: FailFirst("route", 1, boom)}
+	if err := c.Check("d", "route", 0); !errors.Is(err, boom) {
+		t.Fatalf("inner decision lost: %v", err)
+	}
+	if err := c.Check("d", "route", 1); err != nil {
+		t.Fatalf("unexpected injection: %v", err)
+	}
+	if err := c.Check("d", "place", 0); err != nil {
+		t.Fatalf("unexpected injection: %v", err)
+	}
+	if checks, injected := c.Stats(); checks != 3 || injected != 1 {
+		t.Fatalf("Stats() = (%d, %d), want (3, 1)", checks, injected)
+	}
+}
+
+func TestCountingNilInnerNeverInjects(t *testing.T) {
+	var c Counting
+	for i := 0; i < 5; i++ {
+		if err := c.Check("d", "route", i); err != nil {
+			t.Fatalf("nil inner injected: %v", err)
+		}
+	}
+	if checks, injected := c.Stats(); checks != 5 || injected != 0 {
+		t.Fatalf("Stats() = (%d, %d), want (5, 0)", checks, injected)
+	}
+}
+
+// TestCountingConcurrentChecks hammers one Counting injector from many
+// goroutines; go test -race turns any unguarded state into a failure.
+func TestCountingConcurrentChecks(t *testing.T) {
+	boom := errors.New("boom")
+	c := &Counting{Inner: FailFirst("route", 1, boom)}
+	done := make(chan struct{})
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				c.Check("d", "route", (w+i)%2)
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	checks, injected := c.Stats()
+	if checks != workers*per {
+		t.Fatalf("checks = %d, want %d", checks, workers*per)
+	}
+	if injected == 0 || injected > checks {
+		t.Fatalf("implausible injected count %d of %d", injected, checks)
+	}
+}

@@ -90,7 +90,14 @@ func Categories() []Category {
 }
 
 // Extractor computes feature vectors for one implemented design. It caches
-// per-function aggregates so per-op extraction stays cheap.
+// per-function aggregates so per-op extraction stays cheap, and reuses
+// per-op scratch state (neighborhood buffers, BFS marks) across Vector
+// calls so extraction allocates only the output vector.
+//
+// An Extractor is NOT safe for concurrent use: the scratch state makes
+// Vector/VectorInto calls mutually exclusive. The parallel dataset builder
+// respects this by constructing one Extractor per module and extracting on
+// a single goroutine.
 type Extractor struct {
 	Mod   *ir.Module
 	Sched *hls.Schedule
@@ -100,6 +107,14 @@ type Extractor struct {
 
 	funcInfo map[*ir.Function]*funcInfo
 	topInfo  *funcInfo
+	emptyFI  *funcInfo
+	nLive    int
+
+	// Scratch reused by context(): one opCtx plus BFS generation marks
+	// indexed by graph-node ID.
+	opScratch opCtx
+	seen      []int
+	gen       int
 }
 
 type funcInfo struct {
@@ -151,19 +166,30 @@ func NewExtractor(m *ir.Module, s *hls.Schedule, b *hls.Binding, g *graph.Graph,
 	if e.topInfo == nil {
 		e.topInfo = &funcInfo{}
 	}
+	e.emptyFI = &funcInfo{}
+	e.nLive = len(m.LiveFuncs())
+	e.seen = make([]int, len(g.Nodes))
 	return e
 }
 
-// opCtx caches the per-op intermediates shared by many features.
+// opCtx caches the per-op intermediates shared by many features. The
+// neighborhood slices live in the Extractor's scratch and are overwritten
+// by the next Vector call; evaluators must not retain them.
 type opCtx struct {
 	op   *ir.Op
 	node *graph.Node
 	fi   *funcInfo
 
 	n1both []*graph.Node // one-hop neighborhood (both directions)
+	n1pred []*graph.Node // one-hop, predecessor side (== distinct preds)
+	n1succ []*graph.Node // one-hop, successor side (== distinct succs)
 	n2pred []*graph.Node // second ring, predecessor side
 	n2succ []*graph.Node // second ring, successor side
 	n2both []*graph.Node // second ring, both directions
+
+	// Wire-weight aggregates of all edges incident to the two-hop
+	// neighborhood, matching graph.Node.EdgeStatsK(2).
+	edge2Total, edge2Count, edge2Max int
 
 	char hls.OpCharacter
 }
@@ -173,47 +199,123 @@ func (e *Extractor) context(op *ir.Op) *opCtx {
 	if node == nil {
 		panic(fmt.Sprintf("features: op %s missing from graph", op.Name))
 	}
-	c := &opCtx{
-		op:   op,
-		node: node,
-		fi:   e.funcInfo[op.Func],
-		char: hls.Characterize(op.Kind, op.Bitwidth),
-	}
+	c := &e.opScratch
+	c.op = op
+	c.node = node
+	c.fi = e.funcInfo[op.Func]
+	c.char = hls.Characterize(op.Kind, op.Bitwidth)
 	if c.fi == nil {
-		c.fi = &funcInfo{}
+		c.fi = e.emptyFI
 	}
-	c.n1both = node.NeighborsK(1, graph.DirBoth)
-	c.n2pred = ring2(node, graph.DirPred)
-	c.n2succ = ring2(node, graph.DirSucc)
-	c.n2both = ring2(node, graph.DirBoth)
+	c.n1pred, c.n2pred = e.walk2(node, graph.DirPred, c.n1pred, c.n2pred)
+	c.n1succ, c.n2succ = e.walk2(node, graph.DirSucc, c.n1succ, c.n2succ)
+	// The DirBoth walk runs last so its generation marks are still live for
+	// the edge aggregation below.
+	c.n1both, c.n2both = e.walk2(node, graph.DirBoth, c.n1both, c.n2both)
+	c.edge2Total, c.edge2Count, c.edge2Max = e.edgeStats2(c)
 	return c
 }
 
-// ring2 returns the nodes at exactly two hops (the second ring).
-func ring2(n *graph.Node, dir int) []*graph.Node {
-	one := n.NeighborsK(1, dir)
-	all := n.NeighborsK(2, dir)
-	inOne := make(map[*graph.Node]bool, len(one))
-	for _, x := range one {
-		inOne[x] = true
-	}
-	var out []*graph.Node
-	for _, x := range all {
-		if !inOne[x] {
-			out = append(out, x)
+// walk2 is a two-hop BFS from n collecting the one-hop neighborhood and the
+// second ring into the reused hop1/hop2 scratch slices, preserving
+// graph.Node.NeighborsK discovery order (per frontier node: In edges, then
+// Out edges). Visited marks use a fresh generation of e.seen, so no map or
+// per-call allocation is needed.
+func (e *Extractor) walk2(n *graph.Node, dir int, hop1, hop2 []*graph.Node) (h1, h2 []*graph.Node) {
+	e.gen++
+	g := e.gen
+	e.seen[n.ID] = g
+	hop1, hop2 = hop1[:0], hop2[:0]
+	if dir == graph.DirPred || dir == graph.DirBoth {
+		for _, ed := range n.In {
+			if e.seen[ed.From.ID] != g {
+				e.seen[ed.From.ID] = g
+				hop1 = append(hop1, ed.From)
+			}
 		}
 	}
-	return out
+	if dir == graph.DirSucc || dir == graph.DirBoth {
+		for _, ed := range n.Out {
+			if e.seen[ed.To.ID] != g {
+				e.seen[ed.To.ID] = g
+				hop1 = append(hop1, ed.To)
+			}
+		}
+	}
+	for _, cur := range hop1 {
+		if dir == graph.DirPred || dir == graph.DirBoth {
+			for _, ed := range cur.In {
+				if e.seen[ed.From.ID] != g {
+					e.seen[ed.From.ID] = g
+					hop2 = append(hop2, ed.From)
+				}
+			}
+		}
+		if dir == graph.DirSucc || dir == graph.DirBoth {
+			for _, ed := range cur.Out {
+				if e.seen[ed.To.ID] != g {
+					e.seen[ed.To.ID] = g
+					hop2 = append(hop2, ed.To)
+				}
+			}
+		}
+	}
+	return hop1, hop2
+}
+
+// edgeStats2 aggregates the wire weights of all edges incident to the
+// two-hop neighborhood of c.node, equal to graph.Node.EdgeStatsK(2) but
+// allocation-free: it reuses the generation marks left by the DirBoth walk
+// (which flag exactly {node} ∪ n1both ∪ n2both) and dedups each edge by
+// counting it at its To endpoint when that endpoint is in the set, and at
+// its From endpoint otherwise.
+func (e *Extractor) edgeStats2(c *opCtx) (total, count, max int) {
+	g := e.gen
+	add := func(w int) {
+		total += w
+		count++
+		if w > max {
+			max = w
+		}
+	}
+	scan := func(x *graph.Node) {
+		for _, ed := range x.In { // x == ed.To, in the set: canonical endpoint
+			add(ed.Wires)
+		}
+		for _, ed := range x.Out { // counted at To's In scan unless To is outside
+			if e.seen[ed.To.ID] != g {
+				add(ed.Wires)
+			}
+		}
+	}
+	scan(c.node)
+	for _, x := range c.n1both {
+		scan(x)
+	}
+	for _, x := range c.n2both {
+		scan(x)
+	}
+	return total, count, max
 }
 
 // Vector computes the 302-entry feature vector of one operation.
 func (e *Extractor) Vector(op *ir.Op) []float64 {
-	c := e.context(op)
-	out := make([]float64, len(registry))
-	for i, s := range registry {
-		out[i] = s.eval(e, c)
+	return e.VectorInto(make([]float64, len(registry)), op)
+}
+
+// VectorInto computes the feature vector of op into dst, which must have
+// length NumFeatures, and returns dst. It is the allocation-free variant of
+// Vector used by the dataset builder, which extracts thousands of ops per
+// design into one preallocated backing array.
+func (e *Extractor) VectorInto(dst []float64, op *ir.Op) []float64 {
+	if len(dst) != len(registry) {
+		panic(fmt.Sprintf("features: VectorInto dst length %d, want %d", len(dst), len(registry)))
 	}
-	return out
+	c := e.context(op)
+	for i, s := range registry {
+		dst[i] = s.eval(e, c)
+	}
+	return dst
 }
 
 // ---------------------------------------------------------------------------

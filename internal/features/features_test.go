@@ -217,3 +217,144 @@ func TestDTcsFeaturesReactToSlack(t *testing.T) {
 		t.Errorf("sum %v must exceed single max term %v with two consumers", sum, max)
 	}
 }
+
+// TestScratchNeighborhoodsMatchGraphQueries pins the scratch-based BFS of
+// context() to the graph package's reference queries: the cached
+// neighborhoods, rings and edge aggregates must equal what NeighborsK,
+// Preds/Succs and EdgeStatsK compute with their per-call maps. This is the
+// guard that the allocation-free rewrite did not change a single feature
+// value.
+func TestScratchNeighborhoodsMatchGraphQueries(t *testing.T) {
+	ex, m, _ := extractorFor(t)
+	ring2 := func(n *graph.Node, dir int) []*graph.Node {
+		one := n.NeighborsK(1, dir)
+		inOne := make(map[*graph.Node]bool, len(one))
+		for _, x := range one {
+			inOne[x] = true
+		}
+		var out []*graph.Node
+		for _, x := range n.NeighborsK(2, dir) {
+			if !inOne[x] {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	sameNodes := func(tag string, op *ir.Op, got, want []*graph.Node) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("op %s %s: %d nodes, want %d", op.Name, tag, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("op %s %s: node %d is #%d, want #%d (order must match NeighborsK discovery)",
+					op.Name, tag, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+	for _, op := range m.AllOps() {
+		c := ex.context(op)
+		n := c.node
+		sameNodes("n1pred", op, c.n1pred, n.Preds())
+		sameNodes("n1succ", op, c.n1succ, n.Succs())
+		sameNodes("n1both", op, c.n1both, n.NeighborsK(1, graph.DirBoth))
+		sameNodes("n2pred", op, c.n2pred, ring2(n, graph.DirPred))
+		sameNodes("n2succ", op, c.n2succ, ring2(n, graph.DirSucc))
+		sameNodes("n2both", op, c.n2both, ring2(n, graph.DirBoth))
+		wt, wc, wm := n.EdgeStatsK(2)
+		if c.edge2Total != wt || c.edge2Count != wc || c.edge2Max != wm {
+			t.Fatalf("op %s edge stats (%d,%d,%d), want (%d,%d,%d)",
+				op.Name, c.edge2Total, c.edge2Count, c.edge2Max, wt, wc, wm)
+		}
+	}
+}
+
+func TestVectorIntoMatchesVector(t *testing.T) {
+	ex, m, _ := extractorFor(t)
+	dst := make([]float64, NumFeatures)
+	for _, op := range m.AllOps() {
+		want := ex.Vector(op)
+		got := ex.VectorInto(dst, op)
+		if &got[0] != &dst[0] {
+			t.Fatal("VectorInto did not fill the caller's buffer")
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("op %s feature %q: VectorInto %v, Vector %v", op.Name, Names()[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestVectorIntoRejectsWrongLength(t *testing.T) {
+	ex, m, _ := extractorFor(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst did not panic")
+		}
+	}()
+	ex.VectorInto(make([]float64, NumFeatures-1), m.AllOps()[0])
+}
+
+// TestVectorIntoAllocationFree is the allocation regression guard of the
+// parallelism PR: once the extractor's scratch has warmed up, extracting a
+// feature vector into a caller-provided buffer must not allocate at all.
+func TestVectorIntoAllocationFree(t *testing.T) {
+	ex, m, _ := extractorFor(t)
+	ops := m.AllOps()
+	dst := make([]float64, NumFeatures)
+	for _, op := range ops { // warm the scratch to steady-state capacity
+		ex.VectorInto(dst, op)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, op := range ops {
+			ex.VectorInto(dst, op)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("VectorInto allocates %v objects per extraction sweep, want 0", avg)
+	}
+}
+
+func BenchmarkVectorInto(b *testing.B) {
+	ex, m, _ := benchExtractor(b)
+	ops := m.AllOps()
+	dst := make([]float64, NumFeatures)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.VectorInto(dst, ops[i%len(ops)])
+	}
+}
+
+func BenchmarkVector(b *testing.B) {
+	ex, m, _ := benchExtractor(b)
+	ops := m.AllOps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Vector(ops[i%len(ops)])
+	}
+}
+
+// benchExtractor mirrors extractorFor for benchmarks.
+func benchExtractor(b *testing.B) (*Extractor, *ir.Module, map[string]*ir.Op) {
+	b.Helper()
+	m := ir.NewModule("m")
+	f := m.NewFunction("top")
+	bld := ir.NewBuilder(f).At("t.cpp", 1)
+	p := bld.Port("p", 32)
+	a := bld.Array("mem", 128, 16, 4)
+	mul := bld.Op(ir.KindMul, 16, bld.OpBits(ir.KindTrunc, 16, p, 16), bld.Const(16))
+	ld := bld.Load(a, nil)
+	add := bld.Op(ir.KindAdd, 16, mul, ld)
+	bld.Ret(add)
+	s, err := hls.ScheduleModule(m, hls.DefaultClock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bind := hls.BindModule(s)
+	g := graph.Build(m, bind)
+	ex := NewExtractor(m, s, bind, g, fpga.XC7Z020())
+	return ex, m, map[string]*ir.Op{"p": p, "mul": mul, "ld": ld, "add": add}
+}

@@ -68,20 +68,16 @@ func registerInterconnect() {
 	reg("num_succs_2hop", func(e *Extractor, c *opCtx) float64 { return float64(len(c.n2succ)) })
 	reg("num_neighbors_2hop", func(e *Extractor, c *opCtx) float64 { return float64(len(c.n2both)) })
 	reg("edge_total_2hop", func(e *Extractor, c *opCtx) float64 {
-		t, _, _ := c.node.EdgeStatsK(2)
-		return float64(t)
+		return float64(c.edge2Total)
 	})
 	reg("edge_count_2hop", func(e *Extractor, c *opCtx) float64 {
-		_, n, _ := c.node.EdgeStatsK(2)
-		return float64(n)
+		return float64(c.edge2Count)
 	})
 	reg("edge_max_2hop", func(e *Extractor, c *opCtx) float64 {
-		_, _, m := c.node.EdgeStatsK(2)
-		return float64(m)
+		return float64(c.edge2Max)
 	})
 	reg("edge_max_frac_2hop", func(e *Extractor, c *opCtx) float64 {
-		t, _, m := c.node.EdgeStatsK(2)
-		return safeDiv(float64(m), float64(t))
+		return safeDiv(float64(c.edge2Max), float64(c.edge2Total))
 	})
 	reg("fanin_2hop", func(e *Extractor, c *opCtx) float64 {
 		s := 0.0
@@ -119,25 +115,25 @@ func registerResource() {
 			return safeDiv(float64(c.node.Res().ByType(t)), e.funcTotal(c, t))
 		})
 		reg("pred_total", func(e *Extractor, c *opCtx) float64 {
-			return sumRes(c.node.Preds(), t)
+			return sumRes(c.n1pred, t)
 		})
 		reg("succ_total", func(e *Extractor, c *opCtx) float64 {
-			return sumRes(c.node.Succs(), t)
+			return sumRes(c.n1succ, t)
 		})
 		reg("predsucc_sum", func(e *Extractor, c *opCtx) float64 {
-			return sumRes(c.node.Preds(), t) + sumRes(c.node.Succs(), t)
+			return sumRes(c.n1pred, t) + sumRes(c.n1succ, t)
 		})
 		reg("pred_util_dev", func(e *Extractor, c *opCtx) float64 {
-			return safeDiv(sumRes(c.node.Preds(), t), e.devTotal(t))
+			return safeDiv(sumRes(c.n1pred, t), e.devTotal(t))
 		})
 		reg("succ_util_dev", func(e *Extractor, c *opCtx) float64 {
-			return safeDiv(sumRes(c.node.Succs(), t), e.devTotal(t))
+			return safeDiv(sumRes(c.n1succ, t), e.devTotal(t))
 		})
 		reg("pred_util_func", func(e *Extractor, c *opCtx) float64 {
-			return safeDiv(sumRes(c.node.Preds(), t), e.funcTotal(c, t))
+			return safeDiv(sumRes(c.n1pred, t), e.funcTotal(c, t))
 		})
 		reg("succ_util_func", func(e *Extractor, c *opCtx) float64 {
-			return safeDiv(sumRes(c.node.Succs(), t), e.funcTotal(c, t))
+			return safeDiv(sumRes(c.n1succ, t), e.funcTotal(c, t))
 		})
 		reg("max_nbr", func(e *Extractor, c *opCtx) float64 {
 			return maxRes(c.n1both, t)
@@ -340,6 +336,6 @@ func registerGlobal() {
 		reg("mux_top_"+mf.name, func(e *Extractor, c *opCtx) float64 { return mf.get(e.topInfo.mux) })
 	}
 	reg("num_live_funcs", func(e *Extractor, c *opCtx) float64 {
-		return float64(len(e.Mod.LiveFuncs()))
+		return float64(e.nLive)
 	})
 }

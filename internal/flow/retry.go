@@ -16,6 +16,13 @@ import (
 // (CapacityRelax) so hard-to-route designs trade congestion quality for
 // completion. The zero value retries nothing; start from
 // DefaultRetryPolicy.
+//
+// One RetryPolicy value may drive many concurrent RunWithRetry calls (the
+// parallel dataset builder hands the same policy to every worker): the
+// policy is never mutated — escalation derives a fresh Config per attempt
+// — and each attempt's backoff uses its own timer. Retryable, when set,
+// must therefore be safe for concurrent use, as must any fault injector
+// installed in Config.Faults (see faults.Injector).
 type RetryPolicy struct {
 	// MaxAttempts is the total number of attempts (first try included).
 	// Values below 1 mean a single attempt.

@@ -1,8 +1,11 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+
+	"repro/internal/parallel"
 )
 
 // Params is one hyperparameter assignment.
@@ -45,7 +48,10 @@ func sortStrings(s []string) {
 	}
 }
 
-// Factory builds a fresh regressor from a hyperparameter assignment.
+// Factory builds a fresh regressor from a hyperparameter assignment. A
+// factory must be safe to call from multiple goroutines: the parallel grid
+// search constructs one regressor per (candidate, fold) cell so no model
+// state is ever shared between workers.
 type Factory func(Params) Regressor
 
 // SearchResult reports the winning configuration of a grid search.
@@ -58,25 +64,52 @@ type SearchResult struct {
 // GridSearchCV exhaustively evaluates the grid with k-fold cross-validation
 // on (X, y), scoring by mean MAE across folds, and returns the best
 // parameters. The rng seeds the fold shuffling; folds are identical across
-// candidates so the comparison is paired.
+// candidates so the comparison is paired. It is the sequential
+// (workers = 1) form of GridSearchCVWorkers.
 func GridSearchCV(factory Factory, grid Grid, X [][]float64, y []float64, k int, rng *rand.Rand) (SearchResult, error) {
+	return GridSearchCVWorkers(factory, grid, X, y, k, rng, 1)
+}
+
+// GridSearchCVWorkers is GridSearchCV with the (candidate × fold) cells
+// evaluated on a bounded worker pool (workers <= 0 means one per CPU).
+// Every cell trains its own fresh regressor from the factory, the folds
+// are drawn from rng before any worker starts, and per-candidate fold
+// scores are accumulated in fold order by a sequential reduce — so the
+// returned SearchResult (winner, score, ties, error) is identical for
+// every worker count. X's rows are shared across workers and must not be
+// mutated by Regressor.Fit.
+func GridSearchCVWorkers(factory Factory, grid Grid, X [][]float64, y []float64, k int, rng *rand.Rand, workers int) (SearchResult, error) {
 	if len(X) != len(y) || len(X) == 0 {
 		return SearchResult{}, fmt.Errorf("ml: grid search on %d rows / %d targets", len(X), len(y))
 	}
 	folds := KFold(len(X), k, rng)
-	res := SearchResult{BestScore: -1}
-	for _, p := range grid.Enumerate() {
-		score := 0.0
-		for _, fold := range folds {
+	cands := grid.Enumerate()
+	nf := len(folds)
+
+	// One task per (candidate, fold) cell; cell results land at a fixed
+	// index so the reduce below is order-deterministic.
+	maes, errs, _ := parallel.Map(context.Background(), len(cands)*nf, workers,
+		func(_ context.Context, i int) (float64, error) {
+			p, fold := cands[i/nf], folds[i%nf]
 			trX, trY := Take(X, y, fold.Train)
 			teX, teY := Take(X, y, fold.Test)
-			m := factory(p)
+			m := factory(p) // fresh model per cell: no state shared between workers
 			if err := m.Fit(trX, trY); err != nil {
+				return 0, err
+			}
+			return MAE(teY, PredictBatch(m, teX)), nil
+		})
+
+	res := SearchResult{BestScore: -1}
+	for ci, p := range cands {
+		score := 0.0
+		for fi := 0; fi < nf; fi++ {
+			if err := errs[ci*nf+fi]; err != nil {
 				return SearchResult{}, fmt.Errorf("ml: grid search fit: %w", err)
 			}
-			score += MAE(teY, PredictBatch(m, teX))
+			score += maes[ci*nf+fi]
 		}
-		score /= float64(len(folds))
+		score /= float64(nf)
 		res.Evaluated++
 		if res.BestScore < 0 || score < res.BestScore {
 			res.BestScore = score

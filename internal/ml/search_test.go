@@ -73,4 +73,65 @@ func TestGridSearchPropagatesErrors(t *testing.T) {
 		Grid{}, nil, nil, 2, rand.New(rand.NewSource(1))); err == nil {
 		t.Fatal("empty dataset accepted")
 	}
+	// Error propagation holds under the parallel form too.
+	if _, err := GridSearchCVWorkers(func(Params) Regressor { return failModel{} },
+		Grid{"a": {1, 2}}, X, y, 2, rand.New(rand.NewSource(1)), 4); err == nil {
+		t.Fatal("parallel fit error swallowed")
+	}
+}
+
+// meanModel predicts the training-target mean scaled by a hyperparameter;
+// unlike biasModel its fit actually depends on the fold, exercising the
+// per-cell float pipeline.
+type meanModel struct {
+	scale float64
+	mean  float64
+}
+
+func (m *meanModel) Fit(X [][]float64, y []float64) error {
+	s := 0.0
+	for _, v := range y {
+		s += v
+	}
+	m.mean = s / float64(len(y))
+	return nil
+}
+func (m *meanModel) Predict(x []float64) float64 { return m.scale * (m.mean + x[0]*0.01) }
+
+// TestGridSearchWorkersMatchesSequential is the grid-search determinism
+// contract: same folds, same winner, bit-equal score, whatever the worker
+// count.
+func TestGridSearchWorkersMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 120
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64() * 3}
+		y[i] = 2*X[i][0] - X[i][1] + rng.NormFloat64()*0.1
+	}
+	factory := func(p Params) Regressor { return &meanModel{scale: p["scale"]} }
+	grid := Grid{"scale": {0.25, 0.5, 0.75, 1.0, 1.25}}
+
+	seq, err := GridSearchCVWorkers(factory, grid, X, y, 10, rand.New(rand.NewSource(42)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		par, err := GridSearchCVWorkers(factory, grid, X, y, 10, rand.New(rand.NewSource(42)), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.BestScore != seq.BestScore || par.Evaluated != seq.Evaluated {
+			t.Fatalf("workers=%d: result %+v differs from sequential %+v", workers, par, seq)
+		}
+		if len(par.Best) != len(seq.Best) {
+			t.Fatalf("workers=%d: winner params differ: %v vs %v", workers, par.Best, seq.Best)
+		}
+		for k, v := range seq.Best {
+			if par.Best[k] != v {
+				t.Fatalf("workers=%d: winner %v differs from sequential %v", workers, par.Best, seq.Best)
+			}
+		}
+	}
 }

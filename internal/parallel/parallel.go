@@ -1,0 +1,153 @@
+// Package parallel provides the bounded worker-pool primitive the hot
+// loops of this repository fan out on: dataset builds run one flow per
+// (module, label-run) cell, grid search evaluates one (candidate, fold)
+// cell per task, and both need the parallel result to be byte-identical to
+// the sequential one. The pool therefore guarantees deterministic result
+// placement — task i writes slot i, whatever goroutine ran it — and leaves
+// all ordered reduction (float accumulation, error joining) to the caller,
+// which replays it in index order.
+//
+// Contract:
+//
+//   - Tasks receive a context and must stop early when it is cancelled.
+//   - A panic on any worker is captured with its stack and re-raised on
+//     the calling goroutine as a *PanicError, so recover-based guards
+//     around a parallel call behave exactly as around sequential code.
+//   - workers <= 1 runs tasks on the calling goroutine in index order,
+//     making Workers=1 a true sequential reference execution.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values above zero are taken as
+// given, anything else means "one worker per available CPU"
+// (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError is a panic captured on a pool worker, re-raised on the caller
+// goroutine. Value is the original panic value and Stack the worker's
+// stack at capture time, so the crash diagnoses the task, not the pool.
+type PanicError struct {
+	// Index is the task index that panicked.
+	Index int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", e.Index, e.Value)
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (normalized by Workers). Each task writes its own results —
+// typically into slot i of a caller-owned slice — which keeps result
+// ordering deterministic regardless of scheduling.
+//
+// Cancellation: no new task starts after ctx is cancelled, and ForEach
+// returns the context's error once started tasks finish; the caller must
+// treat indices it never observed output for as not-run. A worker panic
+// cancels the remaining tasks and is re-raised on the calling goroutine as
+// a *PanicError.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Sequential reference path: index order, same panic wrapping as
+		// the pool so behavior does not depend on the worker count.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if pe := runTask(ctx, i, fn); pe != nil {
+				panic(pe)
+			}
+		}
+		return ctx.Err()
+	}
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		pe        *PanicError
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || pctx.Err() != nil {
+					return
+				}
+				if p := runTask(pctx, i, fn); p != nil {
+					panicOnce.Do(func() {
+						pe = p
+						cancel()
+					})
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if pe != nil {
+		panic(pe)
+	}
+	return ctx.Err()
+}
+
+// runTask executes one task, converting a panic into a *PanicError.
+func runTask(ctx context.Context, i int, fn func(context.Context, int)) (pe *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			if already, ok := r.(*PanicError); ok {
+				// A nested pool already wrapped it; keep the inner task's
+				// index and stack.
+				pe = already
+				return
+			}
+			pe = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn(ctx, i)
+	return nil
+}
+
+// Map runs fn over [0, n) with ForEach's scheduling and collects results
+// and errors by task index: out[i] and errs[i] always belong to task i.
+// The returned error is ForEach's (context cancellation); per-task errors
+// stay in errs for the caller to reduce in deterministic order.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) (out []T, errs []error, err error) {
+	out = make([]T, n)
+	errs = make([]error, n)
+	err = ForEach(ctx, n, workers, func(ctx context.Context, i int) {
+		out[i], errs[i] = fn(ctx, i)
+	})
+	return out, errs, err
+}

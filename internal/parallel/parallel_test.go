@@ -1,0 +1,169 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-3); got != want {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 257
+		counts := make([]atomic.Int64, n)
+		if err := ForEach(context.Background(), n, workers, func(_ context.Context, i int) {
+			counts[i].Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 8, func(context.Context, int) {
+		t.Error("task ran for n=0")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachNilContext(t *testing.T) {
+	ran := false
+	if err := ForEach(nil, 1, 1, func(ctx context.Context, _ int) { //nolint:staticcheck // nil ctx is part of the contract
+		ran = ctx != nil
+	}); err != nil || !ran {
+		t.Fatalf("nil context not normalized (ran=%v err=%v)", ran, err)
+	}
+}
+
+func TestForEachCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 50, 4, func(context.Context, int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestForEachStopsSchedulingAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEach(ctx, 10_000, 2, func(ctx context.Context, i int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		// Give the cancellation a moment to propagate to the other worker.
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10_000 {
+		t.Fatalf("cancellation did not stop scheduling (ran %d tasks)", n)
+	}
+}
+
+func TestForEachPanicIsWrappedOnCaller(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T %v, want *PanicError", workers, r, r)
+				}
+				if pe.Index != 7 || fmt.Sprint(pe.Value) != "boom" {
+					t.Fatalf("workers=%d: bad PanicError %+v", workers, pe)
+				}
+				if len(pe.Stack) == 0 {
+					t.Fatalf("workers=%d: PanicError lost the worker stack", workers)
+				}
+				if pe.Error() == "" {
+					t.Fatalf("workers=%d: empty Error()", workers)
+				}
+			}()
+			_ = ForEach(context.Background(), 8, workers, func(_ context.Context, i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: panic did not propagate", workers)
+		}()
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, errs, err := Map(context.Background(), 100, workers, func(_ context.Context, i int) (int, error) {
+			if i%10 == 3 {
+				return 0, fmt.Errorf("task %d failed", i)
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if i%10 == 3 {
+				if errs[i] == nil || errs[i].Error() != fmt.Sprintf("task %d failed", i) {
+					t.Fatalf("workers=%d: errs[%d] = %v", workers, i, errs[i])
+				}
+				continue
+			}
+			if out[i] != i*i || errs[i] != nil {
+				t.Fatalf("workers=%d: out[%d] = %d (err %v), want %d", workers, i, out[i], errs[i], i*i)
+			}
+		}
+	}
+}
+
+// TestForEachParallelMatchesSequential is the package-level determinism
+// contract: the same tasks produce the same per-index results whatever the
+// worker count.
+func TestForEachParallelMatchesSequential(t *testing.T) {
+	run := func(workers int) []float64 {
+		out := make([]float64, 500)
+		if err := ForEach(context.Background(), len(out), workers, func(_ context.Context, i int) {
+			v := float64(i)
+			out[i] = v*v/3 + v
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := run(1)
+	par := run(16)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %v != parallel %v", i, seq[i], par[i])
+		}
+	}
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Benchmark harness for the parallel execution layer: runs the dataset-build
+# and grid-search benchmarks at each worker count and records the timings in
+# BENCH_PR2.json. Speedup from Workers>1 can only materialize on multi-core
+# hosts, so the host's CPU count and GOMAXPROCS are recorded alongside the
+# ns/op figures to keep the numbers interpretable.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 1x; try 3x on fast hosts)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1x}"
+OUT=BENCH_PR2.json
+
+echo "== go test -bench (benchtime=$BENCHTIME) =="
+go test -run '^$' -bench 'BenchmarkBuildDataset' -benchtime="$BENCHTIME" . |
+	tee /tmp/bench_build.txt
+go test -run '^$' -bench 'BenchmarkGridSearchCV' -benchtime="$BENCHTIME" ./internal/ml/ |
+	tee /tmp/bench_grid.txt
+go test -run '^$' -bench 'BenchmarkVector' -benchmem -benchtime=1000x ./internal/features/ |
+	tee /tmp/bench_vec.txt
+
+awk -v cpus="$(nproc)" -v maxprocs="${GOMAXPROCS:-$(nproc)}" '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		ns[name] = $3
+		order[n++] = name
+	}
+	END {
+		printf "{\n"
+		printf "  \"host\": {\"cpus\": %d, \"gomaxprocs\": %s},\n", cpus, maxprocs
+		printf "  \"benchmarks\": {\n"
+		for (i = 0; i < n; i++) {
+			name = order[i]
+			printf "    \"%s\": {\"ns_per_op\": %s}%s\n", name, ns[name], (i < n-1 ? "," : "")
+		}
+		printf "  },\n"
+		seq = ns["BenchmarkBuildDataset/workers=1"]
+		par = ns["BenchmarkBuildDataset/workers=4"]
+		if (seq > 0 && par > 0)
+			printf "  \"build_speedup_workers4\": %.3f\n", seq / par
+		else
+			printf "  \"build_speedup_workers4\": null\n"
+		printf "}\n"
+	}
+' /tmp/bench_build.txt /tmp/bench_grid.txt /tmp/bench_vec.txt > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

@@ -16,4 +16,13 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+# The parallel execution layer's reproduction contract: a concurrent build
+# must be byte-identical to the sequential one, and the parallel hot paths
+# must be clean under the race detector even while being timed.
+echo "== parallel determinism (-race) =="
+go test -race -count=1 -run 'TestBuildDatasetDeterministicAcrossWorkers' ./internal/core/
+
+echo "== parallel bench smoke (-race) =="
+go test -race -run '^$' -bench 'BenchmarkBuildDataset' -benchtime=1x .
+
 echo "tier-1 checks passed"
