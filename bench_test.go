@@ -282,6 +282,36 @@ func BenchmarkBuildDataset(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildDatasetWarmCache measures rebuilding the training dataset
+// against a pre-populated flow cache — the steady state of experiment
+// sweeps and ablations, where every (design, config, seed) implementation
+// has already run once. Only back-tracing, graph building and feature
+// extraction remain, so the ratio to BenchmarkBuildDataset/workers=1 is
+// the speedup delivered by internal/flowcache. The warm build's output is
+// byte-identical to a cold one (core's flow-cache determinism test).
+func BenchmarkBuildDatasetWarmCache(b *testing.B) {
+	cache := NewFlowCache(0)
+	cfg := DefaultFlowConfig()
+	cfg.Cache = cache
+	opts := BuildOptions{LabelRuns: 2, Workers: 1}
+	// Prime the cache with one untimed cold build.
+	if _, _, _, err := BuildDatasetResilient(context.Background(), TrainingModules(), cfg, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mods := TrainingModules()
+		_, _, _, err := BuildDatasetResilient(context.Background(), mods, cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := cache.Stats(); s.Hits == 0 {
+		b.Fatal("warm rebuild never hit the cache; benchmark measured cold builds")
+	}
+}
+
 // BenchmarkFullFlowFaceDetection measures the simulated C-to-FPGA flow on
 // the largest training design — the operation the paper's predictor lets a
 // designer skip.

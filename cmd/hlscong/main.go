@@ -30,6 +30,11 @@
 //	             placer/router iteration
 //	-workers N   concurrent flow runs / grid-search cells (0 = one per CPU,
 //	             1 = sequential; the output is identical either way)
+//	-flowcache N memoize up to N completed flow runs so repeated
+//	             (design, config, seed) implementations are served from
+//	             cache (0 disables; results are identical either way)
+//	-cpuprofile F / -memprofile F
+//	             write a CPU / heap profile to F for `go tool pprof`
 package main
 
 import (
@@ -39,35 +44,80 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/backtrace"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/flow"
+	"repro/internal/flowcache"
 	"repro/internal/report"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the exit code back through the deferred profile flushes
+// (os.Exit in main would skip them).
+func realMain() (code int) {
 	quick := flag.Bool("quick", false, "use shrunken ML models")
 	seed := flag.Int64("seed", 42, "split/model seed")
 	design := flag.String("design", "baseline", "predict target: baseline|noinline|replication")
 	timeout := flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	workers := flag.Int("workers", 0, "concurrent flow runs / CV cells (0 = one per CPU, 1 = sequential)")
+	cacheSize := flag.Int("flowcache", flowcache.DefaultMaxEntries,
+		"memoize up to N completed flow runs (0 disables)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	// No internal invariant panic may take the process down without a
-	// diagnosis: convert it to a message and a non-zero exit.
+	// diagnosis: convert it to a message and a non-zero exit. Registered
+	// before the profile defers so those still flush on the way out.
 	defer func() {
 		if r := recover(); r != nil {
 			fmt.Fprintf(os.Stderr, "hlscong: internal panic: %v\n", r)
-			os.Exit(3)
+			code = 3
 		}
 	}()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hlscong:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "hlscong:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hlscong:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hlscong:", err)
+			}
+		}()
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
@@ -82,11 +132,20 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.Ctx = ctx
+	if *cacheSize > 0 {
+		// Repeated (design, config, seed) implementations — label runs,
+		// ablations, the "all" command — are served from cache; the output
+		// is byte-identical with the cache off.
+		cfg.Flow.Cache = flowcache.New(*cacheSize)
+	} else {
+		cfg.Flow.Cache = nil // -flowcache 0 disables memoization entirely
+	}
 
 	if err := run(cfg, flag.Arg(0), *design); err != nil {
 		reportError(err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // reportError prints the failure with its stage-error chain spelled out,

@@ -39,6 +39,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/flow"
+	"repro/internal/flowcache"
 	"repro/internal/ir"
 	"repro/internal/report"
 	"repro/internal/timing"
@@ -99,6 +100,11 @@ type (
 	BuildSummary = core.BuildSummary
 	// BuildOptions tunes the resilient dataset builder.
 	BuildOptions = core.BuildOptions
+	// FlowCache memoizes completed flow runs content-addressed by design,
+	// config and seed (FlowConfig.Cache); see internal/flowcache.
+	FlowCache = flowcache.Cache
+	// FlowCacheStats is a snapshot of a FlowCache's hit/miss counters.
+	FlowCacheStats = flowcache.Stats
 )
 
 // Sentinel flow errors, re-exported for errors.Is matching at the facade.
@@ -192,6 +198,14 @@ func NewBuilder(f *ir.Function) *Builder { return ir.NewBuilder(f) }
 // DefaultFlowConfig is the paper's setup: Zynq XC7Z020 at a 100 MHz target
 // with the tuned placer/router/timing options.
 func DefaultFlowConfig() FlowConfig { return flow.DefaultConfig() }
+
+// NewFlowCache returns a concurrency-safe LRU cache holding up to
+// maxEntries memoized flow results (maxEntries <= 0 selects the default
+// bound). Assign it to FlowConfig.Cache so repeated (design, config, seed)
+// implementations — label runs, ablations, experiment sweeps — are served
+// without re-running placement and routing; outputs are byte-identical with
+// caching off.
+func NewFlowCache(maxEntries int) *FlowCache { return flowcache.New(maxEntries) }
 
 // guard is the facade's panic firewall: it converts internal invariant
 // panics (ir validation, feature extraction, model internals) escaping an

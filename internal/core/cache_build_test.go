@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/flow"
+	"repro/internal/flowcache"
+)
+
+// cacheBuild runs one resilient build of the tiny module set with the given
+// cache and worker count.
+func cacheBuild(t *testing.T, cache flow.Cache, workers int) (ds *dataset.Dataset, results []*flow.Result, sum *BuildSummary) {
+	t.Helper()
+	cfg := quickFlow()
+	cfg.Cache = cache
+	opts := BuildOptions{
+		LabelRuns: 2,
+		Retry:     flow.RetryPolicy{MaxAttempts: 2, SeedStride: 104729},
+		Workers:   workers,
+	}
+	ds, results, sum, err := BuildDatasetContext(context.Background(), tinyModules(), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, results, sum
+}
+
+// TestBuildDatasetFlowCache is the flow-cache reproduction contract: a build
+// with a cold cache is byte-identical to an uncached build, and rebuilding
+// the same dataset against the warm cache serves every flow run as a hit —
+// again byte-identical.
+func TestBuildDatasetFlowCache(t *testing.T) {
+	dsRef, resRef, sumRef := cacheBuild(t, nil, 1)
+
+	cache := flowcache.New(0)
+	dsCold, resCold, sumCold := cacheBuild(t, cache, 1)
+	assertSameBuild(t, "cold-cache", dsRef, resRef, sumRef, nil, dsCold, resCold, sumCold, nil)
+	cold := cache.Stats()
+	if cold.Puts == 0 {
+		t.Fatal("cold build stored nothing in the cache")
+	}
+
+	dsWarm, resWarm, sumWarm := cacheBuild(t, cache, 1)
+	assertSameBuild(t, "warm-cache", dsRef, resRef, sumRef, nil, dsWarm, resWarm, sumWarm, nil)
+	warm := cache.Stats()
+	hits := warm.Hits - cold.Hits
+	if hits == 0 {
+		t.Fatal("warm rebuild hit the cache zero times")
+	}
+	if int(hits) != sumWarm.FlowRuns {
+		t.Errorf("warm rebuild hit %d of %d flow runs; every run should be memoized",
+			hits, sumWarm.FlowRuns)
+	}
+	if warm.Puts != cold.Puts {
+		t.Errorf("warm rebuild re-stored results (puts %d -> %d)", cold.Puts, warm.Puts)
+	}
+}
+
+// TestBuildDatasetFlowCacheParallel shares one cache across a parallel
+// build's workers (the concurrency contract of flow.Cache) and checks the
+// result still matches the sequential uncached reference. Run under -race
+// in tier 1.
+func TestBuildDatasetFlowCacheParallel(t *testing.T) {
+	dsRef, resRef, sumRef := cacheBuild(t, nil, 1)
+	cache := flowcache.New(0)
+	dsA, resA, sumA := cacheBuild(t, cache, 8)
+	assertSameBuild(t, "parallel-cold", dsRef, resRef, sumRef, nil, dsA, resA, sumA, nil)
+	dsB, resB, sumB := cacheBuild(t, cache, 8)
+	assertSameBuild(t, "parallel-warm", dsRef, resRef, sumRef, nil, dsB, resB, sumB, nil)
+	if s := cache.Stats(); s.Hits == 0 {
+		t.Error("parallel warm rebuild never hit the shared cache")
+	}
+}

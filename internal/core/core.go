@@ -281,8 +281,13 @@ func BuildDatasetContext(ctx context.Context, mods []*ir.Module, cfg flow.Config
 			sum.Failed = append(sum.Failed, ModuleFailure{Module: m.Name, Err: err})
 			continue
 		}
-		g := graph.Build(m, first.Bind)
-		ex := features.NewExtractor(m, first.Sched, first.Bind, g, cfg.Dev)
+		// Build the graph and extractor from the flow result's own module:
+		// with flow caching enabled, `first` may have been produced from a
+		// content-identical but pointer-distinct module instance, and the
+		// extractor keys off op identity. Content equality makes the
+		// emitted features byte-identical either way.
+		g := graph.Build(first.Mod, first.Bind)
+		ex := features.NewExtractor(first.Mod, first.Sched, first.Bind, g, cfg.Dev)
 		ds.FromTrace(m.Name, traced, ex)
 		results = append(results, first)
 		sum.Succeeded++

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/flow"
+	"repro/internal/flowcache"
 	"repro/internal/ir"
 )
 
@@ -44,9 +45,14 @@ func (c Config) ctx() context.Context {
 	return context.Background()
 }
 
-// DefaultConfig mirrors the paper's setup.
+// DefaultConfig mirrors the paper's setup. It installs a flow cache so
+// repeated (design, config, seed) implementations across tables, figures
+// and ablations are memoized within one experiment session — outputs are
+// byte-identical with the cache removed (Flow.Cache = nil).
 func DefaultConfig() Config {
-	return Config{Flow: flow.DefaultConfig(), Seed: 42}
+	cfg := flow.DefaultConfig()
+	cfg.Cache = flowcache.New(0)
+	return Config{Flow: cfg, Seed: 42}
 }
 
 // buildModel adapts the model size to the effort level.

@@ -1,0 +1,39 @@
+package flow
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Cache memoizes successful flow results, content-addressed by CacheKey.
+// The flow package only defines the interface (internal/flowcache provides
+// the bounded LRU implementation) so the dependency points outward.
+// Implementations must be safe for concurrent use: dataset builds run flows
+// from many workers. A cached *Result is shared between all callers that
+// hit the same key and must be treated as immutable.
+type Cache interface {
+	// Get returns the memoized result for key, if present.
+	Get(key string) (*Result, bool)
+	// Put stores a successful flow result under key.
+	Put(key string, res *Result)
+}
+
+// CacheKey derives the content-addressed memoization key for running cfg on
+// module m: a hash of the design's canonical text serialization, every
+// config field that influences flow outputs (device geometry and capacities,
+// clock, placer, router and timing options, strict-convergence mode) and
+// the seed. Attempt is deliberately excluded — it only stamps error
+// metadata — and fault injectors bypass caching entirely (RunContext never
+// consults the cache when cfg.Faults is set). Changing any input that could
+// change the Result changes the key, which is the cache's only
+// invalidation rule.
+func CacheKey(m *ir.Module, cfg Config) string {
+	h := sha256.New()
+	ir.WriteText(h, m)
+	fmt.Fprintf(h, "|dev=%+v|clock=%+v|seed=%d|place=%+v|route=%+v|timing=%+v|strict=%v",
+		*cfg.Dev, cfg.Clock, cfg.Seed, cfg.Place, cfg.Route, cfg.Timing, cfg.StrictConvergence)
+	return hex.EncodeToString(h.Sum(nil))
+}

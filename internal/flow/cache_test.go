@@ -1,0 +1,163 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/ir"
+)
+
+// recordingCache is a minimal map-backed Cache that counts traffic. The real
+// LRU implementation lives in internal/flowcache (which imports this
+// package); flow's own tests only need the interface contract.
+type recordingCache struct {
+	m    map[string]*Result
+	gets int
+	puts int
+}
+
+func newRecordingCache() *recordingCache {
+	return &recordingCache{m: make(map[string]*Result)}
+}
+
+func (c *recordingCache) Get(key string) (*Result, bool) {
+	c.gets++
+	res, ok := c.m[key]
+	return res, ok
+}
+
+func (c *recordingCache) Put(key string, res *Result) {
+	c.puts++
+	c.m[key] = res
+}
+
+func TestCacheKeyDeterministic(t *testing.T) {
+	cfg := quickConfig()
+	k1 := CacheKey(smallModule(), cfg)
+	k2 := CacheKey(smallModule(), cfg)
+	if k1 != k2 {
+		t.Fatalf("same design+config hashed differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key is not a hex sha256: %q", k1)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := quickConfig()
+	m := smallModule()
+	k0 := CacheKey(m, base)
+
+	// Every flow-relevant input must change the key.
+	variants := map[string]Config{}
+	cfg := base
+	cfg.Seed = base.Seed + 1
+	variants["seed"] = cfg
+	cfg = base
+	cfg.Place.Moves = base.Place.Moves + 1
+	variants["place option"] = cfg
+	cfg = base
+	cfg.Route.Iterations = base.Route.Iterations + 1
+	variants["route option"] = cfg
+	cfg = base
+	cfg.Clock.PeriodNS = base.Clock.PeriodNS * 2
+	variants["clock"] = cfg
+	cfg = base
+	cfg.StrictConvergence = !base.StrictConvergence
+	variants["strict convergence"] = cfg
+	cfg = base
+	dev := *base.Dev
+	dev.VCap = base.Dev.VCap + 1
+	cfg.Dev = &dev
+	variants["device capacity"] = cfg
+	cfg = base
+	cfg.Timing.PerTileNS = base.Timing.PerTileNS + 1
+	variants["timing model"] = cfg
+
+	seen := map[string]string{k0: "base"}
+	for name, v := range variants {
+		k := CacheKey(m, v)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("changing %s produced the same key as %s", name, prev)
+		}
+		seen[k] = name
+	}
+
+	// A different design text changes the key too.
+	m2 := smallModule()
+	m2.Name = "other"
+	if CacheKey(m2, base) == k0 {
+		t.Error("different design hashed to the same key")
+	}
+
+	// Attempt is retry metadata, not a flow input: same key.
+	cfg = base
+	cfg.Attempt = 7
+	if CacheKey(m, cfg) != k0 {
+		t.Error("Attempt changed the key; retries would never hit the cache")
+	}
+}
+
+func TestRunContextServesFromCache(t *testing.T) {
+	cache := newRecordingCache()
+	cfg := quickConfig()
+	cfg.Cache = cache
+
+	r1, err := Run(smallModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.puts != 1 {
+		t.Fatalf("first run stored %d results, want 1", cache.puts)
+	}
+	r2, err := Run(smallModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != r1 {
+		t.Fatal("second identical run did not return the cached *Result")
+	}
+	if cache.puts != 1 {
+		t.Fatalf("cache hit re-stored the result (puts=%d)", cache.puts)
+	}
+
+	// A different seed is a different key: miss, fresh run, second Put.
+	cfg.Seed = 999
+	r3, err := Run(smallModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatal("different seed served the old cached result")
+	}
+	if cache.puts != 2 {
+		t.Fatalf("miss did not store its result (puts=%d)", cache.puts)
+	}
+}
+
+func TestFaultInjectorBypassesCache(t *testing.T) {
+	cache := newRecordingCache()
+	cfg := quickConfig()
+	cfg.Cache = cache
+	cfg.Faults = faults.Script{} // injects nothing, but marks the run as chaos
+
+	if _, err := Run(smallModule(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cache.gets != 0 || cache.puts != 0 {
+		t.Fatalf("fault-injected run touched the cache (gets=%d puts=%d)",
+			cache.gets, cache.puts)
+	}
+}
+
+func TestFailedRunsAreNotCached(t *testing.T) {
+	cache := newRecordingCache()
+	cfg := quickConfig()
+	cfg.Cache = cache
+	if _, err := Run(&ir.Module{Name: "broken"}, cfg); err == nil {
+		t.Fatal("invalid module accepted")
+	}
+	if cache.puts != 0 {
+		t.Fatalf("failed run stored a result (puts=%d)", cache.puts)
+	}
+}

@@ -51,6 +51,13 @@ type Config struct {
 	// congestion above 100 % is the signal being studied, not a failure).
 	StrictConvergence bool
 
+	// Cache optionally memoizes successful runs content-addressed by
+	// CacheKey (design text, config, seed): repeated flows across label
+	// runs, ablations and experiments are served without re-running the
+	// implementation stages. Nil disables memoization. Runs with a fault
+	// injector are never cached (see CacheKey).
+	Cache Cache
+
 	// Faults optionally injects deterministic stage failures (tests,
 	// chaos runs). Nil disables injection.
 	Faults faults.Injector
@@ -132,6 +139,20 @@ func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) 
 		return nil, fail(StagePlace, fmt.Errorf("config has no device"))
 	}
 
+	// Serve memoized results (after the context check, so cancelled runs
+	// keep failing like uncached ones; fault-injected runs bypass the
+	// cache so injected failures stay observable).
+	var cacheKey string
+	if cfg.Cache != nil && cfg.Faults == nil {
+		if err := ctxErr(ctx); err != nil {
+			return nil, fail(StageSchedule, err)
+		}
+		cacheKey = CacheKey(m, cfg)
+		if res, ok := cfg.Cache.Get(cacheKey); ok {
+			return res, nil
+		}
+	}
+
 	// enter guards one stage: context first, then injected faults.
 	enter := func(stage string) error {
 		if err := ctxErr(ctx); err != nil {
@@ -197,7 +218,7 @@ func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) 
 	}
 	rep := timing.Analyze(sched, nl, rr, cfg.Timing)
 
-	return &Result{
+	res := &Result{
 		Mod:         m,
 		Config:      cfg,
 		Sched:       sched,
@@ -207,7 +228,11 @@ func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) 
 		Routing:     rr,
 		Timing:      rep,
 		Convergence: conv,
-	}, nil
+	}
+	if cacheKey != "" {
+		cfg.Cache.Put(cacheKey, res)
+	}
+	return res, nil
 }
 
 // ctxErr returns the context's error, tagging deadline expiry with

@@ -1,0 +1,142 @@
+// Package flowcache provides the standard implementation of flow.Cache: a
+// concurrency-safe, LRU-bounded, content-addressed memoization of completed
+// implementation flows. The flow itself computes the keys (flow.CacheKey
+// hashes the design's canonical text, the full tool configuration and the
+// seed), so this package is a pure key-value store: any input change yields
+// a new key and stale entries simply age out of the LRU — there is no other
+// invalidation. Cached *flow.Result values are shared between every caller
+// that hits the same key; consumers must treat them as read-only, which
+// everything downstream of the flow (back-tracing, graph building, feature
+// extraction) already does.
+package flowcache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/flow"
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Puts      uint64
+	Evictions uint64
+	Entries   int
+}
+
+// HitRate returns hits/(hits+misses), zero when the cache is untouched.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a bounded LRU flow-result cache, safe for concurrent use by the
+// dataset builder's worker pool.
+type Cache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	puts      uint64
+	evictions uint64
+}
+
+type entry struct {
+	key string
+	res *flow.Result
+}
+
+// DefaultMaxEntries bounds a cache built with New(0). Each entry pins one
+// full flow Result (netlist, placement, congestion map), so the default is
+// sized for the paper's experiment sweeps — a few designs at a few label
+// seeds each across directive variants — not for unbounded corpora.
+const DefaultMaxEntries = 128
+
+// New returns a cache holding at most maxEntries results; maxEntries <= 0
+// selects DefaultMaxEntries.
+func New(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Cache{
+		max:   maxEntries,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, maxEntries),
+	}
+}
+
+// Get implements flow.Cache.
+func (c *Cache) Get(key string) (*flow.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).res, true
+}
+
+// Put implements flow.Cache. Storing an existing key refreshes its recency
+// and replaces the value; storing a new key may evict the least recently
+// used entry.
+func (c *Cache) Put(key string, res *flow.Result) {
+	if res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the current number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Puts:      c.puts,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+	}
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.max)
+	c.hits, c.misses, c.puts, c.evictions = 0, 0, 0, 0
+}
+
+var _ flow.Cache = (*Cache)(nil)

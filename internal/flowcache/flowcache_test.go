@@ -1,0 +1,142 @@
+package flowcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+func res(i int) *flow.Result { return &flow.Result{Config: flow.Config{Seed: int64(i)}} }
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := res(1)
+	c.Put("a", want)
+	got, ok := c.Get("a")
+	if !ok || got != want {
+		t.Fatalf("Get(a) = %v, %v; want the stored result", got, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 put / 1 entry", s)
+	}
+}
+
+func TestNilResultIgnored(t *testing.T) {
+	c := New(4)
+	c.Put("a", nil)
+	if c.Len() != 0 {
+		t.Fatal("nil result was stored")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", res(1))
+	c.Put("b", res(2))
+	c.Get("a") // refresh a, so b is now the eviction candidate
+	c.Put("c", res(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("least recently used entry survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("new entry missing")
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction and 2 entries", s)
+	}
+}
+
+func TestPutExistingKeyRefreshes(t *testing.T) {
+	c := New(2)
+	c.Put("a", res(1))
+	c.Put("b", res(2))
+	next := res(3)
+	c.Put("a", next) // replace value and refresh recency
+	c.Put("c", res(4))
+	if got, ok := c.Get("a"); !ok || got != next {
+		t.Fatal("refreshed entry lost or stale")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("refresh evicted the wrong entry")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	c := New(0)
+	for i := 0; i < DefaultMaxEntries+10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), res(i))
+	}
+	if c.Len() != DefaultMaxEntries {
+		t.Fatalf("len = %d, want DefaultMaxEntries = %d", c.Len(), DefaultMaxEntries)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(4)
+	c.Put("a", res(1))
+	c.Get("a")
+	c.Get("missing")
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("reset left entries behind")
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("reset left counters: %+v", s)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("reset entry still served")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Fatalf("untouched hit rate = %v, want 0", r)
+	}
+	if r := (Stats{Hits: 3, Misses: 1}).HitRate(); r != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", r)
+	}
+}
+
+// TestConcurrentAccess hammers one cache from many goroutines; run with
+// -race this doubles as the data-race check for the dataset builder's
+// worker-pool usage.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%16)
+				if r, ok := c.Get(key); ok && r == nil {
+					t.Error("hit returned nil result")
+					return
+				}
+				c.Put(key, res(i))
+				c.Len()
+				c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("len = %d exceeds bound 8", c.Len())
+	}
+	s := c.Stats()
+	if s.Puts != 8*200 {
+		t.Fatalf("puts = %d, want %d", s.Puts, 8*200)
+	}
+}

@@ -26,6 +26,10 @@ type Node struct {
 
 	In  []*Edge
 	Out []*Edge
+
+	// res caches Characterize(Kind, Bitwidth).Res: the extractor reads a
+	// node's resources once per feature, and characterization is pure.
+	res hls.Resources
 }
 
 // IsMerged reports whether the node combines shared operations.
@@ -37,9 +41,7 @@ func (n *Node) IsPort() bool { return n.Kind == ir.KindPort }
 // Res returns the characterized resource usage of the node's hardware: one
 // functional-unit instance (merged operations share it, so it is counted
 // once, exactly why the paper merges the nodes).
-func (n *Node) Res() hls.Resources {
-	return hls.Characterize(n.Kind, n.Bitwidth).Res
-}
+func (n *Node) Res() hls.Resources { return n.res }
 
 // FanIn returns the summed wire weight of incoming edges.
 func (n *Node) FanIn() int {
@@ -87,6 +89,7 @@ func Build(m *ir.Module, binding *hls.Binding) *Graph {
 			}
 			g.OfOp[o] = n
 		}
+		n.res = hls.Characterize(n.Kind, n.Bitwidth).Res
 		g.Nodes = append(g.Nodes, n)
 		return n
 	}

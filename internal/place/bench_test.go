@@ -1,0 +1,55 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fpga"
+)
+
+// BenchmarkPlace times one full annealing run of the test design with the
+// incremental bounding-box kernel ("incremental") against the frozen
+// pre-optimization kernel kept in equiv_test.go ("reference"). The
+// equivalence tests prove the two produce byte-identical placements, so the
+// ns/op ratio is the speedup of the placer tentpole. Run with -benchmem:
+// the incremental kernel's inner loop allocates nothing.
+func BenchmarkPlace(b *testing.B) {
+	nl := testNetlist(b)
+	dev := fpga.XC7Z020()
+	opts := DefaultOptions()
+	opts.Moves = 20000
+
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Place(nl, dev, rand.New(rand.NewSource(1)), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			referencePlace(b, nl, dev, 1, opts)
+		}
+	})
+}
+
+// BenchmarkMoveDelta isolates the per-move cost evaluation — the single
+// hottest call of the flow (placer profiles put it above 40 % before the
+// rewrite). Steady state it must not allocate.
+func BenchmarkMoveDelta(b *testing.B) {
+	nl := testNetlist(b)
+	dev := fpga.XC7Z020()
+	rng := rand.New(rand.NewSource(1))
+	st := newState(nl, dev, DefaultOptions())
+	st.initial(rng)
+	n := len(nl.Cells)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ci := i % n
+		np := st.randomTarget(rng, ci, dev.Cols)
+		st.moveDelta(ci, np)
+	}
+}

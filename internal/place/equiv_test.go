@@ -1,0 +1,266 @@
+package place
+
+// Equivalence suite for the incremental-bounding-box fast path: a frozen
+// copy of the pre-optimization kernels — recompute every affected net's box
+// from scratch on every proposed move AND again on every commit — drives
+// the same annealing loop, and the resulting placements must be
+// byte-identical to the optimized placer for fixed seeds. The reference is
+// deliberately duplicated here (not shared with production code) so it
+// stays a golden baseline: if an optimization ever changes a trajectory,
+// these tests fail instead of silently shifting every congestion label
+// downstream.
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/fpga"
+	"repro/internal/hls"
+	"repro/internal/rtl"
+)
+
+// refComputeBox is the pre-optimization net recompute, kept verbatim (the
+// boundary support counts did not exist; the reference never reads them).
+func refComputeBox(cells []int, pos []fpga.XY) bbox {
+	first := pos[cells[0]]
+	b := bbox{xmin: int16(first.X), xmax: int16(first.X), ymin: int16(first.Y), ymax: int16(first.Y)}
+	for _, ci := range cells[1:] {
+		p := pos[ci]
+		x, y := int16(p.X), int16(p.Y)
+		if x < b.xmin {
+			b.xmin = x
+		}
+		if x > b.xmax {
+			b.xmax = x
+		}
+		if y < b.ymin {
+			b.ymin = y
+		}
+		if y > b.ymax {
+			b.ymax = y
+		}
+	}
+	return b
+}
+
+// refMoveDelta is the pre-optimization moveDelta: copy the box, flip the
+// position, recompute the whole net.
+func refMoveDelta(st *state, ci int, np fpga.XY) float64 {
+	op := st.pos[ci]
+	dWL := 0.0
+	for _, ni := range st.cellNets[ci] {
+		old := st.boxes[ni].hpwl()
+		st.pos[ci] = np
+		b2 := refComputeBox(st.netCells[ni], st.pos)
+		st.pos[ci] = op
+		dWL += st.weights[ni] * (b2.hpwl() - old)
+	}
+	ob, nbn := st.binIdx(op.X, op.Y), st.binIdx(np.X, np.Y)
+	dDen := 0.0
+	if ob != nbn {
+		a := st.area[ci]
+		dDen = overflow2(st.binOcc[ob]-a, st.binCap[ob]) - overflow2(st.binOcc[ob], st.binCap[ob]) +
+			overflow2(st.binOcc[nbn]+a, st.binCap[nbn]) - overflow2(st.binOcc[nbn], st.binCap[nbn])
+	}
+	dClu := st.clusterWt[ci] * float64(st.attract[ci].dist(np)-st.attract[ci].dist(op))
+	return dWL + st.opts.DensityWeight*dDen + st.opts.ClusterWeight*dClu
+}
+
+// refCommit is the pre-optimization commit: recompute every affected net a
+// second time.
+func refCommit(st *state, ci int, np fpga.XY) {
+	op := st.pos[ci]
+	ob, nbn := st.binIdx(op.X, op.Y), st.binIdx(np.X, np.Y)
+	st.pos[ci] = np
+	for _, ni := range st.cellNets[ci] {
+		old := st.weights[ni] * st.boxes[ni].hpwl()
+		st.boxes[ni] = refComputeBox(st.netCells[ni], st.pos)
+		st.wirelen += st.weights[ni]*st.boxes[ni].hpwl() - old
+	}
+	if ob != nbn {
+		a := st.area[ci]
+		st.density += overflow2(st.binOcc[ob]-a, st.binCap[ob]) - overflow2(st.binOcc[ob], st.binCap[ob]) +
+			overflow2(st.binOcc[nbn]+a, st.binCap[nbn]) - overflow2(st.binOcc[nbn], st.binCap[nbn])
+		st.binOcc[ob] -= a
+		st.binOcc[nbn] += a
+	}
+	st.cluster += st.clusterWt[ci] * float64(st.attract[ci].dist(np)-st.attract[ci].dist(op))
+}
+
+// refAnneal mirrors state.anneal with the reference kernels, consuming the
+// rng in exactly the same sequence.
+func refAnneal(st *state, ctx context.Context, rng *rand.Rand) error {
+	n := len(st.nl.Cells)
+	moves := st.opts.Moves
+	var sum, sum2 float64
+	samples := 64
+	for i := 0; i < samples; i++ {
+		ci := rng.Intn(n)
+		np := st.randomTarget(rng, ci, st.dev.Cols)
+		d := refMoveDelta(st, ci, np)
+		sum += d
+		sum2 += d * d
+	}
+	mean := sum / float64(samples)
+	sigma := math.Sqrt(math.Max(sum2/float64(samples)-mean*mean, 1))
+	temp := 2 * sigma
+	window := float64(maxInt(st.dev.Cols, st.dev.Rows))
+	cool := math.Pow(0.005, 1/float64(maxInt(moves, 1)))
+
+	for i := 0; i < moves; i++ {
+		if i%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		ci := rng.Intn(n)
+		w := int(window)
+		if w < 2 {
+			w = 2
+		}
+		np := st.randomTarget(rng, ci, w)
+		if np == st.pos[ci] {
+			continue
+		}
+		d := refMoveDelta(st, ci, np)
+		if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+			refCommit(st, ci, np)
+		}
+		temp *= cool
+		window = math.Max(2, window*math.Pow(cool, 0.5))
+	}
+	return nil
+}
+
+// referencePlace is PlaceContext with the pre-optimization kernels.
+func referencePlace(t testing.TB, nl *rtl.Netlist, dev *fpga.Device, seed int64, opts Options) *Placement {
+	t.Helper()
+	if opts.BinSize <= 0 {
+		opts.BinSize = 4
+	}
+	if opts.Moves <= 0 {
+		opts.Moves = 200 * len(nl.Cells)
+		if opts.Moves < 20000 {
+			opts.Moves = 20000
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	st := newState(nl, dev, opts)
+	st.initial(rng)
+	if err := refAnneal(st, context.Background(), rng); err != nil {
+		t.Fatal(err)
+	}
+	return &Placement{Dev: dev, NL: nl, Pos: st.pos, RegionCenter: st.regionCenter}
+}
+
+func comparePlacements(t *testing.T, name string, got, want *Placement) {
+	t.Helper()
+	if len(got.Pos) != len(want.Pos) {
+		t.Fatalf("%s: %d positions, reference has %d", name, len(got.Pos), len(want.Pos))
+	}
+	for i := range got.Pos {
+		if got.Pos[i] != want.Pos[i] {
+			t.Fatalf("%s: cell %d placed at %v, reference %v — trajectory diverged",
+				name, i, got.Pos[i], want.Pos[i])
+		}
+	}
+}
+
+// TestPlaceEquivalentToReference: the optimized placer must reproduce the
+// reference placement bit-for-bit across seeds on the unit-test design.
+func TestPlaceEquivalentToReference(t *testing.T) {
+	nl := testNetlist(t)
+	dev := fpga.XC7Z020()
+	opts := DefaultOptions()
+	opts.Moves = 6000
+	for _, seed := range []int64{1, 7, 42, 104730} {
+		got, err := Place(nl, dev, rand.New(rand.NewSource(seed)), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referencePlace(t, nl, dev, seed, opts)
+		comparePlacements(t, "unit design", got, want)
+	}
+}
+
+// TestPlaceEquivalentToReferencePaperDesign runs the equivalence on a real
+// training implementation (the seeds the dataset build uses), at a reduced
+// but non-trivial move budget.
+func TestPlaceEquivalentToReferencePaperDesign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-design equivalence is slow")
+	}
+	m := bench.DigitSpam()
+	s, err := hls.ScheduleModule(m, hls.DefaultClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := rtl.Elaborate(hls.BindModule(s))
+	dev := fpga.XC7Z020()
+	opts := DefaultOptions()
+	opts.Moves = 12000
+	for _, seed := range []int64{1, 7920} {
+		got, err := Place(nl, dev, rand.New(rand.NewSource(seed)), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referencePlace(t, nl, dev, seed, opts)
+		comparePlacements(t, "digit+spam", got, want)
+	}
+}
+
+// TestEvalMoveMatchesRecompute property-checks the incremental boundary
+// update against a from-scratch recompute over random pin sets and moves.
+func TestEvalMoveMatchesRecompute(t *testing.T) {
+	f := func(seed int64, nPins uint8, span uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nPins)%12
+		w := 1 + int(span)%16
+		pos := make([]fpga.XY, n)
+		cells := make([]int, n)
+		for i := range pos {
+			cells[i] = i
+			pos[i] = fpga.XY{X: rng.Intn(w), Y: rng.Intn(w)}
+		}
+		box := computeBox(cells, pos, -1, fpga.XY{})
+		for trial := 0; trial < 64; trial++ {
+			ci := rng.Intn(n)
+			np := fpga.XY{X: rng.Intn(w), Y: rng.Intn(w)}
+			got := evalBox(box, cells, pos, ci, pos[ci], np)
+			want := computeBox(cells, pos, ci, np)
+			if got != want {
+				t.Logf("move cell %d %v->%v: got %+v want %+v", ci, pos[ci], np, got, want)
+				return false
+			}
+			// Commit the move half the time to exercise box evolution.
+			if rng.Intn(2) == 0 {
+				pos[ci] = np
+				box = got
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComputeBoxCounts pins the boundary-support bookkeeping on a known
+// configuration, including the degenerate all-pins-on-one-tile net.
+func TestComputeBoxCounts(t *testing.T) {
+	pos := []fpga.XY{{X: 1, Y: 2}, {X: 5, Y: 2}, {X: 1, Y: 8}, {X: 3, Y: 4}}
+	b := computeBox([]int{0, 1, 2, 3}, pos, -1, fpga.XY{})
+	want := bbox{xmin: 1, xmax: 5, ymin: 2, ymax: 8, nxmin: 2, nxmax: 1, nymin: 2, nymax: 1}
+	if b != want {
+		t.Fatalf("got %+v want %+v", b, want)
+	}
+	same := []fpga.XY{{X: 4, Y: 4}, {X: 4, Y: 4}, {X: 4, Y: 4}}
+	b = computeBox([]int{0, 1, 2}, same, -1, fpga.XY{})
+	if b.nxmin != 3 || b.nxmax != 3 || b.nymin != 3 || b.nymax != 3 {
+		t.Fatalf("degenerate net counts wrong: %+v", b)
+	}
+}

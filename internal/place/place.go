@@ -205,8 +205,15 @@ type state struct {
 	area    []float64
 	attract []rect // module region per cell; attraction is zero inside
 
-	nets      []*netBox
-	cellNets  [][]int // net indices per cell
+	// Per-net state in flat parallel arrays (index = net): pin lists,
+	// HPWL weights, committed boxes and the boxes pending from the last
+	// moveDelta. Contiguous values keep the annealer's inner loop on a
+	// few cache lines instead of chasing per-net heap objects.
+	netCells [][]int
+	weights  []float64
+	boxes    []bbox
+	pends    []bbox
+	cellNets [][]int // net indices per cell
 	binsX     int
 	binsY     int
 	binOcc    []float64
@@ -219,38 +226,149 @@ type state struct {
 	regionCenter map[*ir.Function]fpga.XY
 }
 
-// netBox caches a net's pin cells, weight and bounding box.
-type netBox struct {
-	cells  []int
-	weight float64
-	xmin   int
-	xmax   int
-	ymin   int
-	ymax   int
+// bbox is a net bounding box annotated with the number of pins sitting on
+// each of its four boundaries. The support counts are what make the classic
+// incremental placer update O(1): a move only forces a rescan when it takes
+// a boundary's sole supporting pin strictly inward. All arithmetic is on
+// tile integers, so an incrementally maintained box is bit-identical to a
+// from-scratch recompute and annealing trajectories are unchanged. int16
+// coordinates (the die is 60x110 tiles) keep the whole box in 16 bytes so
+// the pending-box writes on the hot path stay cheap.
+type bbox struct {
+	xmin, xmax, ymin, ymax int16
+	// Pins currently sitting on each boundary (support counts).
+	nxmin, nxmax, nymin, nymax int16
 }
 
-func (nb *netBox) hpwl() float64 {
-	return float64((nb.xmax - nb.xmin) + (nb.ymax - nb.ymin))
+func (b *bbox) hpwl() float64 {
+	return float64((b.xmax - b.xmin) + (b.ymax - b.ymin))
 }
 
-func (nb *netBox) recompute(pos []fpga.XY) {
-	first := pos[nb.cells[0]]
-	nb.xmin, nb.xmax, nb.ymin, nb.ymax = first.X, first.X, first.Y, first.Y
-	for _, ci := range nb.cells[1:] {
+// computeBox scans the net's pins — with cell `moved` (when >= 0) taken at
+// `np` instead of its committed location — producing the bounding box and
+// its boundary support counts.
+func computeBox(cells []int, pos []fpga.XY, moved int, np fpga.XY) bbox {
+	p := pos[cells[0]]
+	if cells[0] == moved {
+		p = np
+	}
+	b := bbox{xmin: int16(p.X), xmax: int16(p.X), ymin: int16(p.Y), ymax: int16(p.Y),
+		nxmin: 1, nxmax: 1, nymin: 1, nymax: 1}
+	for _, ci := range cells[1:] {
 		p := pos[ci]
-		if p.X < nb.xmin {
-			nb.xmin = p.X
+		if ci == moved {
+			p = np
 		}
-		if p.X > nb.xmax {
-			nb.xmax = p.X
+		x, y := int16(p.X), int16(p.Y)
+		if x < b.xmin {
+			b.xmin = x
+			b.nxmin = 1
+		} else if x == b.xmin {
+			b.nxmin++
 		}
-		if p.Y < nb.ymin {
-			nb.ymin = p.Y
+		if x > b.xmax {
+			b.xmax = x
+			b.nxmax = 1
+		} else if x == b.xmax {
+			b.nxmax++
 		}
-		if p.Y > nb.ymax {
-			nb.ymax = p.Y
+		if y < b.ymin {
+			b.ymin = y
+			b.nymin = 1
+		} else if y == b.ymin {
+			b.nymin++
+		}
+		if y > b.ymax {
+			b.ymax = y
+			b.nymax = 1
+		} else if y == b.ymax {
+			b.nymax++
 		}
 	}
+	return b
+}
+
+// axisMove updates one axis of a box for a pin moving o -> n, maintaining
+// the boundary support counts. It reports false when the box cannot be
+// updated in O(1) — the moved pin was a boundary's only support and moved
+// strictly inward, so the next-innermost pin is unknown without a rescan.
+func axisMove(min, max *int16, nmin, nmax *int16, o, n int16) bool {
+	if o == n {
+		return true
+	}
+	// Remove o from the boundaries it supports. When min == max every pin
+	// shares the coordinate, so both counts are >= 2 and neither empties;
+	// otherwise o can sit on at most one boundary with support 1.
+	if o == *min {
+		if *nmin == 1 {
+			if n > *min {
+				return false
+			}
+			// The moved pin re-establishes the min boundary further out
+			// (n < min <= max, so the max side is untouched).
+			*min = n
+			return true
+		}
+		*nmin--
+	}
+	if o == *max {
+		if *nmax == 1 {
+			if n < *max {
+				return false
+			}
+			*max = n
+			return true
+		}
+		*nmax--
+	}
+	// Insert n.
+	if n < *min {
+		*min = n
+		*nmin = 1
+	} else if n == *min {
+		*nmin++
+	}
+	if n > *max {
+		*max = n
+		*nmax = 1
+	} else if n == *max {
+		*nmax++
+	}
+	return true
+}
+
+// twoPinBox builds the box of a two-pin net from its pin coordinates,
+// matching computeBox's output (boundary counts included) exactly.
+func twoPinBox(ax, ay, bx, by int16) bbox {
+	b := bbox{xmin: ax, xmax: ax, ymin: ay, ymax: ay, nxmin: 1, nxmax: 1, nymin: 1, nymax: 1}
+	if bx < b.xmin {
+		b.xmin = bx
+	} else if bx > b.xmax {
+		b.xmax = bx
+	} else {
+		b.nxmin = 2
+		b.nxmax = 2
+	}
+	if by < b.ymin {
+		b.ymin = by
+	} else if by > b.ymax {
+		b.ymax = by
+	} else {
+		b.nymin = 2
+		b.nymax = 2
+	}
+	return b
+}
+
+// evalBox returns the net's box after moving cell ci from op to np: O(1)
+// via the incremental boundary update in the common case, an O(pins) rescan
+// only when a sole boundary pin moves inward.
+func evalBox(box bbox, cells []int, pos []fpga.XY, ci int, op, np fpga.XY) bbox {
+	if axisMove(&box.xmin, &box.xmax, &box.nxmin, &box.nxmax, int16(op.X), int16(np.X)) &&
+		axisMove(&box.ymin, &box.ymax, &box.nymin, &box.nymax, int16(op.Y), int16(np.Y)) {
+		return box
+	}
+	return computeBox(cells, pos, ci, np)
 }
 
 func newState(nl *rtl.Netlist, dev *fpga.Device, opts Options) *state {
@@ -273,22 +391,25 @@ func newState(nl *rtl.Netlist, dev *fpga.Device, opts Options) *state {
 	}
 	for _, n := range nl.Nets {
 		seen := map[int]bool{n.Driver.ID: true}
-		nb := &netBox{cells: []int{n.Driver.ID}, weight: float64(n.Wires())}
+		cells := []int{n.Driver.ID}
 		for _, s := range n.Sinks {
 			if !seen[s.Cell.ID] {
 				seen[s.Cell.ID] = true
-				nb.cells = append(nb.cells, s.Cell.ID)
+				cells = append(cells, s.Cell.ID)
 			}
 		}
-		if len(nb.cells) < 2 {
+		if len(cells) < 2 {
 			continue
 		}
-		idx := len(st.nets)
-		st.nets = append(st.nets, nb)
-		for _, ci := range nb.cells {
+		idx := len(st.netCells)
+		st.netCells = append(st.netCells, cells)
+		st.weights = append(st.weights, float64(n.Wires()))
+		for _, ci := range cells {
 			st.cellNets[ci] = append(st.cellNets[ci], idx)
 		}
 	}
+	st.boxes = make([]bbox, len(st.netCells))
+	st.pends = make([]bbox, len(st.netCells))
 	st.binsX = (dev.Cols + opts.BinSize - 1) / opts.BinSize
 	st.binsY = (dev.Rows + opts.BinSize - 1) / opts.BinSize
 	st.binOcc = make([]float64, st.binsX*st.binsY)
@@ -412,9 +533,9 @@ func (st *state) initial(rng *rand.Rand) {
 	for _, c := range st.nl.Cells {
 		areaOf[c.Func] += st.area[c.ID]
 	}
-	for _, nb := range st.nets {
-		for _, ci := range nb.cells {
-			areaOf[st.nl.Cells[ci].Func] += nb.weight
+	for ni, cells := range st.netCells {
+		for _, ci := range cells {
+			areaOf[st.nl.Cells[ci].Func] += st.weights[ni]
 		}
 	}
 	sorted := append([]*ir.Function(nil), funcs...)
@@ -446,9 +567,9 @@ func (st *state) initial(rng *rand.Rand) {
 	}
 	// Full cost from scratch.
 	st.wirelen = 0
-	for _, nb := range st.nets {
-		nb.recompute(st.pos)
-		st.wirelen += nb.weight * nb.hpwl()
+	for ni := range st.boxes {
+		st.boxes[ni] = computeBox(st.netCells[ni], st.pos, -1, fpga.XY{})
+		st.wirelen += st.weights[ni] * st.boxes[ni].hpwl()
 	}
 	for i := range st.binOcc {
 		st.binOcc[i] = 0
@@ -497,18 +618,35 @@ func (st *state) legalX(cell int, x int) int {
 }
 
 // moveDelta evaluates the cost change of moving cell ci to np, without
-// committing.
+// committing. Each affected net's box is updated incrementally (O(1) unless
+// a sole boundary pin moves inward) and cached in netBox.pend, so a commit
+// of the same move applies the boxes instead of recomputing the nets. The
+// per-net float expression is unchanged and the boxes are exact integers,
+// so deltas — and with them the annealing trajectory — are bit-identical
+// to the recompute-per-move reference.
 func (st *state) moveDelta(ci int, np fpga.XY) float64 {
 	op := st.pos[ci]
+	ox, nx := int16(op.X), int16(np.X)
+	oy, ny := int16(op.Y), int16(np.Y)
 	dWL := 0.0
 	for _, ni := range st.cellNets[ci] {
-		nb := st.nets[ni]
-		old := nb.hpwl()
-		st.pos[ci] = np
-		nb2 := *nb
-		nb2.recompute(st.pos)
-		st.pos[ci] = op
-		dWL += nb.weight * (nb2.hpwl() - old)
+		b := st.boxes[ni]
+		old := b.hpwl()
+		if cells := st.netCells[ni]; len(cells) == 2 {
+			// Two-pin net: the box is just the span to the other pin —
+			// identical to computeBox's scan, without the boundary dance.
+			oi := cells[0]
+			if oi == ci {
+				oi = cells[1]
+			}
+			q := st.pos[oi]
+			b = twoPinBox(int16(q.X), int16(q.Y), nx, ny)
+		} else if !(axisMove(&b.xmin, &b.xmax, &b.nxmin, &b.nxmax, ox, nx) &&
+			axisMove(&b.ymin, &b.ymax, &b.nymin, &b.nymax, oy, ny)) {
+			b = computeBox(cells, st.pos, ci, np)
+		}
+		st.pends[ni] = b
+		dWL += st.weights[ni] * (b.hpwl() - old)
 	}
 	ob, nbn := st.binIdx(op.X, op.Y), st.binIdx(np.X, np.Y)
 	dDen := 0.0
@@ -521,16 +659,17 @@ func (st *state) moveDelta(ci int, np fpga.XY) float64 {
 	return dWL + st.opts.DensityWeight*dDen + st.opts.ClusterWeight*dClu
 }
 
-// commit applies the move.
+// commit applies the move evaluated by the immediately preceding
+// moveDelta(ci, np) call: every affected net adopts its pending box, so no
+// net is recomputed a second time. st.wirelen is diagnostic bookkeeping
+// (never read by the annealer), updated from the same cached boxes.
 func (st *state) commit(ci int, np fpga.XY, delta float64) {
 	op := st.pos[ci]
 	ob, nbn := st.binIdx(op.X, op.Y), st.binIdx(np.X, np.Y)
 	st.pos[ci] = np
 	for _, ni := range st.cellNets[ci] {
-		nb := st.nets[ni]
-		old := nb.weight * nb.hpwl()
-		nb.recompute(st.pos)
-		st.wirelen += nb.weight*nb.hpwl() - old
+		st.wirelen += st.weights[ni] * (st.pends[ni].hpwl() - st.boxes[ni].hpwl())
+		st.boxes[ni] = st.pends[ni]
 	}
 	if ob != nbn {
 		a := st.area[ci]

@@ -14,7 +14,7 @@ import (
 )
 
 // testNetlist builds a modest two-function design with DSP and BRAM cells.
-func testNetlist(t *testing.T) *rtl.Netlist {
+func testNetlist(t testing.TB) *rtl.Netlist {
 	t.Helper()
 	m := ir.NewModule("m")
 	top := m.NewFunction("top")

@@ -1,0 +1,33 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkRoute times full negotiated routing of the placed test design
+// with the O(1)-pattern/pooled-scratch router ("fast") against the frozen
+// pre-optimization router kept in equiv_test.go ("reference"). The
+// equivalence tests prove both produce bit-identical congestion maps, so
+// the ns/op ratio is the speedup of the router tentpole. Run with
+// -benchmem: steady state the fast router allocates only the Result it
+// returns (routeAll itself is allocation-free, see
+// TestRouteAllSteadyStateAllocs).
+func BenchmarkRoute(b *testing.B) {
+	pl := placedDesign(b, 3)
+	opts := DefaultOptions()
+	opts.Iterations = 5
+
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Route(pl, rand.New(rand.NewSource(7)), opts)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			refRoute(pl, rand.New(rand.NewSource(7)), opts)
+		}
+	})
+}

@@ -1,0 +1,537 @@
+package route
+
+// Equivalence suite for the router fast paths: a frozen copy of the
+// pre-optimization implementation — per-net visited maps, closure-driven
+// walks pricing every crossing individually, per-call maze allocations and
+// a pointer-based container/heap priority queue — routes the same
+// placements, and the optimized router must reproduce its congestion.Map,
+// PinStats and Overflow bit-for-bit. The reference is deliberately
+// duplicated here so it stays a golden baseline: the clean-pattern O(1)
+// pricing, stamp arrays and pooled scratch are pure speedups, and any
+// divergence means a routing decision changed.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/congestion"
+	"repro/internal/fpga"
+	"repro/internal/hls"
+	"repro/internal/place"
+	"repro/internal/rtl"
+)
+
+type refRouter struct {
+	pl   *place.Placement
+	dev  *fpga.Device
+	opts Options
+
+	useV, useH []float64
+	histV      []float64
+	histH      []float64
+
+	radius []int
+	pins   []PinStats
+}
+
+func refRoute(pl *place.Placement, rng *rand.Rand, opts Options) *Result {
+	if opts.Iterations < 1 {
+		opts.Iterations = 1
+	}
+	n := pl.Dev.Cols * pl.Dev.Rows
+	r := &refRouter{
+		pl:    pl,
+		dev:   pl.Dev,
+		opts:  opts,
+		useV:  make([]float64, n),
+		useH:  make([]float64, n),
+		histV: make([]float64, n),
+		histH: make([]float64, n),
+	}
+	r.radius = pl.NL.FootprintRadii()
+	for it := 0; it < opts.Iterations; it++ {
+		final := it == opts.Iterations-1
+		for i := range r.useV {
+			r.useV[i] = 0
+			r.useH[i] = 0
+		}
+		r.pins = r.pins[:0]
+		r.routeAll(rng, final)
+		if !final {
+			for i := range r.useV {
+				if r.useV[i] > r.dev.VCap {
+					r.histV[i] += r.opts.HistoryGain * (r.useV[i] - r.dev.VCap) / r.dev.VCap
+				}
+				if r.useH[i] > r.dev.HCap {
+					r.histH[i] += r.opts.HistoryGain * (r.useH[i] - r.dev.HCap) / r.dev.HCap
+				}
+			}
+		}
+	}
+	return r.result()
+}
+
+func (r *refRouter) pinPos(netID int, c *rtl.Cell) fpga.XY {
+	p := r.pl.Pos[c.ID]
+	rad := r.radius[c.ID]
+	if rad == 0 {
+		return p
+	}
+	h := uint32(netID)*2654435761 ^ uint32(c.ID)*40503
+	span := 2*rad + 1
+	p.X += int(h%uint32(span)) - rad
+	p.Y += int((h/31)%uint32(span)) - rad
+	if p.X < 0 {
+		p.X = 0
+	}
+	if p.X >= r.dev.Cols {
+		p.X = r.dev.Cols - 1
+	}
+	if p.Y < 0 {
+		p.Y = 0
+	}
+	if p.Y >= r.dev.Rows {
+		p.Y = r.dev.Rows - 1
+	}
+	return p
+}
+
+func (r *refRouter) idx(x, y int) int { return x*r.dev.Rows + y }
+
+func (r *refRouter) edgeCost(vertical bool, x, y int, wires float64) float64 {
+	i := r.idx(x, y)
+	var use, cap, hist float64
+	if vertical {
+		use, cap, hist = r.useV[i], r.dev.VCap, r.histV[i]
+	} else {
+		use, cap, hist = r.useH[i], r.dev.HCap, r.histH[i]
+	}
+	c := 1.0 + hist
+	if over := (use + wires - cap) / cap; over > 0 {
+		c += r.opts.OverflowPenalty * over
+	}
+	return c
+}
+
+func (r *refRouter) routeAll(rng *rand.Rand, final bool) {
+	visited := make(map[int]bool)
+	for _, n := range r.pl.NL.Nets {
+		src := r.pinPos(n.ID, n.Driver)
+		wires := float64(n.Wires())
+		for k := range visited {
+			delete(visited, k)
+		}
+		for _, s := range n.Sinks {
+			dst := r.pinPos(n.ID, s.Cell)
+			ps := r.routePin(rng, src, dst, wires, visited)
+			if final {
+				ps.Net = n
+				ps.Sink = s
+				r.pins = append(r.pins, ps)
+			}
+		}
+	}
+}
+
+func (r *refRouter) routePin(rng *rand.Rand, src, dst fpga.XY, wires float64, visited map[int]bool) PinStats {
+	cands := []pattern{
+		{corners: [2]fpga.XY{{X: dst.X, Y: src.Y}}, n: 1},
+		{corners: [2]fpga.XY{{X: src.X, Y: dst.Y}}, n: 1},
+	}
+	if src.X != dst.X && src.Y != dst.Y {
+		mx := midpoint(rng, src.X, dst.X)
+		my := midpoint(rng, src.Y, dst.Y)
+		cands = append(cands,
+			pattern{corners: [2]fpga.XY{{X: mx, Y: src.Y}, {X: mx, Y: dst.Y}}, n: 2},
+			pattern{corners: [2]fpga.XY{{X: src.X, Y: my}, {X: dst.X, Y: my}}, n: 2},
+		)
+	}
+	bestCost := -1.0
+	var best pattern
+	for _, p := range cands {
+		c := r.patternCost(src, dst, p, wires, visited)
+		if bestCost < 0 || c < bestCost {
+			bestCost = c
+			best = p
+		}
+	}
+	if r.opts.MazeThreshold > 0 && r.patternWorstUtil(src, dst, best, wires) > r.opts.MazeThreshold {
+		slack := r.opts.MazeSlack
+		if slack <= 0 {
+			slack = 6
+		}
+		if path := r.mazeRoute(src, dst, wires, visited, slack); path != nil {
+			return r.commitCrossings(path, wires, visited)
+		}
+	}
+	return r.commit(src, dst, best, wires, visited)
+}
+
+func (r *refRouter) crossKey(vertical bool, x, y int) int {
+	k := r.idx(x, y) * 2
+	if vertical {
+		k++
+	}
+	return k
+}
+
+func (r *refRouter) patternCost(src, dst fpga.XY, p pattern, wires float64, visited map[int]bool) float64 {
+	cost := 0.0
+	walk(src, dst, p, func(vertical bool, x, y int) {
+		if visited[r.crossKey(vertical, x, y)] {
+			return
+		}
+		cost += r.edgeCost(vertical, x, y, wires)
+	})
+	return cost
+}
+
+func (r *refRouter) patternWorstUtil(src, dst fpga.XY, p pattern, wires float64) float64 {
+	worst := 0.0
+	walk(src, dst, p, func(vertical bool, x, y int) {
+		i := r.idx(x, y)
+		var u float64
+		if vertical {
+			u = (r.useV[i] + wires) / r.dev.VCap
+		} else {
+			u = (r.useH[i] + wires) / r.dev.HCap
+		}
+		if u > worst {
+			worst = u
+		}
+	})
+	return worst
+}
+
+func (r *refRouter) commit(src, dst fpga.XY, p pattern, wires float64, visited map[int]bool) PinStats {
+	var length int
+	var sumUtil, maxUtil float64
+	walk(src, dst, p, func(vertical bool, x, y int) {
+		i := r.idx(x, y)
+		key := r.crossKey(vertical, x, y)
+		if !visited[key] {
+			visited[key] = true
+			if vertical {
+				r.useV[i] += wires
+			} else {
+				r.useH[i] += wires
+			}
+		}
+		var u float64
+		if vertical {
+			u = r.useV[i] / r.dev.VCap
+		} else {
+			u = r.useH[i] / r.dev.HCap
+		}
+		sumUtil += u
+		if u > maxUtil {
+			maxUtil = u
+		}
+		length++
+	})
+	ps := PinStats{Length: length, MaxUtil: maxUtil}
+	if length > 0 {
+		ps.AvgUtil = sumUtil / float64(length)
+	}
+	return ps
+}
+
+func (r *refRouter) commitCrossings(path []crossing, wires float64, visited map[int]bool) PinStats {
+	var length int
+	var sumUtil, maxUtil float64
+	for _, c := range path {
+		i := r.idx(c.x, c.y)
+		key := r.crossKey(c.vertical, c.x, c.y)
+		if !visited[key] {
+			visited[key] = true
+			if c.vertical {
+				r.useV[i] += wires
+			} else {
+				r.useH[i] += wires
+			}
+		}
+		var u float64
+		if c.vertical {
+			u = r.useV[i] / r.dev.VCap
+		} else {
+			u = r.useH[i] / r.dev.HCap
+		}
+		sumUtil += u
+		if u > maxUtil {
+			maxUtil = u
+		}
+		length++
+	}
+	ps := PinStats{Length: length, MaxUtil: maxUtil}
+	if length > 0 {
+		ps.AvgUtil = sumUtil / float64(length)
+	}
+	return ps
+}
+
+func (r *refRouter) result() *Result {
+	m := congestion.New(r.dev)
+	overflow := 0
+	for x := 0; x < r.dev.Cols; x++ {
+		for y := 0; y < r.dev.Rows; y++ {
+			i := r.idx(x, y)
+			m.V[x][y] = 100 * r.useV[i] / r.dev.VCap
+			m.H[x][y] = 100 * r.useH[i] / r.dev.HCap
+			if r.useV[i] > r.dev.VCap {
+				overflow++
+			}
+			if r.useH[i] > r.dev.HCap {
+				overflow++
+			}
+		}
+	}
+	return &Result{
+		Map:        m,
+		Pins:       append([]PinStats(nil), r.pins...),
+		Overflow:   overflow,
+		Iterations: r.opts.Iterations,
+	}
+}
+
+// refMazeNode / refMazeHeap are the old pointer-based container/heap queue.
+type refMazeNode struct {
+	pos  fpga.XY
+	cost float64
+	idx  int
+}
+
+type refMazeHeap []*refMazeNode
+
+func (h refMazeHeap) Len() int            { return len(h) }
+func (h refMazeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h refMazeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *refMazeHeap) Push(x interface{}) { n := x.(*refMazeNode); n.idx = len(*h); *h = append(*h, n) }
+func (h *refMazeHeap) Pop() interface{} {
+	old := *h
+	n := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return n
+}
+
+func (r *refRouter) mazeRoute(src, dst fpga.XY, wires float64, visited map[int]bool, slack int) []crossing {
+	if src == dst {
+		return nil
+	}
+	x0, x1 := minInt(src.X, dst.X)-slack, maxIntr(src.X, dst.X)+slack
+	y0, y1 := minInt(src.Y, dst.Y)-slack, maxIntr(src.Y, dst.Y)+slack
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 >= r.dev.Cols {
+		x1 = r.dev.Cols - 1
+	}
+	if y1 >= r.dev.Rows {
+		y1 = r.dev.Rows - 1
+	}
+	w := x1 - x0 + 1
+	hgt := y1 - y0 + 1
+	local := func(p fpga.XY) int { return (p.X-x0)*hgt + (p.Y - y0) }
+
+	dist := make([]float64, w*hgt)
+	from := make([]mazeStep, w*hgt)
+	done := make([]bool, w*hgt)
+	for i := range dist {
+		dist[i] = -1
+	}
+	pq := &refMazeHeap{}
+	start := &refMazeNode{pos: src, cost: 0}
+	dist[local(src)] = 0
+	heap.Push(pq, start)
+
+	stepCost := func(vertical bool, x, y int) float64 {
+		if visited[r.crossKey(vertical, x, y)] {
+			return 0
+		}
+		return r.edgeCost(vertical, x, y, wires)
+	}
+
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(*refMazeNode)
+		li := local(cur.pos)
+		if done[li] {
+			continue
+		}
+		done[li] = true
+		if cur.pos == dst {
+			break
+		}
+		type move struct {
+			np   fpga.XY
+			step mazeStep
+			cost float64
+		}
+		var moves []move
+		if cur.pos.X > x0 {
+			moves = append(moves, move{fpga.XY{X: cur.pos.X - 1, Y: cur.pos.Y}, stepRight,
+				stepCost(false, cur.pos.X-1, cur.pos.Y)})
+		}
+		if cur.pos.X < x1 {
+			moves = append(moves, move{fpga.XY{X: cur.pos.X + 1, Y: cur.pos.Y}, stepLeft,
+				stepCost(false, cur.pos.X, cur.pos.Y)})
+		}
+		if cur.pos.Y > y0 {
+			moves = append(moves, move{fpga.XY{X: cur.pos.X, Y: cur.pos.Y - 1}, stepUp,
+				stepCost(true, cur.pos.X, cur.pos.Y-1)})
+		}
+		if cur.pos.Y < y1 {
+			moves = append(moves, move{fpga.XY{X: cur.pos.X, Y: cur.pos.Y + 1}, stepDown,
+				stepCost(true, cur.pos.X, cur.pos.Y)})
+		}
+		for _, mv := range moves {
+			ni := local(mv.np)
+			nc := cur.cost + mv.cost
+			if dist[ni] < 0 || nc < dist[ni] {
+				dist[ni] = nc
+				from[ni] = mv.step
+				heap.Push(pq, &refMazeNode{pos: mv.np, cost: nc})
+			}
+		}
+	}
+	if dist[local(dst)] < 0 {
+		return nil
+	}
+	var rev []crossing
+	cur := dst
+	for cur != src {
+		switch from[local(cur)] {
+		case stepLeft:
+			rev = append(rev, crossing{vertical: false, x: cur.X - 1, y: cur.Y})
+			cur.X--
+		case stepRight:
+			rev = append(rev, crossing{vertical: false, x: cur.X, y: cur.Y})
+			cur.X++
+		case stepDown:
+			rev = append(rev, crossing{vertical: true, x: cur.X, y: cur.Y - 1})
+			cur.Y--
+		case stepUp:
+			rev = append(rev, crossing{vertical: true, x: cur.X, y: cur.Y})
+			cur.Y++
+		default:
+			return nil
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// compareResults demands bit-identical congestion maps, pin statistics and
+// overflow counts.
+func compareResults(t *testing.T, name string, got, want *Result) {
+	t.Helper()
+	for x := range want.Map.V {
+		for y := range want.Map.V[x] {
+			if got.Map.V[x][y] != want.Map.V[x][y] || got.Map.H[x][y] != want.Map.H[x][y] {
+				t.Fatalf("%s: map differs at (%d,%d): V %v vs %v, H %v vs %v",
+					name, x, y, got.Map.V[x][y], want.Map.V[x][y], got.Map.H[x][y], want.Map.H[x][y])
+			}
+		}
+	}
+	if len(got.Pins) != len(want.Pins) {
+		t.Fatalf("%s: %d pins, reference has %d", name, len(got.Pins), len(want.Pins))
+	}
+	for i := range got.Pins {
+		if got.Pins[i] != want.Pins[i] {
+			t.Fatalf("%s: pin %d = %+v, reference %+v", name, i, got.Pins[i], want.Pins[i])
+		}
+	}
+	if got.Overflow != want.Overflow {
+		t.Fatalf("%s: overflow %d, reference %d", name, got.Overflow, want.Overflow)
+	}
+}
+
+// TestRouteEquivalentToReference: pattern routing with the clean-path O(1)
+// pricing must match the reference crossing-by-crossing fold bit-for-bit,
+// across seeds and iteration counts.
+func TestRouteEquivalentToReference(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		pl := placedDesign(t, seed)
+		for _, iters := range []int{1, 3, 5} {
+			opts := DefaultOptions()
+			opts.Iterations = iters
+			got := Route(pl, rand.New(rand.NewSource(seed*100+int64(iters))), opts)
+			want := refRoute(pl, rand.New(rand.NewSource(seed*100+int64(iters))), opts)
+			compareResults(t, "unit design", got, want)
+		}
+	}
+}
+
+// TestRouteEquivalentToReferenceMaze exercises the maze fallback: the
+// value-heap Dijkstra and stamp-based trunk checks must pick the same
+// detours as the reference pointer-heap/map implementation.
+func TestRouteEquivalentToReferenceMaze(t *testing.T) {
+	for _, th := range []float64{0.05, 0.5, 1.0} {
+		pl := placedDesign(t, 5)
+		opts := Options{Iterations: 2, HistoryGain: 0.6, OverflowPenalty: 4.0,
+			MazeThreshold: th, MazeSlack: 4}
+		got := Route(pl, rand.New(rand.NewSource(11)), opts)
+		want := refRoute(pl, rand.New(rand.NewSource(11)), opts)
+		compareResults(t, "maze fallback", got, want)
+	}
+}
+
+// TestRouteEquivalentToReferencePaperDesign routes a real training
+// implementation placed with the production flow's budget.
+func TestRouteEquivalentToReferencePaperDesign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-design equivalence is slow")
+	}
+	m := bench.DigitSpam()
+	s, err := hls.ScheduleModule(m, hls.DefaultClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := rtl.Elaborate(hls.BindModule(s))
+	pl, err := place.Place(nl, fpga.XC7Z020(), rand.New(rand.NewSource(1)), place.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Route(pl, rand.New(rand.NewSource(1)), DefaultOptions())
+	want := refRoute(pl, rand.New(rand.NewSource(1)), DefaultOptions())
+	compareResults(t, "digit+spam", got, want)
+}
+
+// TestRouterReuseAcrossFlows routes twice through the pooled scratch path
+// and demands identical results — stale history, stamps or demand leaking
+// between flows would surface here.
+func TestRouterReuseAcrossFlows(t *testing.T) {
+	pl := placedDesign(t, 6)
+	first := Route(pl, rand.New(rand.NewSource(2)), DefaultOptions())
+	for i := 0; i < 3; i++ {
+		again := Route(pl, rand.New(rand.NewSource(2)), DefaultOptions())
+		compareResults(t, "pooled rerun", again, first)
+	}
+}
+
+// TestRouteAllSteadyStateAllocs guards the zero-allocation contract of the
+// steady-state routing loop: with scratch acquired and warm, a full rip-up
+// pass (including the final, stats-collecting one) allocates nothing.
+func TestRouteAllSteadyStateAllocs(t *testing.T) {
+	pl := placedDesign(t, 7)
+	r := newRouter(pl, DefaultOptions())
+	defer r.release()
+	rng := rand.New(rand.NewSource(3))
+	r.reset()
+	r.routeAll(rng, true) // warm pins backing
+	for _, final := range []bool{false, true} {
+		final := final
+		allocs := testing.AllocsPerRun(5, func() {
+			r.reset()
+			r.routeAll(rng, final)
+		})
+		if allocs != 0 {
+			t.Errorf("routeAll(final=%v) allocates %.0f objects per pass, want 0", final, allocs)
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package route
 
 import (
-	"container/heap"
-
 	"repro/internal/fpga"
 )
 
@@ -16,20 +14,51 @@ import (
 type mazeNode struct {
 	pos  fpga.XY
 	cost float64
-	idx  int // heap index
 }
 
-type mazeHeap []*mazeNode
+// mazeQueue is a binary min-heap of value nodes. push and pop replicate
+// container/heap's sift order exactly (and the ordering depends only on
+// cost comparisons), so search results are identical to the previous
+// pointer-based heap — without the per-node allocation.
+type mazeQueue []mazeNode
 
-func (h mazeHeap) Len() int            { return len(h) }
-func (h mazeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
-func (h mazeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
-func (h *mazeHeap) Push(x interface{}) { n := x.(*mazeNode); n.idx = len(*h); *h = append(*h, n) }
-func (h *mazeHeap) Pop() interface{} {
-	old := *h
-	n := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return n
+func (h *mazeQueue) push(n mazeNode) {
+	q := append(*h, n)
+	*h = q
+	j := len(q) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(q[j].cost < q[i].cost) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func (h *mazeQueue) pop() mazeNode {
+	q := *h
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q[j2].cost < q[j1].cost {
+			j = j2
+		}
+		if !(q[j].cost < q[i].cost) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	top := q[n]
+	*h = q[:n]
+	return top
 }
 
 // mazeStep encodes the move taken to reach a tile, for path reconstruction.
@@ -46,8 +75,9 @@ const (
 // mazeRoute runs Dijkstra from src to dst under the router's congestion
 // cost, restricted to the bounding box inflated by `slack` tiles (keeping
 // the search local, as global routers do). It returns the tile-crossing
-// walk in order, or nil when src == dst.
-func (r *router) mazeRoute(src, dst fpga.XY, wires float64, visited map[int]bool, slack int) []crossing {
+// walk in order, or nil when src == dst. The returned slice aliases the
+// router's scratch and is only valid until the next mazeRoute call.
+func (r *router) mazeRoute(src, dst fpga.XY, wires float64, slack int) []crossing {
 	if src == dst {
 		return nil
 	}
@@ -69,30 +99,48 @@ func (r *router) mazeRoute(src, dst fpga.XY, wires float64, visited map[int]bool
 	hgt := y1 - y0 + 1
 	local := func(p fpga.XY) int { return (p.X-x0)*hgt + (p.Y - y0) }
 
-	dist := make([]float64, w*hgt)
-	from := make([]mazeStep, w*hgt)
-	done := make([]bool, w*hgt)
+	// Reuse the router's maze buffers: slice to the search box and reinit.
+	box := w * hgt
+	if cap(r.mazeDist) < box {
+		r.mazeDist = make([]float64, box)
+		r.mazeFrom = make([]mazeStep, box)
+		r.mazeDone = make([]bool, box)
+	}
+	dist := r.mazeDist[:box]
+	from := r.mazeFrom[:box]
+	done := r.mazeDone[:box]
 	for i := range dist {
 		dist[i] = -1
+		from[i] = stepNone
+		done[i] = false
 	}
-	pq := &mazeHeap{}
-	start := &mazeNode{pos: src, cost: 0}
+	pq := &r.mazeQ
+	*pq = (*pq)[:0]
 	dist[local(src)] = 0
-	heap.Push(pq, start)
+	pq.push(mazeNode{pos: src, cost: 0})
 
 	// stepCost prices crossing from cur to next; the crossing is charged at
 	// the lower-coordinate tile of the pair, matching walk()'s convention
 	// (H edge at min-x tile, V edge at min-y tile). A crossing the net
 	// already owns is free.
 	stepCost := func(vertical bool, x, y int) float64 {
-		if visited[r.crossKey(vertical, x, y)] {
+		key := (x*r.rows + y) * 2
+		if vertical {
+			key++
+		}
+		if r.visitStamp[key] == r.stamp {
 			return 0
 		}
 		return r.edgeCost(vertical, x, y, wires)
 	}
 
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(*mazeNode)
+	type move struct {
+		np   fpga.XY
+		step mazeStep
+		cost float64
+	}
+	for len(*pq) > 0 {
+		cur := pq.pop()
 		li := local(cur.pos)
 		if done[li] {
 			continue
@@ -101,35 +149,35 @@ func (r *router) mazeRoute(src, dst fpga.XY, wires float64, visited map[int]bool
 		if cur.pos == dst {
 			break
 		}
-		type move struct {
-			np   fpga.XY
-			step mazeStep
-			cost float64
-		}
-		var moves []move
+		var moves [4]move
+		nm := 0
 		if cur.pos.X > x0 {
-			moves = append(moves, move{fpga.XY{X: cur.pos.X - 1, Y: cur.pos.Y}, stepRight,
-				stepCost(false, cur.pos.X-1, cur.pos.Y)})
+			moves[nm] = move{fpga.XY{X: cur.pos.X - 1, Y: cur.pos.Y}, stepRight,
+				stepCost(false, cur.pos.X-1, cur.pos.Y)}
+			nm++
 		}
 		if cur.pos.X < x1 {
-			moves = append(moves, move{fpga.XY{X: cur.pos.X + 1, Y: cur.pos.Y}, stepLeft,
-				stepCost(false, cur.pos.X, cur.pos.Y)})
+			moves[nm] = move{fpga.XY{X: cur.pos.X + 1, Y: cur.pos.Y}, stepLeft,
+				stepCost(false, cur.pos.X, cur.pos.Y)}
+			nm++
 		}
 		if cur.pos.Y > y0 {
-			moves = append(moves, move{fpga.XY{X: cur.pos.X, Y: cur.pos.Y - 1}, stepUp,
-				stepCost(true, cur.pos.X, cur.pos.Y-1)})
+			moves[nm] = move{fpga.XY{X: cur.pos.X, Y: cur.pos.Y - 1}, stepUp,
+				stepCost(true, cur.pos.X, cur.pos.Y-1)}
+			nm++
 		}
 		if cur.pos.Y < y1 {
-			moves = append(moves, move{fpga.XY{X: cur.pos.X, Y: cur.pos.Y + 1}, stepDown,
-				stepCost(true, cur.pos.X, cur.pos.Y)})
+			moves[nm] = move{fpga.XY{X: cur.pos.X, Y: cur.pos.Y + 1}, stepDown,
+				stepCost(true, cur.pos.X, cur.pos.Y)}
+			nm++
 		}
-		for _, mv := range moves {
+		for _, mv := range moves[:nm] {
 			ni := local(mv.np)
 			nc := cur.cost + mv.cost
 			if dist[ni] < 0 || nc < dist[ni] {
 				dist[ni] = nc
 				from[ni] = mv.step
-				heap.Push(pq, &mazeNode{pos: mv.np, cost: nc})
+				pq.push(mazeNode{pos: mv.np, cost: nc})
 			}
 		}
 	}
@@ -137,7 +185,7 @@ func (r *router) mazeRoute(src, dst fpga.XY, wires float64, visited map[int]bool
 		return nil // boxed search failed (cannot happen with slack >= 0)
 	}
 	// Reconstruct dst -> src, emitting crossings, then reverse.
-	var rev []crossing
+	rev := r.mazePath[:0]
 	cur := dst
 	for cur != src {
 		switch from[local(cur)] {
@@ -154,12 +202,14 @@ func (r *router) mazeRoute(src, dst fpga.XY, wires float64, visited map[int]bool
 			rev = append(rev, crossing{vertical: true, x: cur.X, y: cur.Y})
 			cur.Y++
 		default:
+			r.mazePath = rev
 			return nil // corrupt predecessor chain
 		}
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
+	r.mazePath = rev
 	return rev
 }
 

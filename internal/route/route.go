@@ -6,11 +6,24 @@
 // tiles. The result is the per-tile vertical/horizontal congestion map the
 // predictor learns to estimate, plus per-connection route statistics the
 // timing analyzer turns into congestion-dependent wire delays.
+//
+// The inner loops are optimized but bit-exact: a clean L/Z candidate — no
+// history, no tile near capacity, no overlap with the net's own trunk —
+// costs exactly 1.0 per crossing, so its total is the crossing count and
+// the per-tile walk is skipped entirely (clean-ness is answered in O(1)
+// from per-row/per-column summaries rebuilt each rip-up pass). Any pattern
+// that is not provably clean is priced by the original in-order fold, so
+// every cost the router compares is bit-identical to the reference
+// implementation and routing decisions never change. All scratch state
+// lives in a pooled arena reused across passes and across flows; the
+// steady-state routing loop performs zero heap allocations (see
+// TestRouteAllSteadyStateAllocs).
 package route
 
 import (
 	"context"
 	"math/rand"
+	"sync"
 
 	"repro/internal/congestion"
 	"repro/internal/fpga"
@@ -83,6 +96,7 @@ func RouteContext(ctx context.Context, pl *place.Placement, rng *rand.Rand, opts
 		opts.Iterations = 1
 	}
 	r := newRouter(pl, opts)
+	defer r.release()
 	for it := 0; it < opts.Iterations; it++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -97,15 +111,103 @@ func RouteContext(ctx context.Context, pl *place.Placement, rng *rand.Rand, opts
 	return r.result(), nil
 }
 
-type router struct {
-	pl   *place.Placement
-	dev  *fpga.Device
-	opts Options
+// scratch is the router's reusable working memory: demand, history, the
+// per-net trunk stamps, the per-pass clean-row summaries and the maze
+// buffers. It is pooled so repeated flows (label runs, retries, dataset
+// builds) route without reallocating — newRouter acquires an arena of the
+// right geometry and release returns it.
+type scratch struct {
+	cols, rows int
 
 	// Demand in wires crossing each tile, per direction.
 	useV, useH []float64
 	histV      []float64
 	histH      []float64
+
+	// visitStamp marks the crossings the current net already owns
+	// (stamp == the net's stamp), replacing a per-net map.
+	visitStamp []int32
+	// trunkHRow / trunkVCol are stamped when the current net commits a
+	// crossing in that row/column, so the fast path can prove a leg does
+	// not touch the net's own trunk without walking it.
+	trunkHRow []int32
+	trunkVCol []int32
+
+	// hotHRow / hotVCol count tiles in the row/column whose demand is
+	// within maxWires of capacity: a zero count proves no crossing there
+	// can incur an overflow term for any net this pass. Demand only grows
+	// within a pass, so the counters are bumped on upward transitions at
+	// commit time and rebuilt on reset.
+	hotHRow []int32
+	hotVCol []int32
+
+	// dirtyH[x*rows+y] counts history-carrying H crossings at x' < x in
+	// row y (dirtyV likewise per column), so a leg's history exposure is
+	// a prefix-sum difference. History only changes between passes, so
+	// these are rebuilt once per reset.
+	dirtyH []int32
+	dirtyV []int32
+
+	pins []PinStats
+
+	// Maze scratch (used only when Options.MazeThreshold > 0).
+	mazeDist []float64
+	mazeFrom []mazeStep
+	mazeDone []bool
+	mazeQ    mazeQueue
+	mazePath []crossing
+}
+
+var scratchPool sync.Pool
+
+// acquireScratch returns an arena for the given grid, reusing a pooled one
+// when the geometry matches. Flow-scoped state (history, stamps) starts
+// zeroed; pass-scoped state is initialized by reset.
+func acquireScratch(cols, rows int) *scratch {
+	n := cols * rows
+	s, _ := scratchPool.Get().(*scratch)
+	if s == nil || s.cols != cols || s.rows != rows {
+		s = &scratch{
+			cols: cols, rows: rows,
+			useV:       make([]float64, n),
+			useH:       make([]float64, n),
+			histV:      make([]float64, n),
+			histH:      make([]float64, n),
+			visitStamp: make([]int32, 2*n),
+			trunkHRow:  make([]int32, rows),
+			trunkVCol:  make([]int32, cols),
+			hotHRow:    make([]int32, rows),
+			hotVCol:    make([]int32, cols),
+			dirtyH:     make([]int32, (cols+1)*rows),
+			dirtyV:     make([]int32, cols*(rows+1)),
+		}
+		return s
+	}
+	for i := range s.histV {
+		s.histV[i] = 0
+		s.histH[i] = 0
+	}
+	for i := range s.visitStamp {
+		s.visitStamp[i] = 0
+	}
+	for i := range s.trunkHRow {
+		s.trunkHRow[i] = 0
+	}
+	for i := range s.trunkVCol {
+		s.trunkVCol[i] = 0
+	}
+	return s
+}
+
+type router struct {
+	pl   *place.Placement
+	dev  *fpga.Device
+	opts Options
+
+	rows     int
+	maxWires float64 // widest net in the design, for the hot-tile bound
+	stamp    int32   // current net's stamp for visitStamp/trunk arrays
+	cand     [4]pattern
 
 	// radius is the footprint radius of each cell: a placed macro of many
 	// LUTs occupies a region, so its pins land spread over that region
@@ -113,22 +215,36 @@ type router struct {
 	// artificial single-tile hubs no real fabric exhibits).
 	radius []int
 
-	pins []PinStats
+	*scratch
 }
 
 func newRouter(pl *place.Placement, opts Options) *router {
-	n := pl.Dev.Cols * pl.Dev.Rows
 	r := &router{
-		pl:    pl,
-		dev:   pl.Dev,
-		opts:  opts,
-		useV:  make([]float64, n),
-		useH:  make([]float64, n),
-		histV: make([]float64, n),
-		histH: make([]float64, n),
+		pl:   pl,
+		dev:  pl.Dev,
+		opts: opts,
+		rows: pl.Dev.Rows,
+		// Stamps start above the zeroed visitStamp array so a fresh router
+		// owns no crossings; routeAll bumps the stamp before each net.
+		stamp:   1,
+		scratch: acquireScratch(pl.Dev.Cols, pl.Dev.Rows),
+	}
+	for _, n := range pl.NL.Nets {
+		if w := float64(n.Wires()); w > r.maxWires {
+			r.maxWires = w
+		}
 	}
 	r.radius = pl.NL.FootprintRadii()
 	return r
+}
+
+// release returns the router's arena to the pool. The caller must be done
+// with everything derived from it (result() copies what it keeps).
+func (r *router) release() {
+	s := r.scratch
+	r.scratch = nil
+	s.pins = s.pins[:0]
+	scratchPool.Put(s)
 }
 
 // pinPos returns the routing terminal of a net at a cell: the placed
@@ -158,14 +274,62 @@ func (r *router) pinPos(netID int, c *rtl.Cell) fpga.XY {
 	return p
 }
 
-func (r *router) idx(x, y int) int { return x*r.dev.Rows + y }
+func (r *router) idx(x, y int) int { return x*r.rows + y }
 
+// reset starts a rip-up pass: demand returns to zero and the per-pass
+// summaries (hot counters, history prefix sums) are rebuilt.
 func (r *router) reset() {
 	for i := range r.useV {
 		r.useV[i] = 0
 		r.useH[i] = 0
 	}
 	r.pins = r.pins[:0]
+
+	// With zero demand a tile is already hot only if the widest net alone
+	// would overflow it — degenerate, but handled so the fast path stays
+	// conservative.
+	var hotH, hotV int32
+	if r.maxWires > r.dev.HCap {
+		hotH = int32(r.dev.Cols)
+	}
+	if r.maxWires > r.dev.VCap {
+		hotV = int32(r.rows)
+	}
+	for y := range r.hotHRow {
+		r.hotHRow[y] = hotH
+	}
+	for x := range r.hotVCol {
+		r.hotVCol[x] = hotV
+	}
+
+	// History prefix counts: dirtyH[x*rows+y] = #{x' < x : histH[x',y] != 0}.
+	cols, rows := r.dev.Cols, r.rows
+	for y := 0; y < rows; y++ {
+		r.dirtyH[y] = 0
+	}
+	for x := 0; x < cols; x++ {
+		base := x * rows
+		for y := 0; y < rows; y++ {
+			d := r.dirtyH[base+y]
+			if r.histH[base+y] != 0 {
+				d++
+			}
+			r.dirtyH[base+rows+y] = d
+		}
+	}
+	// dirtyV[x*(rows+1)+y] = #{y' < y : histV[x,y'] != 0}.
+	for x := 0; x < cols; x++ {
+		vb := x * (rows + 1)
+		hb := x * rows
+		d := int32(0)
+		r.dirtyV[vb] = 0
+		for y := 0; y < rows; y++ {
+			if r.histV[hb+y] != 0 {
+				d++
+			}
+			r.dirtyV[vb+y+1] = d
+		}
+	}
 }
 
 func (r *router) accumulateHistory() {
@@ -179,21 +343,35 @@ func (r *router) accumulateHistory() {
 	}
 }
 
-// edgeCost prices one tile crossing in the given direction for a connection
-// of `wires` wires.
-func (r *router) edgeCost(vertical bool, x, y int, wires float64) float64 {
-	i := r.idx(x, y)
-	var use, cap, hist float64
-	if vertical {
-		use, cap, hist = r.useV[i], r.dev.VCap, r.histV[i]
-	} else {
-		use, cap, hist = r.useH[i], r.dev.HCap, r.histH[i]
-	}
-	c := 1.0 + hist
-	if over := (use + wires - cap) / cap; over > 0 {
-		c += r.opts.OverflowPenalty * over
+// edgeCostH prices one horizontal tile crossing for a connection of `wires`
+// wires. The overflow branch tests use+wires > cap directly — equivalent to
+// the reference's over > 0 test (for finite floats a-b > 0 iff a > b) —
+// and evaluates the division only on overflowed tiles.
+func (r *router) edgeCostH(x, y int, wires float64) float64 {
+	i := x*r.rows + y
+	c := 1.0 + r.histH[i]
+	if use := r.useH[i]; use+wires > r.dev.HCap {
+		c += r.opts.OverflowPenalty * ((use + wires - r.dev.HCap) / r.dev.HCap)
 	}
 	return c
+}
+
+func (r *router) edgeCostV(x, y int, wires float64) float64 {
+	i := x*r.rows + y
+	c := 1.0 + r.histV[i]
+	if use := r.useV[i]; use+wires > r.dev.VCap {
+		c += r.opts.OverflowPenalty * ((use + wires - r.dev.VCap) / r.dev.VCap)
+	}
+	return c
+}
+
+// edgeCost prices one tile crossing in the given direction (maze fallback
+// entry point; the pattern loops call the direction-specific versions).
+func (r *router) edgeCost(vertical bool, x, y int, wires float64) float64 {
+	if vertical {
+		return r.edgeCostV(x, y, wires)
+	}
+	return r.edgeCostH(x, y, wires)
 }
 
 // pattern is a candidate route: up to three segments through two corners.
@@ -203,20 +381,18 @@ type pattern struct {
 }
 
 func (r *router) routeAll(rng *rand.Rand, final bool) {
-	visited := make(map[int]bool)
 	for _, n := range r.pl.NL.Nets {
 		src := r.pinPos(n.ID, n.Driver)
 		wires := float64(n.Wires())
 		// A multi-terminal net shares trunk wiring between its branches:
 		// each (tile, direction) crossing consumes the net's wires once no
 		// matter how many sinks pass through it, approximating a Steiner
-		// tree. `visited` tracks the crossings this net already owns.
-		for k := range visited {
-			delete(visited, k)
-		}
+		// tree. Crossings stamped with the net's stamp are the ones it
+		// already owns; bumping the stamp forgets them in O(1).
+		r.stamp++
 		for _, s := range n.Sinks {
 			dst := r.pinPos(n.ID, s.Cell)
-			ps := r.routePin(rng, src, dst, wires, visited)
+			ps := r.routePin(rng, src, dst, wires, final)
 			if final {
 				ps.Net = n
 				ps.Sink = s
@@ -230,12 +406,15 @@ func (r *router) routeAll(rng *rand.Rand, final bool) {
 // already-owned crossings, commits its usage, and returns its statistics.
 // With MazeThreshold set, connections whose best pattern still crosses a
 // badly overfull tile fall back to Dijkstra maze routing.
-func (r *router) routePin(rng *rand.Rand, src, dst fpga.XY, wires float64, visited map[int]bool) PinStats {
+func (r *router) routePin(rng *rand.Rand, src, dst fpga.XY, wires float64, final bool) PinStats {
 	cands := r.candidates(rng, src, dst)
 	bestCost := -1.0
 	var best pattern
 	for _, p := range cands {
-		c := r.patternCost(src, dst, p, wires, visited)
+		c, ok := r.patternFast(src, dst, p)
+		if !ok {
+			c = r.patternCost(src, dst, p, wires)
+		}
 		if bestCost < 0 || c < bestCost {
 			bestCost = c
 			best = p
@@ -246,11 +425,93 @@ func (r *router) routePin(rng *rand.Rand, src, dst fpga.XY, wires float64, visit
 		if slack <= 0 {
 			slack = 6
 		}
-		if path := r.mazeRoute(src, dst, wires, visited, slack); path != nil {
-			return r.commitCrossings(path, wires, visited)
+		if path := r.mazeRoute(src, dst, wires, slack); path != nil {
+			return r.commitCrossings(path, wires, final)
 		}
 	}
-	return r.commit(src, dst, best, wires, visited)
+	return r.commit(src, dst, best, wires, final)
+}
+
+// patternFast prices a pattern in O(legs) when every leg is provably clean:
+// no history, no tile within maxWires of capacity, and no overlap with the
+// net's own trunk. Every crossing then costs exactly 1.0, and since a
+// float64 accumulator of successive +1.0s stays an exact integer, the
+// crossing count equals the reference fold bit-for-bit. Any leg that fails
+// a check returns ok=false and the caller falls back to the exact walk.
+func (r *router) patternFast(src, dst fpga.XY, p pattern) (float64, bool) {
+	cur := src
+	total := 0
+	rows := r.rows
+	for k := 0; k <= p.n; k++ {
+		next := dst
+		if k < p.n {
+			next = p.corners[k]
+		}
+		if next.X != cur.X {
+			lo, hi := cur.X, next.X
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			y := cur.Y
+			if r.hotHRow[y] != 0 || r.trunkHRow[y] == r.stamp ||
+				r.dirtyH[hi*rows+y] != r.dirtyH[lo*rows+y] {
+				return 0, false
+			}
+			total += hi - lo
+			cur.X = next.X
+		}
+		if next.Y != cur.Y {
+			lo, hi := cur.Y, next.Y
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			x := cur.X
+			if r.hotVCol[x] != 0 || r.trunkVCol[x] == r.stamp ||
+				r.dirtyV[x*(rows+1)+hi] != r.dirtyV[x*(rows+1)+lo] {
+				return 0, false
+			}
+			total += hi - lo
+			cur.Y = next.Y
+		}
+	}
+	return float64(total), true
+}
+
+// patternCost is the exact reference pricing: crossings are folded in walk
+// order, own-trunk crossings contribute nothing.
+func (r *router) patternCost(src, dst fpga.XY, p pattern, wires float64) float64 {
+	cost := 0.0
+	cur := src
+	rows := r.rows
+	for k := 0; k <= p.n; k++ {
+		next := dst
+		if k < p.n {
+			next = p.corners[k]
+		}
+		step := 1
+		if next.X < cur.X {
+			step = -1
+		}
+		for x := cur.X; x != next.X; x += step {
+			if r.visitStamp[(x*rows+cur.Y)*2] == r.stamp {
+				continue // reusing the net's own trunk is free
+			}
+			cost += r.edgeCostH(x, cur.Y, wires)
+		}
+		cur.X = next.X
+		step = 1
+		if next.Y < cur.Y {
+			step = -1
+		}
+		for y := cur.Y; y != next.Y; y += step {
+			if r.visitStamp[(cur.X*rows+y)*2+1] == r.stamp {
+				continue
+			}
+			cost += r.edgeCostV(cur.X, y, wires)
+		}
+		cur.Y = next.Y
+	}
+	return cost
 }
 
 // patternWorstUtil predicts the worst post-commit utilization along a
@@ -272,65 +533,83 @@ func (r *router) patternWorstUtil(src, dst fpga.XY, p pattern, wires float64) fl
 	return worst
 }
 
+// bookH charges `wires` to the H crossing at (x,y) if the current net does
+// not already own it, maintaining the hot-row counter and the net's trunk
+// stamps. Returns the tile's demand after booking.
+func (r *router) bookH(x, y int, wires float64) float64 {
+	i := x*r.rows + y
+	if key := i * 2; r.visitStamp[key] != r.stamp {
+		r.visitStamp[key] = r.stamp
+		use := r.useH[i]
+		wasHot := use+r.maxWires > r.dev.HCap
+		use += wires
+		r.useH[i] = use
+		if !wasHot && use+r.maxWires > r.dev.HCap {
+			r.hotHRow[y]++
+		}
+		r.trunkHRow[y] = r.stamp
+	}
+	return r.useH[i]
+}
+
+func (r *router) bookV(x, y int, wires float64) float64 {
+	i := x*r.rows + y
+	if key := i*2 + 1; r.visitStamp[key] != r.stamp {
+		r.visitStamp[key] = r.stamp
+		use := r.useV[i]
+		wasHot := use+r.maxWires > r.dev.VCap
+		use += wires
+		r.useV[i] = use
+		if !wasHot && use+r.maxWires > r.dev.VCap {
+			r.hotVCol[x]++
+		}
+		r.trunkVCol[x] = r.stamp
+	}
+	return r.useV[i]
+}
+
 // commitCrossings books usage along an explicit crossing list (maze paths).
-func (r *router) commitCrossings(path []crossing, wires float64, visited map[int]bool) PinStats {
+// Per-pin statistics are only assembled on the final pass.
+func (r *router) commitCrossings(path []crossing, wires float64, final bool) PinStats {
 	var length int
 	var sumUtil, maxUtil float64
 	for _, c := range path {
-		i := r.idx(c.x, c.y)
-		key := r.crossKey(c.vertical, c.x, c.y)
-		if !visited[key] {
-			visited[key] = true
-			if c.vertical {
-				r.useV[i] += wires
-			} else {
-				r.useH[i] += wires
-			}
-		}
-		var u float64
+		var use, cap float64
 		if c.vertical {
-			u = r.useV[i] / r.dev.VCap
+			use, cap = r.bookV(c.x, c.y, wires), r.dev.VCap
 		} else {
-			u = r.useH[i] / r.dev.HCap
+			use, cap = r.bookH(c.x, c.y, wires), r.dev.HCap
 		}
-		sumUtil += u
-		if u > maxUtil {
-			maxUtil = u
+		if final {
+			u := use / cap
+			sumUtil += u
+			if u > maxUtil {
+				maxUtil = u
+			}
 		}
 		length++
 	}
 	ps := PinStats{Length: length, MaxUtil: maxUtil}
-	if length > 0 {
+	if final && length > 0 {
 		ps.AvgUtil = sumUtil / float64(length)
 	}
 	return ps
 }
 
-// crossKey packs a (direction, tile) crossing into one map key.
-func (r *router) crossKey(vertical bool, x, y int) int {
-	k := r.idx(x, y) * 2
-	if vertical {
-		k++
-	}
-	return k
-}
-
 // candidates proposes the two L patterns plus two Z patterns through a
-// random interior coordinate.
+// random interior coordinate, into the router's reusable buffer.
 func (r *router) candidates(rng *rand.Rand, src, dst fpga.XY) []pattern {
-	ps := []pattern{
-		{corners: [2]fpga.XY{{X: dst.X, Y: src.Y}}, n: 1},
-		{corners: [2]fpga.XY{{X: src.X, Y: dst.Y}}, n: 1},
-	}
+	r.cand[0] = pattern{corners: [2]fpga.XY{{X: dst.X, Y: src.Y}}, n: 1}
+	r.cand[1] = pattern{corners: [2]fpga.XY{{X: src.X, Y: dst.Y}}, n: 1}
+	nc := 2
 	if src.X != dst.X && src.Y != dst.Y {
 		mx := midpoint(rng, src.X, dst.X)
 		my := midpoint(rng, src.Y, dst.Y)
-		ps = append(ps,
-			pattern{corners: [2]fpga.XY{{X: mx, Y: src.Y}, {X: mx, Y: dst.Y}}, n: 2},
-			pattern{corners: [2]fpga.XY{{X: src.X, Y: my}, {X: dst.X, Y: my}}, n: 2},
-		)
+		r.cand[2] = pattern{corners: [2]fpga.XY{{X: mx, Y: src.Y}, {X: mx, Y: dst.Y}}, n: 2}
+		r.cand[3] = pattern{corners: [2]fpga.XY{{X: src.X, Y: my}, {X: dst.X, Y: my}}, n: 2}
+		nc = 4
 	}
-	return ps
+	return r.cand[:nc]
 }
 
 func midpoint(rng *rand.Rand, a, b int) int {
@@ -344,7 +623,8 @@ func midpoint(rng *rand.Rand, a, b int) int {
 	return lo + 1 + rng.Intn(hi-lo-1)
 }
 
-// walk visits each tile crossing of the pattern.
+// walk visits each tile crossing of the pattern (diagnostic paths only; the
+// hot loops iterate legs inline).
 func walk(src, dst fpga.XY, p pattern, visit func(vertical bool, x, y int)) {
 	cur := src
 	via := append([]fpga.XY{}, p.corners[:p.n]...)
@@ -370,45 +650,53 @@ func walk(src, dst fpga.XY, p pattern, visit func(vertical bool, x, y int)) {
 	}
 }
 
-func (r *router) patternCost(src, dst fpga.XY, p pattern, wires float64, visited map[int]bool) float64 {
-	cost := 0.0
-	walk(src, dst, p, func(vertical bool, x, y int) {
-		if visited[r.crossKey(vertical, x, y)] {
-			return // reusing the net's own trunk is free
-		}
-		cost += r.edgeCost(vertical, x, y, wires)
-	})
-	return cost
-}
-
-func (r *router) commit(src, dst fpga.XY, p pattern, wires float64, visited map[int]bool) PinStats {
+// commit books the chosen pattern's usage in walk order. Per-pin statistics
+// are only assembled on the final pass — earlier passes route solely to
+// produce demand for history accumulation.
+func (r *router) commit(src, dst fpga.XY, p pattern, wires float64, final bool) PinStats {
 	var length int
 	var sumUtil, maxUtil float64
-	walk(src, dst, p, func(vertical bool, x, y int) {
-		i := r.idx(x, y)
-		key := r.crossKey(vertical, x, y)
-		if !visited[key] {
-			visited[key] = true
-			if vertical {
-				r.useV[i] += wires
-			} else {
-				r.useH[i] += wires
+	cur := src
+	for k := 0; k <= p.n; k++ {
+		next := dst
+		if k < p.n {
+			next = p.corners[k]
+		}
+		step := 1
+		if next.X < cur.X {
+			step = -1
+		}
+		for x := cur.X; x != next.X; x += step {
+			use := r.bookH(x, cur.Y, wires)
+			if final {
+				u := use / r.dev.HCap
+				sumUtil += u
+				if u > maxUtil {
+					maxUtil = u
+				}
 			}
+			length++
 		}
-		var u float64
-		if vertical {
-			u = r.useV[i] / r.dev.VCap
-		} else {
-			u = r.useH[i] / r.dev.HCap
+		cur.X = next.X
+		step = 1
+		if next.Y < cur.Y {
+			step = -1
 		}
-		sumUtil += u
-		if u > maxUtil {
-			maxUtil = u
+		for y := cur.Y; y != next.Y; y += step {
+			use := r.bookV(cur.X, y, wires)
+			if final {
+				u := use / r.dev.VCap
+				sumUtil += u
+				if u > maxUtil {
+					maxUtil = u
+				}
+			}
+			length++
 		}
-		length++
-	})
+		cur.Y = next.Y
+	}
 	ps := PinStats{Length: length, MaxUtil: maxUtil}
-	if length > 0 {
+	if final && length > 0 {
 		ps.AvgUtil = sumUtil / float64(length)
 	}
 	return ps

@@ -14,7 +14,7 @@ import (
 	"repro/internal/rtl"
 )
 
-func placedDesign(t *testing.T, seed int64) *place.Placement {
+func placedDesign(t testing.TB, seed int64) *place.Placement {
 	t.Helper()
 	m := ir.NewModule("m")
 	b := ir.NewBuilder(m.NewFunction("f"))
@@ -195,10 +195,9 @@ func TestPinPosStaysOnDie(t *testing.T) {
 func TestMazeRouteConnects(t *testing.T) {
 	pl := placedDesign(t, 7)
 	r := newRouter(pl, DefaultOptions())
-	visited := map[int]bool{}
 	src := fpga.XY{X: 5, Y: 5}
 	dst := fpga.XY{X: 20, Y: 30}
-	path := r.mazeRoute(src, dst, 8, visited, 4)
+	path := r.mazeRoute(src, dst, 8, 4)
 	if len(path) < fpga.ManhattanDist(src, dst) {
 		t.Fatalf("maze path %d crossings, need at least %d", len(path), fpga.ManhattanDist(src, dst))
 	}
@@ -228,7 +227,7 @@ func TestMazeRouteConnects(t *testing.T) {
 	if cur != dst {
 		t.Fatalf("maze path ends at %v, want %v", cur, dst)
 	}
-	if r.mazeRoute(src, src, 8, visited, 4) != nil {
+	if r.mazeRoute(src, src, 8, 4) != nil {
 		t.Error("degenerate maze route should be nil")
 	}
 }
@@ -242,7 +241,7 @@ func TestMazeRouteAvoidsCongestion(t *testing.T) {
 	for x := 11; x < 30; x++ {
 		r.useH[r.idx(x, 20)] = r.dev.HCap * 3 // straight row overfull
 	}
-	path := r.mazeRoute(src, dst, 8, map[int]bool{}, 6)
+	path := r.mazeRoute(src, dst, 8, 6)
 	onWall := 0
 	for _, c := range path {
 		if !c.vertical && c.y == 20 && c.x >= 11 && c.x < 30 {

@@ -1,50 +1,89 @@
 #!/usr/bin/env sh
-# Benchmark harness for the parallel execution layer: runs the dataset-build
-# and grid-search benchmarks at each worker count and records the timings in
-# BENCH_PR2.json. Speedup from Workers>1 can only materialize on multi-core
-# hosts, so the host's CPU count and GOMAXPROCS are recorded alongside the
-# ns/op figures to keep the numbers interpretable.
+# Benchmark harness for the flow-kernel fast path: runs the kernel
+# microbenchmarks (optimized vs frozen-reference placer and router), the
+# end-to-end dataset build at each worker count, and the warm-flow-cache
+# rebuild, and records the timings in BENCH_PR3.json.
+#
+# Two kinds of speedup appear in the output and must not be conflated:
+#   - kernel/cache speedups (place_speedup, route_speedup,
+#     warm_cache_speedup, build_speedup_vs_pr2) are algorithmic and real on
+#     any host;
+#   - parallel speedup (build_speedup_workers4) needs real cores. On a
+#     GOMAXPROCS=1 host the workers=4 build collapses to sequential
+#     throughput, so the harness refuses to report a number there and
+#     records null with an explanatory note instead.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 1x; try 3x on fast hosts)
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1x}"
-OUT=BENCH_PR2.json
+OUT=BENCH_PR3.json
 
-echo "== go test -bench (benchtime=$BENCHTIME) =="
-go test -run '^$' -bench 'BenchmarkBuildDataset' -benchtime="$BENCHTIME" . |
+# Each benchmark repeats -count=3 times and the JSON records the fastest
+# repetition: on a shared host the minimum is the least-interference
+# estimate, and all comparisons below are min-vs-min of the same workload.
+COUNT="${BENCH_COUNT:-3}"
+
+echo "== go test -bench (benchtime=$BENCHTIME, count=$COUNT, keeping min) =="
+go test -run '^$' -bench 'BenchmarkPlace$|BenchmarkMoveDelta' -benchmem -benchtime="$BENCHTIME" -count="$COUNT" ./internal/place/ |
+	tee /tmp/bench_place.txt
+go test -run '^$' -bench 'BenchmarkRoute' -benchmem -benchtime="$BENCHTIME" -count="$COUNT" ./internal/route/ |
+	tee /tmp/bench_route.txt
+go test -run '^$' -bench 'BenchmarkBuildDataset' -benchtime="$BENCHTIME" -count="$COUNT" . |
 	tee /tmp/bench_build.txt
-go test -run '^$' -bench 'BenchmarkGridSearchCV' -benchtime="$BENCHTIME" ./internal/ml/ |
-	tee /tmp/bench_grid.txt
-go test -run '^$' -bench 'BenchmarkVector' -benchmem -benchtime=1000x ./internal/features/ |
-	tee /tmp/bench_vec.txt
 
 awk -v cpus="$(nproc)" -v maxprocs="${GOMAXPROCS:-$(nproc)}" '
 	/^Benchmark/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
-		ns[name] = $3
-		order[n++] = name
+		if (!(name in ns)) {
+			order[n++] = name
+			ns[name] = $3 + 0
+		} else if ($3 + 0 < ns[name])
+			ns[name] = $3 + 0
 	}
 	END {
 		printf "{\n"
 		printf "  \"host\": {\"cpus\": %d, \"gomaxprocs\": %s},\n", cpus, maxprocs
+		printf "  \"baseline\": {\"build_workers1_ns_pr2\": %s},\n", pr2
 		printf "  \"benchmarks\": {\n"
 		for (i = 0; i < n; i++) {
 			name = order[i]
 			printf "    \"%s\": {\"ns_per_op\": %s}%s\n", name, ns[name], (i < n-1 ? "," : "")
 		}
 		printf "  },\n"
+
+		# Algorithmic speedups: optimized kernel vs the frozen reference
+		# kernels (bit-identical outputs, see the equivalence tests), the
+		# warm-flow-cache rebuild, and this build vs the PR2 baseline.
+		ratio("place_speedup", ns["BenchmarkPlace/reference"], ns["BenchmarkPlace/incremental"])
+		ratio("route_speedup", ns["BenchmarkRoute/reference"], ns["BenchmarkRoute/fast"])
+		ratio("warm_cache_speedup", ns["BenchmarkBuildDataset/workers=1"], ns["BenchmarkBuildDatasetWarmCache"])
+		ratio("build_speedup_vs_pr2", pr2, ns["BenchmarkBuildDataset/workers=1"])
+
+		# Parallel speedup is only meaningful with real cores behind the
+		# workers: refuse to claim one on a single-proc host.
 		seq = ns["BenchmarkBuildDataset/workers=1"]
 		par = ns["BenchmarkBuildDataset/workers=4"]
-		if (seq > 0 && par > 0)
+		if (maxprocs < 2) {
+			printf "  \"build_speedup_workers4\": null,\n"
+			printf "  \"build_speedup_workers4_note\": \"not reported: GOMAXPROCS=%d, parallel workers cannot speed up on a single-proc host\"\n", maxprocs
+		} else if (seq > 0 && par > 0) {
 			printf "  \"build_speedup_workers4\": %.3f\n", seq / par
-		else
+		} else {
 			printf "  \"build_speedup_workers4\": null\n"
+		}
 		printf "}\n"
 	}
-' /tmp/bench_build.txt /tmp/bench_grid.txt /tmp/bench_vec.txt > "$OUT"
+	function ratio(label, num, den) {
+		if (num > 0 && den > 0)
+			printf "  \"%s\": %.3f,\n", label, num / den
+		else
+			printf "  \"%s\": null,\n", label
+	}
+' pr2="$(sed -n 's/.*"BenchmarkBuildDataset\/workers=1": {"ns_per_op": \([0-9]*\)}.*/\1/p' BENCH_PR2.json 2>/dev/null | head -1)" \
+	/tmp/bench_place.txt /tmp/bench_route.txt /tmp/bench_build.txt > "$OUT"
 
 echo "wrote $OUT:"
 cat "$OUT"

@@ -23,6 +23,19 @@ echo "== parallel determinism (-race) =="
 go test -race -count=1 -run 'TestBuildDatasetDeterministicAcrossWorkers' ./internal/core/
 
 echo "== parallel bench smoke (-race) =="
-go test -race -run '^$' -bench 'BenchmarkBuildDataset' -benchtime=1x .
+go test -race -run '^$' -bench 'BenchmarkBuildDataset$' -benchtime=1x .
+
+# The fast-path reproduction contract: the incremental placer and the
+# O(1)-pattern router must be byte-identical to the frozen pre-optimization
+# kernels kept under test, and the router's steady state must not allocate.
+echo "== kernel equivalence =="
+go test -count=1 -run 'TestPlaceEquivalentToReference|TestRouteEquivalentToReference|TestRouterReuseAcrossFlows|TestRouteAllSteadyStateAllocs' \
+	./internal/place/ ./internal/route/
+
+# The flow cache's reproduction contract: a second identical dataset build
+# against a warm cache must report hits while producing byte-identical
+# output, including with the cache shared across parallel workers.
+echo "== flow-cache hit-rate smoke (-race) =="
+go test -race -count=1 -run 'TestBuildDatasetFlowCache' ./internal/core/
 
 echo "tier-1 checks passed"
