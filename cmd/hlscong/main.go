@@ -46,6 +46,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/backtrace"
 	"repro/internal/bench"
@@ -242,6 +243,11 @@ func run(cfg experiments.Config, cmd, design string) error {
 			return err
 		}
 		fmt.Print(experiments.FormatTuning(results))
+		var total time.Duration
+		for _, r := range results {
+			total += r.Elapsed
+		}
+		fmt.Printf("total grid-search wall time: %.2fs\n", total.Seconds())
 		return nil
 	case "ablate":
 		return ablate(cfg)

@@ -316,6 +316,37 @@ func PredictModule(p *Predictor, m *Module, cfg FlowConfig) (preds []OpPredictio
 	return p.PredictModule(m, cfg)
 }
 
+// PredictBatch estimates all three congestion metrics for a batch of raw
+// feature vectors (one Extractor.Vector-shaped row per sample), returning
+// freshly allocated result slices. It is the convenience form of
+// PredictBatchInto.
+func PredictBatch(p *Predictor, feats [][]float64) (vert, horiz, avg []float64, err error) {
+	defer guard("PredictBatch", &err)
+	if p == nil {
+		return nil, nil, nil, fmt.Errorf("congest: PredictBatch: nil predictor")
+	}
+	vert = make([]float64, len(feats))
+	horiz = make([]float64, len(feats))
+	avg = make([]float64, len(feats))
+	p.PredictBatchInto(vert, horiz, avg, feats)
+	return vert, horiz, avg, nil
+}
+
+// PredictBatchInto is the serving fast path: it fills the caller-owned
+// output slices (each len(feats)) with the three congestion estimates per
+// feature vector. Steady-state calls do not allocate — rows are
+// standardized into pooled scratch and the GBRT walks its flattened
+// forest — so a caller scoring many batches can reuse its slices across
+// calls. Values are identical to Predictor.PredictSample per row.
+func PredictBatchInto(p *Predictor, vert, horiz, avg []float64, feats [][]float64) (err error) {
+	defer guard("PredictBatchInto", &err)
+	if p == nil {
+		return fmt.Errorf("congest: PredictBatchInto: nil predictor")
+	}
+	p.PredictBatchInto(vert, horiz, avg, feats)
+	return nil
+}
+
 // Hotspots groups per-operation predictions by source line, hottest first.
 func Hotspots(preds []OpPrediction) []Hotspot { return core.Hotspots(preds) }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/backtrace"
@@ -439,7 +440,9 @@ func Train(ds *dataset.Dataset, opts TrainOptions) (*Predictor, error) {
 	}
 	X, _ := ds.Matrix(dataset.Vertical)
 	scaler := ml.FitScaler(X)
-	Xs := scaler.Transform(X)
+	var xm ml.Matrix
+	scaler.TransformRowsInto(&xm, X)
+	Xs := xm.RowViews(nil)
 	p := &Predictor{Kind: opts.Kind, scaler: scaler, models: make(map[dataset.Target]ml.Regressor)}
 	for _, t := range dataset.Targets {
 		_, y := ds.Matrix(t)
@@ -455,13 +458,52 @@ func Train(ds *dataset.Dataset, opts TrainOptions) (*Predictor, error) {
 // Model exposes the trained regressor for a target (nil if missing).
 func (p *Predictor) Model(t dataset.Target) ml.Regressor { return p.models[t] }
 
+// predScratch is the pooled working set of the predictor's serving path:
+// one standardized-row buffer for single samples, one flat matrix plus row
+// views for batches. Pooling (instead of per-Predictor state) keeps
+// concurrent prediction on a shared Predictor allocation-free and safe.
+type predScratch struct {
+	row  []float64
+	m    ml.Matrix
+	rows [][]float64
+}
+
+var predScratchPool = sync.Pool{New: func() any { return &predScratch{} }}
+
 // PredictSample estimates all three congestion metrics for one raw feature
-// vector.
+// vector. Steady-state calls do not allocate.
 func (p *Predictor) PredictSample(feats []float64) (vert, horiz, avg float64) {
-	row := p.scaler.TransformRow(feats)
-	return p.models[dataset.Vertical].Predict(row),
-		p.models[dataset.Horizontal].Predict(row),
-		p.models[dataset.Average].Predict(row)
+	ps := predScratchPool.Get().(*predScratch)
+	if cap(ps.row) < len(feats) {
+		ps.row = make([]float64, len(feats))
+	}
+	row := ps.row[:len(feats)]
+	p.scaler.TransformRowInto(row, feats)
+	vert = p.models[dataset.Vertical].Predict(row)
+	horiz = p.models[dataset.Horizontal].Predict(row)
+	avg = p.models[dataset.Average].Predict(row)
+	predScratchPool.Put(ps)
+	return vert, horiz, avg
+}
+
+// PredictBatchInto estimates all three congestion metrics for a batch of
+// raw feature vectors, writing into the caller-owned output slices (each
+// len(feats)). Rows are standardized into a pooled flat matrix and each
+// model takes its allocation-free batch path (GBRT walks its flattened
+// forest), so steady-state calls do not allocate. Values are identical to
+// PredictSample per row.
+func (p *Predictor) PredictBatchInto(vert, horiz, avg []float64, feats [][]float64) {
+	if len(vert) != len(feats) || len(horiz) != len(feats) || len(avg) != len(feats) {
+		panic(fmt.Sprintf("core: PredictBatchInto output lengths %d/%d/%d for %d rows",
+			len(vert), len(horiz), len(avg), len(feats)))
+	}
+	ps := predScratchPool.Get().(*predScratch)
+	p.scaler.TransformRowsInto(&ps.m, feats)
+	ps.rows = ps.m.RowViews(ps.rows)
+	ml.PredictBatchInto(p.models[dataset.Vertical], ps.rows, vert)
+	ml.PredictBatchInto(p.models[dataset.Horizontal], ps.rows, horiz)
+	ml.PredictBatchInto(p.models[dataset.Average], ps.rows, avg)
+	predScratchPool.Put(ps)
 }
 
 // OpPrediction is the estimated congestion of one IR operation.
@@ -485,10 +527,21 @@ func (p *Predictor) PredictModule(m *ir.Module, cfg flow.Config) ([]OpPrediction
 	bind := hls.BindModule(sched)
 	g := graph.Build(m, bind)
 	ex := features.NewExtractor(m, sched, bind, g, cfg.Dev)
-	var out []OpPrediction
-	for _, o := range m.AllOps() {
-		v, h, a := p.PredictSample(ex.Vector(o))
-		out = append(out, OpPrediction{Op: o, VertPct: v, HorizPct: h, AvgPct: a})
+	ops := m.AllOps()
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	feats := make([][]float64, len(ops))
+	for i, o := range ops {
+		feats[i] = ex.Vector(o)
+	}
+	vert := make([]float64, len(ops))
+	horiz := make([]float64, len(ops))
+	avg := make([]float64, len(ops))
+	p.PredictBatchInto(vert, horiz, avg, feats)
+	out := make([]OpPrediction, len(ops))
+	for i, o := range ops {
+		out[i] = OpPrediction{Op: o, VertPct: vert[i], HorizPct: horiz[i], AvgPct: avg[i]}
 	}
 	return out, nil
 }
@@ -586,10 +639,14 @@ func EvaluateSized(ds *dataset.Dataset, kind ModelKind, filter bool, seed int64,
 
 	Xtr, _ := train.Matrix(dataset.Vertical)
 	scaler := ml.FitScaler(Xtr)
-	XtrS := scaler.Transform(Xtr)
+	var xtrM, xteM ml.Matrix
+	scaler.TransformRowsInto(&xtrM, Xtr)
+	XtrS := xtrM.RowViews(nil)
 	Xte, _ := test.Matrix(dataset.Vertical)
-	XteS := scaler.Transform(Xte)
+	scaler.TransformRowsInto(&xteM, Xte)
+	XteS := xteM.RowViews(nil)
 
+	pred := make([]float64, len(XteS))
 	for _, t := range dataset.Targets {
 		_, ytr := train.Matrix(t)
 		_, yte := test.Matrix(t)
@@ -597,7 +654,7 @@ func EvaluateSized(ds *dataset.Dataset, kind ModelKind, filter bool, seed int64,
 		if err := m.Fit(XtrS, ytr); err != nil {
 			return row, fmt.Errorf("core: evaluate %s/%s: %w", kind, t, err)
 		}
-		pred := ml.PredictBatch(m, XteS)
+		ml.PredictBatchInto(m, XteS, pred)
 		row.Acc[t] = Accuracy{MAE: ml.MAE(yte, pred), MedAE: ml.MedAE(yte, pred)}
 	}
 	return row, nil

@@ -47,6 +47,10 @@ func AblateCategories(cfg Config, ds *dataset.Dataset) (*CategoryAblationResult,
 		size = core.SizeQuick
 	}
 
+	// One set of flat matrices and one prediction buffer serve the whole
+	// sweep: every point reuses their backing arrays.
+	var trM, teM ml.Matrix
+	pred := make([]float64, len(Xte))
 	eval := func(hide features.Category, mask bool) (float64, error) {
 		maskRows := func(rows [][]float64) [][]float64 {
 			if !mask {
@@ -67,11 +71,14 @@ func AblateCategories(cfg Config, ds *dataset.Dataset) (*CategoryAblationResult,
 		mXtr := maskRows(Xtr)
 		mXte := maskRows(Xte)
 		scaler := ml.FitScaler(mXtr)
+		scaler.TransformRowsInto(&trM, mXtr)
+		scaler.TransformRowsInto(&teM, mXte)
 		m := core.NewModelSized(core.GBRT, cfg.Seed, size)
-		if err := m.Fit(scaler.Transform(mXtr), ytr); err != nil {
+		if err := m.Fit(trM.RowViews(nil), ytr); err != nil {
 			return 0, err
 		}
-		return ml.MAE(yte, ml.PredictBatch(m, scaler.Transform(mXte))), nil
+		ml.PredictBatchInto(m, teM.RowViews(nil), pred)
+		return ml.MAE(yte, pred), nil
 	}
 
 	base, err := eval(0, false)
@@ -118,6 +125,7 @@ func SweepFilterThreshold(cfg Config, ds *dataset.Dataset, deviations []float64)
 	if cfg.Quick {
 		size = core.SizeQuick
 	}
+	var trM, teM ml.Matrix
 	var out []FilterSweepPoint
 	for _, dev := range deviations {
 		marg := ds.MarginalWithDeviation(dev)
@@ -138,8 +146,10 @@ func SweepFilterThreshold(cfg Config, ds *dataset.Dataset, deviations []float64)
 		Xtr, ytr := keep(split.Train)
 		Xte, yte := keep(split.Test)
 		scaler := ml.FitScaler(Xtr)
+		scaler.TransformRowsInto(&trM, Xtr)
+		scaler.TransformRowsInto(&teM, Xte)
 		m := core.NewModelSized(core.GBRT, cfg.Seed, size)
-		if err := m.Fit(scaler.Transform(Xtr), ytr); err != nil {
+		if err := m.Fit(trM.RowViews(nil), ytr); err != nil {
 			return nil, fmt.Errorf("experiments: filter sweep dev=%.2f: %w", dev, err)
 		}
 		removed := 0
@@ -148,10 +158,11 @@ func SweepFilterThreshold(cfg Config, ds *dataset.Dataset, deviations []float64)
 				removed++
 			}
 		}
+		pred := ml.PredictBatchInto(m, teM.RowViews(nil), make([]float64, len(Xte)))
 		out = append(out, FilterSweepPoint{
 			Deviation: dev,
 			Removed:   removed,
-			MAE:       ml.MAE(yte, ml.PredictBatch(m, scaler.Transform(Xte))),
+			MAE:       ml.MAE(yte, pred),
 		})
 	}
 	return out, nil
@@ -181,6 +192,7 @@ func AblateLabelAveraging(cfg Config, runCounts []int) ([]LabelRunsPoint, error)
 	if cfg.Quick {
 		size = core.SizeQuick
 	}
+	var trM, teM ml.Matrix
 	var out []LabelRunsPoint
 	for _, runs := range runCounts {
 		ds, _, err := core.BuildDatasetRuns(bench.TrainingModules(), cfg.Flow, runs)
@@ -193,13 +205,16 @@ func AblateLabelAveraging(cfg Config, runCounts []int) ([]LabelRunsPoint, error)
 		Xtr, ytr := ml.Take(X, y, split.Train)
 		Xte, yte := ml.Take(X, y, split.Test)
 		scaler := ml.FitScaler(Xtr)
+		scaler.TransformRowsInto(&trM, Xtr)
+		scaler.TransformRowsInto(&teM, Xte)
 		m := core.NewModelSized(core.GBRT, cfg.Seed, size)
-		if err := m.Fit(scaler.Transform(Xtr), ytr); err != nil {
+		if err := m.Fit(trM.RowViews(nil), ytr); err != nil {
 			return nil, err
 		}
+		pred := ml.PredictBatchInto(m, teM.RowViews(nil), make([]float64, len(Xte)))
 		out = append(out, LabelRunsPoint{
 			Runs: runs,
-			MAE:  ml.MAE(yte, ml.PredictBatch(m, scaler.Transform(Xte))),
+			MAE:  ml.MAE(yte, pred),
 		})
 	}
 	return out, nil

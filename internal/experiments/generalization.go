@@ -55,6 +55,7 @@ func Generalization(cfg Config, ds *dataset.Dataset) (*GeneralizationResult, err
 	}
 	out := &GeneralizationResult{}
 	marginal := ds.Marginal()
+	var trM, teM ml.Matrix // backing arrays shared across the folds
 	for _, held := range names {
 		train := &dataset.Dataset{FeatureNames: ds.FeatureNames}
 		test := &dataset.Dataset{FeatureNames: ds.FeatureNames}
@@ -76,9 +77,12 @@ func Generalization(cfg Config, ds *dataset.Dataset) (*GeneralizationResult, err
 		}
 		Xtr, _ := train.Matrix(dataset.Vertical)
 		scaler := ml.FitScaler(Xtr)
-		XtrS := scaler.Transform(Xtr)
+		scaler.TransformRowsInto(&trM, Xtr)
+		XtrS := trM.RowViews(nil)
 		Xte, _ := test.Matrix(dataset.Vertical)
-		XteS := scaler.Transform(Xte)
+		scaler.TransformRowsInto(&teM, Xte)
+		XteS := teM.RowViews(nil)
+		pred := make([]float64, len(XteS))
 		for _, tg := range dataset.Targets {
 			_, ytr := train.Matrix(tg)
 			_, yte := test.Matrix(tg)
@@ -86,7 +90,7 @@ func Generalization(cfg Config, ds *dataset.Dataset) (*GeneralizationResult, err
 			if err := m.Fit(XtrS, ytr); err != nil {
 				return nil, fmt.Errorf("experiments: generalization (%s/%s): %w", held, tg, err)
 			}
-			pred := ml.PredictBatch(m, XteS)
+			ml.PredictBatchInto(m, XteS, pred)
 			row.Acc[tg] = core.Accuracy{MAE: ml.MAE(yte, pred), MedAE: ml.MedAE(yte, pred)}
 		}
 		out.Rows = append(out.Rows, row)

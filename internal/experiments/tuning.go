@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -17,7 +18,17 @@ type TuningResult struct {
 	BestScore float64 // mean CV MAE of the winner
 	Evaluated int
 	Folds     int
-	Rows      int // training rows the search ran on
+	Rows      int           // training rows the search ran on
+	Elapsed   time.Duration // wall time of the grid search itself
+}
+
+// CandidatesPerSec is the search throughput: grid candidates evaluated
+// (each over all CV folds) per second of wall time.
+func (r *TuningResult) CandidatesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Evaluated) / r.Elapsed.Seconds()
 }
 
 // Tuning reproduces the paper's model-selection protocol: grid search with
@@ -42,8 +53,11 @@ func Tuning(cfg Config, ds *dataset.Dataset, kind core.ModelKind) (*TuningResult
 		Xtr, ytr = Xtr[:maxRows], ytr[:maxRows]
 	}
 	scaler := ml.FitScaler(Xtr)
-	XtrS := scaler.Transform(Xtr)
+	var xm ml.Matrix
+	scaler.TransformRowsInto(&xm, Xtr)
+	XtrS := xm.RowViews(nil)
 
+	start := time.Now()
 	res, err := ml.GridSearchCVWorkers(core.Factory(kind, cfg.Seed), core.TuningGrid(kind, cfg.Quick),
 		XtrS, ytr, folds, rng, cfg.Workers)
 	if err != nil {
@@ -56,6 +70,7 @@ func Tuning(cfg Config, ds *dataset.Dataset, kind core.ModelKind) (*TuningResult
 		Evaluated: res.Evaluated,
 		Folds:     folds,
 		Rows:      len(Xtr),
+		Elapsed:   time.Since(start),
 	}, nil
 }
 
@@ -81,8 +96,9 @@ func FormatTuning(results []*TuningResult) string {
 	var b strings.Builder
 	b.WriteString("HYPERPARAMETER SEARCH (grid + k-fold CV, vertical congestion MAE)\n")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-7s best=%v  cvMAE=%.2f  (%d candidates, %d folds, %d rows)\n",
-			r.Kind, formatParams(r.Best), r.BestScore, r.Evaluated, r.Folds, r.Rows)
+		fmt.Fprintf(&b, "%-7s best=%v  cvMAE=%.2f  (%d candidates, %d folds, %d rows)  %.2fs (%.1f cand/s)\n",
+			r.Kind, formatParams(r.Best), r.BestScore, r.Evaluated, r.Folds, r.Rows,
+			r.Elapsed.Seconds(), r.CandidatesPerSec())
 	}
 	return b.String()
 }

@@ -3,12 +3,21 @@
 // layers of weighted linear transformations followed by a non-linear
 // activation, with the usual pile of hyperparameters to tune. Inputs should
 // be standardized; ml.Scaler does that.
+//
+// The training fast path runs each mini-batch through batched, loop-
+// interchanged layer kernels over flat weight slices and preallocated
+// per-batch scratch; inference reuses a pooled ping-pong activation
+// buffer. Both are provably bit-identical to the original per-sample
+// loops — every float accumulator receives the same addends in the same
+// order (see equiv_test.go) — the interchange only changes which memory
+// is walked contiguously.
 package ann
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Model is an MLP with ReLU hidden layers and a linear output.
@@ -41,7 +50,7 @@ func New(hidden []int, seed int64) *Model {
 	return &Model{Hidden: append([]int(nil), hidden...), Epochs: 60, BatchSize: 32, LR: 1e-3, Seed: seed}
 }
 
-// Fit trains the network.
+// Fit trains the network. Rows of X must all have len(X[0]) columns.
 func (m *Model) Fit(X [][]float64, y []float64) error {
 	n := len(X)
 	if n == 0 || n != len(y) {
@@ -106,17 +115,32 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	const beta1, beta2, eps = 0.9, 0.999, 1e-8
 	step := 0
 
+	// Flat per-batch scratch: activations and deltas for a whole
+	// mini-batch at every layer, sample s of layer l occupying
+	// acts[l][s*dims[l] : (s+1)*dims[l]]. Allocated once per Fit.
+	B := m.BatchSize
+	if B > n {
+		B = n
+	}
 	acts := make([][]float64, layers+1)
 	deltas := make([][]float64, layers+1)
 	for l, d := range m.dims {
-		acts[l] = make([]float64, d)
-		deltas[l] = make([]float64, d)
+		acts[l] = make([]float64, B*d)
+		deltas[l] = make([]float64, B*d)
 	}
+	maxDim := 1
+	for _, d := range m.dims {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	ks := make([]int, maxDim) // active-output index scratch for backward
 
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
+	d0 := m.dims[0]
 	for epoch := 0; epoch < m.Epochs; epoch++ {
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < n; start += m.BatchSize {
@@ -124,16 +148,30 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 			if end > n {
 				end = n
 			}
+			batch := order[start:end]
+			bs := len(batch)
 			for l := range grad {
-				for i := range grad[l] {
-					grad[l][i] = 0
+				g := grad[l]
+				for i := range g {
+					g[i] = 0
 				}
 			}
-			for _, idx := range order[start:end] {
-				m.forward(X[idx], acts)
-				// Squared loss: d(0.5*(pred-y)^2)/dpred = residual. Huber
-				// clips the gradient at +/- delta.
-				r := acts[layers][0] - y[idx]
+			// Forward the whole mini-batch, layer by layer.
+			for s, idx := range batch {
+				copy(acts[0][s*d0:(s+1)*d0], X[idx])
+			}
+			for l := 0; l < layers; l++ {
+				fanIn, fanOut := m.dims[l], m.dims[l+1]
+				w := m.weights[l]
+				relu := l < layers-1
+				for s := 0; s < bs; s++ {
+					layerForward(w, acts[l][s*fanIn:(s+1)*fanIn], acts[l+1][s*fanOut:(s+1)*fanOut], relu)
+				}
+			}
+			// Output deltas. Squared loss: d(0.5*(pred-y)^2)/dpred =
+			// residual; Huber clips the gradient at +/- delta.
+			for s, idx := range batch {
+				r := acts[layers][s] - y[idx]
 				if m.HuberDelta > 0 {
 					if r > m.HuberDelta {
 						r = m.HuberDelta
@@ -141,16 +179,40 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 						r = -m.HuberDelta
 					}
 				}
-				deltas[layers][0] = r
-				m.backward(acts, deltas, grad)
+				deltas[layers][s] = r
 			}
-			bs := float64(end - start)
+			// Backward, layer by layer: for any gradient cell the addends
+			// still arrive in mini-batch sample order, as they did when
+			// samples were processed one at a time.
+			for l := layers - 1; l >= 0; l-- {
+				fanIn, fanOut := m.dims[l], m.dims[l+1]
+				w := m.weights[l]
+				g := grad[l]
+				for s := 0; s < bs; s++ {
+					inp := acts[l][s*fanIn : (s+1)*fanIn]
+					dOut := deltas[l+1][s*fanOut : (s+1)*fanOut]
+					var dIn []float64
+					if l > 0 {
+						dIn = deltas[l][s*fanIn : (s+1)*fanIn]
+					}
+					layerBackward(w, g, inp, dOut, dIn, ks)
+					if l > 0 {
+						// ReLU derivative at the previous activation.
+						for i, a := range inp {
+							if a <= 0 {
+								dIn[i] = 0
+							}
+						}
+					}
+				}
+			}
+			bsf := float64(bs)
 			step++
 			lr := m.LR * math.Sqrt(1-math.Pow(beta2, float64(step))) / (1 - math.Pow(beta1, float64(step)))
 			for l := range m.weights {
 				w := m.weights[l]
 				for i := range w {
-					g := grad[l][i]/bs + m.L2*w[i]
+					g := grad[l][i]/bsf + m.L2*w[i]
 					mom[l][i] = beta1*mom[l][i] + (1-beta1)*g
 					vel[l][i] = beta2*vel[l][i] + (1-beta2)*g*g
 					w[i] -= lr * mom[l][i] / (math.Sqrt(vel[l][i]) + eps)
@@ -161,59 +223,109 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	return nil
 }
 
-// forward fills acts[0..layers]; hidden layers apply ReLU.
-func (m *Model) forward(x []float64, acts [][]float64) {
-	copy(acts[0], x)
-	layers := len(m.weights)
-	for l := 0; l < layers; l++ {
-		fanIn, fanOut := m.dims[l], m.dims[l+1]
-		w := m.weights[l]
-		out := acts[l+1]
-		for o := 0; o < fanOut; o++ {
-			s := w[fanIn*fanOut+o] // bias row
-			for i := 0; i < fanIn; i++ {
-				s += acts[l][i] * w[i*fanOut+o]
+// layerForward computes one layer for one sample: out = W'in + b with an
+// optional ReLU. The i-outer / o-inner interchange walks the weight row
+// and the output contiguously; each out[o] still receives its bias first
+// and then the i-ascending addends — the exact accumulation order of the
+// per-output loop it replaces, so results are bit-identical.
+func layerForward(w, in, out []float64, relu bool) {
+	fanIn, fanOut := len(in), len(out)
+	copy(out, w[fanIn*fanOut:(fanIn+1)*fanOut]) // bias row
+	for i, a := range in {
+		wr := w[i*fanOut : (i+1)*fanOut]
+		for o, wv := range wr {
+			out[o] += a * wv
+		}
+	}
+	if relu {
+		for o, v := range out {
+			if v < 0 {
+				out[o] = 0
 			}
-			if l < layers-1 && s < 0 {
-				s = 0 // ReLU
-			}
-			out[o] = s
 		}
 	}
 }
 
-// backward accumulates gradients into grad given deltas at the output.
-func (m *Model) backward(acts, deltas, grad [][]float64) {
-	layers := len(m.weights)
-	for l := layers - 1; l >= 0; l-- {
-		fanIn, fanOut := m.dims[l], m.dims[l+1]
-		w := m.weights[l]
-		g := grad[l]
-		dOut := deltas[l+1]
-		dIn := deltas[l]
-		for i := 0; i < fanIn; i++ {
-			dIn[i] = 0
-		}
-		for o := 0; o < fanOut; o++ {
-			d := dOut[o]
-			if d == 0 {
-				continue
-			}
-			g[fanIn*fanOut+o] += d
-			for i := 0; i < fanIn; i++ {
-				g[i*fanOut+o] += d * acts[l][i]
-				dIn[i] += d * w[i*fanOut+o]
-			}
-		}
-		if l > 0 {
-			// ReLU derivative at the previous activation.
-			for i := 0; i < fanIn; i++ {
-				if acts[l][i] <= 0 {
-					dIn[i] = 0
-				}
-			}
+// layerBackward accumulates one sample's weight gradients into g and, when
+// dIn is non-nil, writes the back-propagated deltas. The original loop
+// skipped outputs with a zero delta; the active-output list ks preserves
+// that skip (it is observable in the sign of zero sums) while letting the
+// i-outer interchange walk g and w rows contiguously. Per-accumulator
+// addend order is unchanged: ascending active o, one addend per sample.
+func layerBackward(w, g, in, dOut, dIn []float64, ks []int) {
+	fanIn, fanOut := len(in), len(dOut)
+	nk := 0
+	for o, d := range dOut {
+		if d != 0 {
+			ks[nk] = o
+			nk++
 		}
 	}
+	act := ks[:nk]
+	gb := g[fanIn*fanOut:]
+	for _, o := range act {
+		gb[o] += dOut[o]
+	}
+	if dIn == nil {
+		// Input layer: deltas are never consumed, skip computing them.
+		for i, a := range in {
+			gi := g[i*fanOut : (i+1)*fanOut]
+			for _, o := range act {
+				gi[o] += dOut[o] * a
+			}
+		}
+		return
+	}
+	for i, a := range in {
+		gi := g[i*fanOut : (i+1)*fanOut]
+		wi := w[i*fanOut : (i+1)*fanOut]
+		s := 0.0
+		for _, o := range act {
+			d := dOut[o]
+			gi[o] += d * a
+			s += d * wi[o]
+		}
+		dIn[i] = s
+	}
+}
+
+// predictScratch is the pooled ping-pong activation pair for inference.
+type predictScratch struct {
+	a, b []float64
+}
+
+var predictPool = sync.Pool{New: func() any { return new(predictScratch) }}
+
+// predictWith runs one forward pass using ps's buffers, growing them on
+// first use. Arithmetic is identical to training's forward kernels.
+func (m *Model) predictWith(ps *predictScratch, x []float64) float64 {
+	maxDim := 0
+	for _, d := range m.dims {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	if cap(ps.a) < maxDim || cap(ps.b) < maxDim {
+		ps.a = make([]float64, maxDim)
+		ps.b = make([]float64, maxDim)
+	}
+	cur, nxt := ps.a[:maxDim], ps.b[:maxDim]
+	d0 := m.dims[0]
+	nc := copy(cur[:d0], x)
+	for i := nc; i < d0; i++ {
+		cur[i] = 0 // short rows see zeros, as with a fresh buffer
+	}
+	layers := len(m.weights)
+	for l := 0; l < layers; l++ {
+		fanIn, fanOut := m.dims[l], m.dims[l+1]
+		layerForward(m.weights[l], cur[:fanIn], nxt[:fanOut], l < layers-1)
+		cur, nxt = nxt, cur
+	}
+	out := cur[0]
+	if m.yStd != 0 && (m.yMean != 0 || m.yStd != 1) {
+		out = out*m.yStd + m.yMean
+	}
+	return out
 }
 
 // Predict runs a forward pass.
@@ -221,14 +333,25 @@ func (m *Model) Predict(x []float64) float64 {
 	if m.weights == nil {
 		return 0
 	}
-	acts := make([][]float64, len(m.dims))
-	for l, d := range m.dims {
-		acts[l] = make([]float64, d)
+	ps := predictPool.Get().(*predictScratch)
+	v := m.predictWith(ps, x)
+	predictPool.Put(ps)
+	return v
+}
+
+// PredictBatchInto writes the estimate for X[i] into out[i] without
+// allocating in steady state (ml.BatchPredictor): one pooled scratch
+// serves the whole batch. Values are identical to Predict.
+func (m *Model) PredictBatchInto(out []float64, X [][]float64) {
+	if m.weights == nil {
+		for i := range X {
+			out[i] = 0
+		}
+		return
 	}
-	m.forward(x, acts)
-	out := acts[len(acts)-1][0]
-	if m.yStd != 0 && (m.yMean != 0 || m.yStd != 1) {
-		out = out*m.yStd + m.yMean
+	ps := predictPool.Get().(*predictScratch)
+	for i, x := range X {
+		out[i] = m.predictWith(ps, x)
 	}
-	return out
+	predictPool.Put(ps)
 }

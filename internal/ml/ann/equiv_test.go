@@ -1,0 +1,291 @@
+package ann
+
+// Frozen reference implementation of the MLP trainer, kept verbatim from
+// before the batched fast path (per-sample forward/backward with o-outer
+// strided weight access, per-call activation allocation in Predict) with
+// ref* renames. The equivalence tests demand byte-identical weights and
+// predictions across seeds and configurations: the loop interchange and
+// the batched schedule feed every float accumulator the same addends in
+// the same order, so the fast path is a pure memory-layout change. Same
+// pattern as internal/place/equiv_test.go.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+type refANN struct {
+	Hidden          []int
+	Epochs          int
+	BatchSize       int
+	LR              float64
+	L2              float64
+	Seed            int64
+	HuberDelta      float64
+	NormalizeTarget bool
+
+	weights [][]float64
+	dims    []int
+	yMean   float64
+	yStd    float64
+}
+
+func (m *refANN) fit(X [][]float64, y []float64) error {
+	n := len(X)
+	if m.Epochs <= 0 {
+		m.Epochs = 60
+	}
+	if m.BatchSize <= 0 {
+		m.BatchSize = 32
+	}
+	if m.LR <= 0 {
+		m.LR = 1e-3
+	}
+	in := len(X[0])
+	m.dims = append([]int{in}, m.Hidden...)
+	m.dims = append(m.dims, 1)
+	rng := rand.New(rand.NewSource(m.Seed))
+
+	m.yMean, m.yStd = 0, 1
+	if m.NormalizeTarget {
+		for _, v := range y {
+			m.yMean += v
+		}
+		m.yMean /= float64(n)
+		va := 0.0
+		for _, v := range y {
+			va += (v - m.yMean) * (v - m.yMean)
+		}
+		m.yStd = math.Sqrt(va / float64(n))
+		if m.yStd < 1e-12 {
+			m.yStd = 1
+		}
+		scaled := make([]float64, n)
+		for i, v := range y {
+			scaled[i] = (v - m.yMean) / m.yStd
+		}
+		y = scaled
+	}
+
+	layers := len(m.dims) - 1
+	m.weights = make([][]float64, layers)
+	for l := 0; l < layers; l++ {
+		fanIn, fanOut := m.dims[l], m.dims[l+1]
+		w := make([]float64, (fanIn+1)*fanOut)
+		scale := math.Sqrt(2.0 / float64(fanIn))
+		for i := 0; i < fanIn*fanOut; i++ {
+			w[i] = rng.NormFloat64() * scale
+		}
+		m.weights[l] = w
+	}
+
+	mom := make([][]float64, layers)
+	vel := make([][]float64, layers)
+	grad := make([][]float64, layers)
+	for l := range m.weights {
+		mom[l] = make([]float64, len(m.weights[l]))
+		vel[l] = make([]float64, len(m.weights[l]))
+		grad[l] = make([]float64, len(m.weights[l]))
+	}
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+
+	acts := make([][]float64, layers+1)
+	deltas := make([][]float64, layers+1)
+	for l, d := range m.dims {
+		acts[l] = make([]float64, d)
+		deltas[l] = make([]float64, d)
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += m.BatchSize {
+			end := start + m.BatchSize
+			if end > n {
+				end = n
+			}
+			for l := range grad {
+				for i := range grad[l] {
+					grad[l][i] = 0
+				}
+			}
+			for _, idx := range order[start:end] {
+				m.forward(X[idx], acts)
+				r := acts[layers][0] - y[idx]
+				if m.HuberDelta > 0 {
+					if r > m.HuberDelta {
+						r = m.HuberDelta
+					} else if r < -m.HuberDelta {
+						r = -m.HuberDelta
+					}
+				}
+				deltas[layers][0] = r
+				m.backward(acts, deltas, grad)
+			}
+			bs := float64(end - start)
+			step++
+			lr := m.LR * math.Sqrt(1-math.Pow(beta2, float64(step))) / (1 - math.Pow(beta1, float64(step)))
+			for l := range m.weights {
+				w := m.weights[l]
+				for i := range w {
+					g := grad[l][i]/bs + m.L2*w[i]
+					mom[l][i] = beta1*mom[l][i] + (1-beta1)*g
+					vel[l][i] = beta2*vel[l][i] + (1-beta2)*g*g
+					w[i] -= lr * mom[l][i] / (math.Sqrt(vel[l][i]) + eps)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (m *refANN) forward(x []float64, acts [][]float64) {
+	copy(acts[0], x)
+	layers := len(m.weights)
+	for l := 0; l < layers; l++ {
+		fanIn, fanOut := m.dims[l], m.dims[l+1]
+		w := m.weights[l]
+		out := acts[l+1]
+		for o := 0; o < fanOut; o++ {
+			s := w[fanIn*fanOut+o]
+			for i := 0; i < fanIn; i++ {
+				s += acts[l][i] * w[i*fanOut+o]
+			}
+			if l < layers-1 && s < 0 {
+				s = 0
+			}
+			out[o] = s
+		}
+	}
+}
+
+func (m *refANN) backward(acts, deltas, grad [][]float64) {
+	layers := len(m.weights)
+	for l := layers - 1; l >= 0; l-- {
+		fanIn, fanOut := m.dims[l], m.dims[l+1]
+		w := m.weights[l]
+		g := grad[l]
+		dOut := deltas[l+1]
+		dIn := deltas[l]
+		for i := 0; i < fanIn; i++ {
+			dIn[i] = 0
+		}
+		for o := 0; o < fanOut; o++ {
+			d := dOut[o]
+			if d == 0 {
+				continue
+			}
+			g[fanIn*fanOut+o] += d
+			for i := 0; i < fanIn; i++ {
+				g[i*fanOut+o] += d * acts[l][i]
+				dIn[i] += d * w[i*fanOut+o]
+			}
+		}
+		if l > 0 {
+			for i := 0; i < fanIn; i++ {
+				if acts[l][i] <= 0 {
+					dIn[i] = 0
+				}
+			}
+		}
+	}
+}
+
+func (m *refANN) predict(x []float64) float64 {
+	if m.weights == nil {
+		return 0
+	}
+	acts := make([][]float64, len(m.dims))
+	for l, d := range m.dims {
+		acts[l] = make([]float64, d)
+	}
+	m.forward(x, acts)
+	out := acts[len(acts)-1][0]
+	if m.yStd != 0 && (m.yMean != 0 || m.yStd != 1) {
+		out = out*m.yStd + m.yMean
+	}
+	return out
+}
+
+func annEquivData(seed int64, n, d int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X[i] = row
+		y[i] = math.Sin(row[0]) + 0.5*row[1] - 0.3*row[2]*row[0] + 0.05*rng.NormFloat64()
+	}
+	return X, y
+}
+
+// annEquivConfigs covers plain squared loss, Huber + target normalization
+// + weight decay (the tuned production config shape), a single hidden
+// layer, and a batch size that does not divide n (partial final batch).
+func annEquivConfigs() []Model {
+	return []Model{
+		{Hidden: []int{16, 8}, Epochs: 6, BatchSize: 16, LR: 1e-3},
+		{Hidden: []int{12}, Epochs: 5, BatchSize: 7, LR: 2e-3, L2: 1e-4, HuberDelta: 0.5, NormalizeTarget: true},
+		{Hidden: []int{8, 8}, Epochs: 4, BatchSize: 256, LR: 1e-3, NormalizeTarget: true}, // one batch = whole set
+	}
+}
+
+// TestANNEquivalence gates the batched fast path on byte-identical
+// weights and predictions vs the frozen per-sample reference.
+func TestANNEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 11} {
+		X, y := annEquivData(seed, 90, 6)
+		probe, _ := annEquivData(seed+500, 30, 6)
+		for ci, cfg := range annEquivConfigs() {
+			ref := &refANN{
+				Hidden: append([]int(nil), cfg.Hidden...), Epochs: cfg.Epochs, BatchSize: cfg.BatchSize,
+				LR: cfg.LR, L2: cfg.L2, Seed: seed, HuberDelta: cfg.HuberDelta, NormalizeTarget: cfg.NormalizeTarget,
+			}
+			if err := ref.fit(X, y); err != nil {
+				t.Fatalf("seed %d cfg %d: ref fit: %v", seed, ci, err)
+			}
+			fast := cfg
+			fast.Seed = seed
+			if err := fast.Fit(X, y); err != nil {
+				t.Fatalf("seed %d cfg %d: fast fit: %v", seed, ci, err)
+			}
+			if len(ref.weights) != len(fast.weights) {
+				t.Fatalf("layer count: ref %d fast %d", len(ref.weights), len(fast.weights))
+			}
+			for l := range ref.weights {
+				if len(ref.weights[l]) != len(fast.weights[l]) {
+					t.Fatalf("layer %d size mismatch", l)
+				}
+				for i := range ref.weights[l] {
+					if math.Float64bits(ref.weights[l][i]) != math.Float64bits(fast.weights[l][i]) {
+						t.Fatalf("seed %d cfg %d: layer %d weight %d: ref %v fast %v",
+							seed, ci, l, i, ref.weights[l][i], fast.weights[l][i])
+					}
+				}
+			}
+			if math.Float64bits(ref.yMean) != math.Float64bits(fast.yMean) ||
+				math.Float64bits(ref.yStd) != math.Float64bits(fast.yStd) {
+				t.Fatalf("seed %d cfg %d: target scaling diverged", seed, ci)
+			}
+			out := make([]float64, len(probe))
+			fast.PredictBatchInto(out, probe)
+			for i, x := range probe {
+				r := ref.predict(x)
+				if f := fast.Predict(x); math.Float64bits(r) != math.Float64bits(f) {
+					t.Fatalf("seed %d cfg %d: predict ref %v fast %v", seed, ci, r, f)
+				}
+				if math.Float64bits(r) != math.Float64bits(out[i]) {
+					t.Fatalf("seed %d cfg %d: batch predict row %d diverges", seed, ci, i)
+				}
+			}
+		}
+	}
+}

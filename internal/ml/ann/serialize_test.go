@@ -34,6 +34,40 @@ func TestANNSerializeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestANNRoundTripBatch checks the reloaded model through the batch fast
+// path: pooled-scratch batch predictions must agree bitwise with the
+// original model's per-row Predict.
+func TestANNRoundTripBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X := make([][]float64, 80)
+	y := make([]float64, 80)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = X[i][0] - 2*X[i][2]
+	}
+	m := New([]int{10, 6}, 11)
+	m.Epochs = 10
+	m.NormalizeTarget = true
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(X))
+	back.PredictBatchInto(out, X)
+	for i, x := range X {
+		if want := m.Predict(x); out[i] != want {
+			t.Fatalf("reloaded batch prediction %d = %v, want %v", i, out[i], want)
+		}
+	}
+}
+
 func TestANNUnmarshalValidatesShapes(t *testing.T) {
 	var m Model
 	bad := `{"dims":[2,3,1],"weights":[[1,2,3]]}`

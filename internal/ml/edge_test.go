@@ -1,0 +1,105 @@
+package ml
+
+// Edge-case pins for the metric and splitting helpers the fast path
+// reworked or now leans on harder: tie handling in Spearman's average
+// ranks, R2 on a zero-variance target, and KFold's remainder distribution
+// when k does not divide n.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSpearmanTiedRanks checks the average-rank convention exactly: tied
+// groups share the mean of the ranks they span, so a strictly inverse
+// relationship through tied middles is still perfect anticorrelation.
+func TestSpearmanTiedRanks(t *testing.T) {
+	a := []float64{1, 2, 2, 3}
+	b := []float64{3, 2, 2, 1}
+	// ranks(a) = {1, 2.5, 2.5, 4}, ranks(b) = {4, 2.5, 2.5, 1}: rho = -1.
+	if got := Spearman(a, b); math.Abs(got+1) > 1e-12 {
+		t.Errorf("inverse with tied middle: rho = %v, want -1", got)
+	}
+	// A fully tied vector has zero rank variance: defined as 0 here.
+	if got := Spearman([]float64{5, 5, 5}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("all-tied input: rho = %v, want 0", got)
+	}
+	// Tie groups at different positions, hand-computed: a ranks
+	// {1.5, 1.5, 3.5, 3.5}, b ranks {1, 2.5, 2.5, 4}.
+	a = []float64{1, 1, 2, 2}
+	b = []float64{10, 20, 20, 30}
+	ra := []float64{1.5, 1.5, 3.5, 3.5}
+	rb := []float64{1, 2.5, 2.5, 4}
+	var cov, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-2.5, rb[i]-2.5
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	want := cov / math.Sqrt(va*vb)
+	if got := Spearman(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("tied groups: rho = %v, want %v", got, want)
+	}
+}
+
+// TestR2ZeroVariance pins the degenerate-target convention: a constant y
+// has no variance to explain, and R2 reports 0 rather than dividing by
+// zero — regardless of how wrong the predictions are.
+func TestR2ZeroVariance(t *testing.T) {
+	y := []float64{4, 4, 4, 4}
+	if got := R2(y, []float64{4, 4, 4, 4}); got != 0 {
+		t.Errorf("R2(const, exact) = %v, want 0", got)
+	}
+	if got := R2(y, []float64{0, 1, 2, 3}); got != 0 {
+		t.Errorf("R2(const, wrong) = %v, want 0", got)
+	}
+	if got := R2(nil, nil); got != 0 {
+		t.Errorf("R2(empty) = %v, want 0", got)
+	}
+}
+
+// TestKFoldRemainderDistribution checks fold sizing when k does not divide
+// n: every index appears in exactly one test fold, and the lo = f*n/k
+// boundaries spread the remainder so fold sizes never differ by more than
+// one.
+func TestKFoldRemainderDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ n, k int }{{53, 10}, {7, 3}, {11, 4}, {100, 7}} {
+		folds := KFold(tc.n, tc.k, rng)
+		if len(folds) != tc.k {
+			t.Fatalf("KFold(%d,%d): %d folds", tc.n, tc.k, len(folds))
+		}
+		covered := make([]int, tc.n)
+		minSz, maxSz := tc.n, 0
+		total := 0
+		for _, f := range folds {
+			sz := len(f.Test)
+			total += sz
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			if len(f.Train)+sz != tc.n {
+				t.Fatalf("KFold(%d,%d): fold does not partition", tc.n, tc.k)
+			}
+			for _, i := range f.Test {
+				covered[i]++
+			}
+		}
+		if total != tc.n {
+			t.Fatalf("KFold(%d,%d): test folds cover %d indices", tc.n, tc.k, total)
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("KFold(%d,%d): fold sizes range %d..%d, want spread <= 1", tc.n, tc.k, minSz, maxSz)
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("KFold(%d,%d): index %d in %d test folds", tc.n, tc.k, i, c)
+			}
+		}
+	}
+}

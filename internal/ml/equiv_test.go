@@ -1,0 +1,204 @@
+package ml_test
+
+// End-to-end equivalence gates for the ml fast path: the rebuilt grid
+// search (flat matrix, per-fold shared digests, pooled scoring buffers)
+// must select the same winner with a bit-identical score as the frozen
+// per-cell reference, and the metric/scaler fast paths must reproduce
+// their naive forms exactly. Model-level byte-identity is proven in the
+// per-package equiv tests (lasso, ann, gbrt).
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/gbrt"
+	"repro/internal/ml/lasso"
+)
+
+// refGridSearchCV is the frozen pre-fast-path grid search: per-cell Take
+// copies, plain Fit, allocating PredictBatch — sequential, in the same
+// cell order the parallel reduce uses.
+func refGridSearchCV(factory ml.Factory, grid ml.Grid, X [][]float64, y []float64, k int, rng *rand.Rand) (ml.SearchResult, error) {
+	folds := ml.KFold(len(X), k, rng)
+	cands := grid.Enumerate()
+	nf := len(folds)
+	maes := make([]float64, len(cands)*nf)
+	for i := range maes {
+		p, fold := cands[i/nf], folds[i%nf]
+		trX, trY := ml.Take(X, y, fold.Train)
+		teX, teY := ml.Take(X, y, fold.Test)
+		m := factory(p)
+		if err := m.Fit(trX, trY); err != nil {
+			return ml.SearchResult{}, err
+		}
+		maes[i] = ml.MAE(teY, ml.PredictBatch(m, teX))
+	}
+	res := ml.SearchResult{BestScore: -1}
+	for ci, p := range cands {
+		score := 0.0
+		for fi := 0; fi < nf; fi++ {
+			score += maes[ci*nf+fi]
+		}
+		score /= float64(nf)
+		res.Evaluated++
+		if res.BestScore < 0 || score < res.BestScore {
+			res.BestScore = score
+			res.Best = p
+		}
+	}
+	return res, nil
+}
+
+func searchEquivData(seed int64, n, d int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X[i] = row
+		y[i] = 2*row[0] - row[1]*row[1] + 0.1*rng.NormFloat64()
+	}
+	return X, y
+}
+
+// TestGridSearchEquivalenceGBRT drives the SharedTrainer path (per-fold
+// shared binning + FitShared) against the frozen reference across seeds
+// and worker counts.
+func TestGridSearchEquivalenceGBRT(t *testing.T) {
+	factory := func(p ml.Params) ml.Regressor {
+		return &gbrt.Model{
+			NumTrees:       int(p["trees"]),
+			LearningRate:   p["lr"],
+			MaxDepth:       int(p["depth"]),
+			MinSamplesLeaf: 3,
+			Subsample:      0.8,
+			Bins:           16,
+			Seed:           42,
+		}
+	}
+	grid := ml.Grid{"trees": {4, 8}, "lr": {0.1, 0.3}, "depth": {2, 3}}
+	for _, seed := range []int64{1, 2, 3} {
+		X, y := searchEquivData(seed, 90, 7)
+		want, err := refGridSearchCV(factory, grid, X, y, 3, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("ref search: %v", err)
+		}
+		for _, workers := range []int{1, 4} {
+			got, err := ml.GridSearchCVWorkers(factory, grid, X, y, 3, rand.New(rand.NewSource(seed)), workers)
+			if err != nil {
+				t.Fatalf("fast search: %v", err)
+			}
+			if math.Float64bits(got.BestScore) != math.Float64bits(want.BestScore) {
+				t.Fatalf("seed %d workers %d: score ref %v fast %v", seed, workers, want.BestScore, got.BestScore)
+			}
+			if got.Evaluated != want.Evaluated || len(got.Best) != len(want.Best) {
+				t.Fatalf("seed %d workers %d: result shape ref %+v fast %+v", seed, workers, want, got)
+			}
+			for k, v := range want.Best {
+				if gv, ok := got.Best[k]; !ok || math.Float64bits(gv) != math.Float64bits(v) {
+					t.Fatalf("seed %d workers %d: best[%q] ref %v fast %v", seed, workers, k, v, got.Best[k])
+				}
+			}
+		}
+	}
+}
+
+// TestGridSearchEquivalenceLasso covers the non-SharedTrainer path (plain
+// Fit over fold views).
+func TestGridSearchEquivalenceLasso(t *testing.T) {
+	factory := func(p ml.Params) ml.Regressor { return lasso.New(p["alpha"]) }
+	grid := ml.Grid{"alpha": {0.001, 0.01, 0.1}}
+	for _, seed := range []int64{4, 5, 6} {
+		X, y := searchEquivData(seed, 70, 5)
+		want, err := refGridSearchCV(factory, grid, X, y, 4, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("ref search: %v", err)
+		}
+		got, err := ml.GridSearchCV(factory, grid, X, y, 4, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("fast search: %v", err)
+		}
+		if math.Float64bits(got.BestScore) != math.Float64bits(want.BestScore) {
+			t.Fatalf("seed %d: score ref %v fast %v", seed, want.BestScore, got.BestScore)
+		}
+		for k, v := range want.Best {
+			if gv, ok := got.Best[k]; !ok || math.Float64bits(gv) != math.Float64bits(v) {
+				t.Fatalf("seed %d: best[%q] ref %v fast %v", seed, k, v, got.Best[k])
+			}
+		}
+	}
+}
+
+// TestMedAEEquivalence pins the quickselect MedAE to the sort-based
+// definition across many random shapes, including ties and even/odd
+// lengths.
+func TestMedAEEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(40)
+		y := make([]float64, n)
+		pred := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+			if rng.Intn(3) == 0 {
+				pred[i] = y[i] // exact ties at zero error
+			} else {
+				pred[i] = rng.NormFloat64()
+			}
+		}
+		errs := make([]float64, n)
+		for i := range y {
+			errs[i] = math.Abs(y[i] - pred[i])
+		}
+		sort.Float64s(errs)
+		var want float64
+		if n%2 == 1 {
+			want = errs[n/2]
+		} else {
+			want = (errs[n/2-1] + errs[n/2]) / 2
+		}
+		if got := ml.MedAE(y, pred); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d (n=%d): MedAE %v want %v", trial, n, got, want)
+		}
+	}
+}
+
+// TestScalerIntoEquivalence pins the Into variants to Transform.
+func TestScalerIntoEquivalence(t *testing.T) {
+	X, _ := searchEquivData(8, 40, 6)
+	s := ml.FitScaler(X)
+	want := s.Transform(X)
+
+	var m ml.Matrix
+	s.TransformRowsInto(&m, X)
+	if m.Rows != len(X) || m.Cols != 6 {
+		t.Fatalf("TransformRowsInto shape %dx%d", m.Rows, m.Cols)
+	}
+	dst := make([]float64, 6)
+	for i, row := range X {
+		s.TransformRowInto(dst, row)
+		for j := range dst {
+			if math.Float64bits(dst[j]) != math.Float64bits(want[i][j]) {
+				t.Fatalf("TransformRowInto[%d][%d] diverges", i, j)
+			}
+			if math.Float64bits(m.Row(i)[j]) != math.Float64bits(want[i][j]) {
+				t.Fatalf("TransformRowsInto[%d][%d] diverges", i, j)
+			}
+		}
+	}
+	// Backing-array reuse keeps values correct after a reshape.
+	s.TransformRowsInto(&m, X[:10])
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 6; j++ {
+			if math.Float64bits(m.Row(i)[j]) != math.Float64bits(want[i][j]) {
+				t.Fatalf("reused TransformRowsInto[%d][%d] diverges", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package gbrt
+
+// Old-vs-new benchmarks for the GBRT fast path. The *Ref benchmarks drive
+// the frozen reference implementation from equiv_test.go (row-major
+// binning per fit, pointer nodes, per-node full histogram scans, per-cell
+// Take copies in the grid search); their non-Ref counterparts drive the
+// shipped fast path. scripts/bench.sh pairs them up in BENCH_PR4.json.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func benchData(n, d int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(77))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X[i] = row
+		y[i] = 2*row[0] - row[1]*row[1] + 0.5*row[2] + 0.1*rng.NormFloat64()
+	}
+	return X, y
+}
+
+var benchCfg = Model{NumTrees: 30, LearningRate: 0.1, MaxDepth: 4, MinSamplesLeaf: 5, Subsample: 1, Bins: 32, Seed: 1}
+
+func BenchmarkFitRef(b *testing.B) {
+	X, y := benchData(400, 40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := refFrom(benchCfg, 1)
+		if err := m.fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFit(b *testing.B) {
+	X, y := benchData(400, 40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := benchCfg
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictBatchRef(b *testing.B) {
+	X, y := benchData(400, 40)
+	m := refFrom(benchCfg, 1)
+	if err := m.fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range X {
+			_ = m.predict(x)
+		}
+	}
+}
+
+func BenchmarkPredictBatchInto(b *testing.B) {
+	X, y := benchData(400, 40)
+	m := benchCfg
+	if err := m.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	out := make([]float64, len(X))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatchInto(out, X)
+	}
+}
+
+// refGridSearchCV replicates the pre-fast-path grid search over the
+// frozen reference model: per-cell Take copies and a full fit (its own
+// binning pass) for every (candidate, fold) cell.
+func refGridSearchCV(grid ml.Grid, X [][]float64, y []float64, k int, rng *rand.Rand) float64 {
+	folds := ml.KFold(len(X), k, rng)
+	cands := grid.Enumerate()
+	best := -1.0
+	for _, p := range cands {
+		score := 0.0
+		for _, fold := range folds {
+			trX, trY := ml.Take(X, y, fold.Train)
+			teX, teY := ml.Take(X, y, fold.Test)
+			m := refFrom(Model{
+				NumTrees: int(p["trees"]), LearningRate: p["lr"], MaxDepth: int(p["depth"]),
+				MinSamplesLeaf: 5, Subsample: 1, Bins: 32,
+			}, 1)
+			if err := m.fit(trX, trY); err != nil {
+				panic(err)
+			}
+			pred := make([]float64, len(teX))
+			for i, x := range teX {
+				pred[i] = m.predict(x)
+			}
+			score += ml.MAE(teY, pred)
+		}
+		score /= float64(len(folds))
+		if best < 0 || score < best {
+			best = score
+		}
+	}
+	return best
+}
+
+var benchGrid = ml.Grid{"trees": {10, 20}, "depth": {3, 4}, "lr": {0.05, 0.1}}
+
+// The grid-search pair uses a feature dimension in the ballpark of the
+// paper's HLS feature vectors (hundreds of columns), where per-cell
+// re-binning is a large share of the reference's cost.
+func BenchmarkGridSearchCVRef(b *testing.B) {
+	X, y := benchData(300, 150)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = refGridSearchCV(benchGrid, X, y, 3, rand.New(rand.NewSource(9)))
+	}
+}
+
+func BenchmarkGridSearchCV(b *testing.B) {
+	X, y := benchData(300, 150)
+	factory := func(p ml.Params) ml.Regressor {
+		return &Model{
+			NumTrees: int(p["trees"]), LearningRate: p["lr"], MaxDepth: int(p["depth"]),
+			MinSamplesLeaf: 5, Subsample: 1, Bins: 32, Seed: 1,
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.GridSearchCVWorkers(factory, benchGrid, X, y, 3, rand.New(rand.NewSource(9)), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,16 @@
 // trees to the running residuals; split search uses quantile-binned feature
 // histograms for speed; feature importance follows the paper's measure, the
 // number of times a feature is used as a split point across the ensemble.
+//
+// The training fast path works on a column-major binned matrix (Prebin)
+// that is hyperparameter-independent and therefore shareable across every
+// candidate of a grid search fitted on the same rows (ml.SharedTrainer);
+// tree growth uses a flat value-typed node arena, a stable in-place row
+// partition over one shared index array, and exact histogram subtraction
+// for sibling node *counts*. Per-bin residual sums keep the direct scan:
+// float subtraction would not reproduce the original accumulation order,
+// and every optimization here is gated on byte-identical ensembles
+// (equiv_test.go). Prediction walks a flattened index-based forest.
 package gbrt
 
 import (
@@ -23,7 +33,9 @@ type Model struct {
 	Seed           int64   // subsampling seed
 
 	base       float64
-	trees      []*tree
+	trees      []tree
+	forest     []node  // all trees' nodes concatenated, child indices global
+	roots      []int32 // root index of each tree within forest
 	thresholds [][]float64 // per-feature bin upper edges
 	splitCount []int       // per-feature split-point count (importance)
 }
@@ -42,27 +54,88 @@ func New(numTrees int, learningRate float64, seed int64) *Model {
 	}
 }
 
-// node is one tree vertex in the flat arena.
+// node is one tree vertex in the flat arena. Values, not pointers: a tree
+// is one contiguous []node and Predict never chases a heap pointer.
 type node struct {
-	feature int     // split feature, -1 for leaves
+	feature int32   // split feature, -1 for leaves
 	bin     uint8   // split bin: go left when binned value <= bin
+	left    int32
+	right   int32
 	thresh  float64 // real-valued threshold for prediction
-	left    int
-	right   int
 	value   float64 // leaf prediction (already shrunk)
 }
 
 type tree struct {
-	nodes []*node
+	nodes []node
 }
 
-// Fit trains the ensemble.
-func (m *Model) Fit(X [][]float64, y []float64) error {
-	n := len(X)
-	if n == 0 || n != len(y) {
-		return fmt.Errorf("gbrt: fit on %d rows / %d targets", n, len(y))
+// Prebin is the quantile-binned, column-major form of a training matrix:
+// per-feature bin thresholds plus one uint8 bin index per cell, feature j
+// occupying binned[j*n : (j+1)*n]. It depends only on the data and the bin
+// count — never on tree count, depth, learning rate or seed — so one
+// Prebin serves every grid-search candidate fitted on the same rows
+// (ml.SharedTrainer). A Prebin owns its storage and is immutable after
+// construction; concurrent readers are safe.
+type Prebin struct {
+	bins, n, d int
+	thresholds [][]float64
+	binned     []uint8 // column-major: feature j at binned[j*n : (j+1)*n]
+	rows       []uint8 // row-major: row i at rows[i*d : (i+1)*d]
+}
+
+// NewPrebin quantile-bins X with the given bin count (out-of-range values
+// select the package default, matching Fit's normalization).
+func NewPrebin(X [][]float64, bins int) *Prebin {
+	if bins <= 1 || bins > 256 {
+		bins = 64
 	}
-	d := len(X[0])
+	n := len(X)
+	pb := &Prebin{bins: bins, n: n}
+	if n == 0 {
+		return pb
+	}
+	pb.d = len(X[0])
+	pb.thresholds = make([][]float64, pb.d)
+	vals := make([]float64, n)
+	for j := 0; j < pb.d; j++ {
+		for i := 0; i < n; i++ {
+			vals[i] = X[i][j]
+		}
+		sort.Float64s(vals)
+		var th []float64
+		for b := 1; b < bins; b++ {
+			q := vals[b*(n-1)/bins]
+			if len(th) == 0 || q > th[len(th)-1] {
+				th = append(th, q)
+			}
+		}
+		pb.thresholds[j] = th
+	}
+	pb.binned = make([]uint8, pb.d*n)
+	for j := 0; j < pb.d; j++ {
+		th := pb.thresholds[j]
+		col := pb.binned[j*n : (j+1)*n]
+		for i := 0; i < n; i++ {
+			col[i] = binOf(X[i][j], th)
+		}
+	}
+	// Row-major mirror: split search walks whole rows (one contiguous
+	// d-byte strip per row), the partition walks single columns.
+	pb.rows = make([]uint8, n*pb.d)
+	for j := 0; j < pb.d; j++ {
+		col := pb.binned[j*n : (j+1)*n]
+		for i := 0; i < n; i++ {
+			pb.rows[i*pb.d+j] = col[i]
+		}
+	}
+	return pb
+}
+
+// col returns feature j's bin column.
+func (pb *Prebin) col(j int) []uint8 { return pb.binned[j*pb.n : (j+1)*pb.n] }
+
+// applyDefaults normalizes the hyperparameters exactly as Fit always has.
+func (m *Model) applyDefaults() {
 	if m.NumTrees <= 0 {
 		m.NumTrees = 200
 	}
@@ -84,10 +157,54 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	if m.Bins <= 1 || m.Bins > 256 {
 		m.Bins = 64
 	}
+}
+
+// Fit trains the ensemble.
+func (m *Model) Fit(X [][]float64, y []float64) error {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return fmt.Errorf("gbrt: fit on %d rows / %d targets", n, len(y))
+	}
+	m.applyDefaults()
+	return m.fitBinned(NewPrebin(X, m.Bins), y)
+}
+
+// PrepareShared digests X into a Prebin (ml.SharedTrainer). The digest is
+// valid for any model of this family with the same bin count.
+func (m *Model) PrepareShared(X [][]float64) any {
+	bins := m.Bins
+	if bins <= 1 || bins > 256 {
+		bins = 64
+	}
+	return NewPrebin(X, bins)
+}
+
+// FitShared trains from a Prebin previously prepared on exactly these rows
+// (ml.SharedTrainer), skipping the per-fit binning pass. An incompatible
+// or missing digest falls back to a plain Fit; either way the trained
+// ensemble is bit-identical to Fit(X, y).
+func (m *Model) FitShared(prep any, X [][]float64, y []float64) error {
+	pb, ok := prep.(*Prebin)
+	if !ok || pb == nil {
+		return m.Fit(X, y)
+	}
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return fmt.Errorf("gbrt: fit on %d rows / %d targets", n, len(y))
+	}
+	m.applyDefaults()
+	if pb.n != n || pb.d != len(X[0]) || pb.bins != m.Bins {
+		return m.Fit(X, y)
+	}
+	return m.fitBinned(pb, y)
+}
+
+// fitBinned is the boosting loop over an already-binned training set.
+func (m *Model) fitBinned(pb *Prebin, y []float64) error {
+	n, d := pb.n, pb.d
 	rng := rand.New(rand.NewSource(m.Seed))
 
-	binned, thresholds := m.binize(X, d)
-	m.thresholds = thresholds
+	m.thresholds = pb.thresholds
 	m.splitCount = make([]int, d)
 
 	// Base prediction: target mean.
@@ -103,8 +220,8 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	}
 	residual := make([]float64, n)
 	m.trees = m.trees[:0]
+	m.forest, m.roots = nil, nil
 
-	rows := make([]int, n)
 	features := make([]int, d)
 	for j := range features {
 		features[j] = j
@@ -113,12 +230,22 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	if nFeat < 1 {
 		nFeat = 1
 	}
+	b := &builder{
+		m: m, pb: pb, residual: residual, rng: rng,
+		features: features, nFeat: nFeat, dims: d, stride: pb.bins,
+		idx: make([]int, 0, n), part: make([]int, n),
+		treeOut: make([]float64, n), stamp: make([]int32, n),
+		res: make([]float64, n),
+	}
+	if b.shareable() {
+		b.sumsArena = make([]float64, d*pb.bins)
+	}
 
 	for t := 0; t < m.NumTrees; t++ {
 		for i := range residual {
 			residual[i] = y[i] - pred[i]
 		}
-		rows = rows[:0]
+		rows := b.idx[:0]
 		if m.Subsample < 1 {
 			for i := 0; i < n; i++ {
 				if rng.Float64() < m.Subsample {
@@ -126,6 +253,8 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 				}
 			}
 			if len(rows) < 2*m.MinSamplesLeaf {
+				// Faithful to the original fallback (which ends holding only
+				// the final row): changing it would shift trained ensembles.
 				for i := 0; i < n; i++ {
 					rows = append(rows[:0], i)
 				}
@@ -135,49 +264,33 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 				rows = append(rows, i)
 			}
 		}
-		tr := &tree{}
-		b := &builder{
-			m: m, binned: binned, residual: residual, tree: tr,
-			rng: rng, features: features, nFeat: nFeat, dims: d,
-		}
-		b.grow(rows, 0)
-		m.trees = append(m.trees, tr)
+		b.idx = rows
+		m.trees = append(m.trees, tree{})
+		tr := &m.trees[len(m.trees)-1]
+		b.tree = tr
+		b.curStamp = int32(t + 1)
+		b.grow(0, len(rows), 0, nil)
 		// Update all predictions (not only the subsample), standard GBM.
-		for i := 0; i < n; i++ {
-			pred[i] += tr.predictBinned(binned[i])
-		}
-	}
-	return nil
-}
-
-// binize quantile-bins each feature column.
-func (m *Model) binize(X [][]float64, d int) ([][]uint8, [][]float64) {
-	n := len(X)
-	thresholds := make([][]float64, d)
-	vals := make([]float64, n)
-	for j := 0; j < d; j++ {
-		for i := 0; i < n; i++ {
-			vals[i] = X[i][j]
-		}
-		sort.Float64s(vals)
-		var th []float64
-		for b := 1; b < m.Bins; b++ {
-			q := vals[b*(n-1)/m.Bins]
-			if len(th) == 0 || q > th[len(th)-1] {
-				th = append(th, q)
+		// Rows the tree was grown on already know their leaf (recorded as
+		// the grower sealed each leaf's row segment) — same value, same
+		// single addition as a tree walk; only rows outside the subsample
+		// still walk the tree.
+		if len(rows) == n {
+			for i := 0; i < n; i++ {
+				pred[i] += b.treeOut[i]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if b.stamp[i] == b.curStamp {
+					pred[i] += b.treeOut[i]
+				} else {
+					pred[i] += tr.predictBinned(pb, i)
+				}
 			}
 		}
-		thresholds[j] = th
 	}
-	binned := make([][]uint8, n)
-	for i := 0; i < n; i++ {
-		row := make([]uint8, d)
-		for j := 0; j < d; j++ {
-			row[j] = binOf(X[i][j], thresholds[j])
-		}
-		binned[i] = row
-	}
-	return binned, thresholds
+	m.buildForest()
+	return nil
 }
 
 func binOf(v float64, th []float64) uint8 {
@@ -193,48 +306,124 @@ func binOf(v float64, th []float64) uint8 {
 	return uint8(lo)
 }
 
+// Count-histogram slots per depth: a node's own histograms (when it had to
+// compute them fresh) and one per child (filled by histogram subtraction).
+const (
+	slotSelf = iota
+	slotLeft
+	slotRight
+	slotsPerDepth
+)
+
 type builder struct {
 	m        *Model
-	binned   [][]uint8
+	pb       *Prebin
 	residual []float64
 	tree     *tree
 	rng      *rand.Rand
 	features []int
 	nFeat    int
 	dims     int
+	stride   int // count-histogram bins per feature (= Prebin bin count)
+
+	// idx is the row-index arena: every subtree owns one contiguous
+	// segment, reordered in place by the stable partition. part is the
+	// partition scratch; cntStack holds the per-depth count histograms.
+	idx      []int
+	part     []int
+	cntStack [][]uint32
+
+	// treeOut[i] is the current tree's leaf value for row i, recorded when
+	// the leaf owning i's segment is sealed; stamp[i] marks which tree
+	// (1-based) last covered row i, so stale entries need no clearing.
+	treeOut  []float64
+	stamp    []int32
+	curStamp int32
+
+	// res is bestSplit's densely-packed copy of the segment's residuals:
+	// gathered once per node so the split scan reads them sequentially
+	// instead of through the row indices.
+	res []float64
+
+	// sumsArena holds every feature's per-bin residual sums for the node
+	// being split (dims*stride, feature-major) — filled by one row-major
+	// pass over the segment instead of d per-feature gather scans. Only
+	// allocated when all features are candidates at every node.
+	sumsArena []float64
 }
 
-// grow builds a subtree over the row set and returns its node index.
-func (b *builder) grow(rows []int, depth int) int {
+// shareable reports whether count histograms can be reused across the
+// tree: with feature subsampling each node scans a different candidate
+// set, so a parent's histograms do not cover a child's features.
+func (b *builder) shareable() bool { return b.nFeat == b.dims }
+
+// slot returns (allocating lazily) the count-histogram buffer for one
+// depth level, dims*stride uint32s laid out feature-major.
+func (b *builder) slot(depth, which int) []uint32 {
+	k := depth*slotsPerDepth + which
+	for len(b.cntStack) <= k {
+		b.cntStack = append(b.cntStack, nil)
+	}
+	if b.cntStack[k] == nil {
+		b.cntStack[k] = make([]uint32, b.dims*b.stride)
+	}
+	return b.cntStack[k]
+}
+
+// grow builds a subtree over idx[lo:hi] and returns its node index. cnts,
+// when non-nil, holds this node's per-feature bin counts (derived at the
+// parent by histogram subtraction).
+func (b *builder) grow(lo, hi, depth int, cnts []uint32) int {
+	seg := b.idx[lo:hi]
 	sum := 0.0
-	for _, i := range rows {
+	for _, i := range seg {
 		sum += b.residual[i]
 	}
-	mean := sum / float64(len(rows))
+	mean := sum / float64(len(seg))
 
 	leaf := func() int {
-		nd := &node{feature: -1, value: b.m.LearningRate * mean}
-		b.tree.nodes = append(b.tree.nodes, nd)
+		v := b.m.LearningRate * mean
+		for _, i := range seg {
+			b.treeOut[i] = v
+			b.stamp[i] = b.curStamp
+		}
+		b.tree.nodes = append(b.tree.nodes, node{feature: -1, value: v})
 		return len(b.tree.nodes) - 1
 	}
-	if depth >= b.m.MaxDepth || len(rows) < 2*b.m.MinSamplesLeaf {
+	if depth >= b.m.MaxDepth || len(seg) < 2*b.m.MinSamplesLeaf {
 		return leaf()
 	}
-	feat, bin, gain := b.bestSplit(rows, sum)
+	feat, bin, gain, nodeCnts := b.bestSplit(lo, hi, sum, cnts, depth)
 	if feat < 0 || gain <= 1e-12 {
 		return leaf()
 	}
-	var left, right []int
-	for _, i := range rows {
-		if b.binned[i][feat] <= bin {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
+	// Stable in-place partition over the shared scratch: left rows keep
+	// their order, then right rows keep theirs — exactly the order the
+	// original append-based partition produced.
+	col := b.pb.col(feat)
+	part := b.part[lo:hi]
+	nl := 0
+	for _, i := range seg {
+		if col[i] <= bin {
+			nl++
 		}
 	}
-	if len(left) < b.m.MinSamplesLeaf || len(right) < b.m.MinSamplesLeaf {
+	nr := len(seg) - nl
+	if nl < b.m.MinSamplesLeaf || nr < b.m.MinSamplesLeaf {
 		return leaf()
 	}
+	li, ri := 0, nl
+	for _, i := range seg {
+		if col[i] <= bin {
+			part[li] = i
+			li++
+		} else {
+			part[ri] = i
+			ri++
+		}
+	}
+	copy(seg, part)
+
 	b.m.splitCount[feat]++
 	th := b.m.thresholds[feat]
 	thresh := 0.0
@@ -243,47 +432,127 @@ func (b *builder) grow(rows []int, depth int) int {
 	} else if len(th) > 0 {
 		thresh = th[len(th)-1]
 	}
-	nd := &node{feature: feat, bin: bin, thresh: thresh}
-	b.tree.nodes = append(b.tree.nodes, nd)
+	b.tree.nodes = append(b.tree.nodes, node{feature: int32(feat), bin: bin, thresh: thresh})
 	idx := len(b.tree.nodes) - 1
-	nd.left = b.grow(left, depth+1)
-	nd.right = b.grow(right, depth+1)
+	leftC, rightC := b.childCounts(lo, lo+nl, hi, depth, nodeCnts)
+	l := b.grow(lo, lo+nl, depth+1, leftC)
+	r := b.grow(lo+nl, hi, depth+1, rightC)
+	b.tree.nodes[idx].left = int32(l)
+	b.tree.nodes[idx].right = int32(r)
 	return idx
 }
 
 // bestSplit scans per-feature histograms for the largest SSE reduction.
-func (b *builder) bestSplit(rows []int, total float64) (feat int, bin uint8, gain float64) {
-	nT := float64(len(rows))
+// When cnts is non-nil the bin counts are already known (histogram
+// subtraction at the parent) and the scan accumulates residual sums only;
+// otherwise counts are tallied into this node's slot so its own children
+// can subtract. Per-bin residual sums are always accumulated by direct
+// scan in row order — identical float arithmetic to the original kernel.
+func (b *builder) bestSplit(lo, hi int, total float64, cnts []uint32, depth int) (feat int, bin uint8, gain float64, nodeCnts []uint32) {
+	seg := b.idx[lo:hi]
+	nT := float64(len(seg))
 	baseScore := total * total / nT
 	feat = -1
 
-	cand := b.features
-	if b.nFeat < b.dims {
-		cand = make([]int, b.nFeat)
-		perm := b.rng.Perm(b.dims)
-		copy(cand, perm[:b.nFeat])
+	// Pack the segment's residuals once so the scans below stream them
+	// sequentially (same addends, same order).
+	res := b.res[:len(seg)]
+	for s, i := range seg {
+		res[s] = b.residual[i]
 	}
-	var cnt [256]int
+
+	if b.shareable() {
+		// All-features fast path: one row-major pass over the segment fills
+		// every feature's per-bin residual sums (and, when not inherited
+		// from the parent, counts) at once — each (feature, bin) cell still
+		// receives exactly the original addends in segment row order, so
+		// the float sums are bit-identical to the per-feature gather scans.
+		d, st := b.dims, b.stride
+		arena := b.sumsArena
+		for k := range arena {
+			arena[k] = 0
+		}
+		rb := b.pb.rows
+		if cnts != nil {
+			nodeCnts = cnts
+			for s, i := range seg {
+				r := res[s]
+				row := rb[i*d : i*d+d]
+				for j, bv := range row {
+					arena[j*st+int(bv)] += r
+				}
+			}
+		} else {
+			// Tally this node's counts into its slot so children can
+			// derive theirs by subtraction (childCounts).
+			nodeCnts = b.slot(depth, slotSelf)
+			for k := range nodeCnts {
+				nodeCnts[k] = 0
+			}
+			for s, i := range seg {
+				r := res[s]
+				row := rb[i*d : i*d+d]
+				for j, bv := range row {
+					k := j*st + int(bv)
+					nodeCnts[k]++
+					arena[k] += r
+				}
+			}
+		}
+		for j := 0; j < d; j++ {
+			nb := len(b.m.thresholds[j]) + 1
+			if nb < 2 {
+				continue
+			}
+			sums := arena[j*st:]
+			cj := nodeCnts[j*st:]
+			cl, sl := 0, 0.0
+			for k := 0; k < nb-1; k++ {
+				cl += int(cj[k])
+				sl += sums[k]
+				cr := len(seg) - cl
+				if cl < b.m.MinSamplesLeaf || cr < b.m.MinSamplesLeaf {
+					continue
+				}
+				sr := total - sl
+				g := sl*sl/float64(cl) + sr*sr/float64(cr) - baseScore
+				if g > gain {
+					gain = g
+					feat = j
+					bin = uint8(k)
+				}
+			}
+		}
+		return feat, bin, gain, nodeCnts
+	}
+
+	// Feature-subsampled path: per-node candidate draw, per-feature gather
+	// scans (count histograms can't be shared across nodes here).
+	cand := make([]int, b.nFeat)
+	perm := b.rng.Perm(b.dims)
+	copy(cand, perm[:b.nFeat])
 	var sums [256]float64
+	var localCnt [256]int
 	for _, j := range cand {
 		nb := len(b.m.thresholds[j]) + 1
 		if nb < 2 {
 			continue
 		}
+		col := b.pb.col(j)
 		for k := 0; k < nb; k++ {
-			cnt[k] = 0
 			sums[k] = 0
+			localCnt[k] = 0
 		}
-		for _, i := range rows {
-			bv := b.binned[i][j]
-			cnt[bv]++
-			sums[bv] += b.residual[i]
+		for s, i := range seg {
+			bv := col[i]
+			localCnt[bv]++
+			sums[bv] += res[s]
 		}
 		cl, sl := 0, 0.0
 		for k := 0; k < nb-1; k++ {
-			cl += cnt[k]
+			cl += localCnt[k]
 			sl += sums[k]
-			cr := len(rows) - cl
+			cr := len(seg) - cl
 			if cl < b.m.MinSamplesLeaf || cr < b.m.MinSamplesLeaf {
 				continue
 			}
@@ -296,31 +565,153 @@ func (b *builder) bestSplit(rows []int, total float64) (feat int, bin uint8, gai
 			}
 		}
 	}
-	return feat, bin, gain
+	return feat, bin, gain, nodeCnts
 }
 
-func (t *tree) predictBinned(row []uint8) float64 {
-	i := 0
+// childCounts derives the children's per-feature bin counts with exact
+// integer histogram subtraction: the cheaper child is counted directly,
+// its sibling obtained as node minus child. Only counts are derived this
+// way — residual sums stay direct scans, because float subtraction would
+// not reproduce the original accumulation order bit-for-bit.
+func (b *builder) childCounts(lo, mid, hi, depth int, nodeCnts []uint32) (leftC, rightC []uint32) {
+	if nodeCnts == nil || !b.shareable() {
+		return nil, nil
+	}
+	nl, nr := mid-lo, hi-mid
+	willSplit := func(sz int) bool { return depth+1 < b.m.MaxDepth && sz >= 2*b.m.MinSamplesLeaf }
+	ls, rs := willSplit(nl), willSplit(nr)
+	// A derivation costs ~3*stride histogram slots per feature (zero +
+	// subtract) and saves the derived child's per-row count increments —
+	// profitable only past this size.
+	overhead := 3 * b.stride
+	countInto := func(which, s, e int) []uint32 {
+		c := b.slot(depth+1, which)
+		for k := range c {
+			c[k] = 0
+		}
+		d, st := b.dims, b.stride
+		rb := b.pb.rows
+		for _, i := range b.idx[s:e] {
+			row := rb[i*d : i*d+d]
+			for j, bv := range row {
+				c[j*st+int(bv)]++
+			}
+		}
+		return c
+	}
+	derive := func(which int, direct []uint32) []uint32 {
+		c := b.slot(depth+1, which)
+		for k := range c {
+			c[k] = nodeCnts[k] - direct[k]
+		}
+		return c
+	}
+	switch {
+	case ls && rs:
+		// Derive the larger child, count the smaller directly (its own
+		// scan then skips the increments, so the direct count is ~free).
+		if nl <= nr {
+			if nr > overhead {
+				leftC = countInto(slotLeft, lo, mid)
+				rightC = derive(slotRight, leftC)
+			}
+		} else if nl > overhead {
+			rightC = countInto(slotRight, mid, hi)
+			leftC = derive(slotLeft, rightC)
+		}
+	case ls:
+		// Only one child splits: counting the sibling is pure overhead on
+		// top of the subtraction, so the bar is higher.
+		if nl > nr+overhead {
+			rightC = countInto(slotRight, mid, hi)
+			leftC = derive(slotLeft, rightC)
+			rightC = nil
+		}
+	case rs:
+		if nr > nl+overhead {
+			leftC = countInto(slotLeft, lo, mid)
+			rightC = derive(slotRight, leftC)
+			leftC = nil
+		}
+	}
+	return leftC, rightC
+}
+
+// predictBinned evaluates one tree on row i of the binned matrix.
+func (t *tree) predictBinned(pb *Prebin, i int) float64 {
+	nodes := t.nodes
+	k := 0
 	for {
-		nd := t.nodes[i]
+		nd := &nodes[k]
 		if nd.feature < 0 {
 			return nd.value
 		}
-		if row[nd.feature] <= nd.bin {
-			i = nd.left
+		if pb.rows[i*pb.d+int(nd.feature)] <= nd.bin {
+			k = int(nd.left)
 		} else {
-			i = nd.right
+			k = int(nd.right)
+		}
+	}
+}
+
+// buildForest concatenates every tree's node arena into one flat array
+// with globalized child indices — the cache-friendly evaluator Predict
+// and PredictBatchInto walk.
+func (m *Model) buildForest() {
+	total := 0
+	for i := range m.trees {
+		total += len(m.trees[i].nodes)
+	}
+	m.forest = make([]node, 0, total)
+	m.roots = make([]int32, len(m.trees))
+	for ti := range m.trees {
+		off := int32(len(m.forest))
+		m.roots[ti] = off
+		for _, nd := range m.trees[ti].nodes {
+			if nd.feature >= 0 {
+				nd.left += off
+				nd.right += off
+			}
+			m.forest = append(m.forest, nd)
 		}
 	}
 }
 
 // Predict evaluates the ensemble on raw (unbinned) features.
 func (m *Model) Predict(x []float64) float64 {
+	if m.forest != nil {
+		return m.predictForest(x)
+	}
+	// Ensembles built outside Fit/UnmarshalJSON: walk the per-tree arenas.
 	s := m.base
-	for _, t := range m.trees {
+	for ti := range m.trees {
+		nodes := m.trees[ti].nodes
 		i := 0
 		for {
-			nd := t.nodes[i]
+			nd := &nodes[i]
+			if nd.feature < 0 {
+				s += nd.value
+				break
+			}
+			if x[nd.feature] <= nd.thresh {
+				i = int(nd.left)
+			} else {
+				i = int(nd.right)
+			}
+		}
+	}
+	return s
+}
+
+// predictForest walks the flattened forest; same trees, same order, same
+// accumulation — just one contiguous array.
+func (m *Model) predictForest(x []float64) float64 {
+	s := m.base
+	f := m.forest
+	for _, root := range m.roots {
+		i := root
+		for {
+			nd := &f[i]
 			if nd.feature < 0 {
 				s += nd.value
 				break
@@ -333,6 +724,20 @@ func (m *Model) Predict(x []float64) float64 {
 		}
 	}
 	return s
+}
+
+// PredictBatchInto writes the estimate for X[i] into out[i] without
+// allocating (ml.BatchPredictor). Values are identical to Predict.
+func (m *Model) PredictBatchInto(out []float64, X [][]float64) {
+	if m.forest != nil {
+		for i, x := range X {
+			out[i] = m.predictForest(x)
+		}
+		return
+	}
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
 }
 
 // FeatureImportance returns the per-feature split counts normalized to sum

@@ -47,17 +47,19 @@ func (m *Model) MarshalJSON() ([]byte, error) {
 		Thresholds:     m.thresholds,
 		SplitCount:     m.splitCount,
 	}
-	for _, t := range m.trees {
+	for ti := range m.trees {
+		t := &m.trees[ti]
 		nodes := make([]nodeJSON, len(t.nodes))
 		for i, nd := range t.nodes {
-			nodes[i] = nodeJSON{F: nd.feature, B: nd.bin, T: nd.thresh, L: nd.left, R: nd.right, V: nd.value}
+			nodes[i] = nodeJSON{F: int(nd.feature), B: nd.bin, T: nd.thresh, L: int(nd.left), R: int(nd.right), V: nd.value}
 		}
 		out.Trees = append(out.Trees, nodes)
 	}
 	return json.Marshal(out)
 }
 
-// UnmarshalJSON restores a trained model.
+// UnmarshalJSON restores a trained model and rebuilds the flattened
+// prediction forest.
 func (m *Model) UnmarshalJSON(data []byte) error {
 	var in modelJSON
 	if err := json.Unmarshal(data, &in); err != nil {
@@ -76,15 +78,15 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	m.splitCount = in.SplitCount
 	m.trees = nil
 	for ti, nodes := range in.Trees {
-		t := &tree{}
+		var t tree
 		for i, nd := range nodes {
 			if nd.F >= 0 {
 				if nd.L < 0 || nd.L >= len(nodes) || nd.R < 0 || nd.R >= len(nodes) {
 					return fmt.Errorf("gbrt: tree %d node %d has dangling children", ti, i)
 				}
 			}
-			t.nodes = append(t.nodes, &node{
-				feature: nd.F, bin: nd.B, thresh: nd.T, left: nd.L, right: nd.R, value: nd.V,
+			t.nodes = append(t.nodes, node{
+				feature: int32(nd.F), bin: nd.B, thresh: nd.T, left: int32(nd.L), right: int32(nd.R), value: nd.V,
 			})
 		}
 		if len(t.nodes) == 0 {
@@ -92,5 +94,6 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 		}
 		m.trees = append(m.trees, t)
 	}
+	m.buildForest()
 	return nil
 }

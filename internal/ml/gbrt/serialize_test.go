@@ -35,6 +35,33 @@ func TestGBRTSerializeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestGBRTRoundTripBatchForest checks that a reloaded model rebuilds its
+// flattened forest: the batch fast path on the reloaded model must agree
+// bitwise with the original model's per-row Predict.
+func TestGBRTRoundTripBatchForest(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := stepData(250, 5, rng)
+	m := New(20, 0.15, 9)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(X))
+	back.PredictBatchInto(out, X)
+	for i, x := range X {
+		if want := m.Predict(x); out[i] != want {
+			t.Fatalf("reloaded batch prediction %d = %v, want %v", i, out[i], want)
+		}
+	}
+}
+
 func TestGBRTUnmarshalRejectsCorruptTrees(t *testing.T) {
 	var m Model
 	bad := `{"trees":[[{"f":0,"l":99,"r":1},{"f":-1,"v":1}]],"thresholds":[[0.5]]}`

@@ -1,0 +1,184 @@
+package lasso
+
+// Frozen reference implementation of the coordinate-descent trainer, kept
+// verbatim from before the flat-column fast path (one []float64 per
+// column) with ref* renames. The flat layout changes only where column j
+// lives, never the arithmetic, so weights and intercept must stay
+// byte-identical. Same pattern as internal/place/equiv_test.go.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+type refLasso struct {
+	Alpha   float64
+	MaxIter int
+	Tol     float64
+
+	Weights   []float64
+	Intercept float64
+}
+
+func (m *refLasso) fit(X [][]float64, y []float64) error {
+	n := len(X)
+	d := len(X[0])
+	if m.MaxIter <= 0 {
+		m.MaxIter = 1000
+	}
+	if m.Tol <= 0 {
+		m.Tol = 1e-6
+	}
+	fn := float64(n)
+	cols := make([][]float64, d)
+	colSq := make([]float64, d)
+	for j := 0; j < d; j++ {
+		cols[j] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := X[i][j]
+			cols[j][i] = v
+			colSq[j] += v * v
+		}
+		colSq[j] /= fn
+	}
+	w := make([]float64, d)
+	b := 0.0
+	for _, v := range y {
+		b += v
+	}
+	b /= fn
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = y[i] - b
+	}
+
+	for it := 0; it < m.MaxIter; it++ {
+		maxDelta := 0.0
+		for j := 0; j < d; j++ {
+			if colSq[j] == 0 {
+				continue
+			}
+			wj := w[j]
+			rho := 0.0
+			cj := cols[j]
+			for i := 0; i < n; i++ {
+				rho += cj[i] * (r[i] + cj[i]*wj)
+			}
+			rho /= fn
+			nw := refSoftThreshold(rho, m.Alpha) / colSq[j]
+			if nw != wj {
+				delta := nw - wj
+				for i := 0; i < n; i++ {
+					r[i] -= cj[i] * delta
+				}
+				w[j] = nw
+				if ad := math.Abs(delta); ad > maxDelta {
+					maxDelta = ad
+				}
+			}
+		}
+		mean := 0.0
+		for i := 0; i < n; i++ {
+			mean += r[i]
+		}
+		mean /= fn
+		if mean != 0 {
+			b += mean
+			for i := 0; i < n; i++ {
+				r[i] -= mean
+			}
+		}
+		if maxDelta < m.Tol {
+			break
+		}
+	}
+	m.Weights = w
+	m.Intercept = b
+	return nil
+}
+
+func (m *refLasso) predict(x []float64) float64 {
+	s := m.Intercept
+	for j, v := range x {
+		if j < len(m.Weights) {
+			s += m.Weights[j] * v
+		}
+	}
+	return s
+}
+
+func refSoftThreshold(v, t float64) float64 {
+	switch {
+	case v > t:
+		return v - t
+	case v < -t:
+		return v + t
+	}
+	return 0
+}
+
+func lassoEquivData(seed int64, n, d int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			if j == d-1 {
+				row[j] = 1.5 // constant column minus mean -> colSq == 0 path
+			} else {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		X[i] = row
+		y[i] = 3*row[0] - 2*row[1] + 0.2*rng.NormFloat64()
+	}
+	// Center columns so the constant one has zero variance exactly.
+	for j := 0; j < d; j++ {
+		mean := 0.0
+		for i := range X {
+			mean += X[i][j]
+		}
+		mean /= float64(n)
+		for i := range X {
+			X[i][j] -= mean
+		}
+	}
+	return X, y
+}
+
+// TestLassoEquivalence gates the flat-column fast path on byte-identical
+// coefficients and predictions vs the frozen reference.
+func TestLassoEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7} {
+		X, y := lassoEquivData(seed, 80, 12)
+		probe, _ := lassoEquivData(seed+300, 25, 12)
+		for _, alpha := range []float64{0.001, 0.05, 0.5} {
+			ref := &refLasso{Alpha: alpha}
+			if err := ref.fit(X, y); err != nil {
+				t.Fatalf("ref fit: %v", err)
+			}
+			fast := New(alpha)
+			if err := fast.Fit(X, y); err != nil {
+				t.Fatalf("fast fit: %v", err)
+			}
+			if math.Float64bits(ref.Intercept) != math.Float64bits(fast.Intercept) {
+				t.Fatalf("seed %d alpha %v: intercept ref %v fast %v", seed, alpha, ref.Intercept, fast.Intercept)
+			}
+			for j := range ref.Weights {
+				if math.Float64bits(ref.Weights[j]) != math.Float64bits(fast.Weights[j]) {
+					t.Fatalf("seed %d alpha %v: weight %d ref %v fast %v", seed, alpha, j, ref.Weights[j], fast.Weights[j])
+				}
+			}
+			out := make([]float64, len(probe))
+			fast.PredictBatchInto(out, probe)
+			for i, x := range probe {
+				r := ref.predict(x)
+				if math.Float64bits(r) != math.Float64bits(out[i]) {
+					t.Fatalf("seed %d alpha %v: batch predict row %d diverges", seed, alpha, i)
+				}
+			}
+		}
+	}
+}

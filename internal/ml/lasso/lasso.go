@@ -49,14 +49,15 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 		m.Tol = 1e-6
 	}
 	fn := float64(n)
-	// Column-major copy for cache-friendly sweeps.
-	col := make([][]float64, d)
+	// Column-major copy on one flat backing array for cache-friendly
+	// sweeps: column j occupies colData[j*n : (j+1)*n].
+	colData := make([]float64, d*n)
 	colSq := make([]float64, d)
 	for j := 0; j < d; j++ {
-		col[j] = make([]float64, n)
+		cj := colData[j*n : (j+1)*n]
 		for i := 0; i < n; i++ {
 			v := X[i][j]
-			col[j][i] = v
+			cj[i] = v
 			colSq[j] += v * v
 		}
 		colSq[j] /= fn
@@ -82,7 +83,7 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 			wj := w[j]
 			// rho = (1/n) x_j . (r + x_j*wj)
 			rho := 0.0
-			cj := col[j]
+			cj := colData[j*n : (j+1)*n]
 			for i := 0; i < n; i++ {
 				rho += cj[i] * (r[i] + cj[i]*wj)
 			}
@@ -129,6 +130,14 @@ func (m *Model) Predict(x []float64) float64 {
 		}
 	}
 	return s
+}
+
+// PredictBatchInto writes the estimate for X[i] into out[i] without
+// allocating (ml.BatchPredictor). Values are identical to Predict.
+func (m *Model) PredictBatchInto(out []float64, X [][]float64) {
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
 }
 
 // NumNonZero counts the surviving coefficients, a sparsity diagnostic.

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Regressor is a trainable single-target regression model.
@@ -21,9 +22,50 @@ type Regressor interface {
 	Predict(x []float64) float64
 }
 
+// BatchPredictor is the serving-side fast path: regressors that can fill a
+// caller-owned output slice for a whole batch without allocating. All three
+// model families (lasso, ann, gbrt) implement it; predictions are
+// bit-identical to calling Predict per row.
+type BatchPredictor interface {
+	// PredictBatchInto writes the estimate for X[i] into out[i]. out must
+	// have len(X) entries.
+	PredictBatchInto(out []float64, X [][]float64)
+}
+
+// SharedTrainer is implemented by regressors that can digest a training
+// set once into a hyperparameter-independent prepared form every candidate
+// fitted on the same rows can reuse — GBRT's quantile binning is the
+// motivating case: the binned matrix depends only on the data, not on tree
+// count, depth or learning rate, so the grid search prepares it once per
+// fold instead of once per (candidate, fold) cell.
+type SharedTrainer interface {
+	Regressor
+	// PrepareShared digests the rows. The digest must own its data (no
+	// retained X slices) so callers may reuse X's backing storage.
+	PrepareShared(X [][]float64) any
+	// FitShared trains from a digest previously prepared on exactly these
+	// rows, falling back to a plain Fit when the digest is incompatible
+	// (e.g. a different bin count). Results are bit-identical to Fit.
+	FitShared(prep any, X [][]float64, y []float64) error
+}
+
 // PredictBatch runs Predict over many rows.
 func PredictBatch(r Regressor, X [][]float64) []float64 {
 	out := make([]float64, len(X))
+	return PredictBatchInto(r, X, out)
+}
+
+// PredictBatchInto fills out (which must have len(X) entries) with r's
+// estimates, taking the regressor's allocation-free batch path when it has
+// one, and returns out. Values are identical to PredictBatch.
+func PredictBatchInto(r Regressor, X [][]float64, out []float64) []float64 {
+	if len(out) != len(X) {
+		panic(fmt.Sprintf("ml: PredictBatchInto output length %d for %d rows", len(out), len(X)))
+	}
+	if bp, ok := r.(BatchPredictor); ok {
+		bp.PredictBatchInto(out, X)
+		return out
+	}
 	for i, x := range X {
 		out[i] = r.Predict(x)
 	}
@@ -45,8 +87,15 @@ func MAE(y, pred []float64) float64 {
 	return s / float64(len(y))
 }
 
+// medaeScratch recycles the absolute-error buffer across MedAE calls so
+// metric evaluation inside cross-validation stops allocating per fold.
+var medaeScratch = sync.Pool{New: func() any { s := make([]float64, 0, 512); return &s }}
+
 // MedAE returns the median absolute error, the outlier-robust companion
-// metric the paper reports next to MAE.
+// metric the paper reports next to MAE. The median is found by partial
+// selection on a pooled scratch buffer — no allocation, no full sort — and
+// the result is identical to sorting: order statistics are the same values
+// however they are located.
 func MedAE(y, pred []float64) float64 {
 	if len(y) != len(pred) {
 		panic(fmt.Sprintf("ml: MedAE length mismatch %d vs %d", len(y), len(pred)))
@@ -54,16 +103,76 @@ func MedAE(y, pred []float64) float64 {
 	if len(y) == 0 {
 		return 0
 	}
-	errs := make([]float64, len(y))
+	sp := medaeScratch.Get().(*[]float64)
+	errs := (*sp)[:0]
 	for i := range y {
-		errs[i] = math.Abs(y[i] - pred[i])
+		errs = append(errs, math.Abs(y[i]-pred[i]))
 	}
-	sort.Float64s(errs)
 	n := len(errs)
+	upper := selectNth(errs, n/2)
+	var med float64
 	if n%2 == 1 {
-		return errs[n/2]
+		med = upper
+	} else {
+		// selectNth leaves errs[:n/2] holding the n/2 smallest values;
+		// their maximum is the lower middle element.
+		lower := errs[0]
+		for _, v := range errs[1 : n/2] {
+			if v > lower {
+				lower = v
+			}
+		}
+		med = (lower + upper) / 2
 	}
-	return (errs[n/2-1] + errs[n/2]) / 2
+	*sp = errs
+	medaeScratch.Put(sp)
+	return med
+}
+
+// selectNth partially partitions s (in place) so s[k] holds the k-th
+// smallest element with everything before it no larger, and returns s[k].
+// Deterministic median-of-three quickselect; 0 <= k < len(s).
+func selectNth(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		// Median-of-three pivot, moved to s[hi-1] by the ordering swaps.
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		if hi-lo < 3 {
+			break // the three-element ordering above already sorted them
+		}
+		s[mid], s[hi-1] = s[hi-1], s[mid]
+		pivot := s[hi-1]
+		i, j := lo, hi-1
+		for {
+			for i++; s[i] < pivot; i++ {
+			}
+			for j--; s[j] > pivot; j-- {
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+		}
+		s[i], s[hi-1] = s[hi-1], s[i]
+		switch {
+		case k < i:
+			hi = i - 1
+		case k > i:
+			lo = i + 1
+		default:
+			return s[k]
+		}
+	}
+	return s[k]
 }
 
 // RMSE returns the root-mean-square error.
@@ -203,16 +312,41 @@ func (s *Scaler) Transform(X [][]float64) [][]float64 {
 	return out
 }
 
-// TransformRow standardizes one row.
+// TransformRow standardizes one row into a fresh slice. Hot paths use
+// TransformRowInto instead and reuse the destination.
 func (s *Scaler) TransformRow(row []float64) []float64 {
+	return s.TransformRowInto(make([]float64, len(row)), row)
+}
+
+// TransformRowInto standardizes row into dst (len(dst) must be len(row))
+// and returns dst. It is the allocation-free form of TransformRow used by
+// the predict hot path; values are identical.
+func (s *Scaler) TransformRowInto(dst, row []float64) []float64 {
+	if len(dst) != len(row) {
+		panic(fmt.Sprintf("ml: TransformRowInto dst length %d for row length %d", len(dst), len(row)))
+	}
 	if len(s.Mean) == 0 {
-		return append([]float64(nil), row...)
+		copy(dst, row)
+		return dst
 	}
-	out := make([]float64, len(row))
 	for j, v := range row {
-		out[j] = (v - s.Mean[j]) / s.Std[j]
+		dst[j] = (v - s.Mean[j]) / s.Std[j]
 	}
-	return out
+	return dst
+}
+
+// TransformRowsInto standardizes every row of X into the flat matrix dst,
+// reusing dst's backing array — the training-side counterpart of
+// TransformRowInto. Values are identical to Transform.
+func (s *Scaler) TransformRowsInto(dst *Matrix, X [][]float64) {
+	cols := 0
+	if len(X) > 0 {
+		cols = len(X[0])
+	}
+	dst.Reset(len(X), cols)
+	for i, row := range X {
+		s.TransformRowInto(dst.Row(i), row)
+	}
 }
 
 // Split holds index sets of one train/test partition.

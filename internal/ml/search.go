@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/parallel"
 )
@@ -70,14 +71,36 @@ func GridSearchCV(factory Factory, grid Grid, X [][]float64, y []float64, k int,
 	return GridSearchCVWorkers(factory, grid, X, y, k, rng, 1)
 }
 
+// foldData is one fold's materialized train/test sets: row views into the
+// search's flat feature matrix plus gathered target vectors, built once
+// per fold and shared read-only by every candidate's cell. shared holds
+// the fold's SharedTrainer digest (e.g. GBRT's binned matrix) when the
+// model family supports one.
+type foldData struct {
+	trX, teX [][]float64
+	trY, teY []float64
+	shared   any
+}
+
+// cvBufPool recycles per-cell prediction buffers so scoring a cell does
+// not allocate.
+var cvBufPool = sync.Pool{New: func() any { s := make([]float64, 0, 256); return &s }}
+
 // GridSearchCVWorkers is GridSearchCV with the (candidate × fold) cells
 // evaluated on a bounded worker pool (workers <= 0 means one per CPU).
 // Every cell trains its own fresh regressor from the factory, the folds
 // are drawn from rng before any worker starts, and per-candidate fold
 // scores are accumulated in fold order by a sequential reduce — so the
 // returned SearchResult (winner, score, ties, error) is identical for
-// every worker count. X's rows are shared across workers and must not be
-// mutated by Regressor.Fit.
+// every worker count.
+//
+// Fast path: the rows are flattened into one contiguous Matrix up front;
+// each fold's train/test sets are row views into it, gathered once and
+// shared by all candidates instead of re-copied per cell. When the
+// factory's models implement SharedTrainer, each fold's training set is
+// digested once (for GBRT: quantile-binned) and every candidate trains
+// via FitShared — results are bit-identical to per-cell Fit because the
+// digest depends only on the fold's rows, never on the hyperparameters.
 func GridSearchCVWorkers(factory Factory, grid Grid, X [][]float64, y []float64, k int, rng *rand.Rand, workers int) (SearchResult, error) {
 	if len(X) != len(y) || len(X) == 0 {
 		return SearchResult{}, fmt.Errorf("ml: grid search on %d rows / %d targets", len(X), len(y))
@@ -86,18 +109,49 @@ func GridSearchCVWorkers(factory Factory, grid Grid, X [][]float64, y []float64,
 	cands := grid.Enumerate()
 	nf := len(folds)
 
+	full := MatrixFromRows(X)
+	prep := make([]foldData, nf)
+	shareWorthwhile := len(cands) > 1
+	_ = parallel.ForEach(context.Background(), nf, workers, func(_ context.Context, f int) {
+		fold := folds[f]
+		fd := &prep[f]
+		fd.trX = gatherViews(full, fold.Train)
+		fd.teX = gatherViews(full, fold.Test)
+		fd.trY = GatherVec(nil, y, fold.Train)
+		fd.teY = GatherVec(nil, y, fold.Test)
+		if !shareWorthwhile {
+			return
+		}
+		if st, ok := factory(cands[0]).(SharedTrainer); ok {
+			fd.shared = st.PrepareShared(fd.trX)
+		}
+	})
+
 	// One task per (candidate, fold) cell; cell results land at a fixed
 	// index so the reduce below is order-deterministic.
 	maes, errs, _ := parallel.Map(context.Background(), len(cands)*nf, workers,
 		func(_ context.Context, i int) (float64, error) {
-			p, fold := cands[i/nf], folds[i%nf]
-			trX, trY := Take(X, y, fold.Train)
-			teX, teY := Take(X, y, fold.Test)
+			p, fd := cands[i/nf], &prep[i%nf]
 			m := factory(p) // fresh model per cell: no state shared between workers
-			if err := m.Fit(trX, trY); err != nil {
+			var err error
+			if st, ok := m.(SharedTrainer); ok && fd.shared != nil {
+				err = st.FitShared(fd.shared, fd.trX, fd.trY)
+			} else {
+				err = m.Fit(fd.trX, fd.trY)
+			}
+			if err != nil {
 				return 0, err
 			}
-			return MAE(teY, PredictBatch(m, teX)), nil
+			bp := cvBufPool.Get().(*[]float64)
+			buf := *bp
+			if cap(buf) < len(fd.teX) {
+				buf = make([]float64, len(fd.teX))
+			}
+			buf = buf[:len(fd.teX)]
+			mae := MAE(fd.teY, PredictBatchInto(m, fd.teX, buf))
+			*bp = buf
+			cvBufPool.Put(bp)
+			return mae, nil
 		})
 
 	res := SearchResult{BestScore: -1}
@@ -117,4 +171,14 @@ func GridSearchCVWorkers(factory Factory, grid Grid, X [][]float64, y []float64,
 		}
 	}
 	return res, nil
+}
+
+// gatherViews returns the selected rows of m as views into its flat
+// backing array.
+func gatherViews(m Matrix, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = m.Row(j)
+	}
+	return out
 }

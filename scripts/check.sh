@@ -38,4 +38,18 @@ go test -count=1 -run 'TestPlaceEquivalentToReference|TestRouteEquivalentToRefer
 echo "== flow-cache hit-rate smoke (-race) =="
 go test -race -count=1 -run 'TestBuildDatasetFlowCache' ./internal/core/
 
+# The ML fast-path reproduction contract: the flat-matrix trainers (GBRT
+# with shared binning, ANN, lasso), the pooled metrics/scaler and the CV
+# grid search must be byte-identical to the frozen pre-optimization
+# implementations kept under test — across seeds, under the race detector.
+echo "== ml equivalence (-race) =="
+go test -race -count=1 -run 'Equivalence' \
+	./internal/ml/ ./internal/ml/gbrt/ ./internal/ml/ann/ ./internal/ml/lasso/
+
+# Steady-state serving must not allocate. Runs without -race on purpose:
+# the race detector makes sync.Pool drop Puts at random, which makes
+# allocation counts meaningless (the guards skip themselves there).
+echo "== ml zero-alloc guards =="
+go test -count=1 -run 'ZeroAlloc' ./internal/ml/
+
 echo "tier-1 checks passed"
