@@ -282,6 +282,26 @@ func BenchmarkBuildDataset(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildDatasetObserved is BenchmarkBuildDataset/workers=2 with a
+// live observer (tracer + metrics registry) attached — the worst-case
+// observation cost, since every flow stage, module cell and cache lookup
+// records spans and metrics. The ratio to the unobserved workers=2 time is
+// the enabled-observer overhead; scripts/bench.sh records both and asserts
+// the *disabled* path (plain BenchmarkBuildDataset, nil observer) stays
+// within 2% of the seed.
+func BenchmarkBuildDatasetObserved(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mods := TrainingModules()
+		cfg := WithObserver(DefaultFlowConfig(), NewObserver())
+		_, _, _, err := BuildDatasetResilient(context.Background(), mods,
+			cfg, BuildOptions{LabelRuns: 2, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(cfg.Obs.Trace.Len()), "spans")
+	}
+}
+
 // BenchmarkBuildDatasetWarmCache measures rebuilding the training dataset
 // against a pre-populated flow cache — the steady state of experiment
 // sweeps and ablations, where every (design, config, seed) implementation

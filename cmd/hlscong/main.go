@@ -35,6 +35,17 @@
 //	             cache (0 disables; results are identical either way)
 //	-cpuprofile F / -memprofile F
 //	             write a CPU / heap profile to F for `go tool pprof`
+//	-trace F     write a Chrome trace_event JSON of every flow stage, retry
+//	             and cache event to F (load in chrome://tracing or Perfetto)
+//	-metrics F   write a JSON snapshot of all counters/gauges/histograms to F
+//	-log-level L stream structured logs to stderr at debug|info|warn|error
+//	-debug-addr A
+//	             serve /debug/metrics, /debug/trace and /debug/vars on A
+//	             (e.g. localhost:6060) for the duration of the run
+//
+// Any of the four observability flags arms the observer; an end-of-run
+// per-stage wall-time summary is then printed to stderr. With none set the
+// run is entirely unobserved and byte-identical output is guaranteed.
 package main
 
 import (
@@ -54,6 +65,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/flowcache"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -73,6 +85,10 @@ func realMain() (code int) {
 		"memoize up to N completed flow runs (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON to this file")
+	metricsFile := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
+	logLevel := flag.String("log-level", "", "structured logs to stderr: debug|info|warn|error")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/{metrics,trace,vars} on this address")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -133,13 +149,55 @@ func realMain() (code int) {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.Ctx = ctx
+	var cache *flowcache.Cache
 	if *cacheSize > 0 {
 		// Repeated (design, config, seed) implementations — label runs,
 		// ablations, the "all" command — are served from cache; the output
 		// is byte-identical with the cache off.
-		cfg.Flow.Cache = flowcache.New(*cacheSize)
+		cache = flowcache.New(*cacheSize)
+		cfg.Flow.Cache = cache
 	} else {
 		cfg.Flow.Cache = nil // -flowcache 0 disables memoization entirely
+	}
+
+	// Any observability flag arms the observer. Observation rides along on
+	// the flow config and never changes what the commands compute or print
+	// to stdout; traces, metrics and the stage summary go to files/stderr.
+	observing := *traceFile != "" || *metricsFile != "" || *logLevel != "" || *debugAddr != ""
+	var o *obs.Observer
+	if observing {
+		o = obs.New()
+		if *logLevel != "" {
+			lv, err := obs.ParseLevel(*logLevel)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hlscong:", err)
+				return 2
+			}
+			o.Log = obs.NewLogger(os.Stderr, lv)
+		}
+		cfg.Flow.Obs = o
+		if cache != nil {
+			cache.SetObserver(o)
+		}
+		if *debugAddr != "" {
+			addr, err := o.Serve(*debugAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hlscong:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "hlscong: debug endpoint: http://%s/debug/metrics\n", addr)
+		}
+		// Flush trace/metrics and print the stage summary even when the
+		// command fails — a failed run's trace is the one you want most.
+		defer func() {
+			if err := writeObsOutputs(o, *traceFile, *metricsFile); err != nil {
+				fmt.Fprintln(os.Stderr, "hlscong:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+			fmt.Fprint(os.Stderr, stageSummary(o, cache))
+		}()
 	}
 
 	if err := run(cfg, flag.Arg(0), *design); err != nil {
@@ -147,6 +205,75 @@ func realMain() (code int) {
 		return 1
 	}
 	return 0
+}
+
+// writeObsOutputs exports the collected spans and metrics to the requested
+// files.
+func writeObsOutputs(o *obs.Observer, traceFile, metricsFile string) error {
+	if traceFile != "" && o.Trace != nil {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		err = o.Trace.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "hlscong: wrote %d spans to %s\n", o.Trace.Len(), traceFile)
+	}
+	if metricsFile != "" {
+		f, err := os.Create(metricsFile)
+		if err != nil {
+			return err
+		}
+		err = o.WriteMetricsJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "hlscong: wrote metrics snapshot to %s\n", metricsFile)
+	}
+	return nil
+}
+
+// stageSummary renders the end-of-run per-stage wall-time table from the
+// metrics registry, plus flow/cache totals.
+func stageSummary(o *obs.Observer, cache *flowcache.Cache) string {
+	snap := o.Metrics().Snapshot()
+	var b []byte
+	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	add("\nRUN SUMMARY (wall time per flow stage)\n")
+	add("  %-10s %6s %10s %10s %10s %10s\n", "stage", "runs", "total", "mean", "min", "max")
+	printed := false
+	for _, stage := range flow.Stages {
+		h := snap.Histogram(obs.MetricStagePrefix + stage)
+		if h == nil || h.Count == 0 {
+			continue
+		}
+		printed = true
+		add("  %-10s %6d %9.1fms %9.2fms %9.2fms %9.2fms\n",
+			stage, h.Count, h.Sum, h.Mean, h.Min, h.Max)
+	}
+	if !printed {
+		add("  (no flow stages ran)\n")
+	}
+	if runs, ok := snap.Counter(obs.MetricFlowRuns); ok {
+		retries, _ := snap.Counter(obs.MetricFlowRetries)
+		faults, _ := snap.Counter(obs.MetricFlowFaults)
+		add("  flow runs: %d (%d retries, %d faults injected)\n", runs, retries, faults)
+	}
+	if cache != nil {
+		add("  %s\n", cache.Stats())
+	}
+	if cps, ok := snap.Gauge(obs.MetricGridCandidatesPerSec); ok {
+		add("  grid search: %.1f candidates/sec\n", cps)
+	}
+	return string(b)
 }
 
 // reportError prints the failure with its stage-error chain spelled out,

@@ -1,0 +1,130 @@
+// obscheck validates the observability artifacts a hlscong run writes: the
+// Chrome trace_event JSON (-trace) and the metrics snapshot (-metrics). It
+// checks that both parse, that the trace contains a span for every flow
+// stage, and that the metrics registry recorded the canonical flow series.
+// scripts/check.sh runs it after a quick observed run; exit status is
+// non-zero with a diagnostic when an expectation fails.
+//
+// Usage:
+//
+//	obscheck -trace trace.json -metrics metrics.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/flow"
+	"repro/internal/obs"
+)
+
+// traceFile mirrors the subset of the Chrome trace_event envelope the
+// validator cares about.
+type traceFile struct {
+	TraceEvents []struct {
+		Name  string  `json:"name"`
+		Phase string  `json:"ph"`
+		TS    float64 `json:"ts"`
+		Dur   float64 `json:"dur"`
+		PID   int     `json:"pid"`
+		TID   int     `json:"tid"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace JSON to validate")
+	metricsPath := flag.String("metrics", "", "metrics snapshot JSON to validate")
+	flag.Parse()
+	if *tracePath == "" && *metricsPath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: need -trace and/or -metrics")
+		os.Exit(2)
+	}
+	fail := false
+	if *tracePath != "" {
+		if err := checkTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck: trace:", err)
+			fail = true
+		} else {
+			fmt.Printf("obscheck: trace %s ok\n", *tracePath)
+		}
+	}
+	if *metricsPath != "" {
+		if err := checkMetrics(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck: metrics:", err)
+			fail = true
+		} else {
+			fmt.Printf("obscheck: metrics %s ok\n", *metricsPath)
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// checkTrace verifies the trace parses and contains at least one complete
+// ("X") event per flow stage plus the root "flow" span, all with sane
+// timestamps.
+func checkTrace(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("no traceEvents")
+	}
+	seen := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		if ev.TS < 0 || ev.Dur < 0 {
+			return fmt.Errorf("event %q has negative ts/dur", ev.Name)
+		}
+		if ev.Phase == "X" {
+			seen[ev.Name]++
+		}
+	}
+	want := append([]string{"flow"}, flow.Stages...)
+	for _, name := range want {
+		if seen[name] == 0 {
+			return fmt.Errorf("no %q span in %d events", name, len(tf.TraceEvents))
+		}
+	}
+	return nil
+}
+
+// checkMetrics verifies the snapshot parses into obs.Snapshot and carries
+// the canonical flow series: a duration histogram per stage with counts,
+// and the flow.runs / flowcache.misses counters.
+func checkMetrics(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return fmt.Errorf("not a metrics snapshot: %w", err)
+	}
+	for _, stage := range flow.Stages {
+		h := snap.Histogram(obs.MetricStagePrefix + stage)
+		if h == nil {
+			return fmt.Errorf("missing histogram %s%s", obs.MetricStagePrefix, stage)
+		}
+		if h.Count == 0 {
+			return fmt.Errorf("histogram %s has zero observations", h.Name)
+		}
+	}
+	runs, ok := snap.Counter(obs.MetricFlowRuns)
+	if !ok || runs == 0 {
+		return fmt.Errorf("counter %s missing or zero", obs.MetricFlowRuns)
+	}
+	if _, ok := snap.Counter(obs.MetricCacheMisses); !ok {
+		return fmt.Errorf("counter %s missing", obs.MetricCacheMisses)
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/backtrace"
 	"repro/internal/dataset"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/ml/ann"
 	"repro/internal/ml/gbrt"
 	"repro/internal/ml/lasso"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -265,6 +267,17 @@ func BuildDatasetContext(ctx context.Context, mods []*ir.Module, cfg flow.Config
 	if labelRuns < 1 {
 		labelRuns = 1
 	}
+	// One "dataset.build" span wraps the whole build; each (module,
+	// label-run) cell starts its own child span on whatever worker runs
+	// it (see runCells). Observation happens at cell granularity so the
+	// parallel schedule is visible in the trace without perturbing it.
+	o := cfg.Obs
+	var bsp *obs.Span
+	if obs.Tracing(ctx, o) {
+		ctx, bsp = obs.StartSpan(ctx, o, "dataset.build",
+			obs.Int("modules", int64(len(mods))), obs.Int("label_runs", int64(labelRuns)))
+	}
+	defer bsp.End()
 	cells := runCells(ctx, mods, cfg, labelRuns, opts)
 
 	ds := dataset.New()
@@ -280,6 +293,10 @@ func BuildDatasetContext(ctx context.Context, mods []*ir.Module, cfg flow.Config
 				return ds, results, sum, errors.Join(append([]error{err}, errList(sum)...)...)
 			}
 			sum.Failed = append(sum.Failed, ModuleFailure{Module: m.Name, Err: err})
+			o.Count(obs.MetricBuildModulesFailed, 1)
+			if l := o.Logger(); l != nil {
+				l.Warn("dataset build skipped module", "module", m.Name, "error", err)
+			}
 			continue
 		}
 		// Build the graph and extractor from the flow result's own module:
@@ -292,6 +309,11 @@ func BuildDatasetContext(ctx context.Context, mods []*ir.Module, cfg flow.Config
 		ds.FromTrace(m.Name, traced, ex)
 		results = append(results, first)
 		sum.Succeeded++
+	}
+	o.Count(obs.MetricBuildFlowRuns, int64(sum.FlowRuns))
+	if l := o.Logger(); l != nil {
+		l.Info("dataset build complete", "modules", sum.Modules, "succeeded", sum.Succeeded,
+			"flow_runs", sum.FlowRuns, "samples", ds.Len())
 	}
 	return ds, results, sum, sum.Err()
 }
@@ -330,7 +352,17 @@ func runCells(ctx context.Context, mods []*ir.Module, cfg flow.Config, labelRuns
 		}
 		runCfg := cfg
 		runCfg.Seed = cfg.Seed + int64(run)*7919
+		o := cfg.Obs
+		var sp *obs.Span
+		t0 := time.Now()
+		if obs.Tracing(ctx, o) {
+			ctx, sp = obs.StartSpan(ctx, o, "module.run",
+				obs.String("module", mods[mi].Name), obs.Int("label_run", int64(run)))
+		}
 		res, err := flow.RunWithRetry(ctx, mods[mi], runCfg, opts.Retry)
+		sp.SetError(err)
+		sp.End()
+		o.ObserveMs(obs.MetricBuildRunMs, time.Since(t0))
 		if err != nil {
 			for {
 				cur := failedAt[mi].Load()

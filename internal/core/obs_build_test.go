@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestBuildDatasetObservability: an observed build records one
+// "dataset.build" root, one "module.run" span per (module, label-run) cell
+// parented on it, and the build counters.
+func TestBuildDatasetObservability(t *testing.T) {
+	o := obs.New()
+	mods := tinyModules()
+	cfg := quickFlow()
+	cfg.Obs = o
+	const labelRuns = 2
+	ds, _, sum, err := BuildDatasetContext(context.Background(), mods, cfg,
+		BuildOptions{LabelRuns: labelRuns, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() == 0 || sum.Succeeded != len(mods) {
+		t.Fatalf("build incomplete: %d samples, %d succeeded", ds.Len(), sum.Succeeded)
+	}
+
+	var build *obs.SpanData
+	moduleRuns := 0
+	for _, s := range o.Trace.Spans() {
+		s := s
+		switch s.Name {
+		case "dataset.build":
+			build = &s
+		case "module.run":
+			moduleRuns++
+		}
+	}
+	if build == nil {
+		t.Fatal("no dataset.build span")
+	}
+	if want := len(mods) * labelRuns; moduleRuns != want {
+		t.Errorf("module.run spans = %d, want %d", moduleRuns, want)
+	}
+	for _, s := range o.Trace.Spans() {
+		if s.Name == "module.run" && s.ParentID != build.ID {
+			t.Errorf("module.run span not parented on dataset.build")
+		}
+	}
+
+	snap := o.Reg.Snapshot()
+	if v, _ := snap.Counter(obs.MetricBuildFlowRuns); v != int64(sum.FlowRuns) {
+		t.Errorf("build.flow_runs=%d, want %d", v, sum.FlowRuns)
+	}
+	if h := snap.Histogram(obs.MetricBuildRunMs); h == nil || h.Count != int64(len(mods)*labelRuns) {
+		t.Errorf("build run histogram wrong: %+v", h)
+	}
+}
+
+// TestBuildDatasetObserverInert: the observer must not change what the
+// build produces — same rows, labels and summary as the bare build.
+func TestBuildDatasetObserverInert(t *testing.T) {
+	mods := tinyModules()
+	opts := BuildOptions{LabelRuns: 1, Workers: 2}
+	bare, _, sumBare, err := BuildDatasetContext(context.Background(), mods, quickFlow(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickFlow()
+	cfg.Obs = obs.New()
+	seen, _, sumSeen, err := BuildDatasetContext(context.Background(), mods, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Len() != seen.Len() || sumBare.FlowRuns != sumSeen.FlowRuns {
+		t.Fatalf("observed build diverged: %d/%d samples, %d/%d runs",
+			bare.Len(), seen.Len(), sumBare.FlowRuns, sumSeen.FlowRuns)
+	}
+	for i := 0; i < bare.Len(); i++ {
+		a, b := bare.Samples[i], seen.Samples[i]
+		if a.VertPct != b.VertPct || a.HorizPct != b.HorizPct {
+			t.Fatalf("sample %d labels diverged", i)
+		}
+	}
+}

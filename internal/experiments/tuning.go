@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ml"
+	"repro/internal/obs"
 )
 
 // TuningResult reports the grid search outcome for one model family.
@@ -57,13 +58,16 @@ func Tuning(cfg Config, ds *dataset.Dataset, kind core.ModelKind) (*TuningResult
 	scaler.TransformRowsInto(&xm, Xtr)
 	XtrS := xm.RowViews(nil)
 
+	// The experiment's observer rides along on the flow config; the grid
+	// search traces/measures through it without changing the result.
+	o := cfg.Flow.Obs
 	start := time.Now()
-	res, err := ml.GridSearchCVWorkers(core.Factory(kind, cfg.Seed), core.TuningGrid(kind, cfg.Quick),
-		XtrS, ytr, folds, rng, cfg.Workers)
+	res, err := ml.GridSearchCVObs(core.Factory(kind, cfg.Seed), core.TuningGrid(kind, cfg.Quick),
+		XtrS, ytr, folds, rng, cfg.Workers, o)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: tuning %s: %w", kind, err)
 	}
-	return &TuningResult{
+	out := &TuningResult{
 		Kind:      kind,
 		Best:      res.Best,
 		BestScore: res.BestScore,
@@ -71,7 +75,13 @@ func Tuning(cfg Config, ds *dataset.Dataset, kind core.ModelKind) (*TuningResult
 		Folds:     folds,
 		Rows:      len(Xtr),
 		Elapsed:   time.Since(start),
-	}, nil
+	}
+	o.SetGauge(obs.MetricGridCandidatesPerSec, out.CandidatesPerSec())
+	if l := o.Logger(); l != nil {
+		l.Info("grid search finished", "model", kind.String(), "candidates", out.Evaluated,
+			"cand_per_sec", out.CandidatesPerSec(), "cv_mae", out.BestScore)
+	}
+	return out, nil
 }
 
 // TuneAll runs the search for every model family on a fresh dataset.

@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/congestion"
 	"repro/internal/faults"
 	"repro/internal/fpga"
 	"repro/internal/hls"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/route"
 	"repro/internal/rtl"
@@ -57,6 +59,14 @@ type Config struct {
 	// implementation stages. Nil disables memoization. Runs with a fault
 	// injector are never cached (see CacheKey).
 	Cache Cache
+
+	// Obs optionally observes the run: one span per stage (parented on
+	// the context's active span when the caller — e.g. the dataset
+	// builder — installed one), stage-duration histograms, placer/router
+	// metrics and cache/fault/retry events. Nil disables observation;
+	// the flow's outputs are byte-identical either way, and the Result's
+	// Timings breakdown is populated regardless. Excluded from CacheKey.
+	Obs *obs.Observer
 
 	// Faults optionally injects deterministic stage failures (tests,
 	// chaos runs). Nil disables injection.
@@ -107,6 +117,11 @@ type Result struct {
 
 	// Convergence is the router's convergence status; see Convergence.
 	Convergence Convergence
+
+	// Timings is the per-stage wall-time breakdown of this run — always
+	// populated, tracer or not. Cached Results keep the timings of the
+	// execution that produced them.
+	Timings Timings
 }
 
 // Run executes the full flow on a module. It is RunContext without
@@ -121,7 +136,7 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 // cancellation or a deadline terminates the run within one iteration. A
 // deadline expiry returns an error matching both ErrTimedOut and
 // context.DeadlineExceeded; plain cancellation matches context.Canceled.
-func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) {
+func RunContext(ctx context.Context, m *ir.Module, cfg Config) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -139,6 +154,41 @@ func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) 
 		return nil, fail(StagePlace, fmt.Errorf("config has no device"))
 	}
 
+	// Observation: one "flow" span wrapping one child span per stage, a
+	// Timings breakdown measured regardless of the observer, and stage
+	// histograms/counters. All of it happens on stage boundaries, so runs
+	// stay byte-identical with observation off. The span-attribute
+	// construction is guarded by obs.Tracing so a bare run allocates
+	// nothing here.
+	o := cfg.Obs
+	var root *obs.Span
+	if obs.Tracing(ctx, o) {
+		ctx, root = obs.StartSpan(ctx, o, "flow",
+			obs.String("design", design), obs.Int("seed", cfg.Seed), obs.Int("attempt", int64(cfg.Attempt)))
+	}
+	defer func() {
+		root.SetError(err)
+		root.End()
+	}()
+	var tm Timings
+	runStart := time.Now()
+
+	// begin opens one stage's observation; the returned end closure
+	// records the duration into tm, the stage histogram and the span.
+	begin := func(stage string) (*obs.Span, func(errp *error)) {
+		sp := root.Child(stage)
+		t0 := time.Now()
+		return sp, func(errp *error) {
+			d := time.Since(t0)
+			tm.set(stage, d)
+			if errp != nil && *errp != nil {
+				sp.SetError(*errp)
+			}
+			sp.End()
+			o.ObserveMs(obs.MetricStagePrefix+stage, d)
+		}
+	}
+
 	// Serve memoized results (after the context check, so cancelled runs
 	// keep failing like uncached ones; fault-injected runs bypass the
 	// cache so injected failures stay observable).
@@ -149,8 +199,14 @@ func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) 
 		}
 		cacheKey = CacheKey(m, cfg)
 		if res, ok := cfg.Cache.Get(cacheKey); ok {
+			root.Event("flowcache.hit")
+			o.Count(obs.MetricFlowRuns, 1)
+			if l := o.Logger(); l != nil {
+				l.Debug("flow served from cache", "design", design, "seed", cfg.Seed)
+			}
 			return res, nil
 		}
+		root.Event("flowcache.miss")
 	}
 
 	// enter guards one stage: context first, then injected faults.
@@ -160,6 +216,11 @@ func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) 
 		}
 		if cfg.Faults != nil {
 			if err := cfg.Faults.Check(design, stage, cfg.Attempt); err != nil {
+				root.Event("fault.injected", obs.String("stage", stage))
+				o.Count(obs.MetricFlowFaults, 1)
+				if l := o.Logger(); l != nil {
+					l.Warn("stage fault injected", "design", design, "stage", stage, "attempt", cfg.Attempt)
+				}
 				return fail(stage, err)
 			}
 		}
@@ -169,44 +230,74 @@ func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) 
 	if err := enter(StageSchedule); err != nil {
 		return nil, err
 	}
-	sched, err := hls.ScheduleModule(m, cfg.Clock)
-	if err != nil {
-		return nil, fail(StageSchedule, err)
+	_, end := begin(StageSchedule)
+	sched, serr := hls.ScheduleModule(m, cfg.Clock)
+	end(&serr)
+	if serr != nil {
+		return nil, fail(StageSchedule, serr)
 	}
 
 	if err := enter(StageBind); err != nil {
 		return nil, err
 	}
+	_, end = begin(StageBind)
 	bind := hls.BindModule(sched)
+	end(nil)
 
 	if err := enter(StageElaborate); err != nil {
 		return nil, err
 	}
+	_, end = begin(StageElaborate)
 	nl := rtl.Elaborate(bind)
+	end(nil)
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	if err := enter(StagePlace); err != nil {
 		return nil, err
 	}
-	pl, err := place.PlaceContext(ctx, nl, cfg.Dev, rng, cfg.Place)
-	if err != nil {
-		if errors.Is(err, place.ErrCapacity) {
-			err = fmt.Errorf("%w: %w", ErrPlacementOverflow, err)
+	psp, end := begin(StagePlace)
+	pl, perr := place.PlaceContext(ctx, nl, cfg.Dev, rng, cfg.Place)
+	end(&perr)
+	if perr != nil {
+		if errors.Is(perr, place.ErrCapacity) {
+			perr = fmt.Errorf("%w: %w", ErrPlacementOverflow, perr)
 		}
-		return nil, fail(StagePlace, decorateCtx(err))
+		return nil, fail(StagePlace, decorateCtx(perr))
+	}
+	if o != nil {
+		o.Count(obs.MetricPlaceMoves, int64(pl.Stats.Moves))
+		o.Count(obs.MetricPlaceAccepted, int64(pl.Stats.Accepted))
+		o.Observe(obs.MetricPlaceAcceptRate, obs.RatioBuckets, pl.Stats.AcceptRate())
+	}
+	if psp != nil {
+		psp.SetAttr(obs.Int("moves", int64(pl.Stats.Moves)),
+			obs.Float("accept_rate", pl.Stats.AcceptRate()))
 	}
 
 	if err := enter(StageRoute); err != nil {
 		return nil, err
 	}
-	rr, err := route.RouteContext(ctx, pl, rng, cfg.Route)
-	if err != nil {
-		return nil, fail(StageRoute, decorateCtx(err))
+	rsp, end := begin(StageRoute)
+	rr, rerr := route.RouteContext(ctx, pl, rng, cfg.Route)
+	end(&rerr)
+	if rerr != nil {
+		return nil, fail(StageRoute, decorateCtx(rerr))
 	}
 	conv := Convergence{
 		Converged:     rr.Overflow == 0,
 		OverusedEdges: rr.Overflow,
 		Iterations:    rr.Iterations,
+	}
+	if o != nil {
+		o.Observe(obs.MetricRouteIterations, obs.SmallCountBuckets, float64(rr.Iterations))
+		if !conv.Converged {
+			o.Count(obs.MetricRouteOverflow, int64(rr.Overflow))
+			o.Count(obs.MetricRouteNonConverged, 1)
+		}
+	}
+	if rsp != nil {
+		rsp.SetAttr(obs.Int("iterations", int64(rr.Iterations)),
+			obs.Int("overflow", int64(rr.Overflow)))
 	}
 	if cfg.StrictConvergence && !conv.Converged {
 		return nil, fail(StageRoute, fmt.Errorf("%w: %d overused crossings after %d iterations",
@@ -216,9 +307,12 @@ func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) 
 	if err := enter(StageTiming); err != nil {
 		return nil, err
 	}
+	_, end = begin(StageTiming)
 	rep := timing.Analyze(sched, nl, rr, cfg.Timing)
+	end(nil)
 
-	res := &Result{
+	tm.Total = time.Since(runStart)
+	res = &Result{
 		Mod:         m,
 		Config:      cfg,
 		Sched:       sched,
@@ -228,6 +322,13 @@ func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) 
 		Routing:     rr,
 		Timing:      rep,
 		Convergence: conv,
+		Timings:     tm,
+	}
+	o.Count(obs.MetricFlowRuns, 1)
+	o.ObserveMs(obs.MetricFlowMs, tm.Total)
+	if l := o.Logger(); l != nil {
+		l.Debug("flow run complete", "design", design, "seed", cfg.Seed,
+			"total_ms", tm.Total.Milliseconds(), "converged", conv.Converged)
 	}
 	if cacheKey != "" {
 		cfg.Cache.Put(cacheKey, res)

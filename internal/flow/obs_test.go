@@ -1,0 +1,202 @@
+package flow
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// TestResultTimings: every Result carries the per-stage breakdown, with or
+// without a tracer attached.
+func TestResultTimings(t *testing.T) {
+	res, err := Run(smallModule(), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timings
+	var sum int64
+	for _, stage := range Stages {
+		d := tm.Stage(stage)
+		if d <= 0 {
+			t.Errorf("stage %s has no timing", stage)
+		}
+		sum += int64(d)
+	}
+	if int64(tm.Total) < sum {
+		t.Errorf("Total %v less than stage sum %v", tm.Total, sum)
+	}
+	if tm.String() == "" {
+		t.Error("empty Timings rendering")
+	}
+}
+
+// TestFlowSpansAndMetrics: an observed run records one root "flow" span
+// with exactly one child per stage, and the registry carries the canonical
+// flow series.
+func TestFlowSpansAndMetrics(t *testing.T) {
+	o := obs.New()
+	cfg := quickConfig()
+	cfg.Obs = o
+	if _, err := RunContext(context.Background(), smallModule(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := o.Trace.Spans()
+	byName := map[string]obs.SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root, ok := byName["flow"]
+	if !ok {
+		t.Fatalf("no root flow span in %d spans", len(spans))
+	}
+	if root.ParentID != 0 {
+		t.Error("flow span is not a root")
+	}
+	for _, stage := range Stages {
+		s, ok := byName[stage]
+		if !ok {
+			t.Errorf("no span for stage %s", stage)
+			continue
+		}
+		if s.ParentID != root.ID {
+			t.Errorf("stage %s not parented on flow span", stage)
+		}
+	}
+	if len(spans) != 1+len(Stages) {
+		t.Errorf("got %d spans, want %d", len(spans), 1+len(Stages))
+	}
+
+	snap := o.Reg.Snapshot()
+	if v, _ := snap.Counter(obs.MetricFlowRuns); v != 1 {
+		t.Errorf("flow.runs=%d, want 1", v)
+	}
+	for _, stage := range Stages {
+		h := snap.Histogram(obs.MetricStagePrefix + stage)
+		if h == nil || h.Count != 1 {
+			t.Errorf("stage histogram %s missing or wrong count: %+v", stage, h)
+		}
+	}
+	if h := snap.Histogram(obs.MetricPlaceAcceptRate); h == nil || h.Count != 1 {
+		t.Errorf("accept-rate histogram missing: %+v", h)
+	}
+	if v, _ := snap.Counter(obs.MetricPlaceMoves); v <= 0 {
+		t.Errorf("place.moves=%d, want > 0", v)
+	}
+}
+
+// TestRetryObservability: a fault on the first route attempt must surface
+// as a fault event, a retry counter bump and an attempt-failed event on the
+// wrapping "flow.attempts" span.
+func TestRetryObservability(t *testing.T) {
+	o := obs.New()
+	cfg := quickConfig()
+	cfg.Obs = o
+	cfg.Faults = faults.FailFirst(StageRoute, 1, ErrUnroutable)
+	res, err := RunWithRetry(context.Background(), smallModule(), cfg,
+		RetryPolicy{MaxAttempts: 3, SeedStride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil result")
+	}
+
+	snap := o.Reg.Snapshot()
+	if v, _ := snap.Counter(obs.MetricFlowRetries); v != 1 {
+		t.Errorf("flow.retries=%d, want 1", v)
+	}
+	if v, _ := snap.Counter(obs.MetricFlowFaults); v != 1 {
+		t.Errorf("flow.faults_injected=%d, want 1", v)
+	}
+
+	var attempts *obs.SpanData
+	events := map[string]int{}
+	flowSpans := 0
+	for _, s := range o.Trace.Spans() {
+		s := s
+		if s.Name == "flow.attempts" {
+			attempts = &s
+		}
+		if s.Name == "flow" {
+			flowSpans++
+		}
+		for _, e := range s.Events {
+			events[e.Name]++
+		}
+	}
+	if attempts == nil {
+		t.Fatal("no flow.attempts span")
+	}
+	if flowSpans != 2 {
+		t.Errorf("got %d flow spans, want 2 (failed + succeeded attempt)", flowSpans)
+	}
+	if events["attempt.failed"] != 1 {
+		t.Errorf("attempt.failed events = %d, want 1", events["attempt.failed"])
+	}
+	if events["fault.injected"] != 1 {
+		t.Errorf("fault.injected events = %d, want 1", events["fault.injected"])
+	}
+}
+
+// TestObserverDoesNotChangeResult pins the core invariant: an observed run
+// computes exactly what an unobserved run computes.
+func TestObserverDoesNotChangeResult(t *testing.T) {
+	cfg := quickConfig()
+	bare, err := Run(smallModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = obs.New()
+	seen, err := Run(smallModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, ps := bare.Perf("m"), seen.Perf("m")
+	if pb != ps {
+		t.Errorf("observed run diverged: %+v vs %+v", pb, ps)
+	}
+	if bare.Placement.Stats != seen.Placement.Stats {
+		t.Errorf("placer stats diverged: %+v vs %+v", bare.Placement.Stats, seen.Placement.Stats)
+	}
+}
+
+// TestCacheHitObservability: the second identical run must be served from
+// cache, record a hit event on its span, and return the original run's
+// timings.
+func TestCacheHitObservability(t *testing.T) {
+	o := obs.New()
+	cfg := quickConfig()
+	cfg.Obs = o
+	cfg.Cache = newRecordingCache()
+	first, err := Run(smallModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(smallModule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Fatal("second run not served from cache")
+	}
+	if second.Timings != first.Timings {
+		t.Error("cached result lost its original timings")
+	}
+	hits := 0
+	for _, s := range o.Trace.Spans() {
+		for _, e := range s.Events {
+			if e.Name == "flowcache.hit" {
+				hits++
+			}
+		}
+	}
+	if hits != 1 {
+		t.Errorf("flowcache.hit events = %d, want 1", hits)
+	}
+	if v, _ := o.Reg.Snapshot().Counter(obs.MetricFlowRuns); v != 2 {
+		t.Errorf("flow.runs=%d, want 2 (cache hits count as runs)", v)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // RetryPolicy governs how a failed flow run is retried. Each retry
@@ -88,8 +89,22 @@ func RunWithRetry(ctx context.Context, m *ir.Module, cfg Config, p RetryPolicy) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var last error
+	o := cfg.Obs
 	n := p.attempts()
+	// One "flow.attempts" span wraps the whole escalation when retrying is
+	// possible, so each attempt's "flow" span nests under it and failed
+	// attempts show up as events on the wrapper.
+	var sp *obs.Span
+	if n > 1 && obs.Tracing(ctx, o) {
+		design := "<nil>"
+		if m != nil {
+			design = m.Name
+		}
+		ctx, sp = obs.StartSpan(ctx, o, "flow.attempts",
+			obs.String("design", design), obs.Int("max_attempts", int64(n)))
+	}
+	defer sp.End()
+	var last error
 	for attempt := 0; attempt < n; attempt++ {
 		if attempt > 0 && p.Backoff > 0 {
 			if err := sleepCtx(ctx, p.Backoff); err != nil {
@@ -98,6 +113,9 @@ func RunWithRetry(ctx context.Context, m *ir.Module, cfg Config, p RetryPolicy) 
 		}
 		res, err := RunContext(ctx, m, p.escalate(cfg, attempt))
 		if err == nil {
+			if attempt > 0 {
+				sp.SetAttr(obs.Int("succeeded_on_attempt", int64(attempt)))
+			}
 			return res, nil
 		}
 		last = err
@@ -106,6 +124,14 @@ func RunWithRetry(ctx context.Context, m *ir.Module, cfg Config, p RetryPolicy) 
 		}
 		if p.Retryable != nil && !p.Retryable(err) {
 			return nil, err
+		}
+		if attempt+1 < n {
+			// This failure will be retried: record the escalation.
+			sp.Event("attempt.failed", obs.Int("attempt", int64(attempt)), obs.String("error", err.Error()))
+			o.Count(obs.MetricFlowRetries, 1)
+			if l := o.Logger(); l != nil {
+				l.Warn("flow attempt failed, retrying", "attempt", attempt, "error", err)
+			}
 		}
 	}
 	if n > 1 {

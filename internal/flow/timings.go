@@ -1,0 +1,73 @@
+package flow
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Timings is the per-stage wall-time breakdown of one flow run. It is
+// always populated — no tracer or Observer required — so any caller can
+// see where a run's time went straight off the Result. Stage fields are
+// zero for stages that never ran (early failure). For a Result served
+// from the flow cache, Timings describes the original (cached) execution,
+// not the near-instant cache hit.
+type Timings struct {
+	Schedule  time.Duration
+	Bind      time.Duration
+	Elaborate time.Duration
+	Place     time.Duration
+	Route     time.Duration
+	Timing    time.Duration
+	// Total is the whole run, stage-boundary overhead included.
+	Total time.Duration
+}
+
+// set records one stage's duration by canonical name.
+func (t *Timings) set(stage string, d time.Duration) {
+	switch stage {
+	case StageSchedule:
+		t.Schedule = d
+	case StageBind:
+		t.Bind = d
+	case StageElaborate:
+		t.Elaborate = d
+	case StagePlace:
+		t.Place = d
+	case StageRoute:
+		t.Route = d
+	case StageTiming:
+		t.Timing = d
+	}
+}
+
+// Stage returns the duration recorded for a canonical stage name (zero
+// for unknown stages).
+func (t Timings) Stage(stage string) time.Duration {
+	switch stage {
+	case StageSchedule:
+		return t.Schedule
+	case StageBind:
+		return t.Bind
+	case StageElaborate:
+		return t.Elaborate
+	case StagePlace:
+		return t.Place
+	case StageRoute:
+		return t.Route
+	case StageTiming:
+		return t.Timing
+	}
+	return 0
+}
+
+// String renders the breakdown in flow order, e.g.
+// "schedule=1ms bind=0s ... total=120ms".
+func (t Timings) String() string {
+	var b strings.Builder
+	for _, st := range Stages {
+		fmt.Fprintf(&b, "%s=%s ", st, t.Stage(st))
+	}
+	fmt.Fprintf(&b, "total=%s", t.Total)
+	return b.String()
+}

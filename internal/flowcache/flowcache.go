@@ -12,12 +12,18 @@ package flowcache
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"repro/internal/flow"
+	"repro/internal/obs"
 )
 
-// Stats is a point-in-time snapshot of cache effectiveness counters.
+// Stats is a point-in-time snapshot of cache effectiveness counters. It is
+// always captured under one lock acquisition (see Cache.Stats), so the
+// fields are mutually consistent — hits, misses, evictions and the entry
+// count all describe the same instant, and derived figures like HitRate
+// can never mix counters from different moments.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
@@ -35,6 +41,13 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// String renders the snapshot as one log-friendly line, evictions
+// included.
+func (s Stats) String() string {
+	return fmt.Sprintf("flowcache: %d hits, %d misses (%.1f%% hit rate), %d puts, %d evictions, %d entries",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Puts, s.Evictions, s.Entries)
+}
+
 // Cache is a bounded LRU flow-result cache, safe for concurrent use by the
 // dataset builder's worker pool.
 type Cache struct {
@@ -46,6 +59,12 @@ type Cache struct {
 	misses    uint64
 	puts      uint64
 	evictions uint64
+
+	// Observation handles (nil when unobserved): registry counters
+	// mirroring the internal counters, and an eviction event sink. The
+	// handles are atomic, so bumping them under mu adds no contention.
+	obsHits, obsMisses, obsEvictions *obs.Counter
+	obsrv                            *obs.Observer
 }
 
 type entry struct {
@@ -72,6 +91,19 @@ func New(maxEntries int) *Cache {
 	}
 }
 
+// SetObserver mirrors the cache's hit/miss/eviction counters into o's
+// metrics registry (obs.MetricCacheHits and friends) and logs evictions
+// at debug level. Call before the cache is shared with workers; a nil
+// observer detaches.
+func (c *Cache) SetObserver(o *obs.Observer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obsrv = o
+	c.obsHits = o.Metrics().Counter(obs.MetricCacheHits)
+	c.obsMisses = o.Metrics().Counter(obs.MetricCacheMisses)
+	c.obsEvictions = o.Metrics().Counter(obs.MetricCacheEvictions)
+}
+
 // Get implements flow.Cache.
 func (c *Cache) Get(key string) (*flow.Result, bool) {
 	c.mu.Lock()
@@ -79,9 +111,11 @@ func (c *Cache) Get(key string) (*flow.Result, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		c.obsMisses.Add(1)
 		return nil, false
 	}
 	c.hits++
+	c.obsHits.Add(1)
 	c.ll.MoveToFront(el)
 	return el.Value.(*entry).res, true
 }
@@ -107,6 +141,10 @@ func (c *Cache) Put(key string, res *flow.Result) {
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*entry).key)
 		c.evictions++
+		c.obsEvictions.Add(1)
+		if l := c.obsrv.Logger(); l != nil {
+			l.Debug("flowcache evicted LRU entry", "entries", c.ll.Len(), "evictions", c.evictions)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/flow"
+	"repro/internal/obs"
 )
 
 func res(i int) *flow.Result { return &flow.Result{Config: flow.Config{Seed: int64(i)}} }
@@ -138,5 +139,56 @@ func TestConcurrentAccess(t *testing.T) {
 	s := c.Stats()
 	if s.Puts != 8*200 {
 		t.Fatalf("puts = %d, want %d", s.Puts, 8*200)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := New(2)
+	c.Put("a", res(1))
+	c.Put("b", res(2))
+	c.Put("c", res(3)) // evicts "a"
+	c.Get("b")
+	c.Get("a") // miss (evicted)
+	got := c.Stats().String()
+	want := "flowcache: 1 hits, 1 misses (50.0% hit rate), 3 puts, 1 evictions, 2 entries"
+	if got != want {
+		t.Errorf("Stats.String() = %q, want %q", got, want)
+	}
+}
+
+func TestObserverMirrorsCounters(t *testing.T) {
+	o := obs.New()
+	c := New(2)
+	c.SetObserver(o)
+	c.Put("a", res(1))
+	c.Put("b", res(2))
+	c.Put("c", res(3)) // evicts
+	c.Get("c")
+	c.Get("a") // miss
+	snap := o.Reg.Snapshot()
+	for name, want := range map[string]int64{
+		obs.MetricCacheHits:      1,
+		obs.MetricCacheMisses:    1,
+		obs.MetricCacheEvictions: 1,
+	} {
+		if v, ok := snap.Counter(name); !ok || v != want {
+			t.Errorf("%s = %d (present=%v), want %d", name, v, ok, want)
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Evictions != 1 {
+		t.Errorf("internal stats diverged from mirrored counters: %+v", s)
+	}
+}
+
+func TestNilObserverDetaches(t *testing.T) {
+	c := New(2)
+	c.SetObserver(obs.New())
+	c.SetObserver(nil) // must detach without panicking
+	c.Put("a", res(1))
+	c.Get("a")
+	c.Get("b")
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats after detach = %+v", s)
 	}
 }

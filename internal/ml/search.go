@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -102,6 +104,16 @@ var cvBufPool = sync.Pool{New: func() any { s := make([]float64, 0, 256); return
 // via FitShared — results are bit-identical to per-cell Fit because the
 // digest depends only on the fold's rows, never on the hyperparameters.
 func GridSearchCVWorkers(factory Factory, grid Grid, X [][]float64, y []float64, k int, rng *rand.Rand, workers int) (SearchResult, error) {
+	return GridSearchCVObs(factory, grid, X, y, k, rng, workers, nil)
+}
+
+// GridSearchCVObs is GridSearchCVWorkers with observability: when o carries a
+// tracer it wraps the search in an "ml.gridsearch" span with one "cv.cell"
+// child per (candidate, fold) cell, and when o carries a metrics registry it
+// counts cells (obs.MetricCVCells) and histograms per-cell wall time
+// (obs.MetricCVCellMs). A nil observer is the plain search: observation never
+// changes the folds, the schedule determinism, or the returned winner.
+func GridSearchCVObs(factory Factory, grid Grid, X [][]float64, y []float64, k int, rng *rand.Rand, workers int, o *obs.Observer) (SearchResult, error) {
 	if len(X) != len(y) || len(X) == 0 {
 		return SearchResult{}, fmt.Errorf("ml: grid search on %d rows / %d targets", len(X), len(y))
 	}
@@ -109,10 +121,19 @@ func GridSearchCVWorkers(factory Factory, grid Grid, X [][]float64, y []float64,
 	cands := grid.Enumerate()
 	nf := len(folds)
 
+	ctx := context.Background()
+	var root *obs.Span
+	if o.Tracing() {
+		ctx, root = obs.StartSpan(ctx, o, "ml.gridsearch",
+			obs.Int("candidates", int64(len(cands))), obs.Int("folds", int64(nf)),
+			obs.Int("rows", int64(len(X))))
+	}
+	defer root.End()
+
 	full := MatrixFromRows(X)
 	prep := make([]foldData, nf)
 	shareWorthwhile := len(cands) > 1
-	_ = parallel.ForEach(context.Background(), nf, workers, func(_ context.Context, f int) {
+	_ = parallel.ForEach(ctx, nf, workers, func(_ context.Context, f int) {
 		fold := folds[f]
 		fd := &prep[f]
 		fd.trX = gatherViews(full, fold.Train)
@@ -129,9 +150,19 @@ func GridSearchCVWorkers(factory Factory, grid Grid, X [][]float64, y []float64,
 
 	// One task per (candidate, fold) cell; cell results land at a fixed
 	// index so the reduce below is order-deterministic.
-	maes, errs, _ := parallel.Map(context.Background(), len(cands)*nf, workers,
-		func(_ context.Context, i int) (float64, error) {
-			p, fd := cands[i/nf], &prep[i%nf]
+	maes, errs, _ := parallel.Map(ctx, len(cands)*nf, workers,
+		func(ctx context.Context, i int) (float64, error) {
+			ci, fi := i/nf, i%nf
+			var sp *obs.Span
+			var t0 time.Time
+			if o != nil {
+				t0 = time.Now()
+				if obs.Tracing(ctx, o) {
+					_, sp = obs.StartSpan(ctx, o, "cv.cell",
+						obs.Int("candidate", int64(ci)), obs.Int("fold", int64(fi)))
+				}
+			}
+			p, fd := cands[ci], &prep[fi]
 			m := factory(p) // fresh model per cell: no state shared between workers
 			var err error
 			if st, ok := m.(SharedTrainer); ok && fd.shared != nil {
@@ -140,6 +171,8 @@ func GridSearchCVWorkers(factory Factory, grid Grid, X [][]float64, y []float64,
 				err = m.Fit(fd.trX, fd.trY)
 			}
 			if err != nil {
+				sp.SetError(err)
+				sp.End()
 				return 0, err
 			}
 			bp := cvBufPool.Get().(*[]float64)
@@ -151,6 +184,12 @@ func GridSearchCVWorkers(factory Factory, grid Grid, X [][]float64, y []float64,
 			mae := MAE(fd.teY, PredictBatchInto(m, fd.teX, buf))
 			*bp = buf
 			cvBufPool.Put(bp)
+			sp.SetAttr(obs.Float("mae", mae))
+			sp.End()
+			if o != nil {
+				o.Count(obs.MetricCVCells, 1)
+				o.ObserveMs(obs.MetricCVCellMs, time.Since(t0))
+			}
 			return mae, nil
 		})
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math/rand"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestGridEnumerate(t *testing.T) {
@@ -133,5 +135,57 @@ func TestGridSearchWorkersMatchesSequential(t *testing.T) {
 				t.Fatalf("workers=%d: winner %v differs from sequential %v", workers, par.Best, seq.Best)
 			}
 		}
+	}
+}
+
+// TestGridSearchObserved: the observed search returns exactly what the
+// bare search returns and records the gridsearch span tree plus cell
+// metrics.
+func TestGridSearchObserved(t *testing.T) {
+	n := 40
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+		y[i] = 5
+	}
+	factory := func(p Params) Regressor { return &biasModel{bias: p["bias"]} }
+	grid := Grid{"bias": {3, 5, 7}}
+	const folds = 4
+
+	bare, err := GridSearchCVWorkers(factory, grid, X, y, folds, rand.New(rand.NewSource(1)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	seen, err := GridSearchCVObs(factory, grid, X, y, folds, rand.New(rand.NewSource(1)), 2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.BestScore != seen.BestScore || bare.Evaluated != seen.Evaluated ||
+		bare.Best["bias"] != seen.Best["bias"] {
+		t.Fatalf("observed search diverged: %+v vs %+v", bare, seen)
+	}
+
+	cells := 0
+	root := false
+	for _, s := range o.Trace.Spans() {
+		switch s.Name {
+		case "cv.cell":
+			cells++
+		case "ml.gridsearch":
+			root = true
+		}
+	}
+	wantCells := 3 * folds
+	if !root || cells != wantCells {
+		t.Errorf("spans: root=%v cells=%d, want root and %d cells", root, cells, wantCells)
+	}
+	snap := o.Reg.Snapshot()
+	if v, _ := snap.Counter(obs.MetricCVCells); v != int64(wantCells) {
+		t.Errorf("%s=%d, want %d", obs.MetricCVCells, v, wantCells)
+	}
+	if h := snap.Histogram(obs.MetricCVCellMs); h == nil || h.Count != int64(wantCells) {
+		t.Errorf("cell duration histogram wrong: %+v", h)
 	}
 }

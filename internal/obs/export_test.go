@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock is a deterministic time source: every reading advances by step.
+func fakeClock(step time.Duration) func() time.Time {
+	base := time.Unix(1700000000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * step)
+	}
+}
+
+// buildGoldenTrace produces a fixed span set resembling a two-run observed
+// flow: parallel roots (two tracks), nested stage spans, instant events,
+// and every attribute type the exporter serializes.
+func buildGoldenTrace() *Tracer {
+	tr := NewTracer()
+	tr.SetClock(fakeClock(time.Millisecond))
+
+	r1 := tr.start(nil, "flow", []Attr{String("design", "face_detection"), Int("seed", 42), Bool("cached", false)})
+	r1.Event("flowcache.miss")
+	s1 := r1.Child("place", Float("accept_rate", 0.25))
+	s1.End()
+	s2 := r1.Child("route")
+	s2.Event("fault.injected", String("stage", "route"))
+	s2.SetError(os.ErrDeadlineExceeded)
+	s2.End()
+	r1.End()
+
+	r2 := tr.start(nil, "flow", []Attr{String("design", "digit \"quoted\""), Int("seed", 43)})
+	r2.Child("schedule").End()
+	r2.End()
+	return tr
+}
+
+// TestChromeTraceGolden pins the exporter's byte-exact output under an
+// injected clock: field order, track assignment, escaping and timestamp
+// units must not drift, or saved traces stop loading identically.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run Golden -update` to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace drifted from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// The golden bytes must also be what a Chrome-trace consumer can parse.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 7 { // 5 complete + 2 instant events
+		t.Errorf("got %d events, want 7", len(parsed.TraceEvents))
+	}
+	tids := map[float64]bool{}
+	for _, ev := range parsed.TraceEvents {
+		tids[ev["tid"].(float64)] = true
+	}
+	if len(tids) != 2 {
+		t.Errorf("got %d tracks, want 2 (one per root span)", len(tids))
+	}
+}
+
+// TestChromeTraceDeterministic writes the same span set twice and demands
+// identical bytes.
+func TestChromeTraceDeterministic(t *testing.T) {
+	spans := buildGoldenTrace().Spans()
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same spans differ")
+	}
+}
+
+// TestMetricsJSONRoundTrip checks the snapshot survives encode/decode,
+// including the +Inf overflow bucket encoding/json cannot represent as a
+// number.
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricFlowRuns).Add(7)
+	r.Gauge(MetricGridCandidatesPerSec).Set(12.5)
+	h := r.Histogram(MetricFlowMs, []float64{1, 10})
+	h.Observe(0.2)
+	h.Observe(300)
+
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"+Inf"`)) {
+		t.Error("overflow bucket not serialized as \"+Inf\"")
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if v, ok := snap.Counter(MetricFlowRuns); !ok || v != 7 {
+		t.Errorf("counter lost: %d, %v", v, ok)
+	}
+	if v, ok := snap.Gauge(MetricGridCandidatesPerSec); !ok || v != 12.5 {
+		t.Errorf("gauge lost: %g, %v", v, ok)
+	}
+	hs := snap.Histogram(MetricFlowMs)
+	if hs == nil || hs.Count != 2 || hs.Sum != 300.2 {
+		t.Fatalf("histogram lost: %+v", hs)
+	}
+	last := hs.Buckets[len(hs.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.Count != 1 {
+		t.Errorf("overflow bucket wrong after round-trip: %+v", last)
+	}
+}
+
+// TestEmptyTraceIsValid: a tracer with no spans still writes a loadable
+// file (the CLI flushes unconditionally).
+func TestEmptyTraceIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	var tr *Tracer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+}

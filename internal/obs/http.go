@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler returns the observer's debug endpoint, in the spirit of
+// expvar's /debug/vars:
+//
+//	/debug/metrics  — JSON metrics snapshot (Snapshot schema)
+//	/debug/trace    — Chrome trace_event JSON of the spans finished so far
+//	/debug/vars     — flat expvar-style name→value object (counters and
+//	                  gauges only), for scrapers that want one number per
+//	                  line of jq
+//
+// Handlers snapshot on every request, so a long dataset build can be
+// watched live. Nil-safe: a nil observer serves empty documents.
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		o.WriteMetricsJSON(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var t *Tracer
+		if o != nil {
+			t = o.Trace
+		}
+		WriteChromeTrace(w, t.Spans())
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := o.Metrics().Snapshot()
+		fmt.Fprint(w, "{")
+		sep := ""
+		for _, c := range snap.Counters {
+			fmt.Fprintf(w, "%s\n  %s: %d", sep, jsonString(c.Name), c.Value)
+			sep = ","
+		}
+		for _, g := range snap.Gauges {
+			fmt.Fprintf(w, "%s\n  %s: %s", sep, jsonString(g.Name), jsonValue(g.Value))
+			sep = ","
+		}
+		fmt.Fprint(w, "\n}\n")
+	})
+	return mux
+}
+
+// Serve exposes the debug endpoint on addr (e.g. "localhost:6060") in a
+// background goroutine, returning the bound listener address — the ":0"
+// form picks a free port, which the endpoint tests rely on. The server
+// lives until the process exits; long runs are its whole point.
+func (o *Observer) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

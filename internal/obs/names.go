@@ -1,0 +1,54 @@
+package obs
+
+// Canonical metric names. They are defined here — not in the packages that
+// write them — because readers live elsewhere: the hlscong run report, the
+// obscheck validator and the debug endpoint all key off these strings, and
+// a shared constant keeps writer and reader from drifting.
+const (
+	// MetricStagePrefix prefixes one duration histogram per flow stage:
+	// "flow.stage_ms.schedule", ..., "flow.stage_ms.timing" (milliseconds).
+	MetricStagePrefix = "flow.stage_ms."
+	// MetricFlowRuns counts completed flow runs (cache hits included).
+	MetricFlowRuns = "flow.runs"
+	// MetricFlowMs is the full-run duration histogram (milliseconds).
+	MetricFlowMs = "flow.run_ms"
+	// MetricFlowRetries counts failed attempts that were retried.
+	MetricFlowRetries = "flow.retries"
+	// MetricFlowFaults counts injected stage faults that fired.
+	MetricFlowFaults = "flow.faults_injected"
+
+	// MetricCacheHits / Misses / Evictions are the flow cache's counters.
+	MetricCacheHits      = "flowcache.hits"
+	MetricCacheMisses    = "flowcache.misses"
+	MetricCacheEvictions = "flowcache.evictions"
+
+	// MetricPlaceMoves / Accepted count annealing moves proposed/committed.
+	MetricPlaceMoves    = "place.moves"
+	MetricPlaceAccepted = "place.accepted"
+	// MetricPlaceAcceptRate is the per-run accept-rate histogram
+	// (RatioBuckets).
+	MetricPlaceAcceptRate = "place.accept_rate"
+
+	// MetricRouteIterations is the per-run negotiation-pass histogram
+	// (SmallCountBuckets).
+	MetricRouteIterations = "route.iterations"
+	// MetricRouteOverflow counts tile-direction pairs left above capacity,
+	// summed over runs; MetricRouteNonConverged counts the runs.
+	MetricRouteOverflow     = "route.overflow_edges"
+	MetricRouteNonConverged = "route.nonconverged_runs"
+
+	// MetricBuildFlowRuns counts successful flow executions of dataset
+	// builds; MetricBuildModulesFailed the modules skipped after retries.
+	MetricBuildFlowRuns      = "build.flow_runs"
+	MetricBuildModulesFailed = "build.modules_failed"
+	// MetricBuildRunMs is the per-(module, label-run) duration histogram.
+	MetricBuildRunMs = "build.run_ms"
+
+	// MetricCVCells counts evaluated (candidate, fold) grid-search cells;
+	// MetricCVCellMs is their duration histogram.
+	MetricCVCells  = "ml.cv_cells"
+	MetricCVCellMs = "ml.cv_cell_ms"
+	// MetricGridCandidatesPerSec is the last grid search's throughput in
+	// candidates per second.
+	MetricGridCandidatesPerSec = "ml.grid.candidates_per_sec"
+)

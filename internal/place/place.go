@@ -50,6 +50,26 @@ func DefaultOptions() Options {
 	}
 }
 
+// PlaceStats summarizes the annealing run that produced a Placement: how
+// many moves were proposed and how many committed. Tracking them costs two
+// integer increments per move and never feeds back into the anneal, so
+// trajectories are unchanged.
+type PlaceStats struct {
+	// Moves is the annealing move budget that ran.
+	Moves int
+	// Accepted counts moves that were committed (improving moves plus
+	// Metropolis-accepted uphill moves).
+	Accepted int
+}
+
+// AcceptRate returns Accepted/Moves (zero when no moves ran).
+func (s PlaceStats) AcceptRate() float64 {
+	if s.Moves == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Moves)
+}
+
 // Placement is the placer result: a tile coordinate per netlist cell.
 type Placement struct {
 	Dev *fpga.Device
@@ -59,6 +79,9 @@ type Placement struct {
 	// RegionCenter records the attraction point used for each module
 	// instance, useful for diagnostics.
 	RegionCenter map[*ir.Function]fpga.XY
+
+	// Stats reports the annealer's move/accept counts for this run.
+	Stats PlaceStats
 }
 
 // At returns the placed location of a cell.
@@ -159,7 +182,8 @@ func PlaceContext(ctx context.Context, nl *rtl.Netlist, dev *fpga.Device, rng *r
 	if err := st.anneal(ctx, rng); err != nil {
 		return nil, err
 	}
-	return &Placement{Dev: dev, NL: nl, Pos: st.pos, RegionCenter: st.regionCenter}, nil
+	return &Placement{Dev: dev, NL: nl, Pos: st.pos, RegionCenter: st.regionCenter,
+		Stats: PlaceStats{Moves: opts.Moves, Accepted: st.accepted}}, nil
 }
 
 // checkCapacity rejects netlists that cannot legally fit the device: more
@@ -224,6 +248,9 @@ type state struct {
 	clusterWt []float64
 
 	regionCenter map[*ir.Function]fpga.XY
+
+	// accepted counts committed annealing moves (see PlaceStats).
+	accepted int
 }
 
 // bbox is a net bounding box annotated with the number of pins sitting on
@@ -724,6 +751,7 @@ func (st *state) anneal(ctx context.Context, rng *rand.Rand) error {
 		d := st.moveDelta(ci, np)
 		if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
 			st.commit(ci, np, d)
+			st.accepted++
 		}
 		temp *= cool
 		window = math.Max(2, window*math.Pow(cool, 0.5))

@@ -1,0 +1,47 @@
+package congest
+
+import (
+	"io"
+	"log/slog"
+
+	"repro/internal/flow"
+	"repro/internal/obs"
+)
+
+// Observability facade. An Observer bundles the three optional sinks —
+// hierarchical span tracer, metrics registry, structured logger — and rides
+// along on FlowConfig.Obs through every layer: flow stages, retries, fault
+// injections, cache hits, dataset-build cells and grid-search cells all
+// report into it. A nil Observer (the default) is free: the instrumented
+// code degrades to nil-pointer checks and flow outputs are byte-identical
+// either way. The observer is deliberately excluded from the flow cache key.
+type (
+	// Observer carries the optional trace/metrics/log sinks.
+	Observer = obs.Observer
+	// ObsSnapshot is a point-in-time copy of every registered metric.
+	ObsSnapshot = obs.Snapshot
+	// FlowTimings is the per-stage wall-time breakdown every FlowResult
+	// carries, tracer or not.
+	FlowTimings = flow.Timings
+)
+
+// NewObserver returns an Observer with a span tracer and a metrics registry
+// armed (no logger). Attach it with WithObserver, then export with
+// Observer.WriteChromeTrace and Observer.WriteMetricsJSON.
+func NewObserver() *Observer { return obs.New() }
+
+// WithObserver returns cfg with the observer attached. Passing nil detaches.
+func WithObserver(cfg FlowConfig, o *Observer) FlowConfig {
+	cfg.Obs = o
+	return cfg
+}
+
+// NewObsLogger builds a structured text logger at the given level for
+// Observer.Log. Level strings: "debug", "info", "warn", "error".
+func NewObsLogger(w io.Writer, level string) (*slog.Logger, error) {
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(w, lv), nil
+}

@@ -1,0 +1,88 @@
+package congest
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestObserverFacade drives the observability surface the way the README's
+// snippet does: attach an observer, run a flow, export both artifacts.
+func TestObserverFacade(t *testing.T) {
+	o := NewObserver()
+	cfg := WithObserver(DefaultFlowConfig(), o)
+	cfg.Place.Moves = 3000
+	m := FaceDetection(WithoutDirectives())
+	res, err := RunFlow(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Satellite guarantee: the Result's stage breakdown is populated even
+	// for callers that never look at the tracer.
+	if res.Timings.Place <= 0 || res.Timings.Total <= 0 {
+		t.Errorf("Timings not populated: %+v", res.Timings)
+	}
+
+	var trace bytes.Buffer
+	if err := o.Trace.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &parsed); err != nil {
+		t.Fatalf("facade trace invalid: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range parsed.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"flow", "place", "route"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span", want)
+		}
+	}
+
+	var metrics bytes.Buffer
+	if err := o.WriteMetricsJSON(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	var snap ObsSnapshot
+	if err := json.Unmarshal(metrics.Bytes(), &snap); err != nil {
+		t.Fatalf("facade metrics invalid: %v", err)
+	}
+	if v, ok := snap.Counter("flow.runs"); !ok || v != 1 {
+		t.Errorf("flow.runs=%d (present=%v), want 1", v, ok)
+	}
+}
+
+// TestWithObserverNilDetaches: attaching then detaching leaves a plain
+// config.
+func TestWithObserverNilDetaches(t *testing.T) {
+	cfg := WithObserver(DefaultFlowConfig(), NewObserver())
+	cfg = WithObserver(cfg, nil)
+	if cfg.Obs != nil {
+		t.Error("nil observer did not detach")
+	}
+}
+
+func TestNewObsLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewObsLogger(&buf, "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("visible", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "visible") {
+		t.Errorf("level filtering wrong:\n%s", out)
+	}
+	if _, err := NewObsLogger(&buf, "shouting"); err == nil {
+		t.Error("bad level accepted")
+	}
+}

@@ -52,4 +52,21 @@ go test -race -count=1 -run 'Equivalence' \
 echo "== ml zero-alloc guards =="
 go test -count=1 -run 'ZeroAlloc' ./internal/ml/
 
+# The observability layer's contract, end to end: a quick observed run must
+# write a loadable Chrome trace containing a span per flow stage and a
+# metrics snapshot carrying the canonical flow series (obscheck validates
+# both), observation must never change results (the *ObserverInert /
+# *DoesNotChangeResult tests), the disabled fast path must not allocate,
+# and the shared registry/tracer must be race-clean under the same worker
+# pool the builder uses.
+echo "== observability smoke (quick run + artifact validation) =="
+go run ./cmd/hlscong -quick -workers 2 \
+	-trace /tmp/obs_trace.json -metrics /tmp/obs_metrics.json table1 > /dev/null
+go run ./cmd/obscheck -trace /tmp/obs_trace.json -metrics /tmp/obs_metrics.json
+
+echo "== obs invariants (zero-alloc, golden trace, -race) =="
+go test -count=1 -run 'TestDisabledSpanZeroAlloc|TestChromeTraceGolden' ./internal/obs/
+go test -race -count=1 -run 'TestRegistryConcurrency|TestTracerConcurrency' ./internal/obs/
+go test -race -count=1 -run 'ObserverInert|DoesNotChangeResult' ./internal/core/ ./internal/flow/
+
 echo "tier-1 checks passed"
