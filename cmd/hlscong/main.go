@@ -33,6 +33,13 @@
 //	-flowcache N memoize up to N completed flow runs so repeated
 //	             (design, config, seed) implementations are served from
 //	             cache (0 disables; results are identical either way)
+//	-store-dir D persist completed flow runs and dataset-build checkpoints
+//	             to a crash-safe artifact store under D: a rerun (or a run
+//	             killed mid-sweep) restores finished work from disk instead
+//	             of recomputing it; results are identical either way
+//	-store-max-bytes N
+//	             evict least-recently-used store entries past N bytes
+//	             (0 = unbounded)
 //	-cpuprofile F / -memprofile F
 //	             write a CPU / heap profile to F for `go tool pprof`
 //	-trace F     write a Chrome trace_event JSON of every flow stage, retry
@@ -67,6 +74,7 @@ import (
 	"repro/internal/flowcache"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/store"
 )
 
 func main() {
@@ -83,6 +91,10 @@ func realMain() (code int) {
 	workers := flag.Int("workers", 0, "concurrent flow runs / CV cells (0 = one per CPU, 1 = sequential)")
 	cacheSize := flag.Int("flowcache", flowcache.DefaultMaxEntries,
 		"memoize up to N completed flow runs (0 disables)")
+	storeDir := flag.String("store-dir", "",
+		"persist flow runs and build checkpoints to this artifact store directory")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0,
+		"evict least-recently-used store entries past this many bytes (0 = unbounded)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON to this file")
@@ -159,6 +171,22 @@ func realMain() (code int) {
 	} else {
 		cfg.Flow.Cache = nil // -flowcache 0 disables memoization entirely
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMaxBytes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hlscong:", err)
+			return 1
+		}
+		// The store backs both tiers of persistence: completed flow runs
+		// spill through the flow cache, and dataset builds checkpoint
+		// per-module progress so a killed run resumes.
+		if cache != nil {
+			cache.AttachStore(st)
+		}
+		cfg.Checkpoint = store.NewCheckpoint(st)
+	}
 
 	// Any observability flag arms the observer. Observation rides along on
 	// the flow config and never changes what the commands compute or print
@@ -177,7 +205,9 @@ func realMain() (code int) {
 		}
 		cfg.Flow.Obs = o
 		if cache != nil {
-			cache.SetObserver(o)
+			cache.SetObserver(o) // forwards to the attached store, if any
+		} else {
+			st.SetObserver(o) // nil-safe
 		}
 		if *debugAddr != "" {
 			addr, err := o.Serve(*debugAddr)
@@ -196,7 +226,7 @@ func realMain() (code int) {
 					code = 1
 				}
 			}
-			fmt.Fprint(os.Stderr, stageSummary(o, cache))
+			fmt.Fprint(os.Stderr, stageSummary(o, cache, st))
 		}()
 	}
 
@@ -242,8 +272,8 @@ func writeObsOutputs(o *obs.Observer, traceFile, metricsFile string) error {
 }
 
 // stageSummary renders the end-of-run per-stage wall-time table from the
-// metrics registry, plus flow/cache totals.
-func stageSummary(o *obs.Observer, cache *flowcache.Cache) string {
+// metrics registry, plus flow/cache/store totals.
+func stageSummary(o *obs.Observer, cache *flowcache.Cache, st *store.Store) string {
 	snap := o.Metrics().Snapshot()
 	var b []byte
 	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
@@ -269,6 +299,9 @@ func stageSummary(o *obs.Observer, cache *flowcache.Cache) string {
 	}
 	if cache != nil {
 		add("  %s\n", cache.Stats())
+	}
+	if st != nil {
+		add("  %s\n", st.Stats())
 	}
 	if cps, ok := snap.Gauge(obs.MetricGridCandidatesPerSec); ok {
 		add("  grid search: %.1f candidates/sec\n", cps)

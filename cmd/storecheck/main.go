@@ -1,0 +1,154 @@
+// storecheck operates on a persistent artifact store (internal/store): it
+// verifies every entry end to end, and it can drive a checkpointed dataset
+// build against the store — the harness the crash-recovery check uses to
+// kill a build mid-sweep and prove the rerun resumes to a byte-identical
+// artifact.
+//
+// Usage:
+//
+//	storecheck -dir DIR                   verify every entry (exit 1 if any
+//	                                      entry had to be quarantined)
+//	storecheck -dir DIR -build [flags]    run a checkpointed dataset build
+//
+// Build flags:
+//
+//	-modules A,B      benchmark designs to build (see internal/bench.Catalog)
+//	-label-runs N     label-averaging placement runs per module
+//	-moves N          override placer moves (0 = flow default)
+//	-seed N           base placement seed
+//	-max-bytes N      store byte budget (0 = unbounded)
+//	-out FILE         write the dataset artifact (canonical columnar
+//	                  encoding) to FILE — byte-identical across reruns
+//	-crash-after-puts N
+//	                  SIGKILL this process right after the Nth store put,
+//	                  simulating a crash at a deterministic point
+//
+// Both modes print one parseable "store: hit=..." line so scripts can
+// assert on the store's behavior.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"syscall"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/flowcache"
+	"repro/internal/ir"
+	"repro/internal/store"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	dir := flag.String("dir", "", "artifact store directory (required)")
+	build := flag.Bool("build", false, "run a checkpointed dataset build against the store")
+	out := flag.String("out", "", "write the built dataset artifact to this file")
+	modules := flag.String("modules", "digit_recognition,spam_filtering",
+		"comma-separated benchmark designs to build")
+	labelRuns := flag.Int("label-runs", 2, "label-averaging placement runs per module")
+	moves := flag.Int("moves", 0, "override placer moves (0 = flow default)")
+	seed := flag.Int64("seed", 1, "base placement seed")
+	maxBytes := flag.Int64("max-bytes", 0, "store byte budget (0 = unbounded)")
+	crashAfter := flag.Int("crash-after-puts", 0, "SIGKILL the process after N store puts")
+	flag.Parse()
+	if *dir == "" || flag.NArg() != 0 {
+		flag.Usage()
+		return 2
+	}
+
+	opts := store.Options{MaxBytes: *maxBytes}
+	if *crashAfter > 0 {
+		n := *crashAfter
+		opts.PutHook = func(puts int) {
+			if puts >= n {
+				// A real crash, not an exit: no deferred cleanup, no
+				// flushes. The next Open must recover on its own.
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+	s, err := store.Open(*dir, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "storecheck:", err)
+		return 1
+	}
+
+	if !*build {
+		return verify(s)
+	}
+	if err := runBuild(s, *modules, *labelRuns, *moves, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "storecheck:", err)
+		return 1
+	}
+	return 0
+}
+
+// verify re-reads and fully verifies every entry; quarantined entries make
+// the exit code nonzero so scripts catch silent corruption.
+func verify(s *store.Store) int {
+	ok, quarantined := s.VerifyAll()
+	fmt.Printf("verify: ok=%d quarantined=%d\n", ok, quarantined)
+	printStats(s)
+	if quarantined > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runBuild executes a checkpointed dataset build with the store as both the
+// flow cache's disk tier and the build checkpoint. Workers is pinned to 1
+// so -crash-after-puts kills the process at a reproducible point.
+func runBuild(s *store.Store, modules string, labelRuns, moves int, seed int64, out string) error {
+	catalog := bench.Catalog()
+	var mods []*ir.Module
+	for _, name := range strings.Split(modules, ",") {
+		name = strings.TrimSpace(name)
+		gen, ok := catalog[name]
+		if !ok {
+			return fmt.Errorf("unknown design %q", name)
+		}
+		mods = append(mods, gen(bench.WithDirectives()))
+	}
+	cfg := flow.DefaultConfig()
+	cfg.Seed = seed
+	if moves > 0 {
+		cfg.Place.Moves = moves
+	}
+	cache := flowcache.New(0)
+	cache.AttachStore(s)
+	cfg.Cache = cache
+
+	ds, _, sum, err := core.BuildDatasetContext(context.Background(), mods, cfg, core.BuildOptions{
+		LabelRuns:  labelRuns,
+		Retry:      flow.DefaultRetryPolicy(),
+		Workers:    1,
+		Checkpoint: store.NewCheckpoint(s),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("build: modules=%d restored=%d flow_runs=%d samples=%d\n",
+		sum.Modules, sum.Restored, sum.FlowRuns, ds.Len())
+	printStats(s)
+	if out != "" {
+		if err := os.WriteFile(out, store.EncodeDataset(ds), 0o666); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printStats emits the parseable store counter line scripts assert on.
+func printStats(s *store.Store) {
+	st := s.Stats()
+	fmt.Printf("store: hit=%d miss=%d put=%d corrupt=%d evict=%d entries=%d bytes=%d\n",
+		st.Hits, st.Misses, st.Puts, st.Corrupt, st.Evictions, st.Entries, st.Bytes)
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/flowcache"
 	"repro/internal/ir"
 	"repro/internal/report"
+	"repro/internal/store"
 	"repro/internal/timing"
 )
 
@@ -105,6 +106,25 @@ type (
 	FlowCache = flowcache.Cache
 	// FlowCacheStats is a snapshot of a FlowCache's hit/miss counters.
 	FlowCacheStats = flowcache.Stats
+	// ArtifactStore is the crash-safe persistent artifact tier: a
+	// disk-backed content-addressed store with atomic writes, read-side
+	// verification, quarantine of corrupt entries and mtime-LRU eviction;
+	// see internal/store. Attach one to a FlowCache (AttachStore) to spill
+	// completed flow runs to disk, or wrap it in a BuildCheckpoint to make
+	// dataset builds resumable.
+	ArtifactStore = store.Store
+	// ArtifactStoreOptions tunes an ArtifactStore (byte budget, fault
+	// injection, put hooks).
+	ArtifactStoreOptions = store.Options
+	// ArtifactStoreStats is a snapshot of an ArtifactStore's counters.
+	ArtifactStoreStats = store.Stats
+	// BuildCheckpoint persists per-module dataset-build progress so a
+	// killed build resumes (BuildOptions.Checkpoint).
+	BuildCheckpoint = store.Checkpoint
+	// DiskFaultScript deterministically injects disk faults (torn write,
+	// bit flip, ENOSPC, rename failure) into an ArtifactStore's write path
+	// (ArtifactStoreOptions.Faults); see internal/faults.
+	DiskFaultScript = faults.DiskScript
 )
 
 // Sentinel flow errors, re-exported for errors.Is matching at the facade.
@@ -206,6 +226,19 @@ func DefaultFlowConfig() FlowConfig { return flow.DefaultConfig() }
 // without re-running placement and routing; outputs are byte-identical with
 // caching off.
 func NewFlowCache(maxEntries int) *FlowCache { return flowcache.New(maxEntries) }
+
+// OpenArtifactStore opens (creating if needed) a crash-safe persistent
+// artifact store rooted at dir. The startup scan quarantines torn or
+// corrupt entries and enforces the byte budget, so a store left behind by
+// a killed process is always safe to reopen.
+func OpenArtifactStore(dir string, opts ArtifactStoreOptions) (*ArtifactStore, error) {
+	return store.Open(dir, opts)
+}
+
+// NewBuildCheckpoint wraps an ArtifactStore as a dataset-build checkpoint
+// for BuildOptions.Checkpoint. A nil store yields a nil (disabled)
+// checkpoint.
+func NewBuildCheckpoint(s *ArtifactStore) *BuildCheckpoint { return store.NewCheckpoint(s) }
 
 // guard is the facade's panic firewall: it converts internal invariant
 // panics (ir validation, feature extraction, model internals) escaping an

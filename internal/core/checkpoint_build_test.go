@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/flow"
+	"repro/internal/store"
+)
+
+// ckBuild runs one resilient build of the tiny module set with checkpointing
+// against the given store directory.
+func ckBuild(t *testing.T, dir string, workers int) (*dataset.Dataset, []*flow.Result, *BuildSummary, *store.Store) {
+	t.Helper()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := BuildOptions{
+		LabelRuns:  2,
+		Retry:      flow.RetryPolicy{MaxAttempts: 2, SeedStride: 104729},
+		Workers:    workers,
+		Checkpoint: store.NewCheckpoint(s),
+	}
+	ds, results, sum, err := BuildDatasetContext(context.Background(), tinyModules(), quickFlow(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, results, sum, s
+}
+
+// TestBuildDatasetCheckpointResume is the crash-recovery reproduction
+// contract: a checkpointed build writes one module block per module, a
+// rerun against the same store directory restores every module without a
+// single flow run, and the restored dataset is byte-identical to both the
+// first checkpointed build and an uncheckpointed reference.
+func TestBuildDatasetCheckpointResume(t *testing.T) {
+	dsRef, _, _ := cacheBuild(t, nil, 1)
+	ref := store.EncodeDataset(dsRef)
+	dir := t.TempDir()
+
+	dsCold, _, sumCold, sCold := ckBuild(t, dir, 1)
+	if sumCold.Restored != 0 {
+		t.Fatalf("cold build restored %d modules from an empty store", sumCold.Restored)
+	}
+	if got := sCold.Len(); got != sumCold.Succeeded {
+		t.Fatalf("store holds %d blocks after %d modules", got, sumCold.Succeeded)
+	}
+	if !bytes.Equal(ref, store.EncodeDataset(dsCold)) {
+		t.Fatal("checkpointed build is not byte-identical to the uncheckpointed reference")
+	}
+
+	// Resume: a fresh process (new store handle, same directory) restores
+	// everything and runs zero flows.
+	dsWarm, resWarm, sumWarm, sWarm := ckBuild(t, dir, 1)
+	if sumWarm.Restored != sumCold.Succeeded || sumWarm.FlowRuns != 0 {
+		t.Fatalf("resume restored %d modules with %d flow runs, want %d and 0",
+			sumWarm.Restored, sumWarm.FlowRuns, sumCold.Succeeded)
+	}
+	if !bytes.Equal(ref, store.EncodeDataset(dsWarm)) {
+		t.Fatal("resumed dataset is not byte-identical to the reference")
+	}
+	for i, r := range resWarm {
+		if err := store.VerifyResultKey(r, flow.CacheKey(r.Mod, r.Config)); err != nil {
+			t.Fatalf("restored result %d fails verification: %v", i, err)
+		}
+	}
+	if st := sWarm.Stats(); st.Hits == 0 {
+		t.Errorf("resume reported no store hits: %+v", st)
+	}
+
+	// Partial resume: corrupt one module's block; only that module reruns,
+	// and the output is still byte-identical.
+	mods := tinyModules()
+	sWarm.Corrupt(store.NewCheckpoint(sWarm).ModuleKey(mods[0], quickFlow(), 2),
+		fmt.Errorf("test-injected corruption"))
+	dsPart, _, sumPart, _ := ckBuild(t, dir, 1)
+	if sumPart.Restored != sumCold.Succeeded-1 {
+		t.Fatalf("partial resume restored %d modules, want %d", sumPart.Restored, sumCold.Succeeded-1)
+	}
+	if sumPart.FlowRuns != 2 {
+		t.Fatalf("partial resume ran %d flows, want 2 (one module × two label runs)", sumPart.FlowRuns)
+	}
+	if !bytes.Equal(ref, store.EncodeDataset(dsPart)) {
+		t.Fatal("partially resumed dataset is not byte-identical to the reference")
+	}
+}
+
+// TestBuildDatasetCheckpointParallel shares the checkpoint across a
+// parallel build's workers; output must match the sequential reference.
+func TestBuildDatasetCheckpointParallel(t *testing.T) {
+	dsRef, _, _ := cacheBuild(t, nil, 1)
+	ref := store.EncodeDataset(dsRef)
+	dir := t.TempDir()
+	dsA, _, _, _ := ckBuild(t, dir, 8)
+	if !bytes.Equal(ref, store.EncodeDataset(dsA)) {
+		t.Fatal("parallel checkpointed build differs from the sequential reference")
+	}
+	dsB, _, sumB, _ := ckBuild(t, dir, 8)
+	if sumB.Restored == 0 {
+		t.Error("parallel resume restored nothing")
+	}
+	if !bytes.Equal(ref, store.EncodeDataset(dsB)) {
+		t.Fatal("parallel resumed build differs from the sequential reference")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/flowcache"
 	"repro/internal/ir"
+	"repro/internal/store"
 )
 
 // Config selects the flow setup and effort level for experiment runs.
@@ -35,6 +36,10 @@ type Config struct {
 	// Ctx optionally bounds every flow run of the experiment (deadline,
 	// Ctrl-C); nil means context.Background().
 	Ctx context.Context
+	// Checkpoint optionally persists per-module dataset-build progress to
+	// an artifact store (see core.BuildOptions.Checkpoint): a killed
+	// experiment resumes its dataset build instead of recomputing it.
+	Checkpoint *store.Checkpoint
 }
 
 // ctx normalizes the optional context.
@@ -73,6 +78,7 @@ func RunOnce(m *ir.Module, cfg Config) (*flow.Result, error) {
 // Filtering; BNN + 3D Rendering + Optical Flow).
 func (c Config) PaperDataset() (*dataset.Dataset, []*flow.Result, error) {
 	ds, results, _, err := core.BuildDatasetContext(c.ctx(), bench.TrainingModules(), c.Flow,
-		core.BuildOptions{LabelRuns: core.LabelRuns, Retry: flow.DefaultRetryPolicy(), Workers: c.Workers})
+		core.BuildOptions{LabelRuns: core.LabelRuns, Retry: flow.DefaultRetryPolicy(),
+			Workers: c.Workers, Checkpoint: c.Checkpoint})
 	return ds, results, err
 }

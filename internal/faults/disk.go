@@ -1,0 +1,129 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"syscall"
+)
+
+// DiskFault enumerates the failure modes the artifact store can inject
+// into its own I/O path. Each one models a distinct real-world corruption:
+// a torn write (power loss mid-write leaves a truncated file), a bit flip
+// (silent media corruption), ENOSPC (the volume fills up mid-put) and a
+// rename failure (the commit step of the atomic-write protocol fails).
+type DiskFault int
+
+const (
+	// DiskNone is the zero value: no fault.
+	DiskNone DiskFault = iota
+	// DiskTornWrite truncates the data actually written, simulating a
+	// crash between write and fsync. The entry's declared length no longer
+	// matches the file, so the startup scan or the read-side checksum must
+	// catch it.
+	DiskTornWrite
+	// DiskBitFlip flips one bit of the written payload, simulating silent
+	// media corruption. Only the read-side digest verification can catch
+	// it.
+	DiskBitFlip
+	// DiskNoSpace fails the write with ENOSPC before any byte lands.
+	DiskNoSpace
+	// DiskRenameFail fails the atomic-commit rename, leaving only the
+	// temporary file behind.
+	DiskRenameFail
+)
+
+func (f DiskFault) String() string {
+	switch f {
+	case DiskNone:
+		return "none"
+	case DiskTornWrite:
+		return "torn-write"
+	case DiskBitFlip:
+		return "bit-flip"
+	case DiskNoSpace:
+		return "enospc"
+	case DiskRenameFail:
+		return "rename-fail"
+	}
+	return fmt.Sprintf("DiskFault(%d)", int(f))
+}
+
+// Disk-operation classes the store consults the script about. They are
+// coarse on purpose: a fault script targets "the nth write the store
+// performs", not a particular key, so tests stay independent of cache-key
+// values.
+const (
+	// DiskOpWrite is one payload write into a temporary file.
+	DiskOpWrite = "write"
+	// DiskOpRename is one atomic-commit rename of a temporary file.
+	DiskOpRename = "rename"
+)
+
+// ErrNoSpace is the error DiskNoSpace injects; it wraps syscall.ENOSPC so
+// callers can errors.Is-match the real condition.
+var ErrNoSpace = fmt.Errorf("faults: injected disk full: %w", syscall.ENOSPC)
+
+// DiskKey identifies one injection point: the zero-based occurrence index
+// of an operation class ("fail the 2nd write").
+type DiskKey struct {
+	Op string
+	N  int
+}
+
+// DiskScript injects disk faults deterministically: it counts occurrences
+// of each operation class and fires exactly the faults its table names.
+// Unlike the stage-fault Script it must carry state (the occurrence
+// counters), so it is mutex-guarded and safe for concurrent use; given the
+// same sequence of store operations it always injects the same faults.
+type DiskScript struct {
+	mu     sync.Mutex
+	faults map[DiskKey]DiskFault
+	seen   map[string]int
+}
+
+// NewDiskScript builds a script from an explicit injection table. The map
+// is copied, so callers may reuse or mutate theirs afterwards.
+func NewDiskScript(table map[DiskKey]DiskFault) *DiskScript {
+	faults := make(map[DiskKey]DiskFault, len(table))
+	for k, f := range table {
+		faults[k] = f
+	}
+	return &DiskScript{faults: faults, seen: make(map[string]int)}
+}
+
+// Next records one occurrence of the operation class and returns the fault
+// scheduled for it (DiskNone for most). Safe for concurrent use; note that
+// under concurrency the assignment of occurrence indices to callers follows
+// arrival order, so deterministic tests drive the store single-threaded.
+func (s *DiskScript) Next(op string) DiskFault {
+	if s == nil {
+		return DiskNone
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.seen[op]
+	s.seen[op] = n + 1
+	return s.faults[DiskKey{Op: op, N: n}]
+}
+
+// Count returns how many occurrences of the operation class have been
+// observed so far.
+func (s *DiskScript) Count(op string) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen[op]
+}
+
+// Reset zeroes the occurrence counters, replaying the script from the
+// start.
+func (s *DiskScript) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen = make(map[string]int)
+}

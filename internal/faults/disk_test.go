@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+)
+
+func TestDiskScriptFiresByOccurrence(t *testing.T) {
+	s := NewDiskScript(map[DiskKey]DiskFault{
+		{Op: DiskOpWrite, N: 1}:  DiskTornWrite,
+		{Op: DiskOpWrite, N: 3}:  DiskBitFlip,
+		{Op: DiskOpRename, N: 0}: DiskRenameFail,
+	})
+	got := []DiskFault{
+		s.Next(DiskOpWrite), s.Next(DiskOpWrite), s.Next(DiskOpWrite), s.Next(DiskOpWrite),
+	}
+	want := []DiskFault{DiskNone, DiskTornWrite, DiskNone, DiskBitFlip}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("write %d: fault = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if f := s.Next(DiskOpRename); f != DiskRenameFail {
+		t.Errorf("rename 0: fault = %v, want rename-fail", f)
+	}
+	if f := s.Next(DiskOpRename); f != DiskNone {
+		t.Errorf("rename 1: fault = %v, want none", f)
+	}
+	if n := s.Count(DiskOpWrite); n != 4 {
+		t.Errorf("write count = %d, want 4", n)
+	}
+}
+
+func TestDiskScriptResetReplays(t *testing.T) {
+	s := NewDiskScript(map[DiskKey]DiskFault{{Op: DiskOpWrite, N: 0}: DiskNoSpace})
+	if f := s.Next(DiskOpWrite); f != DiskNoSpace {
+		t.Fatalf("first write fault = %v, want enospc", f)
+	}
+	if f := s.Next(DiskOpWrite); f != DiskNone {
+		t.Fatalf("second write fault = %v, want none", f)
+	}
+	s.Reset()
+	if f := s.Next(DiskOpWrite); f != DiskNoSpace {
+		t.Fatalf("post-reset write fault = %v, want enospc again", f)
+	}
+}
+
+func TestNilDiskScriptNeverInjects(t *testing.T) {
+	var s *DiskScript
+	if f := s.Next(DiskOpWrite); f != DiskNone {
+		t.Fatalf("nil script injected %v", f)
+	}
+	s.Reset()
+	if n := s.Count(DiskOpWrite); n != 0 {
+		t.Fatalf("nil script counted %d", n)
+	}
+}
+
+func TestErrNoSpaceMatchesSyscall(t *testing.T) {
+	if !errors.Is(ErrNoSpace, syscall.ENOSPC) {
+		t.Fatal("ErrNoSpace does not match syscall.ENOSPC")
+	}
+}
+
+func TestDiskFaultStrings(t *testing.T) {
+	for f, want := range map[DiskFault]string{
+		DiskNone: "none", DiskTornWrite: "torn-write", DiskBitFlip: "bit-flip",
+		DiskNoSpace: "enospc", DiskRenameFail: "rename-fail", DiskFault(99): "DiskFault(99)",
+	} {
+		if got := f.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(f), got, want)
+		}
+	}
+}

@@ -150,7 +150,7 @@ func TestStatsString(t *testing.T) {
 	c.Get("b")
 	c.Get("a") // miss (evicted)
 	got := c.Stats().String()
-	want := "flowcache: 1 hits, 1 misses (50.0% hit rate), 3 puts, 1 evictions, 2 entries"
+	want := "flowcache: 1 hits, 1 misses (50.0% hit rate), 3 puts, 1 evictions (0 bytes evicted), 2 entries (0 bytes)"
 	if got != want {
 		t.Errorf("Stats.String() = %q, want %q", got, want)
 	}

@@ -120,7 +120,7 @@ func (b *Builder) OpEdges(kind OpKind, bitwidth int, edges ...Operand) *Op {
 		}
 		e.Def.users = append(e.Def.users, o)
 	}
-	o.Name = fmt.Sprintf("%s_%d", kind, o.ID)
+	o.Name = defaultOpName(kind, o.ID)
 	b.F.Ops = append(b.F.Ops, o)
 	return o
 }

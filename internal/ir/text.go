@@ -13,17 +13,19 @@ import (
 // good enough to diff designs, store regression inputs, and move designs
 // between tools. WriteText and ParseText round-trip every structural
 // property the flow consumes (ops, operand taps, arrays, loops, source
-// locations, replica marks); op IDs are preserved.
+// locations, replica marks, call-graph edges, non-default op names); op
+// IDs are preserved.
 //
 // Format sketch:
 //
 //	module face_detection
-//	func face_detect top
+//	func face_detect top calls=filter_pixel
 //	  array window_buf words=64 bits=8 banks=64
 //	  loop 0 scan_windows trips=40000 unroll=4 pipeline ii=2 parent=-1
 //	  %3 = port "img_in" i32 @face_detect.cpp:12
 //	  %7 = add i16 %3:16, %5 @face_detect.cpp:78 loop=0 replica=3/1
 //	  %9 = load i8 mem=window_buf %8 @face_detect.cpp:60
+//	  %12 = call "call_filter_pixel" i16 %9
 
 // WriteText serializes the module's live functions.
 func WriteText(w io.Writer, m *Module) error {
@@ -33,6 +35,18 @@ func WriteText(w io.Writer, m *Module) error {
 		role := ""
 		if f.IsTop {
 			role = " top"
+		}
+		// Call-graph edges: only live callees are serialized — inlined
+		// functions no longer exist as text and their edges are dead
+		// (resolution skips inlined callees anyway).
+		var callees []string
+		for _, cf := range f.Callees {
+			if !cf.Inlined {
+				callees = append(callees, cf.Name)
+			}
+		}
+		if len(callees) > 0 {
+			role += " calls=" + strings.Join(callees, ",")
 		}
 		fmt.Fprintf(bw, "func %s%s\n", f.Name, role)
 		for _, a := range f.Arrays {
@@ -63,7 +77,11 @@ func WriteText(w io.Writer, m *Module) error {
 func writeOp(bw *bufio.Writer, o *Op) error {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "  %%%d = %s", o.ID, o.Kind)
-	if o.Kind == KindPort {
+	// Names are only written when they carry information: ports always (the
+	// port name is the external interface), other ops when the name differs
+	// from the kind_id default the parser would regenerate. Call ops depend
+	// on this — rtl resolves the callee through the "call_<name>" op name.
+	if o.Kind == KindPort || o.Name != defaultOpName(o.Kind, o.ID) {
 		fmt.Fprintf(&sb, " %q", o.Name)
 	}
 	fmt.Fprintf(&sb, " i%d", o.Bitwidth)
@@ -106,6 +124,11 @@ func ParseText(r io.Reader) (*Module, error) {
 		parent int
 	}
 	var loopFixes []loopFix
+	type calleeFix struct {
+		f     *Function
+		names []string
+	}
+	var calleeFixes []calleeFix
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -125,8 +148,17 @@ func ParseText(r io.Reader) (*Module, error) {
 				return nil, fmt.Errorf("ir: line %d: func before module", lineNo)
 			}
 			f = m.NewFunction(fields[1])
-			if len(fields) > 2 && fields[2] == "top" {
-				m.SetTop(f)
+			for _, tok := range fields[2:] {
+				switch {
+				case tok == "top":
+					m.SetTop(f)
+				case strings.HasPrefix(tok, "calls="):
+					// Callees can be declared later in the text; resolve
+					// after the whole module is parsed.
+					calleeFixes = append(calleeFixes, calleeFix{f, strings.Split(tok[6:], ",")})
+				default:
+					return nil, fmt.Errorf("ir: line %d: bad func attr %q", lineNo, tok)
+				}
 			}
 		case fields[0] == "array":
 			if f == nil {
@@ -221,6 +253,19 @@ func ParseText(r io.Reader) (*Module, error) {
 			p.Kids = append(p.Kids, fix.loop)
 		}
 	}
+	funcByName := make(map[string]*Function, len(m.Funcs))
+	for _, fn := range m.Funcs {
+		funcByName[fn.Name] = fn
+	}
+	for _, fix := range calleeFixes {
+		for _, name := range fix.names {
+			cf, ok := funcByName[name]
+			if !ok {
+				return nil, fmt.Errorf("ir: func %s calls unknown function %q", fix.f.Name, name)
+			}
+			fix.f.Callees = append(fix.f.Callees, cf)
+		}
+	}
 	if err := Validate(m); err != nil {
 		return nil, fmt.Errorf("ir: parsed module invalid: %w", err)
 	}
@@ -238,9 +283,9 @@ func parseOp(m *Module, f *Function, fields []string, opByID map[int]*Op, loopBy
 		return nil, fmt.Errorf("unknown op kind %q", fields[2])
 	}
 	o := &Op{ID: id, Kind: kind, Func: f, ReplicaOf: -1}
-	o.Name = fmt.Sprintf("%s_%d", kind, id)
+	o.Name = defaultOpName(kind, id)
 	rest := fields[3:]
-	if kind == KindPort && len(rest) > 0 && strings.HasPrefix(rest[0], "\"") {
+	if len(rest) > 0 && strings.HasPrefix(rest[0], "\"") {
 		o.Name = strings.Trim(rest[0], "\"")
 		rest = rest[1:]
 	}
@@ -324,6 +369,12 @@ func parseOp(m *Module, f *Function, fields []string, opByID map[int]*Op, loopBy
 		m.nextOpID = id + 1
 	}
 	return o, nil
+}
+
+// defaultOpName is the name NewBuilder assigns when the caller never names
+// the op; such names carry no information and are omitted from the text.
+func defaultOpName(kind OpKind, id int) string {
+	return fmt.Sprintf("%s_%d", kind, id)
 }
 
 func cutKV(s string) (k, v string, ok bool) {

@@ -78,6 +78,14 @@ func TestTextRoundTrip(t *testing.T) {
 		if bo.ReplicaOf != o.ReplicaOf || bo.ReplicaIdx != o.ReplicaIdx {
 			t.Errorf("op %%%d replica mark changed", o.ID)
 		}
+		if bo.Name != o.Name {
+			t.Errorf("op %%%d name %q != %q", o.ID, bo.Name, o.Name)
+		}
+	}
+	// Call-graph edges survive: rtl elaboration resolves callees through
+	// them, so losing an edge silently changes the netlist.
+	if len(back.Top.Callees) != 1 || back.Top.Callees[0].Name != "leaf" {
+		t.Errorf("call-graph edge lost: %v", back.Top.Callees)
 	}
 	// A second round trip is bit-identical (canonical form).
 	var buf2 bytes.Buffer
@@ -108,6 +116,8 @@ func TestParseTextErrors(t *testing.T) {
 		"unknown array":   "module m\nfunc f top\n  %0 = load i8 mem=nope\n",
 		"bad width":       "module m\nfunc f top\n  %0 = add ix\n",
 		"bad directive":   "module m\nfunc f top\n  garbage here\n",
+		"unknown callee":  "module m\nfunc f top calls=ghost\n  %0 = add i8\n",
+		"bad func attr":   "module m\nfunc f top zorp\n  %0 = add i8\n",
 	}
 	for name, input := range cases {
 		if _, err := ParseText(strings.NewReader(input)); err == nil {

@@ -22,6 +22,15 @@ const (
 	MetricCacheMisses    = "flowcache.misses"
 	MetricCacheEvictions = "flowcache.evictions"
 
+	// MetricStoreHits / Misses / Corrupt / Evictions are the persistent
+	// artifact store's counters: disk-tier hits and misses, entries
+	// quarantined as corrupt (scan- or read-side), and entries evicted by
+	// the byte budget.
+	MetricStoreHits      = "store.hit"
+	MetricStoreMisses    = "store.miss"
+	MetricStoreCorrupt   = "store.corrupt"
+	MetricStoreEvictions = "store.evict"
+
 	// MetricPlaceMoves / Accepted count annealing moves proposed/committed.
 	MetricPlaceMoves    = "place.moves"
 	MetricPlaceAccepted = "place.accepted"

@@ -1,0 +1,187 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The on-disk codecs use a fixed-width little-endian encoding with no
+// varints or alignment: every field's size is knowable without reading it,
+// which keeps EncodedResultSize an O(structure) arithmetic walk and makes
+// the decoder's bounds checks exact. appendX builds buffers, reader
+// consumes them; reader latches the first error and returns zero values
+// from then on, so decode paths check err once at the end of each section
+// instead of after every field.
+
+func appendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendString writes a u32 length prefix followed by the raw bytes.
+func appendString(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// appendInts writes a u32 count followed by each value as i64.
+func appendInts(b []byte, vs []int) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendI64(b, int64(v))
+	}
+	return b
+}
+
+// appendF64s writes a u32 count followed by the raw float64 bits.
+func appendF64s(b []byte, vs []float64) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendF64(b, v)
+	}
+	return b
+}
+
+// stringSize returns the encoded size of appendString's output.
+func stringSize(s string) int { return 4 + len(s) }
+
+// reader consumes a fixed-width encoded buffer with exact bounds checks.
+// The first failure latches into err; subsequent reads return zero values.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func newReader(buf []byte) *reader { return &reader{buf: buf} }
+
+// fail latches the first error with the current offset for diagnostics.
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("store: truncated %s at offset %d (len %d)", what, r.off, len(r.buf))
+	}
+}
+
+// take returns the next n bytes, or nil after latching an error.
+func (r *reader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) || r.off+n < r.off {
+		r.fail(what)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8(what string) uint8 {
+	b := r.take(1, what)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32(what string) uint32 {
+	b := r.take(4, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) i64(what string) int64 {
+	b := r.take(8, what)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (r *reader) f64(what string) float64 {
+	b := r.take(8, what)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (r *reader) bool(what string) bool { return r.u8(what) != 0 }
+
+func (r *reader) str(what string) string {
+	n := r.u32(what)
+	b := r.take(int(n), what)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// count reads a u32 element count and validates that elemSize*count bytes
+// actually remain, so a corrupt length can never trigger a huge allocation.
+func (r *reader) count(elemSize int, what string) int {
+	n := int(r.u32(what))
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || elemSize > 0 && n > (len(r.buf)-r.off)/elemSize {
+		r.fail(what + " count")
+		return 0
+	}
+	return n
+}
+
+func (r *reader) ints(what string) []int {
+	n := r.count(8, what)
+	if r.err != nil {
+		return nil
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = int(r.i64(what))
+	}
+	return vs
+}
+
+func (r *reader) f64s(what string) []float64 {
+	n := r.count(8, what)
+	if r.err != nil {
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = r.f64(what)
+	}
+	return vs
+}
+
+// remaining returns how many bytes are left unconsumed.
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+// countWriter measures io.Writer traffic without storing it; it is how
+// EncodedResultSize prices the module's text serialization.
+type countWriter struct{ n int }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

@@ -1,0 +1,203 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/flow"
+	"repro/internal/ir"
+)
+
+// testDataset builds a small dataset with the real feature layout, repeated
+// strings (to exercise interning) and distinct per-sample values.
+func testDataset() *dataset.Dataset {
+	ds := dataset.New()
+	cols := len(ds.FeatureNames)
+	for i := 0; i < 5; i++ {
+		feat := make([]float64, cols)
+		for j := range feat {
+			feat[j] = float64(i*cols + j)
+		}
+		ds.Samples = append(ds.Samples, &dataset.Sample{
+			Design:      []string{"alpha", "beta"}[i%2],
+			OpID:        100 + i,
+			Kind:        ir.KindMul,
+			Src:         ir.SourceLoc{File: []string{"a.cpp", "b.cpp"}[i%2], Line: 10 * i},
+			Features:    feat,
+			VertPct:     float64(i) * 1.5,
+			HorizPct:    float64(i) * 2.5,
+			AvgPct:      float64(i) * 2.0,
+			Margin:      i%2 == 0,
+			Replica:     i%3 == 0,
+			ReplicaRoot: i - 1,
+		})
+	}
+	return ds
+}
+
+func TestDatasetRoundtrip(t *testing.T) {
+	ds := testDataset()
+	enc := EncodeDataset(ds)
+	dec, err := DecodeDataset(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec.FeatureNames, ds.FeatureNames) {
+		t.Error("feature names differ after roundtrip")
+	}
+	if len(dec.Samples) != len(ds.Samples) {
+		t.Fatalf("samples = %d, want %d", len(dec.Samples), len(ds.Samples))
+	}
+	for i := range ds.Samples {
+		if !reflect.DeepEqual(*dec.Samples[i], *ds.Samples[i]) {
+			t.Errorf("sample %d differs:\n got %+v\nwant %+v", i, *dec.Samples[i], *ds.Samples[i])
+		}
+	}
+	// Canonical: decode → re-encode is byte-identical.
+	if !bytes.Equal(enc, EncodeDataset(dec)) {
+		t.Error("re-encode is not byte-identical")
+	}
+}
+
+func TestDatasetFlatBacking(t *testing.T) {
+	dec, err := DecodeDataset(EncodeDataset(testDataset()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := len(dec.FeatureNames)
+	for i, s := range dec.Samples {
+		if len(s.Features) != cols || cap(s.Features) != cols {
+			t.Fatalf("sample %d features len/cap = %d/%d, want %d/%d (flat backing, full-capacity rows)",
+				i, len(s.Features), cap(s.Features), cols, cols)
+		}
+	}
+}
+
+func TestDatasetEncodesRaggedRowsAsZeros(t *testing.T) {
+	ds := testDataset()
+	ds.Samples[2].Features = []float64{1} // violates the shared layout
+	dec, err := DecodeDataset(EncodeDataset(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range dec.Samples[2].Features {
+		if v != 0 {
+			t.Fatalf("ragged row col %d = %v, want 0", j, v)
+		}
+	}
+	if len(dec.Samples[2].Features) != len(ds.FeatureNames) {
+		t.Error("ragged row lost the shared layout")
+	}
+}
+
+func TestDatasetDecodeRejectsBadInput(t *testing.T) {
+	enc := EncodeDataset(testDataset())
+	for _, n := range []int{0, 1, 2, 6, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeDataset(enc[:n]); err == nil {
+			t.Errorf("DecodeDataset accepted a %d-byte prefix", n)
+		}
+	}
+	kind := append([]byte(nil), enc...)
+	kind[0] = 'Z'
+	if _, err := DecodeDataset(kind); err == nil {
+		t.Error("DecodeDataset accepted a wrong payload kind")
+	}
+	ver := append([]byte(nil), enc...)
+	ver[1] = 99
+	if _, err := DecodeDataset(ver); err == nil {
+		t.Error("DecodeDataset accepted an unknown version")
+	}
+}
+
+func TestEmptyDatasetRoundtrip(t *testing.T) {
+	ds := dataset.New()
+	dec, err := DecodeDataset(EncodeDataset(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Samples) != 0 || !reflect.DeepEqual(dec.FeatureNames, ds.FeatureNames) {
+		t.Errorf("empty roundtrip: %d samples, names equal=%v",
+			len(dec.Samples), reflect.DeepEqual(dec.FeatureNames, ds.FeatureNames))
+	}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	res := testResult(t)
+	ds := testDataset()
+	s := openStore(t, t.TempDir(), Options{})
+	ck := NewCheckpoint(s)
+	const runs = 2
+	if err := ck.SaveModule(res.Mod, res.Config, runs, ds.FeatureNames, ds.Samples, res); err != nil {
+		t.Fatal(err)
+	}
+	samples, first, ok := ck.LoadModule(res.Mod, res.Config, runs)
+	if !ok {
+		t.Fatal("LoadModule missed a just-saved block")
+	}
+	if len(samples) != len(ds.Samples) {
+		t.Fatalf("restored %d samples, want %d", len(samples), len(ds.Samples))
+	}
+	for i := range samples {
+		if !reflect.DeepEqual(*samples[i], *ds.Samples[i]) {
+			t.Errorf("sample %d differs after checkpoint roundtrip", i)
+		}
+	}
+	if err := VerifyResultKey(first, flow.CacheKey(res.Mod, res.Config)); err != nil {
+		t.Errorf("restored run-0 result fails verification: %v", err)
+	}
+	// A different run count or config is a different block: clean miss.
+	if _, _, ok := ck.LoadModule(res.Mod, res.Config, runs+1); ok {
+		t.Error("LoadModule hit with a different label-run count")
+	}
+	other := res.Config
+	other.Seed++
+	if _, _, ok := ck.LoadModule(res.Mod, other, runs); ok {
+		t.Error("LoadModule hit with a different config")
+	}
+}
+
+func TestCheckpointCorruptBlockDegradesToMiss(t *testing.T) {
+	res := testResult(t)
+	s := openStore(t, t.TempDir(), Options{})
+	ck := NewCheckpoint(s)
+	key := ck.ModuleKey(res.Mod, res.Config, 2)
+	// A validly stored entry whose payload is not a module block: the
+	// container digest passes, the semantic decode must not.
+	if err := s.Put(key, []byte("not a module block")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := ck.LoadModule(res.Mod, res.Config, 2); ok {
+		t.Fatal("LoadModule served a garbage block")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt block not quarantined: %+v", st)
+	}
+}
+
+func TestNilCheckpointDisabled(t *testing.T) {
+	if NewCheckpoint(nil) != nil {
+		t.Fatal("NewCheckpoint(nil) must disable checkpointing")
+	}
+	var ck *Checkpoint
+	res := testResult(t)
+	if _, _, ok := ck.LoadModule(res.Mod, res.Config, 2); ok {
+		t.Error("nil checkpoint reported a hit")
+	}
+	if err := ck.SaveModule(res.Mod, res.Config, 2, nil, nil, res); err == nil {
+		t.Error("nil checkpoint accepted a save")
+	}
+	if ck.Store() != nil {
+		t.Error("nil checkpoint has a store")
+	}
+}
+
+func TestModuleKeyIsValidStoreKey(t *testing.T) {
+	res := testResult(t)
+	s := openStore(t, t.TempDir(), Options{})
+	key := NewCheckpoint(s).ModuleKey(res.Mod, res.Config, 3)
+	if !validKey(key) {
+		t.Errorf("ModuleKey %q is not a valid store key", key)
+	}
+}

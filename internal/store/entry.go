@@ -1,0 +1,117 @@
+package store
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+)
+
+// On-disk entry container. Every artifact file is:
+//
+//	magic   [4]byte  "CGS1"
+//	version u8       entryVersion
+//	keyLen  u16      length of the content-address key (hex sha256 = 64)
+//	key     [keyLen]byte
+//	payLen  u64      payload length in bytes
+//	digest  [32]byte sha256 of the payload
+//	payload [payLen]byte
+//
+// The header carries everything needed to detect a torn write without
+// hashing (declared sizes vs file size) and everything needed to detect a
+// bit flip with one hash (the digest). The key is stored redundantly with
+// the filename so a renamed or cross-linked file can never serve the wrong
+// artifact.
+
+const (
+	entryMagic   = "CGS1"
+	entryVersion = 1
+	// entryHeaderSize is the fixed part before the payload: magic(4) +
+	// version(1) + keyLen(2) + payLen(8) + digest(32).
+	entryHeaderSize = 4 + 1 + 2 + 8 + 32
+)
+
+// encodeEntry wraps a payload in the container format.
+func encodeEntry(key string, payload []byte) []byte {
+	b := make([]byte, 0, entryHeaderSize+len(key)+len(payload))
+	b = append(b, entryMagic...)
+	b = appendU8(b, entryVersion)
+	b = append(b, byte(len(key)), byte(len(key)>>8))
+	b = append(b, key...)
+	b = appendI64(b, int64(len(payload)))
+	sum := sha256.Sum256(payload)
+	b = append(b, sum[:]...)
+	return append(b, payload...)
+}
+
+// entrySize returns the encoded container size for a payload of n bytes
+// under the given key.
+func entrySize(key string, n int) int { return entryHeaderSize + len(key) + n }
+
+// decodeEntry validates the container (magic, version, declared sizes,
+// payload digest) and returns the embedded key and payload. The returned
+// payload aliases data. Arbitrary input never panics: every length is
+// bounds-checked before use (FuzzStoreDecode pins this).
+func decodeEntry(data []byte) (key string, payload []byte, err error) {
+	r := newReader(data)
+	if string(r.take(4, "magic")) != entryMagic {
+		return "", nil, fmt.Errorf("store: bad entry magic")
+	}
+	if v := r.u8("version"); r.err == nil && v != entryVersion {
+		return "", nil, fmt.Errorf("store: unsupported entry version %d", v)
+	}
+	kb := r.take(2, "key length")
+	var keyLen int
+	if kb != nil {
+		keyLen = int(kb[0]) | int(kb[1])<<8
+	}
+	key = string(r.take(keyLen, "key"))
+	payLen := r.i64("payload length")
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	if payLen < 0 || payLen != int64(r.remaining()-sha256.Size) {
+		return "", nil, fmt.Errorf("store: entry declares %d payload bytes, file carries %d",
+			payLen, r.remaining()-sha256.Size)
+	}
+	digest := r.take(sha256.Size, "digest")
+	payload = r.take(int(payLen), "payload")
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	sum := sha256.Sum256(payload)
+	if subtle.ConstantTimeCompare(sum[:], digest) != 1 {
+		return "", nil, fmt.Errorf("store: entry payload digest mismatch")
+	}
+	return key, payload, nil
+}
+
+// checkEntryHeader is the startup scan's cheap validation: it verifies
+// magic, version, key and the declared payload length against the file
+// size without hashing the payload. fileSize is the whole file's length;
+// wantKey the key the filename claims.
+func checkEntryHeader(header []byte, fileSize int64, wantKey string) error {
+	r := newReader(header)
+	if string(r.take(4, "magic")) != entryMagic {
+		return fmt.Errorf("store: bad entry magic")
+	}
+	if v := r.u8("version"); r.err == nil && v != entryVersion {
+		return fmt.Errorf("store: unsupported entry version %d", v)
+	}
+	kb := r.take(2, "key length")
+	var keyLen int
+	if kb != nil {
+		keyLen = int(kb[0]) | int(kb[1])<<8
+	}
+	key := string(r.take(keyLen, "key"))
+	payLen := r.i64("payload length")
+	if r.err != nil {
+		return r.err
+	}
+	if key != wantKey {
+		return fmt.Errorf("store: entry key %q does not match filename key %q", key, wantKey)
+	}
+	if want := int64(entrySize(wantKey, int(payLen))); payLen < 0 || want != fileSize {
+		return fmt.Errorf("store: entry declares %d bytes, file is %d (torn write?)", want, fileSize)
+	}
+	return nil
+}

@@ -69,4 +69,43 @@ go test -count=1 -run 'TestDisabledSpanZeroAlloc|TestChromeTraceGolden' ./intern
 go test -race -count=1 -run 'TestRegistryConcurrency|TestTracerConcurrency' ./internal/obs/
 go test -race -count=1 -run 'ObserverInert|DoesNotChangeResult' ./internal/core/ ./internal/flow/
 
+# The persistence layer's reproduction contract, across a real process
+# kill: a checkpointed build is SIGKILLed mid-sweep (right after its second
+# store put — results persisted, no module block yet), then rerun against
+# the same store directory. The rerun must complete, draw on the store
+# (nonzero store.hit), produce an artifact byte-identical to a never-killed
+# build, and leave a store with zero quarantined entries.
+echo "== crash recovery (kill -9 mid-build, resume, byte-identical) =="
+go build -o /tmp/storecheck ./cmd/storecheck
+CRASH_TMP="$(mktemp -d)"
+trap 'rm -rf "$CRASH_TMP" /tmp/storecheck' EXIT
+/tmp/storecheck -dir "$CRASH_TMP/ref" -build -modules digit_recognition \
+	-label-runs 2 -moves 3000 -out "$CRASH_TMP/ref.art" > /dev/null
+set +e
+/tmp/storecheck -dir "$CRASH_TMP/crash" -build -modules digit_recognition \
+	-label-runs 2 -moves 3000 -crash-after-puts 2 > /dev/null 2>&1
+crash_rc=$?
+set -e
+if [ "$crash_rc" -eq 0 ]; then
+	echo "FAIL: crash run exited cleanly instead of dying mid-build"
+	exit 1
+fi
+/tmp/storecheck -dir "$CRASH_TMP/crash" -build -modules digit_recognition \
+	-label-runs 2 -moves 3000 -out "$CRASH_TMP/resumed.art" |
+	tee "$CRASH_TMP/resume.txt"
+cmp "$CRASH_TMP/ref.art" "$CRASH_TMP/resumed.art" || {
+	echo "FAIL: resumed artifact differs from the never-killed build"
+	exit 1
+}
+grep -q 'store: hit=[1-9]' "$CRASH_TMP/resume.txt" || {
+	echo "FAIL: resume never hit the persistent store"
+	exit 1
+}
+/tmp/storecheck -dir "$CRASH_TMP/crash" > /dev/null
+
+# The store's decode path must also survive hostile bytes: a short bounded
+# fuzz run on top of the checked-in seed corpus (which go test replays).
+echo "== store decode fuzz smoke (5s) =="
+go test -run '^$' -fuzz 'FuzzStoreDecode' -fuzztime 5s ./internal/store/ > /dev/null
+
 echo "tier-1 checks passed"
