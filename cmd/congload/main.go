@@ -1,0 +1,313 @@
+// congload is congserve's closed-loop load generator: N workers each keep
+// exactly one /predict request in flight against a running server,
+// measure per-request latency, and report throughput percentiles as a
+// parseable JSON document — the numbers behind BENCH_PR7.json.
+//
+// Usage:
+//
+//	congload -addr HOST:PORT [flags]
+//
+// Flags:
+//
+//	-addr HOST:PORT   server address (required; scheme-less)
+//	-duration DUR     run length (default 3s; ignored when -n > 0)
+//	-n N              stop after N total requests instead of a duration
+//	-concurrency C    closed-loop workers (default 4)
+//	-rows R           feature rows per request (default 64)
+//	-format F         binary (ContentF64) or json (default binary)
+//	-warmup DUR       untimed warmup before measuring (default 200ms)
+//	-out FILE         write the JSON report to FILE too ("" = stdout only)
+//
+// The report: {"requests", "errors", "shed", "preds", "duration_sec",
+// "preds_per_sec", "requests_per_sec", "p50_us", "p90_us", "p99_us",
+// "max_us", "rows", "concurrency", "format"}.
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+type report struct {
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Shed        int64   `json:"shed"`
+	Preds       int64   `json:"preds"`
+	DurationSec float64 `json:"duration_sec"`
+	PredsPerSec float64 `json:"preds_per_sec"`
+	ReqsPerSec  float64 `json:"requests_per_sec"`
+	P50Us       float64 `json:"p50_us"`
+	P90Us       float64 `json:"p90_us"`
+	P99Us       float64 `json:"p99_us"`
+	MaxUs       float64 `json:"max_us"`
+	Rows        int     `json:"rows"`
+	Concurrency int     `json:"concurrency"`
+	Format      string  `json:"format"`
+	// ServerP99UsBound is the tightest serve.latency_us histogram bucket
+	// bound covering ≥99% of the server's own ServeBytes observations —
+	// the serving-layer p99 with the HTTP and network cost stripped away
+	// (0 when /debug/metrics was unavailable).
+	ServerP99UsBound float64 `json:"server_p99_us_bound"`
+}
+
+func realMain() int {
+	addr := flag.String("addr", "", "server address HOST:PORT (required)")
+	duration := flag.Duration("duration", 3*time.Second, "run length (ignored when -n > 0)")
+	totalN := flag.Int64("n", 0, "stop after N requests instead of a duration")
+	concurrency := flag.Int("concurrency", 4, "closed-loop workers")
+	rows := flag.Int("rows", 64, "feature rows per request")
+	format := flag.String("format", "binary", "binary or json")
+	warmup := flag.Duration("warmup", 200*time.Millisecond, "untimed warmup")
+	out := flag.String("out", "", "also write the JSON report to FILE")
+	flag.Parse()
+	if *addr == "" || flag.NArg() != 0 {
+		flag.Usage()
+		return 2
+	}
+	isBinary := *format == "binary"
+	if !isBinary && *format != "json" {
+		fmt.Fprintln(os.Stderr, "congload: -format must be binary or json")
+		return 2
+	}
+
+	payload := buildPayload(*rows, isBinary)
+	url := "http://" + *addr + "/predict"
+	contentType := serve.ContentJSON
+	if isBinary {
+		contentType = serve.ContentF64
+	}
+
+	// One transport with enough idle conns that each closed-loop worker
+	// keeps its connection alive — measuring the server, not TCP setup.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *concurrency * 2,
+		MaxIdleConnsPerHost: *concurrency * 2,
+	}}
+
+	shoot := func(buf *bytes.Reader) (int, error) {
+		buf.Reset(payload)
+		req, err := http.NewRequest(http.MethodPost, url, buf)
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// Warmup: fill pools, JIT the connection reuse, let the server's lazy
+	// scratch grow — untimed.
+	wbuf := bytes.NewReader(payload)
+	wend := time.Now().Add(*warmup)
+	for time.Now().Before(wend) {
+		if _, err := shoot(wbuf); err != nil {
+			fmt.Fprintln(os.Stderr, "congload: warmup:", err)
+			return 1
+		}
+	}
+
+	var (
+		requests, errCount, shed atomic.Int64
+		mu                       sync.Mutex
+		latencies                []float64 // µs, merged per worker at the end
+	)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := bytes.NewReader(payload)
+			local := make([]float64, 0, 1<<16)
+			for {
+				if *totalN > 0 {
+					if requests.Add(1) > *totalN {
+						break
+					}
+				} else {
+					if time.Now().After(deadline) {
+						break
+					}
+					requests.Add(1)
+				}
+				t0 := time.Now()
+				status, err := shoot(buf)
+				lat := float64(time.Since(t0)) / float64(time.Microsecond)
+				switch {
+				case err != nil:
+					errCount.Add(1)
+				case status == http.StatusTooManyRequests:
+					shed.Add(1)
+				case status != http.StatusOK:
+					errCount.Add(1)
+				default:
+					local = append(local, lat)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	n := requests.Load()
+	if *totalN > 0 && n > *totalN {
+		n = *totalN
+	}
+	ok := int64(len(latencies))
+	r := report{
+		Requests:    n,
+		Errors:      errCount.Load(),
+		Shed:        shed.Load(),
+		Preds:       ok * int64(*rows),
+		DurationSec: elapsed,
+		Rows:        *rows,
+		Concurrency: *concurrency,
+		Format:      *format,
+	}
+	if elapsed > 0 {
+		r.PredsPerSec = float64(r.Preds) / elapsed
+		r.ReqsPerSec = float64(ok) / elapsed
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		r.P50Us = quantile(latencies, 0.50)
+		r.P90Us = quantile(latencies, 0.90)
+		r.P99Us = quantile(latencies, 0.99)
+		r.MaxUs = latencies[len(latencies)-1]
+	}
+	r.ServerP99UsBound = serverP99Bound(client, *addr)
+	doc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "congload:", err)
+		return 1
+	}
+	doc = append(doc, '\n')
+	os.Stdout.Write(doc)
+	if *out != "" {
+		if err := os.WriteFile(*out, doc, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "congload:", err)
+			return 1
+		}
+	}
+	if r.Errors > 0 {
+		return 1
+	}
+	return 0
+}
+
+// serverP99Bound reads the server's /debug/metrics snapshot and returns
+// the tightest serve.latency_us bucket bound covering at least 99% of
+// observations, or 0 when the endpoint or series is unavailable. Bucket
+// bounds unmarshal loosely because the overflow bucket serializes +Inf as
+// a string.
+func serverP99Bound(client *http.Client, addr string) float64 {
+	resp, err := client.Get("http://" + addr + "/debug/metrics")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Histograms []struct {
+			Name    string `json:"name"`
+			Count   int64  `json:"count"`
+			Buckets []struct {
+				Le    json.RawMessage `json:"le"`
+				Count int64           `json:"count"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0
+	}
+	for _, h := range snap.Histograms {
+		if h.Name != "serve.latency_us" || h.Count == 0 {
+			continue
+		}
+		var run int64
+		for _, b := range h.Buckets {
+			run += b.Count
+			if float64(run) >= 0.99*float64(h.Count) {
+				var le float64
+				if json.Unmarshal(b.Le, &le) != nil {
+					return -1 // only the +Inf overflow bucket covers p99
+				}
+				return le
+			}
+		}
+	}
+	return 0
+}
+
+// quantile reads the q-quantile from sorted µs samples (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// buildPayload builds one request body with the library's real feature
+// width so the server accepts it against any artifact.
+func buildPayload(rows int, isBinary bool) []byte {
+	rng := rand.New(rand.NewSource(42))
+	if isBinary {
+		b := binary.LittleEndian.AppendUint32(nil, uint32(rows))
+		b = binary.LittleEndian.AppendUint32(b, uint32(features.NumFeatures))
+		for i := 0; i < rows*features.NumFeatures; i++ {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rng.NormFloat64()))
+		}
+		return b
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"rows":[`)
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('[')
+		for j := 0; j < features.NumFeatures; j++ {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, "%.6g", rng.NormFloat64())
+		}
+		buf.WriteByte(']')
+	}
+	buf.WriteString(`]}`)
+	return buf.Bytes()
+}

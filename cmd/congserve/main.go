@@ -1,0 +1,261 @@
+// congserve is the congestion predictor's serving daemon: it loads a
+// SavePredictor artifact and answers POST /predict with per-op vertical /
+// horizontal congestion predictions, coalescing concurrent requests into
+// micro-batches on the zero-alloc inference path (see internal/serve).
+//
+// Usage:
+//
+//	congserve -model FILE [-addr HOST:PORT] [flags]      serve
+//	congserve -train-quick -model FILE [flags]           train a quick
+//	                                                     artifact, write it
+//	                                                     to FILE and exit
+//
+// Serving flags:
+//
+//	-addr HOST:PORT     listen address (default 127.0.0.1:8347; :0 picks a
+//	                    free port)
+//	-addr-file FILE     write the bound address to FILE once listening —
+//	                    how scripts discover a :0 port
+//	-debug-addr H:P     serve /debug/* on a second listener too ("" = only
+//	                    on the main mux)
+//	-window DUR         micro-batch coalescing window (default 200µs;
+//	                    negative = never wait)
+//	-max-batch N        row cap of one coalesced batch (default 256)
+//	-max-inflight N     admission cap; excess requests get 429 (default
+//	                    4×GOMAXPROCS)
+//	-log-level LEVEL    debug, info, warn or error (default info)
+//
+// Train-quick flags:
+//
+//	-modules A,B        benchmark designs to label (default
+//	                    digit_recognition)
+//	-moves N            placer moves per run (default 3000, the smoke
+//	                    setting)
+//	-seed N             base placement seed
+//	-kind MODEL         linear, ann or gbrt (default gbrt)
+//
+// Signals: SIGHUP hot-reloads the model artifact from disk (also POST
+// /reload); SIGINT/SIGTERM drain gracefully — in-flight requests finish,
+// then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen address (:0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	debugAddr := flag.String("debug-addr", "", "extra listener for /debug/* (\"\" = main mux only)")
+	model := flag.String("model", "", "predictor artifact file (required)")
+	window := flag.Duration("window", 200*time.Microsecond, "coalescing window (negative = never wait)")
+	maxBatch := flag.Int("max-batch", 256, "row cap of one coalesced batch")
+	maxInflight := flag.Int("max-inflight", 0, "admission cap (0 = 4×GOMAXPROCS)")
+	logLevel := flag.String("log-level", "info", "debug, info, warn or error")
+	trainQuick := flag.Bool("train-quick", false, "train a quick artifact to -model and exit")
+	modules := flag.String("modules", "digit_recognition", "train-quick: benchmark designs, comma-separated")
+	moves := flag.Int("moves", 3000, "train-quick: placer moves per run")
+	seed := flag.Int64("seed", 1, "train-quick: base placement seed")
+	kind := flag.String("kind", "gbrt", "train-quick: linear, ann or gbrt")
+	flag.Parse()
+	if *model == "" || flag.NArg() != 0 {
+		flag.Usage()
+		return 2
+	}
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "congserve:", err)
+		return 2
+	}
+	o := obs.New()
+	o.Log = obs.NewLogger(os.Stderr, level)
+
+	if *trainQuick {
+		if err := trainQuickArtifact(o, *model, *modules, *kind, *moves, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "congserve:", err)
+			return 1
+		}
+		return 0
+	}
+	if err := run(o, *addr, *addrFile, *debugAddr, *model, serve.Options{
+		MaxBatch:    *maxBatch,
+		Window:      *window,
+		MaxInflight: *maxInflight,
+		Obs:         o,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "congserve:", err)
+		return 1
+	}
+	return 0
+}
+
+// trainQuickArtifact labels the named benchmark designs with a reduced
+// placer budget, trains a quick-size predictor and saves it to path — a
+// self-contained way for scripts (and first-time users) to mint a valid
+// serving artifact in seconds.
+func trainQuickArtifact(o *obs.Observer, path, modules, kindName string, moves int, seed int64) error {
+	var mk core.ModelKind
+	switch strings.ToLower(kindName) {
+	case "linear":
+		mk = core.Linear
+	case "ann":
+		mk = core.ANN
+	case "gbrt":
+		mk = core.GBRT
+	default:
+		return fmt.Errorf("unknown model kind %q", kindName)
+	}
+	catalog := bench.Catalog()
+	var mods []*ir.Module
+	for _, name := range strings.Split(modules, ",") {
+		name = strings.TrimSpace(name)
+		gen, ok := catalog[name]
+		if !ok {
+			return fmt.Errorf("unknown design %q", name)
+		}
+		mods = append(mods, gen(bench.WithDirectives()))
+	}
+	cfg := flow.DefaultConfig()
+	cfg.Seed = seed
+	if moves > 0 {
+		cfg.Place.Moves = moves
+	}
+	ds, _, _, err := core.BuildDatasetContext(context.Background(), mods, cfg, core.BuildOptions{
+		LabelRuns: 1,
+		Retry:     flow.DefaultRetryPolicy(),
+		Workers:   1,
+	})
+	if err != nil {
+		return fmt.Errorf("building training set: %w", err)
+	}
+	p, err := core.Train(ds, core.TrainOptions{Kind: mk, Seed: seed, Size: core.SizeQuick})
+	if err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.Save(f); err != nil {
+		f.Close()
+		return fmt.Errorf("saving artifact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trained: kind=%s samples=%d model=%s\n", mk.String(), ds.Len(), path)
+	return nil
+}
+
+// run serves until SIGINT/SIGTERM, hot-reloading on SIGHUP.
+func run(o *obs.Observer, addr, addrFile, debugAddr, model string, opts serve.Options) error {
+	s := serve.New(opts)
+	m, err := s.LoadModel(model)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o666); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: o.Handler()}
+		go debugSrv.Serve(dln)
+		if l := o.Logger(); l != nil {
+			l.Info("debug listener up", "addr", dln.Addr().String())
+		}
+	}
+
+	if l := o.Logger(); l != nil {
+		l.Info("congserve up", "addr", bound, "model", model,
+			"generation", m.Generation, "kind", m.Pred.Kind.String(),
+			"window", s.Options().Window.String(), "max_batch", s.Options().MaxBatch,
+			"max_inflight", s.Options().MaxInflight)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	for {
+		select {
+		case err := <-serveErr:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			return nil
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				if m, err := s.Reload(); err != nil {
+					if l := o.Logger(); l != nil {
+						l.Warn("SIGHUP reload rejected", "error", err)
+					}
+				} else if l := o.Logger(); l != nil {
+					l.Info("SIGHUP reload done", "generation", m.Generation)
+				}
+				continue
+			}
+			// Graceful drain: stop accepting connections and let every
+			// in-flight request finish, then retire the coalescer.
+			if l := o.Logger(); l != nil {
+				l.Info("draining", "signal", sig.String())
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			shutdownErr := httpSrv.Shutdown(ctx)
+			stopErr := s.Stop(ctx)
+			cancel()
+			if debugSrv != nil {
+				debugSrv.Close()
+			}
+			if shutdownErr != nil {
+				return fmt.Errorf("shutdown: %w", shutdownErr)
+			}
+			if stopErr != nil {
+				return stopErr
+			}
+			if l := o.Logger(); l != nil {
+				l.Info("congserve down")
+			}
+			return nil
+		}
+	}
+}

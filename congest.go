@@ -82,6 +82,10 @@ type (
 	Hotspot = core.Hotspot
 	// ModelKind selects Linear, ANN or GBRT.
 	ModelKind = core.ModelKind
+	// ModelSize selects the model effort level (TrainOptions.Size):
+	// SizeFull is the published configuration, SizeQuick a shrunken
+	// variant for tests and smoke runs.
+	ModelSize = core.ModelSize
 	// CongestionMap is the per-tile routing congestion map.
 	CongestionMap = congestion.Map
 	// EvalRow is one Table IV accuracy row.
@@ -125,6 +129,12 @@ type (
 	// bit flip, ENOSPC, rename failure) into an ArtifactStore's write path
 	// (ArtifactStoreOptions.Faults); see internal/faults.
 	DiskFaultScript = faults.DiskScript
+	// BatchShapeError reports a prediction batch rejected before scoring:
+	// a feature row whose width does not match the predictor's trained
+	// feature layout. Match with errors.As on PredictBatch/PredictBatchInto
+	// errors; serving callers turn it into a client error (HTTP 400), not a
+	// server fault.
+	BatchShapeError = core.BatchShapeError
 )
 
 // Sentinel flow errors, re-exported for errors.Is matching at the facade.
@@ -147,6 +157,14 @@ const (
 	// GBRT is the gradient-boosted regression tree ensemble, the paper's
 	// most accurate model.
 	GBRT = core.GBRT
+)
+
+// Model effort levels (TrainOptions.Size).
+const (
+	// SizeFull is the grid-search-tuned configuration the tables use.
+	SizeFull = core.SizeFull
+	// SizeQuick trades accuracy for speed (tests, smoke runs).
+	SizeQuick = core.SizeQuick
 )
 
 // Congestion label targets.
@@ -361,7 +379,9 @@ func PredictBatch(p *Predictor, feats [][]float64) (vert, horiz, avg []float64, 
 	vert = make([]float64, len(feats))
 	horiz = make([]float64, len(feats))
 	avg = make([]float64, len(feats))
-	p.PredictBatchInto(vert, horiz, avg, feats)
+	if err := p.PredictBatchInto(vert, horiz, avg, feats); err != nil {
+		return nil, nil, nil, err
+	}
 	return vert, horiz, avg, nil
 }
 
@@ -371,13 +391,16 @@ func PredictBatch(p *Predictor, feats [][]float64) (vert, horiz, avg []float64, 
 // standardized into pooled scratch and the GBRT walks its flattened
 // forest — so a caller scoring many batches can reuse its slices across
 // calls. Values are identical to Predictor.PredictSample per row.
+//
+// Every feature row must have Predictor.NumFeatures entries; ragged or
+// mis-sized batches come back whole as a *BatchShapeError (errors.As) with
+// nothing written.
 func PredictBatchInto(p *Predictor, vert, horiz, avg []float64, feats [][]float64) (err error) {
 	defer guard("PredictBatchInto", &err)
 	if p == nil {
 		return fmt.Errorf("congest: PredictBatchInto: nil predictor")
 	}
-	p.PredictBatchInto(vert, horiz, avg, feats)
-	return nil
+	return p.PredictBatchInto(vert, horiz, avg, feats)
 }
 
 // Hotspots groups per-operation predictions by source line, hottest first.
@@ -421,4 +444,14 @@ func SavePredictor(p *Predictor, w io.Writer) (err error) {
 func LoadPredictor(r io.Reader) (p *Predictor, err error) {
 	defer guard("LoadPredictor", &err)
 	return core.LoadPredictor(r)
+}
+
+// LoadPredictorFile restores a predictor from a SavePredictor artifact on
+// disk. It is the one validated load path the prediction server's startup
+// and hot-reload share: the artifact is decoded, validated and probed in
+// full before the predictor is returned, so a failed load can never leave
+// a caller holding a half-initialized model.
+func LoadPredictorFile(path string) (p *Predictor, err error) {
+	defer guard("LoadPredictorFile", &err)
+	return core.LoadPredictorFile(path)
 }

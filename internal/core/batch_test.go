@@ -1,0 +1,160 @@
+package core
+
+// Tests for the validated batch-prediction contract: ragged input is a
+// typed data error (it arrives off the wire in the serving layer), and
+// concurrent PredictBatchInto callers sharing one Predictor must agree
+// with the sequential per-sample path.
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/features"
+)
+
+// batchDataset builds a synthetic full-width training set; batch tests
+// need a structurally valid predictor, not an accurate one.
+func batchDataset(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := dataset.New()
+	for i := 0; i < n; i++ {
+		f := make([]float64, features.NumFeatures)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		ds.Samples = append(ds.Samples, &dataset.Sample{
+			Design: "synthetic", OpID: i, Features: f,
+			VertPct:     25 + 4*f[0] - 2*f[3] + rng.NormFloat64(),
+			HorizPct:    20 + 3*f[1] + rng.NormFloat64(),
+			AvgPct:      22 + 2*f[0] + rng.NormFloat64(),
+			ReplicaRoot: -1,
+		})
+	}
+	return ds
+}
+
+func batchRows(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, features.NumFeatures)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func TestPredictBatchIntoRaggedTypedError(t *testing.T) {
+	p, err := Train(batchDataset(60, 3), TrainOptions{Kind: Linear, Seed: 1, Size: SizeQuick})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if p.NumFeatures() != features.NumFeatures {
+		t.Fatalf("NumFeatures = %d, want %d", p.NumFeatures(), features.NumFeatures)
+	}
+
+	rows := batchRows(4, 9)
+	rows[2] = rows[2][:17] // one ragged row deep in the batch
+	out := make([]float64, len(rows))
+	err = p.PredictBatchInto(out, out, out, rows)
+	var shape *BatchShapeError
+	if !errors.As(err, &shape) {
+		t.Fatalf("ragged batch returned %v, want *BatchShapeError", err)
+	}
+	if shape.Row != 2 || shape.Got != 17 || shape.Want != features.NumFeatures {
+		t.Fatalf("shape error %+v, want Row=2 Got=17 Want=%d", shape, features.NumFeatures)
+	}
+	if !strings.Contains(shape.Error(), "row 2") {
+		t.Fatalf("error text %q does not name the row", shape.Error())
+	}
+
+	// Validation runs before any scratch is touched: the same call with
+	// the row restored succeeds.
+	rows = batchRows(4, 9)
+	vert := make([]float64, len(rows))
+	horiz := make([]float64, len(rows))
+	avg := make([]float64, len(rows))
+	if err := p.PredictBatchInto(vert, horiz, avg, rows); err != nil {
+		t.Fatalf("clean batch after ragged one: %v", err)
+	}
+
+	// An empty batch is a no-op success.
+	if err := p.PredictBatchInto(nil, nil, nil, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+func TestPredictBatchIntoOutputLengthPanics(t *testing.T) {
+	p, err := Train(batchDataset(60, 3), TrainOptions{Kind: Linear, Seed: 1, Size: SizeQuick})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short output slice did not panic (caller bug, not data error)")
+		}
+	}()
+	rows := batchRows(4, 9)
+	short := make([]float64, 2)
+	p.PredictBatchInto(short, short, short, rows)
+}
+
+// TestPredictBatchIntoConcurrent hammers one Predictor from many
+// goroutines under -race: the pooled scratch inside PredictBatchInto must
+// be per-call, and every result must equal the sequential PredictSample
+// answer bit for bit.
+func TestPredictBatchIntoConcurrent(t *testing.T) {
+	for _, kind := range ModelKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			p, err := Train(batchDataset(80, 5), TrainOptions{Kind: kind, Seed: 2, Size: SizeQuick})
+			if err != nil {
+				t.Fatalf("train: %v", err)
+			}
+			rows := batchRows(48, 11)
+			wantV := make([]float64, len(rows))
+			wantH := make([]float64, len(rows))
+			wantA := make([]float64, len(rows))
+			for i, row := range rows {
+				wantV[i], wantH[i], wantA[i] = p.PredictSample(row)
+			}
+
+			const workers = 8
+			const iters = 25
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					vert := make([]float64, len(rows))
+					horiz := make([]float64, len(rows))
+					avg := make([]float64, len(rows))
+					// Each worker slides over a different sub-batch each
+					// iteration so batch sizes vary concurrently.
+					for it := 0; it < iters; it++ {
+						lo := (w + it) % len(rows)
+						sub := rows[lo:]
+						if err := p.PredictBatchInto(vert[:len(sub)], horiz[:len(sub)], avg[:len(sub)], sub); err != nil {
+							t.Errorf("worker %d: %v", w, err)
+							return
+						}
+						for i := range sub {
+							if vert[i] != wantV[lo+i] || horiz[i] != wantH[lo+i] || avg[i] != wantA[lo+i] {
+								t.Errorf("worker %d: row %d diverges from PredictSample", w, lo+i)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -529,6 +529,9 @@ type TrainOptions struct {
 	// Filter removes marginal operations before training (Sec. III-C1).
 	Filter bool
 	Seed   int64
+	// Size selects the model effort level; the zero value (SizeFull) is
+	// the published configuration, SizeQuick the shrunken smoke-run one.
+	Size ModelSize
 }
 
 // Train fits one regressor per congestion target on the dataset.
@@ -547,7 +550,7 @@ func Train(ds *dataset.Dataset, opts TrainOptions) (*Predictor, error) {
 	p := &Predictor{Kind: opts.Kind, scaler: scaler, models: make(map[dataset.Target]ml.Regressor)}
 	for _, t := range dataset.Targets {
 		_, y := ds.Matrix(t)
-		m := NewModel(opts.Kind, opts.Seed)
+		m := NewModelSized(opts.Kind, opts.Seed, opts.Size)
 		if err := m.Fit(Xs, y); err != nil {
 			return nil, fmt.Errorf("core: train %s/%s: %w", opts.Kind, t, err)
 		}
@@ -558,6 +561,42 @@ func Train(ds *dataset.Dataset, opts TrainOptions) (*Predictor, error) {
 
 // Model exposes the trained regressor for a target (nil if missing).
 func (p *Predictor) Model(t dataset.Target) ml.Regressor { return p.models[t] }
+
+// NumFeatures returns the feature-vector width this predictor was trained
+// on — the width every row handed to PredictSample or PredictBatchInto
+// must have.
+func (p *Predictor) NumFeatures() int { return p.scaler.Width() }
+
+// BatchShapeError reports a prediction batch the predictor cannot score:
+// a feature row whose width does not match the trained feature layout.
+// Batches arrive from untrusted callers (the serving path decodes them off
+// the network), so a malformed row is data, not a programming error — the
+// batch is rejected before any model sees it, and no output slot is
+// written.
+type BatchShapeError struct {
+	// Row is the index of the first offending feature row.
+	Row int
+	// Got is that row's width; Want is the predictor's feature count.
+	Got, Want int
+}
+
+func (e *BatchShapeError) Error() string {
+	return fmt.Sprintf("core: batch row %d has %d features, predictor wants %d", e.Row, e.Got, e.Want)
+}
+
+// validateBatch rejects ragged or mis-sized feature rows before they reach
+// the scaler: TransformRowsInto sizes its flat matrix off row 0, so without
+// this check a short row would read stale scratch and a long one would be
+// silently truncated — either way corrupting the whole batch.
+func (p *Predictor) validateBatch(feats [][]float64) error {
+	want := p.NumFeatures()
+	for i, row := range feats {
+		if len(row) != want {
+			return &BatchShapeError{Row: i, Got: len(row), Want: want}
+		}
+	}
+	return nil
+}
 
 // predScratch is the pooled working set of the predictor's serving path:
 // one standardized-row buffer for single samples, one flat matrix plus row
@@ -593,10 +632,17 @@ func (p *Predictor) PredictSample(feats []float64) (vert, horiz, avg float64) {
 // model takes its allocation-free batch path (GBRT walks its flattened
 // forest), so steady-state calls do not allocate. Values are identical to
 // PredictSample per row.
-func (p *Predictor) PredictBatchInto(vert, horiz, avg []float64, feats [][]float64) {
+//
+// Every row must have exactly NumFeatures entries; a ragged or mis-sized
+// batch is rejected whole with a *BatchShapeError before anything is
+// written. Mis-sized output slices are a caller bug and still panic.
+func (p *Predictor) PredictBatchInto(vert, horiz, avg []float64, feats [][]float64) error {
 	if len(vert) != len(feats) || len(horiz) != len(feats) || len(avg) != len(feats) {
 		panic(fmt.Sprintf("core: PredictBatchInto output lengths %d/%d/%d for %d rows",
 			len(vert), len(horiz), len(avg), len(feats)))
+	}
+	if err := p.validateBatch(feats); err != nil {
+		return err
 	}
 	ps := predScratchPool.Get().(*predScratch)
 	p.scaler.TransformRowsInto(&ps.m, feats)
@@ -605,6 +651,7 @@ func (p *Predictor) PredictBatchInto(vert, horiz, avg []float64, feats [][]float
 	ml.PredictBatchInto(p.models[dataset.Horizontal], ps.rows, horiz)
 	ml.PredictBatchInto(p.models[dataset.Average], ps.rows, avg)
 	predScratchPool.Put(ps)
+	return nil
 }
 
 // OpPrediction is the estimated congestion of one IR operation.
@@ -639,7 +686,12 @@ func (p *Predictor) PredictModule(m *ir.Module, cfg flow.Config) ([]OpPrediction
 	vert := make([]float64, len(ops))
 	horiz := make([]float64, len(ops))
 	avg := make([]float64, len(ops))
-	p.PredictBatchInto(vert, horiz, avg, feats)
+	if err := p.PredictBatchInto(vert, horiz, avg, feats); err != nil {
+		// The extractor emits fixed-width vectors, so a shape error here
+		// means the predictor artifact and the library's feature layout
+		// have drifted apart.
+		return nil, fmt.Errorf("core: predict: %w", err)
+	}
 	out := make([]OpPrediction, len(ops))
 	for i, o := range ops {
 		out[i] = OpPrediction{Op: o, VertPct: vert[i], HorizPct: horiz[i], AvgPct: avg[i]}

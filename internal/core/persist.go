@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 
 	"repro/internal/dataset"
 	"repro/internal/features"
@@ -96,6 +97,24 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 	}
 	if err := p.probe(); err != nil {
 		return nil, fmt.Errorf("core: load predictor: %w", err)
+	}
+	return p, nil
+}
+
+// LoadPredictorFile restores a predictor from a file saved with Save.
+// It is the one validated load path the server's startup and hot-reload
+// share: the artifact is fully decoded, validated and probed before the
+// file handle is released, so a caller holding the returned predictor
+// never observes a half-loaded model.
+func LoadPredictorFile(path string) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load predictor: %w", err)
+	}
+	defer f.Close()
+	p, err := LoadPredictor(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: load predictor %s: %w", path, err)
 	}
 	return p, nil
 }

@@ -272,6 +272,10 @@ type Scaler struct {
 	Std  []float64
 }
 
+// Width returns the feature-vector width the scaler was fitted on — the
+// row length every Transform* call expects.
+func (s *Scaler) Width() int { return len(s.Mean) }
+
 // FitScaler learns per-column statistics.
 func FitScaler(X [][]float64) *Scaler {
 	if len(X) == 0 {

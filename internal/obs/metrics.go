@@ -20,6 +20,12 @@ var (
 	// SmallCountBuckets covers small integer counts such as router
 	// negotiation iterations or retry attempts.
 	SmallCountBuckets = []float64{1, 2, 3, 4, 5, 8, 12, 16, 24, 32}
+	// LatencyMicrosBuckets is the microsecond scale of the serving path:
+	// sub-window fast turnarounds up to second-long outliers.
+	LatencyMicrosBuckets = []float64{25, 50, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200, 102400, 409600, 1638400}
+	// BatchRowsBuckets covers coalesced-batch row counts (powers of two up
+	// to the largest sensible size cap).
+	BatchRowsBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
 )
 
 // Counter is a monotonically increasing count. The zero value is ready;

@@ -60,4 +60,33 @@ const (
 	// MetricGridCandidatesPerSec is the last grid search's throughput in
 	// candidates per second.
 	MetricGridCandidatesPerSec = "ml.grid.candidates_per_sec"
+
+	// MetricServeRequests counts /predict requests admitted past the
+	// inflight gate; MetricServeShed those rejected by it (HTTP 429);
+	// MetricServeErrors requests that failed after admission (bad payload,
+	// no model loaded).
+	MetricServeRequests = "serve.requests"
+	MetricServeShed     = "serve.shed"
+	MetricServeErrors   = "serve.errors"
+	// MetricServePredictions counts individual feature rows scored;
+	// MetricServeBatches the coalesced PredictBatchInto calls that scored
+	// them. Their ratio is the effective batch size.
+	MetricServePredictions = "serve.predictions"
+	MetricServeBatches     = "serve.batches"
+	// MetricServeBatchRows is the per-batch row-count histogram
+	// (BatchRowsBuckets); MetricServeBatchOccupancy the last batch's fill
+	// fraction of the size cap (gauge in [0, 1]).
+	MetricServeBatchRows      = "serve.batch_rows"
+	MetricServeBatchOccupancy = "serve.batch_occupancy"
+	// MetricServeLatencyUs is the request-latency histogram in
+	// microseconds (LatencyMicrosBuckets), measured decode-to-encode
+	// around the coalescing wait.
+	MetricServeLatencyUs = "serve.latency_us"
+	// MetricServeInflight is the number of requests currently admitted.
+	MetricServeInflight = "serve.inflight"
+	// MetricServeReloads counts model hot-reloads that swapped a new
+	// artifact in; MetricServeReloadErrors reload attempts rejected with
+	// the old model left serving.
+	MetricServeReloads      = "serve.reloads"
+	MetricServeReloadErrors = "serve.reload_errors"
 )

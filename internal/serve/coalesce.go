@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+)
+
+// job carries one decoded /predict request through the coalescer: the
+// pooled feature matrix going in, the pooled result slices coming back,
+// and a one-slot completion channel. Jobs live in a sync.Pool with all
+// their buffers, so a warmed server admits, scores and answers requests
+// without allocating.
+type job struct {
+	// m holds the decoded feature rows; rows are views into m's flat
+	// backing array, regenerated after each decode.
+	m    ml.Matrix
+	rows [][]float64
+	// vert, horiz and avg are the per-row results, each m.Rows long. The
+	// batcher scatters the coalesced outputs into them so the handler can
+	// encode its response after the batch buffers have moved on.
+	vert, horiz, avg []float64
+	// err is the batch outcome for this job (nil on success).
+	err error
+	// done receives exactly one value when the batcher has filled the
+	// outputs (or err). Buffered so the batcher never blocks on a slow
+	// handler.
+	done chan struct{}
+}
+
+var jobPool = sync.Pool{New: func() any { return &job{done: make(chan struct{}, 1)} }}
+
+func getJob() *job { return jobPool.Get().(*job) }
+
+func putJob(j *job) {
+	j.err = nil
+	jobPool.Put(j)
+}
+
+// sizeOutputs resizes the result slices to the decoded row count, growing
+// only when a previous use was smaller.
+func (j *job) sizeOutputs() {
+	n := j.m.Rows
+	j.vert = growFloats(j.vert, n)
+	j.horiz = growFloats(j.horiz, n)
+	j.avg = growFloats(j.avg, n)
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// batchLoop is the coalescing heart of the server: it drains the submit
+// channel, groups pending jobs into micro-batches and scores each batch
+// with one PredictBatchInto call. A batch closes when its row count
+// reaches Options.MaxBatch, when every admitted request is already in it
+// (see allQueued), or when Options.Window has elapsed since its first job
+// — the window bounds the latency a lone request pays for the chance to
+// share a batch, the cap bounds how much work one call hoards. All
+// scratch (pending slice, gathered row views, batch outputs, the window
+// timer) is reused across batches, so the loop itself never allocates in
+// steady state.
+func (s *Server) batchLoop() {
+	defer close(s.batcherDone)
+	var (
+		pending          = make([]*job, 0, 64)
+		rows             [][]float64
+		vert, horiz, avg []float64
+	)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	open := true
+	for open {
+		j, ok := <-s.submit
+		if !ok {
+			return
+		}
+		pending = append(pending[:0], j)
+		n := j.m.Rows
+		if n < s.opts.MaxBatch && !s.allQueued(len(pending)) {
+			if s.opts.Window > 0 {
+				// Windowed collection: wait up to Window for companions.
+				timer.Reset(s.opts.Window)
+				fired := false
+			collect:
+				for n < s.opts.MaxBatch {
+					select {
+					case j2, ok2 := <-s.submit:
+						if !ok2 {
+							open = false
+							break collect
+						}
+						pending = append(pending, j2)
+						n += j2.m.Rows
+						if s.allQueued(len(pending)) {
+							break collect
+						}
+					case <-timer.C:
+						fired = true
+						break collect
+					}
+				}
+				if !fired && !timer.Stop() {
+					<-timer.C
+				}
+			} else {
+				// No window: greedily take whatever is already queued.
+			greedy:
+				for n < s.opts.MaxBatch {
+					select {
+					case j2, ok2 := <-s.submit:
+						if !ok2 {
+							open = false
+							break greedy
+						}
+						pending = append(pending, j2)
+						n += j2.m.Rows
+					default:
+						break greedy
+					}
+				}
+			}
+		}
+		rows, vert, horiz, avg = s.flush(pending, rows, vert, horiz, avg)
+	}
+}
+
+// allQueued reports whether every admitted request is already in the
+// batch. Each in-flight request holds exactly one admission slot from
+// before it submits until after its response is encoded, so len(s.sem)
+// bounds the jobs that could still join; once pending matches it the
+// submit queue is provably dry and waiting out the window is pure added
+// latency. The read races with new admissions, but only conservatively —
+// an overcount just means the batcher keeps waiting and the window still
+// bounds the wait. This is what keeps closed-loop p99 near the predict
+// time instead of near the timer's firing slop.
+func (s *Server) allQueued(pending int) bool { return pending >= len(s.sem) }
+
+// flush scores one coalesced batch and wakes every waiting job. The
+// single-job case predicts straight into the job's own output slices; a
+// multi-job batch gathers the row views, predicts once into the shared
+// batch outputs, and scatters each job's segment back. The scratch slices
+// are threaded through and returned so the loop reuses their capacity.
+func (s *Server) flush(pending []*job, rows [][]float64, vert, horiz, avg []float64) ([][]float64, []float64, []float64, []float64) {
+	total := 0
+	for _, j := range pending {
+		total += j.m.Rows
+	}
+	s.met.batches.Inc()
+	s.met.batchRows.Observe(float64(total))
+	s.met.occupancy.Set(float64(total) / float64(s.opts.MaxBatch))
+	mdl := s.models.Load()
+	if mdl == nil {
+		for _, j := range pending {
+			j.err = ErrNoModel
+			j.done <- struct{}{}
+		}
+		return rows, vert, horiz, avg
+	}
+	if len(pending) == 1 {
+		j := pending[0]
+		j.err = predictGuarded(mdl.Pred, j.vert, j.horiz, j.avg, j.rows)
+		if j.err == nil {
+			s.met.predictions.Add(int64(total))
+		}
+		j.done <- struct{}{}
+		return rows, vert, horiz, avg
+	}
+	rows = rows[:0]
+	for _, j := range pending {
+		rows = append(rows, j.rows...)
+	}
+	vert = growFloats(vert, total)
+	horiz = growFloats(horiz, total)
+	avg = growFloats(avg, total)
+	// Admission already checked each job's width against the model, so a
+	// shape error here means the model was swapped for one with a
+	// different layout mid-flight; the whole batch reports it.
+	err := predictGuarded(mdl.Pred, vert, horiz, avg, rows)
+	off := 0
+	for _, j := range pending {
+		n := j.m.Rows
+		if err != nil {
+			j.err = err
+		} else {
+			copy(j.vert, vert[off:off+n])
+			copy(j.horiz, horiz[off:off+n])
+			copy(j.avg, avg[off:off+n])
+		}
+		off += n
+		j.done <- struct{}{}
+	}
+	if err == nil {
+		s.met.predictions.Add(int64(total))
+	}
+	return rows, vert, horiz, avg
+}
+
+// predictGuarded firewalls the batcher goroutine against model-internal
+// panics: the server scores untrusted input around hot-swapped artifacts,
+// and a panic escaping the loop would take the whole service down.
+func predictGuarded(p *core.Predictor, vert, horiz, avg []float64, rows [][]float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: predict panicked: %v", r)
+		}
+	}()
+	return p.PredictBatchInto(vert, horiz, avg, rows)
+}

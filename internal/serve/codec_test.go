@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func TestDecodeJSONRows(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		rows int
+		cols int
+		flat []float64
+	}{
+		{"bare", `[[1,2],[3,4]]`, 2, 2, []float64{1, 2, 3, 4}},
+		{"wrapped", `{"rows": [[1.5, -2e3]]}`, 1, 2, []float64{1.5, -2000}},
+		{"whitespace", " [ [ 1 , 2 ] , [ 3 , 4 ] ] ", 2, 2, []float64{1, 2, 3, 4}},
+		{"empty", `[]`, 0, 0, nil},
+		{"wrapped empty", `{"rows":[]}`, 0, 0, nil},
+		{"empty rows", `[[],[]]`, 2, 0, nil},
+		{"exponent", `[[1e-3, 2.5E+2]]`, 1, 2, []float64{0.001, 250}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var m ml.Matrix
+			if err := decodeJSONRows([]byte(c.in), &m); err != nil {
+				t.Fatalf("decode %q: %v", c.in, err)
+			}
+			if m.Rows != c.rows || m.Cols != c.cols {
+				t.Fatalf("shape %dx%d, want %dx%d", m.Rows, m.Cols, c.rows, c.cols)
+			}
+			for i, v := range c.flat {
+				if m.Data[i] != v {
+					t.Fatalf("data[%d] = %v, want %v", i, m.Data[i], v)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeJSONRowsRejects(t *testing.T) {
+	bad := []struct {
+		name string
+		in   string
+	}{
+		{"ragged", `[[1,2],[1,2,3]]`},
+		{"ragged short", `[[1,2],[1]]`},
+		{"not json", `hello`},
+		{"bare number", `42`},
+		{"object rows", `{"rows": 3}`},
+		{"wrong key", `{"data": [[1]]}`},
+		{"trailing", `[[1]] extra`},
+		{"trailing comma", `[[1,]]`},
+		{"unclosed row", `[[1,2`},
+		{"unclosed outer", `[[1,2]`},
+		{"unclosed wrapper", `{"rows": [[1]]`},
+		{"nan", `[[NaN]]`},
+		{"infinity", `[[1e999]]`},
+		{"string value", `[["a"]]`},
+		{"nested deeper", `[[[1]]]`},
+		{"empty input", ``},
+		{"double number", `[[1 2]]`},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			var m ml.Matrix
+			if err := decodeJSONRows([]byte(c.in), &m); !errors.Is(err, ErrBadPayload) {
+				t.Fatalf("decode %q: err=%v, want ErrBadPayload", c.in, err)
+			}
+		})
+	}
+}
+
+func TestDecodeF64RoundTrip(t *testing.T) {
+	rows := [][]float64{{1, -2.5, 3e10}, {0, 42, -1e-300}}
+	var m ml.Matrix
+	if err := decodeF64(binaryRequest(rows), &m); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape %dx%d, want 2x3", m.Rows, m.Cols)
+	}
+	for i, row := range rows {
+		for j, v := range row {
+			if got := m.Data[i*3+j]; got != v {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, got, v)
+			}
+		}
+	}
+}
+
+func TestDecodeF64Rejects(t *testing.T) {
+	ok := binaryRequest([][]float64{{1, 2}})
+	nan := binaryRequest([][]float64{{1, 2}})
+	binary.LittleEndian.PutUint64(nan[8:], math.Float64bits(math.NaN()))
+
+	hdr := func(rows, cols uint32, body int) []byte {
+		b := binary.LittleEndian.AppendUint32(nil, rows)
+		b = binary.LittleEndian.AppendUint32(b, cols)
+		return append(b, make([]byte, body)...)
+	}
+	bad := [][]byte{
+		nil,                 // empty
+		ok[:7],              // truncated header
+		ok[:len(ok)-1],      // truncated body
+		append(ok, 0),       // trailing byte
+		nan,                 // non-finite value
+		hdr(1, 1<<31-1, 16), // cols overflows the body
+		hdr(1<<31-1, 1, 16), // rows overflows the body
+		hdr(2, 2, 16),       // body shorter than the shape
+	}
+	for i, b := range bad {
+		var m ml.Matrix
+		if err := decodeF64(b, &m); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("case %d (%d bytes): err=%v, want ErrBadPayload", i, len(b), err)
+		}
+	}
+
+	// Zero rows with a column hint is a valid empty batch.
+	var m ml.Matrix
+	if err := decodeF64(hdr(0, 7, 0), &m); err != nil || m.Rows != 0 {
+		t.Fatalf("empty batch: rows=%d err=%v", m.Rows, err)
+	}
+}
+
+func TestAppendJSONResponseRoundTrips(t *testing.T) {
+	vert := []float64{1.5, -2.25}
+	horiz := []float64{0.1, 3}
+	avg := []float64{0.8, 0.375}
+	got := string(appendJSONResponse(nil, vert, horiz, avg))
+	want := `{"rows":2,"vert":[1.5,-2.25],"horiz":[0.1,3],"avg":[0.8,0.375]}` + "\n"
+	if got != want {
+		t.Fatalf("response %q, want %q", got, want)
+	}
+	// The encoder must emit strict JSON the stdlib can read back (the
+	// custom parser only handles requests).
+	if strings.Count(got, "[") != 3 {
+		t.Fatalf("response %q lost a section", got)
+	}
+}
+
+func TestAppendF64ResponseLayout(t *testing.T) {
+	out := appendF64Response(nil, []float64{1, 2}, []float64{3, 4}, []float64{5, 6})
+	v, h, a := decodeF64Response(t, out)
+	for i, want := range []float64{1, 2} {
+		if v[i] != want {
+			t.Fatalf("vert[%d] = %v", i, v[i])
+		}
+	}
+	if h[0] != 3 || h[1] != 4 || a[0] != 5 || a[1] != 6 {
+		t.Fatalf("sections scrambled: %v %v", h, a)
+	}
+}
+
+// FuzzDecodeJSONRows asserts the hand-rolled parser never panics and only
+// fails with ErrBadPayload, whatever bytes arrive off the wire.
+func FuzzDecodeJSONRows(f *testing.F) {
+	f.Add([]byte(`[[1,2],[3,4]]`))
+	f.Add([]byte(`{"rows": [[1.5e-3]]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[[1,2],[3]]`))
+	f.Add([]byte(`{"rows":`))
+	f.Add([]byte(` [ [ -0.5 ] ] `))
+	var m ml.Matrix
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if err := decodeJSONRows(b, &m); err != nil && !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("non-payload error: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeF64 does the same for the binary codec, which faces raw
+// network bytes with attacker-controlled shape headers.
+func FuzzDecodeF64(f *testing.F) {
+	f.Add(binaryRequest([][]float64{{1, 2}}))
+	f.Add([]byte{1, 0, 0, 0, 255, 255, 255, 255})
+	f.Add([]byte{})
+	var m ml.Matrix
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if err := decodeF64(b, &m); err != nil && !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("non-payload error: %v", err)
+		}
+	})
+}

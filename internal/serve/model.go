@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Model is one loaded predictor artifact plus the metadata /healthz
+// reports. Models are immutable once published: a hot-reload builds and
+// validates a complete new Model before the atomic pointer swap, and the
+// old one keeps serving every batch formed before the swap.
+type Model struct {
+	// Pred is the validated predictor. Predictor serving paths are
+	// concurrency-safe (pooled scratch, no per-call state), so one Model
+	// is shared by every batch.
+	Pred *core.Predictor
+	// Path is the artifact file the model was loaded from.
+	Path string
+	// Generation counts loads on this server, starting at 1; /healthz
+	// exposes it so reload scripts can confirm a swap happened.
+	Generation uint64
+	// LoadedAt stamps when the load completed.
+	LoadedAt time.Time
+}
+
+// modelSlot is the server's hot-reload point: an atomic pointer the
+// request path loads once per batch and Reload swaps after full
+// validation. Swap-after-validate is what makes reloads downtime-free —
+// there is no intermediate state a concurrent reader can observe.
+type modelSlot struct {
+	cur atomic.Pointer[Model]
+	gen atomic.Uint64
+}
+
+// Load returns the serving model, or nil when none has been published.
+func (s *modelSlot) Load() *Model { return s.cur.Load() }
+
+// Publish installs a freshly loaded predictor, assigning it the next
+// generation, and returns the published Model.
+func (s *modelSlot) Publish(p *core.Predictor, path string) *Model {
+	m := &Model{Pred: p, Path: path, Generation: s.gen.Add(1), LoadedAt: time.Now()}
+	s.cur.Store(m)
+	return m
+}
+
+// Reload loads, validates and publishes the artifact at path. On any
+// error the slot is untouched: the previous model keeps serving and the
+// error describes why the new artifact was rejected. core.LoadPredictorFile
+// is the same validated load path server startup uses, so a reload can
+// never admit an artifact startup would have refused.
+func (s *modelSlot) Reload(path string) (*Model, error) {
+	p, err := core.LoadPredictorFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reload rejected: %w", err)
+	}
+	return s.Publish(p, path), nil
+}

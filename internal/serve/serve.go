@@ -1,0 +1,435 @@
+// Package serve is the congestion predictor's serving layer: a long-lived
+// HTTP service that loads SavePredictor artifacts and answers per-op V/H
+// congestion predictions to many concurrent clients as fast as the
+// hardware allows.
+//
+// The performance machinery, bottom to top:
+//
+//   - Request payloads decode into pooled ml.Matrix / slice buffers
+//     (sync.Pool); a warmed server handles the whole /predict path —
+//     admit, decode, coalesce, predict, encode — without allocating.
+//   - Cross-request micro-batch coalescing: pending predictions are
+//     collected for a bounded window (Options.Window, a few hundred µs)
+//     or until a row cap (Options.MaxBatch), then scored with ONE
+//     zero-alloc core.Predictor.PredictBatchInto call. Batch-of-batches
+//     beats per-request predict because the scaler and the flattened
+//     GBRT forest amortize their setup and stay hot in cache across the
+//     whole batch. The batcher also flushes early the moment every
+//     admitted request is already in the batch (the admission semaphore
+//     proves no companion can arrive), so closed-loop clients never pay
+//     the window — only genuinely concurrent traffic does.
+//   - Admission control: a max-inflight semaphore sheds excess load with
+//     a fast 429 instead of queueing without bound.
+//   - Hot reload: models live behind an atomic pointer; SIGHUP or POST
+//     /reload loads and fully validates the artifact, then swaps. The old
+//     model serves every batch formed before the swap; an invalid
+//     artifact is rejected with zero downtime.
+//   - Graceful drain: Stop admits no new work, waits for every in-flight
+//     request to complete (the batcher flushes its last window), then
+//     retires the coalescing goroutine.
+//
+// Every stage reports into the internal/obs registry (latency and
+// batch-size histograms, shed/reload counters, inflight/occupancy
+// gauges), visible on the same /debug endpoints the rest of the repo
+// uses.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Serving errors. The HTTP layer maps them to statuses; embedded callers
+// match with errors.Is.
+var (
+	// ErrShed marks a request rejected by admission control (HTTP 429).
+	ErrShed = errors.New("serve: shed: too many requests in flight")
+	// ErrNoModel marks a request arriving before any model was loaded
+	// (HTTP 503).
+	ErrNoModel = errors.New("serve: no model loaded")
+	// ErrDraining marks a request arriving during shutdown (HTTP 503).
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Options tunes the server. The zero value of each field selects the
+// default noted on it.
+type Options struct {
+	// MaxBatch caps the rows of one coalesced batch (default 256).
+	MaxBatch int
+	// Window is how long the batcher holds an open batch waiting for
+	// companions. The zero value selects the default 200µs; a negative
+	// value means "never wait" — a batch still coalesces whatever is
+	// already queued, but closes immediately.
+	Window time.Duration
+	// MaxInflight is the admission cap: requests beyond it are shed with
+	// 429 (default 4×GOMAXPROCS, min 16).
+	MaxInflight int
+	// MaxBodyBytes bounds one request body (default 16 MiB).
+	MaxBodyBytes int64
+	// Obs receives request metrics; nil disables observation.
+	Obs *obs.Observer
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.Window == 0 {
+		o.Window = 200 * time.Microsecond
+	}
+	if o.Window < 0 {
+		o.Window = 0
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+		if o.MaxInflight < 16 {
+			o.MaxInflight = 16
+		}
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 16 << 20
+	}
+	return o
+}
+
+// metricSet holds the resolved metric handles. Handles are looked up once
+// at construction — the registry's name map takes a lock, the handles are
+// lock-free atomics — and every field no-ops when observation is off.
+type metricSet struct {
+	requests, shed, errs *obs.Counter
+	predictions, batches *obs.Counter
+	reloads, reloadErrs  *obs.Counter
+	batchRows, latency   *obs.Histogram
+	occupancy, inflight  *obs.Gauge
+}
+
+func newMetricSet(o *obs.Observer) metricSet {
+	r := o.Metrics()
+	return metricSet{
+		requests:    r.Counter(obs.MetricServeRequests),
+		shed:        r.Counter(obs.MetricServeShed),
+		errs:        r.Counter(obs.MetricServeErrors),
+		predictions: r.Counter(obs.MetricServePredictions),
+		batches:     r.Counter(obs.MetricServeBatches),
+		reloads:     r.Counter(obs.MetricServeReloads),
+		reloadErrs:  r.Counter(obs.MetricServeReloadErrors),
+		batchRows:   r.Histogram(obs.MetricServeBatchRows, obs.BatchRowsBuckets),
+		latency:     r.Histogram(obs.MetricServeLatencyUs, obs.LatencyMicrosBuckets),
+		occupancy:   r.Gauge(obs.MetricServeBatchOccupancy),
+		inflight:    r.Gauge(obs.MetricServeInflight),
+	}
+}
+
+// Server is the prediction service core. Construct with New, publish a
+// model with LoadModel (or Reload), mount Handler on an http.Server, and
+// retire with Stop.
+type Server struct {
+	opts      Options
+	obs       *obs.Observer
+	met       metricSet
+	models    modelSlot
+	modelPath atomic.Pointer[string]
+
+	// sem is the admission semaphore: one slot per in-flight request.
+	// Stop acquires every slot to prove no request is between admission
+	// and release, which is what makes closing submit safe.
+	sem         chan struct{}
+	submit      chan *job
+	batcherDone chan struct{}
+	draining    atomic.Bool
+	stopOnce    sync.Once
+	stopErr     error
+}
+
+// New starts the coalescing loop and returns a server with no model
+// loaded (requests answer 503 until LoadModel succeeds).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:        opts,
+		obs:         opts.Obs,
+		met:         newMetricSet(opts.Obs),
+		sem:         make(chan struct{}, opts.MaxInflight),
+		submit:      make(chan *job, opts.MaxInflight),
+		batcherDone: make(chan struct{}),
+	}
+	go s.batchLoop()
+	return s
+}
+
+// Options returns the resolved (defaulted) options the server runs with.
+func (s *Server) Options() Options { return s.opts }
+
+// Model returns the currently serving model (nil before the first load).
+func (s *Server) Model() *Model { return s.models.Load() }
+
+// LoadModel loads, validates and publishes the artifact at path, which
+// also becomes the path Reload re-reads.
+func (s *Server) LoadModel(path string) (*Model, error) {
+	m, err := s.models.Reload(path)
+	if err != nil {
+		s.met.reloadErrs.Inc()
+		return nil, err
+	}
+	s.modelPath.Store(&path)
+	s.met.reloads.Inc()
+	if l := s.obs.Logger(); l != nil {
+		l.Info("model loaded", "path", path, "generation", m.Generation, "kind", m.Pred.Kind.String())
+	}
+	return m, nil
+}
+
+// Reload re-reads the artifact last given to LoadModel and swaps it in
+// atomically. On error the previous model keeps serving untouched.
+func (s *Server) Reload() (*Model, error) {
+	p := s.modelPath.Load()
+	if p == nil {
+		return nil, fmt.Errorf("serve: reload: no model path configured")
+	}
+	return s.LoadModel(*p)
+}
+
+// ServeBytes runs the whole /predict hot path on one raw payload:
+// admission, pooled decode, coalesced prediction and response encoding
+// appended to dst. It exists apart from the HTTP handler so the
+// zero-alloc guard and the throughput benchmark can drive the exact
+// serving path without a net/http connection in front. binary selects
+// the ContentF64 codec; otherwise the payload is JSON.
+func (s *Server) ServeBytes(body []byte, binary bool, dst []byte) ([]byte, error) {
+	start := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.met.shed.Inc()
+		return dst, ErrShed
+	}
+	s.met.requests.Inc()
+	s.met.inflight.Set(float64(len(s.sem)))
+	j := getJob()
+	dst, err := s.serveJob(j, body, binary, dst)
+	if err != nil {
+		s.met.errs.Inc()
+	}
+	putJob(j)
+	<-s.sem
+	s.met.latency.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	return dst, err
+}
+
+// serveJob decodes into the pooled job, routes it through the coalescer
+// and encodes the response. Split from ServeBytes so the semaphore slot
+// and job are released on every path.
+func (s *Server) serveJob(j *job, body []byte, binary bool, dst []byte) ([]byte, error) {
+	var err error
+	if binary {
+		err = decodeF64(body, &j.m)
+	} else {
+		err = decodeJSONRows(body, &j.m)
+	}
+	if err != nil {
+		return dst, err
+	}
+	if j.m.Rows > 0 {
+		mdl := s.models.Load()
+		switch {
+		case mdl == nil:
+			return dst, ErrNoModel
+		case j.m.Cols != mdl.Pred.NumFeatures():
+			return dst, &core.BatchShapeError{Row: 0, Got: j.m.Cols, Want: mdl.Pred.NumFeatures()}
+		case s.draining.Load():
+			return dst, ErrDraining
+		}
+		j.rows = j.m.RowViews(j.rows)
+		j.sizeOutputs()
+		s.submit <- j
+		<-j.done
+		if j.err != nil {
+			return dst, j.err
+		}
+	} else {
+		j.sizeOutputs()
+	}
+	if binary {
+		return appendF64Response(dst, j.vert, j.horiz, j.avg), nil
+	}
+	return appendJSONResponse(dst, j.vert, j.horiz, j.avg), nil
+}
+
+// Stop drains the server: new requests shed immediately, every admitted
+// request completes (the batcher flushes its final window), and the
+// coalescing goroutine exits. Stop is idempotent; ctx bounds the wait.
+func (s *Server) Stop(ctx contextLike) error {
+	s.stopOnce.Do(func() {
+		s.draining.Store(true)
+		// Hold every admission slot: once all are ours, no request is
+		// between admission and release, so nothing can send on submit.
+		for i := 0; i < cap(s.sem); i++ {
+			select {
+			case s.sem <- struct{}{}:
+			case <-ctx.Done():
+				s.stopErr = fmt.Errorf("serve: stop: %w", ctx.Err())
+				return
+			}
+		}
+		close(s.submit)
+		select {
+		case <-s.batcherDone:
+		case <-ctx.Done():
+			s.stopErr = fmt.Errorf("serve: stop: %w", ctx.Err())
+		}
+	})
+	return s.stopErr
+}
+
+// contextLike is the subset of context.Context Stop needs; it avoids
+// importing context just for Done/Err and keeps Stop testable with
+// never-expiring stubs.
+type contextLike interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+// connBuf is the per-request byte working set: the body read buffer and
+// the response build buffer, pooled together.
+type connBuf struct {
+	in, out []byte
+}
+
+var connBufPool = sync.Pool{New: func() any { return &connBuf{} }}
+
+// Handler returns the service mux:
+//
+//	POST /predict  — score a batch of feature rows (JSON or ContentF64)
+//	GET  /healthz  — model generation, kind, feature count, drain state
+//	POST /reload   — hot-swap the model artifact from disk
+//	GET  /debug/*  — the obs debug endpoints (metrics, trace, vars)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/reload", s.handleReload)
+	if s.obs != nil {
+		mux.Handle("/debug/", s.obs.Handler())
+	}
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.ContentLength > s.opts.MaxBodyBytes {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	binary := r.Header.Get("Content-Type") == ContentF64
+	buf := connBufPool.Get().(*connBuf)
+	defer connBufPool.Put(buf)
+	body, err := readBody(r, buf.in, s.opts.MaxBodyBytes)
+	buf.in = body[:0]
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errBodyTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	out, err := s.ServeBytes(body, binary, buf.out[:0])
+	buf.out = out[:0]
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	if binary {
+		w.Header().Set("Content-Type", ContentF64)
+	} else {
+		w.Header().Set("Content-Type", ContentJSON)
+	}
+	w.Write(out)
+}
+
+// statusFor maps serving errors to HTTP statuses: client data errors are
+// 400s, load shedding is 429, lifecycle states are 503.
+func statusFor(err error) int {
+	var shape *core.BatchShapeError
+	switch {
+	case errors.Is(err, ErrShed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrNoModel), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadPayload), errors.As(err, &shape):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+var errBodyTooLarge = errors.New("serve: request body too large")
+
+// readBody reads the whole request body into buf (grown as needed,
+// returned for reuse), honoring the byte cap without trusting
+// Content-Length.
+func readBody(r *http.Request, buf []byte, max int64) ([]byte, error) {
+	if n := r.ContentLength; n > 0 && int64(cap(buf)) < n {
+		buf = make([]byte, 0, n)
+	}
+	buf = buf[:0]
+	for {
+		if int64(len(buf)) > max {
+			return buf, errBodyTooLarge
+		}
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, fmt.Errorf("serve: reading request body: %w", err)
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", ContentJSON)
+	m := s.models.Load()
+	if m == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\n  \"status\": \"no model\",\n  \"generation\": 0\n}\n")
+		return
+	}
+	fmt.Fprintf(w, "{\n  \"status\": %q,\n  \"generation\": %d,\n  \"model\": %q,\n  \"kind\": %q,\n  \"features\": %d,\n  \"loaded_at\": %q,\n  \"window_us\": %d,\n  \"max_batch\": %d\n}\n",
+		map[bool]string{false: "ok", true: "draining"}[s.draining.Load()],
+		m.Generation, m.Path, m.Pred.Kind.String(), m.Pred.NumFeatures(),
+		m.LoadedAt.UTC().Format(time.RFC3339Nano),
+		s.opts.Window.Microseconds(), s.opts.MaxBatch)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	m, err := s.Reload()
+	if err != nil {
+		if l := s.obs.Logger(); l != nil {
+			l.Warn("model reload rejected", "error", err)
+		}
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", ContentJSON)
+	fmt.Fprintf(w, "{\n  \"status\": \"reloaded\",\n  \"generation\": %d,\n  \"model\": %q\n}\n", m.Generation, m.Path)
+}

@@ -52,6 +52,13 @@ go test -race -count=1 -run 'Equivalence' \
 echo "== ml zero-alloc guards =="
 go test -count=1 -run 'ZeroAlloc' ./internal/ml/
 
+# The serving layer's allocation contract: the whole /predict hot path —
+# admission, pooled decode (both wire formats), coalescing, prediction,
+# response encoding — and the 429 shed path must be allocation-free once
+# warm.
+echo "== serve zero-alloc guards =="
+go test -count=1 -run 'ZeroAlloc' ./internal/serve/
+
 # The observability layer's contract, end to end: a quick observed run must
 # write a loadable Chrome trace containing a span per flow stage and a
 # metrics snapshot carrying the canonical flow series (obscheck validates
@@ -107,5 +114,72 @@ grep -q 'store: hit=[1-9]' "$CRASH_TMP/resume.txt" || {
 # fuzz run on top of the checked-in seed corpus (which go test replays).
 echo "== store decode fuzz smoke (5s) =="
 go test -run '^$' -fuzz 'FuzzStoreDecode' -fuzztime 5s ./internal/store/ > /dev/null
+
+# The serving codec faces raw network bytes; its hand-rolled JSON parser
+# gets the same bounded-fuzz treatment.
+echo "== serve codec fuzz smoke (5s) =="
+go test -run '^$' -fuzz 'FuzzDecodeJSONRows' -fuzztime 5s ./internal/serve/ > /dev/null
+
+# The serving daemon's contract, end to end over real HTTP: train a quick
+# artifact, serve it, predict against it, hot-reload it (a valid swap bumps
+# the generation; a corrupt artifact is rejected with the old model still
+# serving), then drain gracefully on SIGTERM with load in flight.
+echo "== congserve smoke (serve, predict, hot-reload, graceful drain) =="
+SERVE_TMP="$(mktemp -d)"
+SERVE_PID=""
+trap 'rm -rf "$CRASH_TMP" "$SERVE_TMP" /tmp/storecheck; [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2> /dev/null || true' EXIT
+go build -o "$SERVE_TMP/congserve" ./cmd/congserve
+go build -o "$SERVE_TMP/congload" ./cmd/congload
+"$SERVE_TMP/congserve" -train-quick -model "$SERVE_TMP/model.json" -kind gbrt > /dev/null
+"$SERVE_TMP/congserve" -model "$SERVE_TMP/model.json" -addr 127.0.0.1:0 \
+	-addr-file "$SERVE_TMP/addr.txt" -log-level warn &
+SERVE_PID=$!
+i=0
+while [ ! -s "$SERVE_TMP/addr.txt" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "FAIL: congserve never wrote its address"; exit 1; }
+	sleep 0.1
+done
+ADDR="$(cat "$SERVE_TMP/addr.txt")"
+curl -sf "http://$ADDR/healthz" | grep -q '"status": "ok"' || {
+	echo "FAIL: /healthz not ok"
+	exit 1
+}
+"$SERVE_TMP/congload" -addr "$ADDR" -n 200 -concurrency 2 -rows 32 > "$SERVE_TMP/load.json"
+grep -q '"errors": 0' "$SERVE_TMP/load.json" || {
+	echo "FAIL: /predict load run had errors"
+	exit 1
+}
+curl -sf -X POST "http://$ADDR/reload" | grep -q '"generation": 2' || {
+	echo "FAIL: valid reload did not bump the generation"
+	exit 1
+}
+echo junk > "$SERVE_TMP/model.json"
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/reload")"
+[ "$code" = 422 ] || {
+	echo "FAIL: corrupt artifact reload answered $code, want 422"
+	exit 1
+}
+"$SERVE_TMP/congload" -addr "$ADDR" -n 50 -concurrency 1 -rows 8 > /dev/null || {
+	echo "FAIL: serving stopped after a rejected reload"
+	exit 1
+}
+"$SERVE_TMP/congload" -addr "$ADDR" -duration 2s -concurrency 2 -rows 32 \
+	> "$SERVE_TMP/drain.json" 2> /dev/null &
+LOAD_PID=$!
+sleep 0.4
+kill -TERM "$SERVE_PID"
+serve_rc=0
+wait "$SERVE_PID" || serve_rc=$?
+SERVE_PID=""
+[ "$serve_rc" -eq 0 ] || {
+	echo "FAIL: congserve exited $serve_rc on SIGTERM, want graceful 0"
+	exit 1
+}
+wait "$LOAD_PID" || true
+grep -q '"preds": [1-9]' "$SERVE_TMP/drain.json" || {
+	echo "FAIL: no request completed during the drain window"
+	exit 1
+}
 
 echo "tier-1 checks passed"
