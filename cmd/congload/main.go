@@ -20,7 +20,10 @@
 //
 // The report: {"requests", "errors", "shed", "preds", "duration_sec",
 // "preds_per_sec", "requests_per_sec", "p50_us", "p90_us", "p99_us",
-// "max_us", "rows", "concurrency", "format"}.
+// "max_us", "rows", "concurrency", "format", "server_p99_us_bound",
+// "server_shed", "server_reloads", "server_reload_errors"} — the server_*
+// fields mirror the server's own /debug/metrics counters so overload and
+// reload behaviour is diagnosable from the report alone.
 package main
 
 import (
@@ -67,6 +70,14 @@ type report struct {
 	// the serving-layer p99 with the HTTP and network cost stripped away
 	// (0 when /debug/metrics was unavailable).
 	ServerP99UsBound float64 `json:"server_p99_us_bound"`
+	// ServerShed/ServerReloads/ServerReloadErrors mirror the server's own
+	// serve.shed / serve.reloads / serve.reload_errors counters from the
+	// same /debug/metrics snapshot, so an overload or mid-run reload is
+	// diagnosable from this report alone. They are lifetime totals, not
+	// this run's delta, and 0 when the endpoint was unavailable.
+	ServerShed         int64 `json:"server_shed"`
+	ServerReloads      int64 `json:"server_reloads"`
+	ServerReloadErrors int64 `json:"server_reload_errors"`
 }
 
 func realMain() int {
@@ -203,7 +214,8 @@ func realMain() int {
 		r.P99Us = quantile(latencies, 0.99)
 		r.MaxUs = latencies[len(latencies)-1]
 	}
-	r.ServerP99UsBound = serverP99Bound(client, *addr)
+	r.ServerP99UsBound, r.ServerShed, r.ServerReloads, r.ServerReloadErrors =
+		serverMetrics(client, *addr)
 	doc, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "congload:", err)
@@ -223,18 +235,24 @@ func realMain() int {
 	return 0
 }
 
-// serverP99Bound reads the server's /debug/metrics snapshot and returns
-// the tightest serve.latency_us bucket bound covering at least 99% of
-// observations, or 0 when the endpoint or series is unavailable. Bucket
-// bounds unmarshal loosely because the overflow bucket serializes +Inf as
-// a string.
-func serverP99Bound(client *http.Client, addr string) float64 {
+// serverMetrics reads the server's /debug/metrics snapshot once and
+// extracts everything the report mirrors: the tightest serve.latency_us
+// bucket bound covering at least 99% of observations (0 when the endpoint
+// or series is unavailable, -1 when only the +Inf overflow bucket covers
+// p99), plus the serve.shed / serve.reloads / serve.reload_errors
+// counters. Bucket bounds unmarshal loosely because the overflow bucket
+// serializes +Inf as a string.
+func serverMetrics(client *http.Client, addr string) (p99Bound float64, shed, reloads, reloadErrs int64) {
 	resp, err := client.Get("http://" + addr + "/debug/metrics")
 	if err != nil {
-		return 0
+		return 0, 0, 0, 0
 	}
 	defer resp.Body.Close()
 	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
 		Histograms []struct {
 			Name    string `json:"name"`
 			Count   int64  `json:"count"`
@@ -245,7 +263,17 @@ func serverP99Bound(client *http.Client, addr string) float64 {
 		} `json:"histograms"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		return 0
+		return 0, 0, 0, 0
+	}
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "serve.shed":
+			shed = c.Value
+		case "serve.reloads":
+			reloads = c.Value
+		case "serve.reload_errors":
+			reloadErrs = c.Value
+		}
 	}
 	for _, h := range snap.Histograms {
 		if h.Name != "serve.latency_us" || h.Count == 0 {
@@ -257,13 +285,13 @@ func serverP99Bound(client *http.Client, addr string) float64 {
 			if float64(run) >= 0.99*float64(h.Count) {
 				var le float64
 				if json.Unmarshal(b.Le, &le) != nil {
-					return -1 // only the +Inf overflow bucket covers p99
+					le = -1 // only the +Inf overflow bucket covers p99
 				}
-				return le
+				return le, shed, reloads, reloadErrs
 			}
 		}
 	}
-	return 0
+	return 0, shed, reloads, reloadErrs
 }
 
 // quantile reads the q-quantile from sorted µs samples (nearest-rank).

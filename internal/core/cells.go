@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/backtrace"
+	"repro/internal/dataset"
+	"repro/internal/flow"
+	"repro/internal/ir"
+	"repro/internal/parallel"
+)
+
+// This file is the dataset build's cell layer: the (module × label-run)
+// grid every build — local worker pool or distributed fleet — executes.
+// The grid, the per-cell seed derivation and the index-ordered reduction
+// are the entire determinism contract: any executor that returns the same
+// per-cell flow results produces a byte-identical dataset, because
+// assembly never depends on *who* ran a cell or *when* it finished.
+
+// cellSeedStride separates the placement seeds of a module's label runs; a
+// large prime keeps re-rolled retry seeds (flow.RetryPolicy.SeedStride)
+// from colliding with neighbor runs.
+const cellSeedStride = 7919
+
+// Cell identifies one (module, label-run) flow execution within a dataset
+// build grid. Cells are ordered module-major: cell index k covers module
+// k/labelRuns at label run k%labelRuns.
+type Cell struct {
+	// Module indexes the build's module slice.
+	Module int
+	// Run is the zero-based label-averaging run.
+	Run int
+}
+
+// Index returns the cell's position in the module-major grid.
+func (c Cell) Index(labelRuns int) int { return c.Module*labelRuns + c.Run }
+
+// CellConfig returns the exact flow configuration label run `run` of a
+// build with base config cfg executes: the placement seed is derived from
+// the run position alone, never from scheduling, which is what makes every
+// executor (sequential, worker pool, build fleet) produce the same
+// per-cell outcome.
+func CellConfig(cfg flow.Config, run int) flow.Config {
+	runCfg := cfg
+	runCfg.Seed = cfg.Seed + int64(run)*cellSeedStride
+	return runCfg
+}
+
+// CellOutcome is the result of executing one grid cell: the completed flow
+// result, or the error that terminally failed it (after whatever retrying
+// the executor performed).
+type CellOutcome struct {
+	Res *flow.Result
+	Err error
+}
+
+// CellExecutor runs dataset-build grid cells on behalf of
+// BuildDatasetExec. It receives the build's modules, the cells that
+// actually need executing (checkpoint-restored modules are excluded) in
+// grid order, and the per-cell flow configuration (cfgs[i] belongs to
+// cells[i], with the seed already derived via CellConfig). It must return
+// exactly one outcome per requested cell, aligned with the input order. A
+// non-nil error aborts the build — every unfinished cell is reported as
+// failed with that error, mirroring a cancelled worker pool.
+//
+// The fleet coordinator (internal/fleet) is the remote implementation;
+// LocalExecutor is the in-process reference.
+type CellExecutor func(ctx context.Context, mods []*ir.Module, cells []Cell, cfgs []flow.Config) ([]CellOutcome, error)
+
+// BuildDatasetExec is BuildDatasetContext with cell execution delegated to
+// exec: the grid enumeration, checkpoint restore, label-run reduction,
+// summary accounting and error joining are exactly the local build's, so
+// an executor that returns the same per-cell flow results yields a
+// byte-identical dataset — the guarantee the distributed build fleet's
+// determinism tests pin. A nil exec falls back to the local worker pool.
+func BuildDatasetExec(ctx context.Context, mods []*ir.Module, cfg flow.Config, opts BuildOptions, exec CellExecutor) (*dataset.Dataset, []*flow.Result, *BuildSummary, error) {
+	return buildDataset(ctx, mods, cfg, opts, exec)
+}
+
+// execCells runs the non-restored cells of the grid through a
+// CellExecutor and scatters the outcomes back into the module-major cell
+// array the reducer consumes, tracing successful results exactly like the
+// local pool does on its workers.
+func execCells(ctx context.Context, mods []*ir.Module, cfg flow.Config, labelRuns int, done []bool, exec CellExecutor) []runCell {
+	grid := make([]runCell, len(mods)*labelRuns)
+	var want []Cell
+	var cfgs []flow.Config
+	for k := range grid {
+		mi, run := k/labelRuns, k%labelRuns
+		if done[mi] {
+			continue
+		}
+		want = append(want, Cell{Module: mi, Run: run})
+		cfgs = append(cfgs, CellConfig(cfg, run))
+	}
+	outcomes, err := exec(ctx, mods, want, cfgs)
+	if err == nil && len(outcomes) != len(want) {
+		err = fmt.Errorf("core: cell executor returned %d outcomes for %d cells", len(outcomes), len(want))
+	}
+	if err != nil {
+		// Abort semantics match a cancelled worker pool: every cell that
+		// was supposed to run carries the abort cause, and the reducer
+		// reports the modules as failed (or the whole build as cancelled
+		// when the context is dead).
+		for _, c := range want {
+			grid[c.Index(labelRuns)].err = err
+		}
+		return grid
+	}
+	for i, c := range want {
+		k := c.Index(labelRuns)
+		o := outcomes[i]
+		switch {
+		case o.Err != nil:
+			grid[k].err = o.Err
+		case o.Res == nil:
+			grid[k].err = fmt.Errorf("core: cell executor returned no result for module %d run %d", c.Module, c.Run)
+		default:
+			grid[k].res = o.Res
+			grid[k].traced = backtrace.Trace(o.Res)
+		}
+	}
+	return grid
+}
+
+// LocalExecutor returns a CellExecutor that runs cells on the in-process
+// worker pool with the given concurrency and retry policy — the reference
+// implementation remote executors are proven byte-identical against.
+func LocalExecutor(workers int, retry flow.RetryPolicy) CellExecutor {
+	return func(ctx context.Context, mods []*ir.Module, cells []Cell, cfgs []flow.Config) ([]CellOutcome, error) {
+		out := make([]CellOutcome, len(cells))
+		perr := parallel.ForEach(ctx, len(cells), workers, func(ctx context.Context, i int) {
+			res, err := flow.RunWithRetry(ctx, mods[cells[i].Module], cfgs[i], retry)
+			out[i] = CellOutcome{Res: res, Err: err}
+		})
+		return out, perr
+	}
+}

@@ -275,6 +275,14 @@ func BuildDatasetRuns(mods []*ir.Module, cfg flow.Config, labelRuns int) (*datas
 // sequential reduce over the per-cell results, so any worker count yields
 // byte-identical output (see TestBuildDatasetDeterministicAcrossWorkers).
 func BuildDatasetContext(ctx context.Context, mods []*ir.Module, cfg flow.Config, opts BuildOptions) (*dataset.Dataset, []*flow.Result, *BuildSummary, error) {
+	return buildDataset(ctx, mods, cfg, opts, nil)
+}
+
+// buildDataset is the shared build pipeline: checkpoint restore, cell
+// execution (the internal worker pool when exec is nil, the caller's
+// CellExecutor otherwise — see BuildDatasetExec), and the index-ordered
+// assembly that makes the output independent of how cells were scheduled.
+func buildDataset(ctx context.Context, mods []*ir.Module, cfg flow.Config, opts BuildOptions, exec CellExecutor) (*dataset.Dataset, []*flow.Result, *BuildSummary, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -314,7 +322,12 @@ func BuildDatasetContext(ctx context.Context, mods []*ir.Module, cfg flow.Config
 		}
 	}
 
-	cells := runCells(ctx, mods, cfg, labelRuns, opts, done)
+	var cells []runCell
+	if exec == nil {
+		cells = runCells(ctx, mods, cfg, labelRuns, opts, done)
+	} else {
+		cells = execCells(ctx, mods, cfg, labelRuns, done, exec)
+	}
 
 	var results []*flow.Result
 	sum := &BuildSummary{Modules: len(mods)}
@@ -419,8 +432,7 @@ func runCells(ctx context.Context, mods []*ir.Module, cfg flow.Config, labelRuns
 			cells[k].err = errRunSkipped
 			return
 		}
-		runCfg := cfg
-		runCfg.Seed = cfg.Seed + int64(run)*7919
+		runCfg := CellConfig(cfg, run)
 		o := cfg.Obs
 		var sp *obs.Span
 		t0 := time.Now()

@@ -30,6 +30,11 @@ const (
 	// DiskRenameFail fails the atomic-commit rename, leaving only the
 	// temporary file behind.
 	DiskRenameFail
+	// DiskReadError fails a read with an I/O error after the bytes were
+	// fetched, simulating a dying disk (or an entry evicted out from under
+	// the reader by another process). The store must degrade to a miss,
+	// never surface a partial payload.
+	DiskReadError
 )
 
 func (f DiskFault) String() string {
@@ -44,6 +49,8 @@ func (f DiskFault) String() string {
 		return "enospc"
 	case DiskRenameFail:
 		return "rename-fail"
+	case DiskReadError:
+		return "read-error"
 	}
 	return fmt.Sprintf("DiskFault(%d)", int(f))
 }
@@ -57,7 +64,13 @@ const (
 	DiskOpWrite = "write"
 	// DiskOpRename is one atomic-commit rename of a temporary file.
 	DiskOpRename = "rename"
+	// DiskOpRead is one entry read on the Get path.
+	DiskOpRead = "read"
 )
+
+// ErrReadFault is the error DiskReadError injects; it wraps syscall.EIO so
+// callers can errors.Is-match the real condition.
+var ErrReadFault = fmt.Errorf("faults: injected read error: %w", syscall.EIO)
 
 // ErrNoSpace is the error DiskNoSpace injects; it wraps syscall.ENOSPC so
 // callers can errors.Is-match the real condition.

@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NetFault enumerates the transport failure modes the build fleet injects
+// into its HTTP client. Each models a distinct distributed-systems hazard
+// the coordinator's queue protocol must absorb:
+//
+//   - a dropped request (the coordinator never saw it — pure client error),
+//   - a dropped response (the coordinator DID process it, the worker only
+//     lost the acknowledgement — the dangerous half, because a naive retry
+//     turns into a duplicate side effect), and
+//   - a duplicated call (a retry raced the original — completion must be
+//     idempotent).
+type NetFault int
+
+const (
+	// NetNone is the zero value: no fault.
+	NetNone NetFault = iota
+	// NetDropRequest fails the call before it reaches the server; the
+	// server observes nothing.
+	NetDropRequest
+	// NetDropResponse lets the server process the call, then discards the
+	// response on the way back; the client sees an error for a call that
+	// took effect.
+	NetDropResponse
+	// NetDuplicate delivers the call to the server twice and returns the
+	// second response, modeling a retransmitted request whose original
+	// also landed.
+	NetDuplicate
+)
+
+func (f NetFault) String() string {
+	switch f {
+	case NetNone:
+		return "none"
+	case NetDropRequest:
+		return "drop-request"
+	case NetDropResponse:
+		return "drop-response"
+	case NetDuplicate:
+		return "duplicate"
+	}
+	return fmt.Sprintf("NetFault(%d)", int(f))
+}
+
+// ErrNetDropped is the error surfaced to the caller for both drop modes;
+// the caller cannot tell which half was lost — exactly the ambiguity a
+// real timeout has.
+var ErrNetDropped = fmt.Errorf("faults: injected network drop")
+
+// NetKey identifies one injection point: the zero-based occurrence index
+// of an operation class ("drop the 2nd complete call").
+type NetKey struct {
+	Op string
+	N  int
+}
+
+// NetScript injects transport faults deterministically, mirroring
+// DiskScript: occurrences of each operation class are counted and exactly
+// the faults the table names fire. Mutex-guarded; under concurrency the
+// occurrence order follows arrival, so deterministic tests drive one
+// worker at a time.
+type NetScript struct {
+	mu     sync.Mutex
+	faults map[NetKey]NetFault
+	seen   map[string]int
+}
+
+// NewNetScript builds a script from an explicit injection table. The map
+// is copied, so callers may reuse or mutate theirs afterwards.
+func NewNetScript(table map[NetKey]NetFault) *NetScript {
+	faults := make(map[NetKey]NetFault, len(table))
+	for k, f := range table {
+		faults[k] = f
+	}
+	return &NetScript{faults: faults, seen: make(map[string]int)}
+}
+
+// Next records one occurrence of the operation class and returns the
+// fault scheduled for it (NetNone for most). Nil-safe.
+func (s *NetScript) Next(op string) NetFault {
+	if s == nil {
+		return NetNone
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.seen[op]
+	s.seen[op] = n + 1
+	return s.faults[NetKey{Op: op, N: n}]
+}
+
+// Count returns how many occurrences of the operation class have been
+// observed so far.
+func (s *NetScript) Count(op string) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen[op]
+}
+
+// Reset zeroes the occurrence counters, replaying the script from the
+// start.
+func (s *NetScript) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen = make(map[string]int)
+}

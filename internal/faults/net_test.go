@@ -1,0 +1,61 @@
+package faults
+
+import "testing"
+
+// TestNetScriptDeterministic pins the occurrence-counting contract shared
+// with DiskScript: the nth call of an op class gets exactly the scheduled
+// fault, independent of other op classes, and Reset replays the script.
+func TestNetScriptDeterministic(t *testing.T) {
+	s := NewNetScript(map[NetKey]NetFault{
+		{Op: "complete", N: 1}: NetDropResponse,
+		{Op: "lease", N: 0}:    NetDropRequest,
+		{Op: "complete", N: 3}: NetDuplicate,
+	})
+	for round := 0; round < 2; round++ {
+		if got := s.Next("lease"); got != NetDropRequest {
+			t.Fatalf("round %d: lease#0 = %v, want drop-request", round, got)
+		}
+		if got := s.Next("lease"); got != NetNone {
+			t.Fatalf("round %d: lease#1 = %v, want none", round, got)
+		}
+		want := []NetFault{NetNone, NetDropResponse, NetNone, NetDuplicate, NetNone}
+		for i, w := range want {
+			if got := s.Next("complete"); got != w {
+				t.Fatalf("round %d: complete#%d = %v, want %v", round, i, got, w)
+			}
+		}
+		if got := s.Count("complete"); got != len(want) {
+			t.Fatalf("round %d: complete count = %d, want %d", round, got, len(want))
+		}
+		s.Reset()
+	}
+}
+
+// TestNetScriptNil pins nil-safety: a nil script injects nothing, so
+// production paths pass their (usually nil) script straight through.
+func TestNetScriptNil(t *testing.T) {
+	var s *NetScript
+	if got := s.Next("lease"); got != NetNone {
+		t.Fatalf("nil script Next = %v, want none", got)
+	}
+	if got := s.Count("lease"); got != 0 {
+		t.Fatalf("nil script Count = %d, want 0", got)
+	}
+	s.Reset()
+}
+
+// TestNetFaultString keeps the debug names stable for log output.
+func TestNetFaultString(t *testing.T) {
+	cases := map[NetFault]string{
+		NetNone:         "none",
+		NetDropRequest:  "drop-request",
+		NetDropResponse: "drop-response",
+		NetDuplicate:    "duplicate",
+		NetFault(99):    "NetFault(99)",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(f), got, want)
+		}
+	}
+}

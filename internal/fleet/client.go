@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// Net-operation classes a NetScript can target on the fleet client.
+const (
+	NetOpSpec     = "spec"
+	NetOpLease    = "lease"
+	NetOpComplete = "complete"
+	NetOpFail     = "fail"
+)
+
+// Client speaks the coordinator's fleet protocol with deterministic
+// transport-fault injection: a faults.NetScript can drop a request before
+// it is sent, drop the response of a request that WAS processed, or
+// deliver a request twice — the three hazards the queue's lease/steal and
+// idempotent-completion machinery exists to absorb.
+type Client struct {
+	base string
+	hc   *http.Client
+	net  *faults.NetScript
+}
+
+// NewClient returns a client for the coordinator at addr (host:port, no
+// scheme). A nil script disables fault injection.
+func NewClient(addr string, script *faults.NetScript) *Client {
+	return &Client{
+		base: "http://" + addr,
+		hc:   &http.Client{Timeout: 30 * time.Second},
+		net:  script,
+	}
+}
+
+// roundTrip performs one faulted POST (or GET when body is nil) and
+// returns the response body. Injected drops surface faults.ErrNetDropped;
+// an injected duplicate sends the request twice and returns the second
+// response — the server must have made both deliveries safe.
+func (c *Client) roundTrip(op, path string, body []byte) ([]byte, int, error) {
+	send := func() ([]byte, int, error) {
+		var (
+			resp *http.Response
+			err  error
+		)
+		if body == nil {
+			resp, err = c.hc.Get(c.base + path)
+		} else {
+			resp, err = c.hc.Post(c.base+path, "application/octet-stream", bytes.NewReader(body))
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		if err != nil {
+			return nil, 0, err
+		}
+		return data, resp.StatusCode, nil
+	}
+	switch c.net.Next(op) {
+	case faults.NetDropRequest:
+		return nil, 0, fmt.Errorf("fleet %s: %w", op, faults.ErrNetDropped)
+	case faults.NetDropResponse:
+		if _, _, err := send(); err != nil {
+			return nil, 0, err
+		}
+		return nil, 0, fmt.Errorf("fleet %s: %w", op, faults.ErrNetDropped)
+	case faults.NetDuplicate:
+		if _, _, err := send(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return send()
+}
+
+// Spec fetches and decodes the coordinator's build spec.
+func (c *Client) Spec() (*BuildSpec, error) {
+	data, status, err := c.roundTrip(NetOpSpec, "/fleet/spec", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("fleet spec: HTTP %d", status)
+	}
+	return DecodeSpec(data)
+}
+
+// Lease claims up to max cells for the named worker.
+func (c *Client) Lease(worker string, max int) (*leaseResponse, error) {
+	req, _ := json.Marshal(leaseRequest{Worker: worker, Max: max})
+	data, status, err := c.roundTrip(NetOpLease, "/fleet/lease", req)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("fleet lease: HTTP %d", status)
+	}
+	var resp leaseResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("fleet lease: %w", err)
+	}
+	return &resp, nil
+}
+
+// Complete submits one encoded flow result for a leased slot. A duplicate
+// acknowledgement (the cell was already resolved) returns (true, nil); a
+// verification rejection (HTTP 422) returns an error — the worker
+// produced a wrong artifact, which local rebuilds must surface loudly.
+func (c *Client) Complete(slot int, worker string, payload []byte) (duplicate bool, err error) {
+	path := fmt.Sprintf("/fleet/complete?slot=%d&worker=%s", slot, worker)
+	data, status, err := c.roundTrip(NetOpComplete, path, payload)
+	if err != nil {
+		return false, err
+	}
+	if status != http.StatusOK {
+		return false, fmt.Errorf("fleet complete slot %d: HTTP %d", slot, status)
+	}
+	var resp completeResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return false, fmt.Errorf("fleet complete slot %d: %w", slot, err)
+	}
+	return resp.Duplicate, nil
+}
+
+// Fail reports one terminal cell failure.
+func (c *Client) Fail(slot int, worker, errText string) error {
+	body, _ := json.Marshal(failRequest{Error: errText})
+	path := fmt.Sprintf("/fleet/fail?slot=%d&worker=%s", slot, worker)
+	_, status, err := c.roundTrip(NetOpFail, path, body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("fleet fail slot %d: HTTP %d", slot, status)
+	}
+	return nil
+}
+
+// Status fetches the coordinator's progress snapshot.
+func (c *Client) Status() (*Status, error) {
+	data, status, err := c.roundTrip("status", "/fleet/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("fleet status: HTTP %d", status)
+	}
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

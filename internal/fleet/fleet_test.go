@@ -1,0 +1,501 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/flow"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// fleetModules builds two small real designs (mirroring core's test
+// corpus): fleet builds must round-trip genuine flow artifacts.
+func fleetModules() []*ir.Module {
+	build := func(name string, lanes, width int) *ir.Module {
+		m := ir.NewModule(name)
+		b := ir.NewBuilder(m.NewFunction(name+"_top")).At(name+".cpp", 1)
+		p := b.Port("p", 32)
+		a := b.Array("mem", 64, 16, 8)
+		var outs []*ir.Op
+		for i := 0; i < lanes; i++ {
+			b.Line(10 + i)
+			v := b.Load(a, nil)
+			x := b.OpBits(ir.KindBitSel, width, p, width)
+			outs = append(outs, b.Op(ir.KindMul, 16, v, x))
+		}
+		b.Line(60)
+		b.Ret(b.ReduceTree(ir.KindAdd, 16, outs))
+		return m
+	}
+	return []*ir.Module{build("fleet_a", 12, 16), build("fleet_b", 20, 8)}
+}
+
+func fleetFlow() flow.Config {
+	cfg := flow.DefaultConfig()
+	cfg.Place.Moves = 2000
+	return cfg
+}
+
+func fleetOpts() core.BuildOptions {
+	return core.BuildOptions{
+		LabelRuns: 2,
+		Retry:     flow.RetryPolicy{MaxAttempts: 2, SeedStride: 104729},
+	}
+}
+
+// runFleetBuild assembles a full in-process fleet — coordinator over real
+// HTTP (httptest), n workers with the given fault scripts — and runs one
+// distributed build, returning the canonical dataset bytes.
+func runFleetBuild(t *testing.T, n int, scripts []*faults.NetScript, copts CoordinatorOptions) ([]byte, *Coordinator, *core.BuildSummary) {
+	t.Helper()
+	mods := fleetModules()
+	cfg := fleetFlow()
+	opts := fleetOpts()
+	spec, err := NewBuildSpec(mods, cfg, opts.LabelRuns, opts.Retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(spec, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	addr := srv.Listener.Addr().String()
+
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < n; i++ {
+		var script *faults.NetScript
+		if i < len(scripts) {
+			script = scripts[i]
+		}
+		w, err := Join(NewClient(addr, script), WorkerOptions{
+			Name:         string(rune('A' + i)),
+			RetryBackoff: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	ds, _, sum, buildErr := core.BuildDatasetExec(ctx, mods, cfg, opts, coord.Execute)
+	if buildErr != nil {
+		t.Fatalf("fleet build failed: %v", buildErr)
+	}
+	cancel() // release workers blocked on empty-queue waits
+	wg.Wait()
+	return store.EncodeDataset(ds), coord, sum
+}
+
+// sequentialBytes is the reference: the same build through the local
+// sequential path.
+func sequentialBytes(t *testing.T) []byte {
+	t.Helper()
+	opts := fleetOpts()
+	opts.Workers = 1
+	ds, _, _, err := core.BuildDatasetContext(context.Background(), fleetModules(), fleetFlow(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.EncodeDataset(ds)
+}
+
+// TestSpecRoundTripPreservesKeys pins the wire contract everything else
+// rests on: a spec that crosses JSON and IR-text serialization yields the
+// exact flow.CacheKeys of the original inputs, for every cell of the grid.
+func TestSpecRoundTripPreservesKeys(t *testing.T) {
+	mods := fleetModules()
+	cfg := fleetFlow()
+	opts := fleetOpts()
+	spec, err := NewBuildSpec(mods, cfg, opts.LabelRuns, opts.Retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := EncodeSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSpec(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmods, rcfg, rretry, err := decoded.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rmods) != len(mods) {
+		t.Fatalf("round-trip kept %d modules, want %d", len(rmods), len(mods))
+	}
+	if rretry.MaxAttempts != opts.Retry.MaxAttempts || rretry.SeedStride != opts.Retry.SeedStride ||
+		rretry.RouteIterStep != opts.Retry.RouteIterStep || rretry.CapacityRelax != opts.Retry.CapacityRelax ||
+		rretry.Backoff != opts.Retry.Backoff {
+		t.Fatalf("retry policy round-trip: %+v, want %+v", rretry, opts.Retry)
+	}
+	for mi := range mods {
+		for run := 0; run < opts.LabelRuns; run++ {
+			want := flow.CacheKey(mods[mi], core.CellConfig(cfg, run))
+			got := flow.CacheKey(rmods[mi], core.CellConfig(rcfg, run))
+			if got != want {
+				t.Fatalf("module %d run %d: round-tripped key %s, want %s", mi, run, got[:12], want[:12])
+			}
+		}
+	}
+}
+
+// TestNewBuildSpecRejectsNonSerializable pins the refusal paths: fault
+// injectors and custom retry predicates cannot cross the wire.
+func TestNewBuildSpecRejectsNonSerializable(t *testing.T) {
+	mods := fleetModules()
+	cfg := fleetFlow()
+	cfg.Faults = faults.ForDesign("x", faults.FailFirst(flow.StagePlace, 0, flow.ErrTimedOut))
+	if _, err := NewBuildSpec(mods, cfg, 1, flow.RetryPolicy{}); err == nil {
+		t.Fatal("spec accepted a fault injector")
+	}
+	if _, err := NewBuildSpec(mods, fleetFlow(), 1, flow.RetryPolicy{Retryable: func(error) bool { return true }}); err == nil {
+		t.Fatal("spec accepted a Retryable predicate")
+	}
+}
+
+// TestFleetBuildMatchesSequential is the tentpole's acceptance test: a
+// build sharded over two workers on real HTTP is byte-identical to the
+// sequential local build.
+func TestFleetBuildMatchesSequential(t *testing.T) {
+	want := sequentialBytes(t)
+	got, coord, sum := runFleetBuild(t, 2, nil, CoordinatorOptions{})
+	if !bytes.Equal(got, want) {
+		t.Fatal("fleet-built dataset differs from sequential build")
+	}
+	if sum.Succeeded != 2 {
+		t.Fatalf("summary: %+v, want 2 modules succeeded", sum)
+	}
+	st := coord.StatusSnapshot()
+	if st.Done != 4 || !st.BuildDone {
+		t.Fatalf("status: %+v, want 4 cells done", st)
+	}
+	total := 0
+	for _, n := range st.Workers {
+		total += n
+	}
+	if total != 4 || len(st.Workers) != 2 {
+		t.Fatalf("per-worker accounting: %+v, want 4 cells across 2 workers", st.Workers)
+	}
+}
+
+// TestFleetSurvivesTransportFaults drops responses and duplicates
+// completions on the wire: the dropped-response retries land on the
+// idempotent-duplicate path, and the artifact stays byte-identical.
+func TestFleetSurvivesTransportFaults(t *testing.T) {
+	want := sequentialBytes(t)
+	script := faults.NewNetScript(map[faults.NetKey]faults.NetFault{
+		{Op: NetOpComplete, N: 0}: faults.NetDropResponse,
+		{Op: NetOpComplete, N: 2}: faults.NetDuplicate,
+		{Op: NetOpLease, N: 1}:    faults.NetDropRequest,
+	})
+	got, coord, _ := runFleetBuild(t, 1, []*faults.NetScript{script}, CoordinatorOptions{})
+	if !bytes.Equal(got, want) {
+		t.Fatal("fleet build under transport faults differs from sequential build")
+	}
+	st := coord.StatusSnapshot()
+	if st.Dups == 0 {
+		t.Fatalf("status %+v: dropped/duplicated completions never hit the idempotency path", st)
+	}
+	if st.Done != 4 {
+		t.Fatalf("status %+v, want 4 cells done", st)
+	}
+}
+
+// TestLeaseExpiryRequeues kills a worker silently (it leases a cell and
+// never reports) and proves the lease expires, the cell re-queues, and a
+// live worker finishes the build correctly.
+func TestLeaseExpiryRequeues(t *testing.T) {
+	var clock atomic.Int64
+	base := time.Now()
+	clock.Store(0)
+	now := func() time.Time { return base.Add(time.Duration(clock.Load())) }
+
+	mods := fleetModules()
+	cfg := fleetFlow()
+	opts := fleetOpts()
+	spec, err := NewBuildSpec(mods, cfg, opts.LabelRuns, opts.Retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(spec, CoordinatorOptions{
+		LeaseTTL:   time.Minute,
+		StealAfter: 30 * time.Second,
+		Now:        now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	addr := srv.Listener.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buildDone := make(chan struct{})
+	var dsBytes []byte
+	go func() {
+		defer close(buildDone)
+		ds, _, _, err := core.BuildDatasetExec(ctx, mods, cfg, opts, coord.Execute)
+		if err == nil {
+			dsBytes = store.EncodeDataset(ds)
+		}
+	}()
+
+	// The doomed worker leases one cell and vanishes without reporting.
+	doomed := NewClient(addr, nil)
+	var doomedLease *leaseResponse
+	for i := 0; i < 100; i++ {
+		doomedLease, err = doomed.Lease("doomed", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(doomedLease.Cells) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(doomedLease.Cells) == 0 {
+		t.Fatal("doomed worker never got a lease")
+	}
+
+	// Expire its lease, then let a live worker drain everything.
+	clock.Store(int64(2 * time.Minute))
+	w, err := Join(NewClient(addr, nil), WorkerOptions{Name: "live", RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-buildDone
+	if dsBytes == nil {
+		t.Fatal("fleet build failed after worker loss")
+	}
+	if want := sequentialBytes(t); !bytes.Equal(dsBytes, want) {
+		t.Fatal("dataset after lease expiry differs from sequential build")
+	}
+	st := coord.StatusSnapshot()
+	if st.Lost == 0 {
+		t.Fatalf("status %+v: lease expiry never counted a lost worker", st)
+	}
+}
+
+// TestStealRunsInFlightCell pins work stealing: with every cell leased to
+// a stalled worker and the steal age reached, an idle worker re-leases an
+// in-flight cell instead of idling, and the duplicate completion (if the
+// stalled worker ever reports) is absorbed.
+func TestStealRunsInFlightCell(t *testing.T) {
+	var clock atomic.Int64
+	base := time.Now()
+	now := func() time.Time { return base.Add(time.Duration(clock.Load())) }
+
+	mods := fleetModules()
+	cfg := fleetFlow()
+	opts := fleetOpts()
+	opts.LabelRuns = 1 // 2 cells: easy to pin both in the stalled worker
+	spec, err := NewBuildSpec(mods, cfg, opts.LabelRuns, opts.Retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(spec, CoordinatorOptions{
+		LeaseTTL:   time.Hour, // expiry out of the picture: only stealing can save this build
+		StealAfter: time.Minute,
+		Now:        now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	addr := srv.Listener.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buildDone := make(chan struct{})
+	var dsBytes []byte
+	go func() {
+		defer close(buildDone)
+		ds, _, _, err := core.BuildDatasetExec(ctx, mods, cfg, opts, coord.Execute)
+		if err == nil {
+			dsBytes = store.EncodeDataset(ds)
+		}
+	}()
+
+	// The stalled worker grabs both cells and sits on them.
+	stalled := NewClient(addr, nil)
+	grabbed := 0
+	for i := 0; i < 200 && grabbed < 2; i++ {
+		lease, err := stalled.Lease("stalled", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grabbed += len(lease.Cells)
+		if len(lease.Cells) == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if grabbed != 2 {
+		t.Fatalf("stalled worker leased %d cells, want 2", grabbed)
+	}
+
+	// Past the steal age an idle worker takes over the in-flight cells.
+	clock.Store(int64(2 * time.Minute))
+	w, err := Join(NewClient(addr, nil), WorkerOptions{Name: "thief", RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-buildDone
+	if dsBytes == nil {
+		t.Fatal("fleet build failed despite stealing")
+	}
+	st := coord.StatusSnapshot()
+	if st.Steals < 2 {
+		t.Fatalf("status %+v: want ≥2 steals", st)
+	}
+	if st.Done != 2 || st.Workers["thief"] != 2 {
+		t.Fatalf("status %+v: thief should have completed both cells", st)
+	}
+}
+
+// TestRejectsUnverifiedCompletion posts a forged payload for a leased
+// cell: the coordinator must 422 it, count it, and let the build finish
+// with the real artifact.
+func TestRejectsUnverifiedCompletion(t *testing.T) {
+	mods := fleetModules()
+	cfg := fleetFlow()
+	opts := fleetOpts()
+	spec, err := NewBuildSpec(mods, cfg, opts.LabelRuns, opts.Retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(spec, CoordinatorOptions{StealAfter: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	addr := srv.Listener.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buildDone := make(chan struct{})
+	var dsBytes []byte
+	go func() {
+		defer close(buildDone)
+		ds, _, _, err := core.BuildDatasetExec(ctx, mods, cfg, opts, coord.Execute)
+		if err == nil {
+			dsBytes = store.EncodeDataset(ds)
+		}
+	}()
+
+	// Forge a completion: lease a cell, post garbage for it.
+	forger := NewClient(addr, nil)
+	var lease *leaseResponse
+	for i := 0; i < 100; i++ {
+		lease, err = forger.Lease("forger", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lease.Cells) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(lease.Cells) == 0 {
+		t.Fatal("forger never got a lease")
+	}
+	if _, err := forger.Complete(lease.Cells[0].Slot, "forger", []byte("not an artifact")); err == nil {
+		t.Fatal("forged completion was accepted")
+	}
+
+	// An honest worker (stealing the forged cell quickly) finishes the
+	// build with the genuine artifact.
+	w, err := Join(NewClient(addr, nil), WorkerOptions{Name: "honest", RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-buildDone
+	if dsBytes == nil {
+		t.Fatal("build failed after forged completion")
+	}
+	if want := sequentialBytes(t); !bytes.Equal(dsBytes, want) {
+		t.Fatal("dataset after forged completion differs from sequential build")
+	}
+	if st := coord.StatusSnapshot(); st.Bad == 0 {
+		t.Fatalf("status %+v: forged completion was not counted", st)
+	}
+}
+
+// TestFleetObserverCounters wires an Observer through a clean 2-worker
+// build and checks the fleet.* metrics land.
+func TestFleetObserverCounters(t *testing.T) {
+	o := obs.New()
+	_, coord, _ := runFleetBuild(t, 2, nil, CoordinatorOptions{Obs: o})
+	if got := o.Metrics().Counter(obs.MetricFleetCellsDone).Value(); got != 4 {
+		t.Fatalf("fleet.cells_done = %d, want 4", got)
+	}
+	if got := o.Metrics().Gauge(obs.MetricFleetWorkers).Value(); got != 2 {
+		t.Fatalf("fleet.workers = %v, want 2", got)
+	}
+	st := coord.StatusSnapshot()
+	perWorker := 0.0
+	for name := range st.Workers {
+		perWorker += o.Metrics().Gauge(obs.MetricFleetWorkerCellsPrefix + name + ".cells_done").Value()
+	}
+	if perWorker != 4 {
+		t.Fatalf("per-worker gauges sum to %v, want 4", perWorker)
+	}
+}
+
+// TestWorkerCancelledMidBuild cancels a worker's context and checks Run
+// returns promptly with the context error (the coordinator side is
+// covered by the expiry test).
+func TestWorkerCancelledMidBuild(t *testing.T) {
+	mods := fleetModules()
+	cfg := fleetFlow()
+	opts := fleetOpts()
+	spec, err := NewBuildSpec(mods, cfg, opts.LabelRuns, opts.Retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(spec, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	w, err := Join(NewClient(srv.Listener.Addr().String(), nil), WorkerOptions{Name: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.Run(ctx); err != context.Canceled {
+		t.Fatalf("cancelled Run = %v, want context.Canceled", err)
+	}
+}

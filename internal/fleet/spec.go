@@ -1,0 +1,183 @@
+// Package fleet distributes a dataset build's (module × label-run) cell
+// grid across worker processes: a coordinator owns the grid and serves a
+// lease-based work-stealing queue over HTTP, workers join it, run flow
+// cells and stream verified results back.
+//
+// The protocol is designed around one invariant — determinism survives
+// every transport hazard:
+//
+//   - Work is identified positionally (cell slot in the coordinator's
+//     grid) but verified content-addressed: every completion's payload
+//     must decode and re-hash to the cell's flow.CacheKey before it is
+//     accepted. A wrong, stale or corrupted artifact is rejected (HTTP
+//     422), never assembled.
+//   - Completion is idempotent by that same key: the first verified
+//     result wins, later duplicates (a retried request whose original
+//     landed, a stolen cell finished by both workers) are acknowledged
+//     and discarded.
+//   - Leases expire: a worker that dies mid-cell (SIGKILL, network
+//     partition) simply stops renewing, its cells return to the queue and
+//     another worker reruns them. Because cell outcomes are functions of
+//     (module text, config, seed) alone — see core.CellConfig — the rerun
+//     produces the identical artifact, so the assembled dataset is
+//     byte-identical to a sequential build no matter which worker ran
+//     what, how often, or in what order.
+//
+// Transport faults are injectable (faults.NetScript in the Client), so
+// dropped requests, dropped responses and duplicated completions are unit
+// tested, not just reasoned about.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/fpga"
+	"repro/internal/hls"
+	"repro/internal/ir"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/timing"
+)
+
+// ModuleSpec ships one design as its canonical IR text — the same
+// serialization flow.CacheKey hashes, so a worker that parses it derives
+// the exact keys the coordinator expects.
+type ModuleSpec struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+// ConfigSpec is the JSON mirror of the flow.Config fields that influence
+// flow outputs (exactly the fields flow.CacheKey hashes). Runtime-only
+// fields — Cache, Obs, Faults, Attempt — are deliberately absent: each
+// worker attaches its own. All mirrored fields are plain numbers, strings
+// and bools; Go's JSON float round-trip is exact, so a config that crosses
+// the wire produces byte-identical cache keys on both sides.
+type ConfigSpec struct {
+	Dev               fpga.Device   `json:"dev"`
+	Clock             hls.Clock     `json:"clock"`
+	Seed              int64         `json:"seed"`
+	Place             place.Options `json:"place"`
+	Route             route.Options `json:"route"`
+	Timing            timing.Model  `json:"timing"`
+	StrictConvergence bool          `json:"strict_convergence"`
+}
+
+// RetrySpec mirrors flow.RetryPolicy minus the Retryable predicate (a
+// function cannot cross the wire; fleet builds retry every failure, the
+// policy's default).
+type RetrySpec struct {
+	MaxAttempts   int     `json:"max_attempts"`
+	SeedStride    int64   `json:"seed_stride"`
+	RouteIterStep int     `json:"route_iter_step"`
+	CapacityRelax float64 `json:"capacity_relax"`
+	BackoffNs     int64   `json:"backoff_ns"`
+}
+
+// BuildSpec is everything a worker needs to run any cell of the build:
+// the designs, the base flow configuration and the retry escalation. The
+// grid itself (which cells need running) stays coordinator-side — workers
+// learn cells one lease at a time.
+type BuildSpec struct {
+	Modules   []ModuleSpec `json:"modules"`
+	Config    ConfigSpec   `json:"config"`
+	LabelRuns int          `json:"label_runs"`
+	Retry     RetrySpec    `json:"retry"`
+}
+
+// NewBuildSpec captures a build's inputs for the wire. It refuses inputs
+// that cannot survive serialization faithfully: a custom Retryable
+// predicate or a fault injector (both would make worker-side behaviour
+// diverge from the coordinator's intent).
+func NewBuildSpec(mods []*ir.Module, cfg flow.Config, labelRuns int, retry flow.RetryPolicy) (*BuildSpec, error) {
+	if cfg.Dev == nil {
+		return nil, fmt.Errorf("fleet: config has no device")
+	}
+	if cfg.Faults != nil {
+		return nil, fmt.Errorf("fleet: stage-fault injectors do not serialize; fleet builds must not set Config.Faults")
+	}
+	if retry.Retryable != nil {
+		return nil, fmt.Errorf("fleet: RetryPolicy.Retryable does not serialize; use the default (retry everything)")
+	}
+	if labelRuns < 1 {
+		labelRuns = 1
+	}
+	spec := &BuildSpec{
+		Config: ConfigSpec{
+			Dev:               *cfg.Dev,
+			Clock:             cfg.Clock,
+			Seed:              cfg.Seed,
+			Place:             cfg.Place,
+			Route:             cfg.Route,
+			Timing:            cfg.Timing,
+			StrictConvergence: cfg.StrictConvergence,
+		},
+		LabelRuns: labelRuns,
+		Retry: RetrySpec{
+			MaxAttempts:   retry.MaxAttempts,
+			SeedStride:    retry.SeedStride,
+			RouteIterStep: retry.RouteIterStep,
+			CapacityRelax: retry.CapacityRelax,
+			BackoffNs:     int64(retry.Backoff),
+		},
+	}
+	for _, m := range mods {
+		var buf bytes.Buffer
+		if err := ir.WriteText(&buf, m); err != nil {
+			return nil, fmt.Errorf("fleet: serialize module %s: %w", m.Name, err)
+		}
+		spec.Modules = append(spec.Modules, ModuleSpec{Name: m.Name, Text: buf.String()})
+	}
+	return spec, nil
+}
+
+// Materialize reconstructs the build inputs on the worker side. The
+// returned config carries no Cache/Obs — the worker attaches its own.
+func (s *BuildSpec) Materialize() ([]*ir.Module, flow.Config, flow.RetryPolicy, error) {
+	mods := make([]*ir.Module, 0, len(s.Modules))
+	for _, ms := range s.Modules {
+		m, err := ir.ParseText(strings.NewReader(ms.Text))
+		if err != nil {
+			return nil, flow.Config{}, flow.RetryPolicy{}, fmt.Errorf("fleet: parse module %s: %w", ms.Name, err)
+		}
+		mods = append(mods, m)
+	}
+	dev := s.Config.Dev
+	cfg := flow.Config{
+		Dev:               &dev,
+		Clock:             s.Config.Clock,
+		Seed:              s.Config.Seed,
+		Place:             s.Config.Place,
+		Route:             s.Config.Route,
+		Timing:            s.Config.Timing,
+		StrictConvergence: s.Config.StrictConvergence,
+	}
+	retry := flow.RetryPolicy{
+		MaxAttempts:   s.Retry.MaxAttempts,
+		SeedStride:    s.Retry.SeedStride,
+		RouteIterStep: s.Retry.RouteIterStep,
+		CapacityRelax: s.Retry.CapacityRelax,
+		Backoff:       time.Duration(s.Retry.BackoffNs),
+	}
+	return mods, cfg, retry, nil
+}
+
+// EncodeSpec serializes a spec for the wire; DecodeSpec is its inverse.
+func EncodeSpec(s *BuildSpec) ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSpec parses a wire spec.
+func DecodeSpec(data []byte) (*BuildSpec, error) {
+	var s BuildSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("fleet: decode spec: %w", err)
+	}
+	if len(s.Modules) == 0 || s.LabelRuns < 1 {
+		return nil, fmt.Errorf("fleet: spec has no modules or label runs")
+	}
+	return &s, nil
+}

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/flow"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// WorkerOptions tunes a Worker.
+type WorkerOptions struct {
+	// Name identifies the worker to the coordinator (lease ownership,
+	// per-worker metrics). Required.
+	Name string
+	// Cache optionally memoizes flow runs; attach a flowcache with a disk
+	// tier (store shared between workers) so re-runs of stolen or re-queued
+	// cells — and whole re-builds — dedupe instead of recomputing.
+	Cache flow.Cache
+	// Obs observes the worker's flow runs.
+	Obs *obs.Observer
+	// MaxTransportRetries bounds consecutive transport errors before the
+	// worker gives up on a report and moves on (the lease will expire and
+	// another worker reruns the cell). Defaults to 3.
+	MaxTransportRetries int
+	// RetryBackoff is the wait between transport retries (also the poll
+	// interval scale when the queue is empty). Defaults to 200ms.
+	RetryBackoff time.Duration
+}
+
+// Worker pulls cells from a coordinator and runs them. Construct with
+// Join, run with Run.
+type Worker struct {
+	client *Client
+	opts   WorkerOptions
+	mods   []*ir.Module
+	cfg    flow.Config
+	retry  flow.RetryPolicy
+}
+
+// Join fetches the coordinator's build spec and materializes the build
+// inputs. Transport errors retry a few times so workers can start before
+// (or while) the coordinator binds its listener.
+func Join(client *Client, opts WorkerOptions) (*Worker, error) {
+	if opts.Name == "" {
+		return nil, fmt.Errorf("fleet: worker needs a name")
+	}
+	if opts.MaxTransportRetries <= 0 {
+		opts.MaxTransportRetries = 3
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 200 * time.Millisecond
+	}
+	var spec *BuildSpec
+	var err error
+	for attempt := 0; attempt <= opts.MaxTransportRetries; attempt++ {
+		if spec, err = client.Spec(); err == nil {
+			break
+		}
+		time.Sleep(opts.RetryBackoff << attempt)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: join: %w", err)
+	}
+	mods, cfg, retry, err := spec.Materialize()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: join: %w", err)
+	}
+	return &Worker{client: client, opts: opts, mods: mods, cfg: cfg, retry: retry}, nil
+}
+
+// Run pulls and executes cells until the coordinator reports the build
+// done or ctx is cancelled. It returns the number of cells this worker
+// completed (duplicates included). Per-cell flow failures are reported to
+// the coordinator, not returned — they are build results, not worker
+// errors.
+func (w *Worker) Run(ctx context.Context) (completed int, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return completed, err
+		}
+		lease, lerr := w.lease()
+		if lerr != nil {
+			// Transport exhausted: the coordinator is gone (build ended and
+			// process exited, or it crashed). Either way there is nothing
+			// left to pull.
+			return completed, lerr
+		}
+		if lease.Done {
+			return completed, nil
+		}
+		if len(lease.Cells) == 0 {
+			wait := time.Duration(lease.WaitMs) * time.Millisecond
+			if wait <= 0 {
+				wait = w.opts.RetryBackoff
+			}
+			select {
+			case <-ctx.Done():
+				return completed, ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+		for _, item := range lease.Cells {
+			if err := ctx.Err(); err != nil {
+				return completed, err
+			}
+			if w.runCell(ctx, item) {
+				completed++
+			}
+		}
+	}
+}
+
+// runCell executes one leased cell and reports its outcome. Reporting is
+// best-effort: transport errors retry, then the cell is abandoned to the
+// lease-expiry path. Reports true when a completion was delivered.
+func (w *Worker) runCell(ctx context.Context, item leaseItem) bool {
+	if item.Module < 0 || item.Module >= len(w.mods) {
+		w.report(func() error {
+			return w.client.Fail(item.Slot, w.opts.Name, fmt.Sprintf("worker has no module %d", item.Module))
+		})
+		return false
+	}
+	runCfg := core.CellConfig(w.cfg, item.Run)
+	runCfg.Cache = w.opts.Cache
+	runCfg.Obs = w.opts.Obs
+	// Defense in depth: if the worker's derived key disagrees with the
+	// leased one, its spec is stale or corrupt — running the cell would
+	// only produce a completion the coordinator rejects.
+	if key := flow.CacheKey(w.mods[item.Module], runCfg); key != item.Key {
+		w.report(func() error {
+			return w.client.Fail(item.Slot, w.opts.Name,
+				fmt.Sprintf("worker %s derives key %s for slot %d, coordinator expects %s",
+					w.opts.Name, key[:12], item.Slot, item.Key[:12]))
+		})
+		return false
+	}
+	res, runErr := flow.RunWithRetry(ctx, w.mods[item.Module], runCfg, w.retry)
+	if ctx.Err() != nil {
+		// Cancelled mid-cell (drain, kill): report nothing — the lease
+		// expires and the cell reruns elsewhere.
+		return false
+	}
+	if runErr != nil {
+		w.report(func() error {
+			return w.client.Fail(item.Slot, w.opts.Name, runErr.Error())
+		})
+		return false
+	}
+	payload, encErr := store.EncodeResult(res)
+	if encErr != nil {
+		w.report(func() error {
+			return w.client.Fail(item.Slot, w.opts.Name, fmt.Sprintf("encode result: %v", encErr))
+		})
+		return false
+	}
+	delivered := false
+	w.report(func() error {
+		_, err := w.client.Complete(item.Slot, w.opts.Name, payload)
+		if err == nil {
+			delivered = true
+		}
+		return err
+	})
+	return delivered
+}
+
+// lease claims one cell, retrying transport errors. Drop faults surface
+// here as errors and simply retry — a dropped lease *response* means the
+// coordinator leased a cell nobody will run until its lease expires or an
+// idle worker steals it, which is exactly the hazard those mechanisms
+// cover.
+func (w *Worker) lease() (*leaseResponse, error) {
+	var last error
+	for attempt := 0; attempt <= w.opts.MaxTransportRetries; attempt++ {
+		resp, err := w.client.Lease(w.opts.Name, 1)
+		if err == nil {
+			return resp, nil
+		}
+		last = err
+		if !errors.Is(err, faults.ErrNetDropped) {
+			time.Sleep(w.opts.RetryBackoff)
+		}
+	}
+	return nil, last
+}
+
+// report runs one reporting call with transport retries.
+func (w *Worker) report(call func() error) {
+	for attempt := 0; attempt <= w.opts.MaxTransportRetries; attempt++ {
+		err := call()
+		if err == nil {
+			return
+		}
+		if l := w.opts.Obs.Logger(); l != nil {
+			l.Warn("fleet report failed", "worker", w.opts.Name, "attempt", attempt, "error", err)
+		}
+		if !errors.Is(err, faults.ErrNetDropped) {
+			time.Sleep(w.opts.RetryBackoff)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package flowcache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/flow"
+	"repro/internal/ir"
+	"repro/internal/store"
+)
+
+// tierModule builds one small real design: the disk tier round-trips
+// genuine flow artifacts (decode re-elaborates the netlist), so synthetic
+// results would not exercise the verification path.
+func tierModule() *ir.Module {
+	m := ir.NewModule("fc_tier_tiny")
+	f := m.NewFunction("fc_tier_tiny_top")
+	b := ir.NewBuilder(f).At("fc.cpp", 1)
+	p := b.Port("p", 32)
+	a := b.Array("mem", 64, 16, 8)
+	var outs []*ir.Op
+	for i := 0; i < 4; i++ {
+		b.Line(10 + i)
+		v := b.Load(a, nil)
+		x := b.OpBits(ir.KindBitSel, 16, p, 16)
+		outs = append(outs, b.Op(ir.KindMul, 16, v, x))
+	}
+	b.Line(40)
+	b.Ret(b.ReduceTree(ir.KindAdd, 16, outs))
+	m.SetTop(f)
+	return m
+}
+
+var (
+	tierOnce sync.Once
+	tierKeys []string
+	tierRess []*flow.Result
+	tierErr  error
+)
+
+// tierResults runs three real flows (distinct seeds → distinct cache keys)
+// once per test binary.
+func tierResults(t *testing.T) ([]string, []*flow.Result) {
+	t.Helper()
+	tierOnce.Do(func() {
+		m := tierModule()
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := flow.DefaultConfig()
+			cfg.Place.Moves = 2000
+			cfg.Seed = seed
+			res, err := flow.Run(m, cfg)
+			if err != nil {
+				tierErr = err
+				return
+			}
+			tierKeys = append(tierKeys, flow.CacheKey(res.Mod, res.Config))
+			tierRess = append(tierRess, res)
+		}
+	})
+	if tierErr != nil {
+		t.Fatal(tierErr)
+	}
+	return tierKeys, tierRess
+}
+
+// TestAttachStoreDegradationConcurrent hammers one shared disk tier with
+// concurrent writers (write-through Puts) and cold-memory readers (every
+// Get falls through to disk) while a fault script injects read errors,
+// flipped read bits, ENOSPC and a torn write. The contract under fire:
+//
+//   - a Get either returns the exact result its key names or a clean miss
+//     — never a wrong artifact, never a panic (run under -race by check.sh);
+//   - flipped reads are quarantined, not served;
+//   - once the fault script is exhausted the tier converges: re-Put
+//     entries restore and a cold cache hits all of them.
+func TestAttachStoreDegradationConcurrent(t *testing.T) {
+	keys, ress := tierResults(t)
+	table := map[faults.DiskKey]faults.DiskFault{
+		{Op: faults.DiskOpWrite, N: 3}: faults.DiskNoSpace,
+		{Op: faults.DiskOpWrite, N: 6}: faults.DiskTornWrite,
+	}
+	for n := 2; n < 40; n += 5 {
+		table[faults.DiskKey{Op: faults.DiskOpRead, N: n}] = faults.DiskReadError
+	}
+	for n := 4; n < 40; n += 9 {
+		table[faults.DiskKey{Op: faults.DiskOpRead, N: n}] = faults.DiskBitFlip
+	}
+	script := faults.NewDiskScript(table)
+	s, err := store.Open(t.TempDir(), store.Options{Faults: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := New(8)
+	shared.AttachStore(s)
+	for i := range keys {
+		shared.Put(keys[i], ress[i])
+	}
+
+	const loops = 25
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < loops; i++ {
+				k := (w + i) % len(keys)
+				shared.Put(keys[k], ress[k])
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < loops; i++ {
+				k := (r + i) % len(keys)
+				// A fresh memory tier per lookup forces the disk path.
+				cold := New(2)
+				cold.AttachStore(s)
+				res, ok := cold.Get(keys[k])
+				if ok && res.Config.Seed != ress[k].Config.Seed {
+					t.Errorf("Get(%s) returned result with seed %d, want %d",
+						keys[k][:8], res.Config.Seed, ress[k].Config.Seed)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Drain the read-fault script deterministically: keep reading (and
+	// restoring quarantined entries) until every scheduled read fault has
+	// fired, then prove convergence.
+	for script.Count(faults.DiskOpRead) < 40 {
+		cold := New(2)
+		cold.AttachStore(s)
+		if _, ok := cold.Get(keys[0]); !ok {
+			shared.Put(keys[0], ress[0])
+		}
+	}
+	for i := range keys {
+		shared.Put(keys[i], ress[i])
+	}
+	final := New(len(keys))
+	final.AttachStore(s)
+	for i := range keys {
+		res, ok := final.Get(keys[i])
+		if !ok {
+			t.Fatalf("fault-free Get(%s) missed after convergence", keys[i][:8])
+		}
+		if res.Config.Seed != ress[i].Config.Seed {
+			t.Fatalf("converged Get(%s) returned seed %d, want %d",
+				keys[i][:8], res.Config.Seed, ress[i].Config.Seed)
+		}
+	}
+	st := s.Stats()
+	if st.Corrupt == 0 {
+		t.Error("no flipped read was quarantined; the bit-flip path never fired")
+	}
+	if st.PutErrors == 0 {
+		t.Error("no Put degraded; the write-fault path never fired")
+	}
+}

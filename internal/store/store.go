@@ -56,6 +56,13 @@ type Options struct {
 	// unbounded. Eviction is mtime-LRU: least recently touched entries go
 	// first.
 	MaxBytes int64
+	// EvictGrace exempts entries touched within this window from
+	// eviction, so a concurrent reader in another process (a fleet worker
+	// sharing the store directory) never has a just-written or
+	// just-touched entry yanked out from under it. The budget may
+	// overshoot while every entry is inside the grace window; it is
+	// re-enforced as entries age. 0 disables the exemption.
+	EvictGrace time.Duration
 	// Faults optionally injects deterministic disk faults into the write
 	// path (tests, chaos runs). Nil disables injection.
 	Faults *faults.DiskScript
@@ -196,7 +203,31 @@ func (s *Store) Get(key string) ([]byte, error) {
 	defer s.mu.Unlock()
 	path := s.keyPath(key)
 	data, err := os.ReadFile(path)
+	if err == nil {
+		switch s.opts.Faults.Next(faults.DiskOpRead) {
+		case faults.DiskReadError:
+			err = faults.ErrReadFault
+		case faults.DiskBitFlip:
+			// Corrupt the in-memory copy only: models a read returning
+			// flipped bits off dying media. The digest check below catches
+			// it and the (actually fine) on-disk entry is quarantined —
+			// exactly what a store facing a lying disk should do.
+			data = append([]byte(nil), data...)
+			if n := len(data); n > 0 {
+				data[n-1] ^= 0x01
+			}
+		}
+	}
 	if err != nil {
+		if os.IsNotExist(err) {
+			// Another process sharing this directory evicted the entry:
+			// drop the phantom index row so Entries/Bytes track reality
+			// and the budget math stays honest.
+			if size, ok := s.sizes[key]; ok {
+				s.bytes -= size
+				delete(s.sizes, key)
+			}
+		}
 		s.misses++
 		s.obsMisses.Add(1)
 		return nil, ErrNotFound
@@ -316,9 +347,25 @@ func (s *Store) faultedWrite(w io.Writer, data []byte) error {
 
 // enforceBudget evicts oldest-mtime entries until incoming more bytes fit
 // under MaxBytes. Called with mu held.
+//
+// Two guards protect concurrent readers in other processes sharing the
+// directory (the fleet's shared-store deployment):
+//
+//   - Entries touched within Options.EvictGrace are exempt, so an entry a
+//     sibling just Got (its Get touches the mtime) or just Put cannot
+//     disappear between the sibling's index lookup and its read.
+//   - Eviction is rename-aside, not unlink-in-place: the entry first moves
+//     to a temp-prefixed name (atomic, same directory), then the temp file
+//     is removed. A reader that raced the eviction sees either the complete
+//     entry or a clean ENOENT miss — never a partially removed one — and
+//     any crash mid-eviction leaves only a temp file the next Open sweeps.
 func (s *Store) enforceBudget(incoming int64) {
 	if s.opts.MaxBytes <= 0 || s.bytes+incoming <= s.opts.MaxBytes {
 		return
+	}
+	graceFloor := int64(0)
+	if s.opts.EvictGrace > 0 {
+		graceFloor = time.Now().Add(-s.opts.EvictGrace).UnixNano()
 	}
 	type aged struct {
 		key   string
@@ -330,6 +377,9 @@ func (s *Store) enforceBudget(incoming int64) {
 		var mt int64
 		if fi, err := os.Stat(s.keyPath(key)); err == nil {
 			mt = fi.ModTime().UnixNano()
+		}
+		if mt >= graceFloor && graceFloor > 0 {
+			continue // recently touched: a sibling process may be mid-read
 		}
 		entries = append(entries, aged{key, size, mt})
 	}
@@ -343,7 +393,13 @@ func (s *Store) enforceBudget(incoming int64) {
 		if s.bytes+incoming <= s.opts.MaxBytes {
 			break
 		}
-		os.Remove(s.keyPath(e.key))
+		path := s.keyPath(e.key)
+		aside := filepath.Join(filepath.Dir(path), tmpPrefix+"evict-"+filepath.Base(path))
+		if os.Rename(path, aside) == nil {
+			os.Remove(aside)
+		} else {
+			os.Remove(path) // rename failed (e.g. already gone): best effort
+		}
 		delete(s.sizes, e.key)
 		s.bytes -= e.size
 		s.evicts++

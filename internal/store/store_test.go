@@ -461,3 +461,128 @@ func TestConcurrentPutGet(t *testing.T) {
 		t.Errorf("Len = %d, want 80", s.Len())
 	}
 }
+
+// TestConcurrentOpensEvictionRace is the regression test for the
+// cross-process eviction race: two Stores on one directory (modeling a
+// fleet worker and a coordinator sharing the artifact tier), where A's
+// byte budget evicts an entry B still has indexed. B's Get must degrade to
+// a clean ErrNotFound miss — never a partial read, never a quarantine of a
+// phantom — and B's index must self-heal so its byte accounting matches
+// the directory again.
+func TestConcurrentOpensEvictionRace(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(strings.Repeat("z", 100))
+	one := int64(entrySize(testKey(0), len(payload)))
+
+	// A enforces a 2-entry budget with a grace window; B is an unbounded
+	// reader of the same directory.
+	a := openStore(t, dir, Options{MaxBytes: 2 * one, EvictGrace: 30 * time.Second})
+	for i := 0; i < 2; i++ {
+		if err := a.Put(testKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := openStore(t, dir, Options{})
+	if b.Len() != 2 {
+		t.Fatalf("reader indexed %d entries, want 2", b.Len())
+	}
+
+	// Inside the grace window nothing is evictable: A's next Put may
+	// overshoot the budget but B's entries stay readable.
+	if err := a.Put(testKey(2), payload); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := b.Get(testKey(i)); err != nil {
+			t.Fatalf("entry %d evicted inside the grace window: %v", i, err)
+		}
+	}
+	if st := a.Stats(); st.Evictions != 0 {
+		t.Fatalf("evictions inside grace window: %+v", st)
+	}
+
+	// Age every entry past the grace window; A's next Put now evicts the
+	// two oldest. B still has them indexed.
+	old := time.Now().Add(-time.Hour)
+	for i := 0; i < 3; i++ {
+		mt := old.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(a.keyPath(testKey(i)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Put(testKey(3), payload); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Evictions != 2 {
+		t.Fatalf("aged entries not evicted: %+v", st)
+	}
+
+	// B's Get of an evicted entry: clean miss, no quarantine, index healed.
+	if _, err := b.Get(testKey(0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(evicted) = %v, want ErrNotFound", err)
+	}
+	if _, err := b.Get(testKey(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(evicted) = %v, want ErrNotFound", err)
+	}
+	st := b.Stats()
+	if st.Corrupt != 0 {
+		t.Fatalf("cross-process eviction quarantined entries: %+v", st)
+	}
+	// B indexed entries 0 and 1 at Open (2 and 3 landed later); both
+	// phantom rows must now be gone.
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("reader index did not self-heal: %+v", st)
+	}
+	if q := quarantined(t, dir); q != 0 {
+		t.Fatalf("%d files in quarantine, want 0", q)
+	}
+	// No eviction leftovers: the rename-aside temp file must be gone.
+	err := filepath.WalkDir(filepath.Join(dir, objectsDir), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasPrefix(d.Name(), tmpPrefix) {
+			t.Errorf("eviction left temp file %s", d.Name())
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGetInjectedReadFaults covers the read-side fault hooks the
+// flow-cache degradation tests build on: an injected read error degrades
+// to a miss without touching the (healthy) entry; injected flipped bits
+// fail digest verification and quarantine the entry.
+func TestGetInjectedReadFaults(t *testing.T) {
+	dir := t.TempDir()
+	script := faults.NewDiskScript(map[faults.DiskKey]faults.DiskFault{
+		{Op: faults.DiskOpRead, N: 1}: faults.DiskReadError,
+		{Op: faults.DiskOpRead, N: 3}: faults.DiskBitFlip,
+	})
+	s := openStore(t, dir, Options{Faults: script})
+	key, payload := testKey(0), []byte("read-fault fodder")
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key); err != nil { // read #0: clean
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) { // read #1: EIO → miss
+		t.Fatalf("Get under read error = %v, want ErrNotFound", err)
+	}
+	if q := quarantined(t, dir); q != 0 {
+		t.Fatalf("read error quarantined a healthy entry (%d files)", q)
+	}
+	if _, err := s.Get(key); err != nil { // read #2: clean again
+		t.Fatalf("entry gone after transient read error: %v", err)
+	}
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) { // read #3: bit flip
+		t.Fatalf("Get under bit flip = %v, want ErrNotFound", err)
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 {
+		t.Fatalf("bit-flipped read not quarantined: %+v", st)
+	}
+	if q := quarantined(t, dir); q != 1 {
+		t.Fatalf("%d files in quarantine, want 1", q)
+	}
+}

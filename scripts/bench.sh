@@ -1,155 +1,191 @@
 #!/usr/bin/env sh
-# Benchmark harness for the serving layer: measures the /predict hot path
-# two ways and derives the figures BENCH_PR7.json records.
+# Benchmark harness for the distributed build fleet: times one dataset
+# build four ways — in-process sequential (`build -workers 1`), and
+# coordinator + N worker processes for N in 1, 2, 4 — and derives the
+# figures BENCH_PR8.json records:
 #
-#   In-process (go test -bench, GOMAXPROCS=1): ServeBytes — the exact path
-#   behind POST /predict minus net/http — in both wire formats, plus the
-#   coalescing pipeline under concurrent closed-loop callers and the bare
-#   PredictBatchInto floor. Each reports preds/s and allocs/op; the
-#   binary-format figures are the single-core serving claim.
+#   coordination_overhead_1w  t_fleet(1 worker) / t_local: what the HTTP
+#                             queue, JSON spec round-trip and per-cell
+#                             verification cost when distribution buys
+#                             nothing.
+#   speedup_2w / speedup_4w   t_local / t_fleet(N workers). Only claimed
+#                             as parallel speedup when the host has the
+#                             CPUs to back it: on fewer CPUs than workers
+#                             the processes time-slice one core and the
+#                             script refuses the claim (the PR3 precedent
+#                             for GOMAXPROCS=1 hosts) while still
+#                             recording the measured wall times.
 #
-#   End-to-end (congserve + congload over real HTTP on localhost): a
-#   closed-loop throughput run (large requests) and a latency run
-#   (single-row requests). congload reports client-side p50/p99 and the
-#   server-side serve.latency_us p99 bucket bound, which is the number the
-#   "p99 stays within ~2x the coalescing window" criterion is judged on —
-#   client-side figures include HTTP and loopback cost.
+# Every fleet artifact is compared byte-for-byte against the sequential
+# one — a benchmark run that produced different bytes is a failed run.
 #
-# The PR3-PR6 figures are carried forward from BENCH_PR6.json so one file
+# The PR3-PR7 figures are carried forward from BENCH_PR7.json so one file
 # still summarizes the repo's performance story.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 1s)
+# Usage: scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${1:-1s}"
-OUT=BENCH_PR7.json
-COUNT="${BENCH_COUNT:-3}"
-WINDOW_US=200
+OUT=BENCH_PR8.json
+# Heavy cells (seconds each, place-dominated) so the coordination cost is
+# measured against real work, not against a build that finishes in 100ms.
+BUILD_ARGS="-modules face_detection -label-runs 4 -moves 20000000"
 
-echo "== serve benchmarks (GOMAXPROCS=1, benchtime=$BENCHTIME, count=$COUNT, keeping best) =="
-GOMAXPROCS=1 go test -run '^$' \
-	-bench 'BenchmarkServePredict|BenchmarkServeCoalesced|BenchmarkPredictBatchDirect' \
-	-benchmem -benchtime="$BENCHTIME" -count="$COUNT" ./internal/serve/ |
-	tee /tmp/bench_serve.txt
+FLEET_TMP="$(mktemp -d)"
+trap 'rm -rf "$FLEET_TMP"' EXIT
+HL="$FLEET_TMP/hlscong"
+go build -o "$HL" ./cmd/hlscong
 
-echo "== closed-loop HTTP load (congserve GOMAXPROCS=1 + congload) =="
-SERVE_TMP="$(mktemp -d)"
-SERVE_PID=""
-trap 'rm -rf "$SERVE_TMP"; [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2> /dev/null || true' EXIT
-go build -o "$SERVE_TMP/congserve" ./cmd/congserve
-go build -o "$SERVE_TMP/congload" ./cmd/congload
-"$SERVE_TMP/congserve" -train-quick -model "$SERVE_TMP/model.json" -kind gbrt > /dev/null
-GOMAXPROCS=1 "$SERVE_TMP/congserve" -model "$SERVE_TMP/model.json" \
-	-addr 127.0.0.1:0 -addr-file "$SERVE_TMP/addr.txt" -log-level warn &
-SERVE_PID=$!
-i=0
-while [ ! -s "$SERVE_TMP/addr.txt" ]; do
-	i=$((i + 1))
-	[ "$i" -gt 100 ] && { echo "FAIL: congserve never wrote its address"; exit 1; }
-	sleep 0.1
+now_ms() {
+	date +%s%N | sed 's/......$//'
+}
+
+echo "== sequential reference build (in-process, -workers 1) =="
+t0="$(now_ms)"
+# shellcheck disable=SC2086
+"$HL" -workers 1 $BUILD_ARGS -out "$FLEET_TMP/ref.art" build > /dev/null
+t1="$(now_ms)"
+T_LOCAL=$((t1 - t0))
+echo "  t_local: ${T_LOCAL}ms"
+
+# fleet_run N OUT: coordinator + N fresh worker processes, wall-clock the
+# whole build (coordinator launch through artifact written). Prints the
+# elapsed milliseconds.
+fleet_run() {
+	n="$1"
+	art="$2"
+	dir="$FLEET_TMP/run$n"
+	mkdir -p "$dir"
+	start="$(now_ms)"
+	# A long lease keeps expiry/steal churn out of the timing: on a
+	# time-sliced single CPU a cell can easily outlive the default 30s TTL,
+	# and re-running it would measure the recovery machinery, not the queue.
+	# shellcheck disable=SC2086
+	"$HL" -serve-builds 127.0.0.1:0 -fleet-addr-file "$dir/addr" -fleet-lease 600s \
+		$BUILD_ARGS -out "$art" build > /dev/null 2> "$dir/coord.log" &
+	cpid=$!
+	i=0
+	while [ ! -s "$dir/addr" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "FAIL: coordinator never bound" >&2; return 1; }
+		sleep 0.1
+	done
+	addr="$(cat "$dir/addr")"
+	pids=""
+	j=0
+	while [ "$j" -lt "$n" ]; do
+		"$HL" -join "$addr" -fleet-name "w$j" > /dev/null 2>&1 &
+		pids="$pids $!"
+		j=$((j + 1))
+	done
+	wait "$cpid" || { echo "FAIL: coordinator failed (see $dir/coord.log)" >&2; return 1; }
+	end="$(now_ms)"
+	for p in $pids; do
+		wait "$p" 2> /dev/null || true
+	done
+	echo $((end - start))
+}
+
+T_FLEET_1=""
+T_FLEET_2=""
+T_FLEET_4=""
+for n in 1 2 4; do
+	echo "== fleet build ($n worker(s)) =="
+	t="$(fleet_run "$n" "$FLEET_TMP/fleet$n.art")"
+	cmp "$FLEET_TMP/ref.art" "$FLEET_TMP/fleet$n.art" || {
+		echo "FAIL: $n-worker fleet artifact differs from the sequential build"
+		exit 1
+	}
+	echo "  t_fleet_${n}w: ${t}ms (byte-identical to sequential)"
+	case "$n" in
+	1) T_FLEET_1="$t" ;;
+	2) T_FLEET_2="$t" ;;
+	4) T_FLEET_4="$t" ;;
+	esac
 done
-ADDR="$(cat "$SERVE_TMP/addr.txt")"
-# Latency first: the serve.latency_us histogram accumulates over the
-# server's lifetime, so the single-row run must read its server-side p99
-# bound before the bulk run floods the series with millisecond batches.
-"$SERVE_TMP/congload" -addr "$ADDR" -duration 3s -concurrency 4 -rows 1 \
-	-out "$SERVE_TMP/lat.json" > /dev/null
-"$SERVE_TMP/congload" -addr "$ADDR" -duration 3s -concurrency 6 -rows 256 \
-	-out "$SERVE_TMP/tput.json" > /dev/null
-kill -TERM "$SERVE_PID"
-wait "$SERVE_PID" || true
-SERVE_PID=""
 
 # Pull one numeric field out of a JSON report (first match).
 carry() {
 	sed -n "s/.*\"$2\": \(-\{0,1\}[0-9.]*\).*/\1/p" "$1" 2> /dev/null | head -1
 }
 
-awk -v cpus="$(nproc)" -v window_us="$WINDOW_US" \
-	-v strict="${BENCH_STRICT:-0}" \
-	-v http_pps="$(carry "$SERVE_TMP/tput.json" preds_per_sec)" \
-	-v http_p99="$(carry "$SERVE_TMP/tput.json" p99_us)" \
-	-v lat_p50="$(carry "$SERVE_TMP/lat.json" p50_us)" \
-	-v lat_p99="$(carry "$SERVE_TMP/lat.json" p99_us)" \
-	-v serve_p99="$(carry "$SERVE_TMP/lat.json" server_p99_us_bound)" \
-	-v p3place="$(carry BENCH_PR6.json place_speedup)" \
-	-v p3route="$(carry BENCH_PR6.json route_speedup)" \
-	-v p3cache="$(carry BENCH_PR6.json warm_cache_speedup)" \
-	-v p4gbrt="$(carry BENCH_PR6.json gbrt_fit_speedup)" \
-	-v p4grid="$(carry BENCH_PR6.json gbrt_grid_search_speedup)" \
-	-v p5noop="$(carry BENCH_PR6.json noop_overhead_check)" \
-	-v p5obs="$(carry BENCH_PR6.json enabled_overhead)" \
-	-v p6store="$(carry BENCH_PR6.json store_overhead)" \
-	-v p6resume="$(carry BENCH_PR6.json resume_speedup)" '
-	/^Benchmark/ {
-		name = $1
-		sub(/-[0-9]+$/, "", name)
-		# Fields come in value-unit pairs after the iteration count; keep
-		# the best (max preds/s, min allocs/op) across -count repetitions.
-		pps = -1; apo = -1
-		for (i = 3; i < NF; i++) {
-			if ($(i + 1) == "preds/s") pps = $i + 0
-			if ($(i + 1) == "allocs/op") apo = $i + 0
-		}
-		if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
-		if (pps >= 0 && pps > best_pps[name]) best_pps[name] = pps
-		if (apo >= 0 && (!(name in best_apo) || apo < best_apo[name]))
-			best_apo[name] = apo
-	}
-	END {
+awk -v cpus="$(nproc)" -v strict="${BENCH_STRICT:-0}" \
+	-v t_local="$T_LOCAL" -v t1="$T_FLEET_1" -v t2="$T_FLEET_2" -v t4="$T_FLEET_4" \
+	-v p3place="$(carry BENCH_PR7.json place_speedup)" \
+	-v p3route="$(carry BENCH_PR7.json route_speedup)" \
+	-v p3cache="$(carry BENCH_PR7.json warm_cache_speedup)" \
+	-v p4gbrt="$(carry BENCH_PR7.json gbrt_fit_speedup)" \
+	-v p4grid="$(carry BENCH_PR7.json gbrt_grid_search_speedup)" \
+	-v p5noop="$(carry BENCH_PR7.json noop_overhead_check)" \
+	-v p5obs="$(carry BENCH_PR7.json enabled_overhead)" \
+	-v p6store="$(carry BENCH_PR7.json store_overhead)" \
+	-v p6resume="$(carry BENCH_PR7.json resume_speedup)" \
+	-v p7serve="$(carry BENCH_PR7.json serve_preds_per_sec_single_core)" \
+	-v p7http="$(carry BENCH_PR7.json http_preds_per_sec_single_core)" \
+	-v p7p99="$(carry BENCH_PR7.json serve_p99_us_bound)" '
+	function num(v) { return (v != "" ? v : "null") }
+	BEGIN {
+		overhead = t1 / t_local
+		speedup2 = t_local / t2
+		speedup4 = t_local / t4
+		refused = (cpus < 2) ? "true" : "false"
+
 		printf "{\n"
-		printf "  \"host\": {\"cpus\": %d, \"serve_gomaxprocs\": 1},\n", cpus
+		printf "  \"host\": {\"cpus\": %d},\n", cpus
 
 		printf "  \"carried_forward\": {"
-		printf "\"place_speedup\": %s, ", (p3place != "" ? p3place : "null")
-		printf "\"route_speedup\": %s, ", (p3route != "" ? p3route : "null")
-		printf "\"warm_cache_speedup\": %s, ", (p3cache != "" ? p3cache : "null")
-		printf "\"gbrt_fit_speedup\": %s, ", (p4gbrt != "" ? p4gbrt : "null")
-		printf "\"gbrt_grid_search_speedup\": %s, ", (p4grid != "" ? p4grid : "null")
-		printf "\"noop_overhead_check\": %s, ", (p5noop != "" ? p5noop : "null")
-		printf "\"enabled_overhead\": %s, ", (p5obs != "" ? p5obs : "null")
-		printf "\"store_overhead\": %s, ", (p6store != "" ? p6store : "null")
-		printf "\"resume_speedup\": %s},\n", (p6resume != "" ? p6resume : "null")
+		printf "\"place_speedup\": %s, ", num(p3place)
+		printf "\"route_speedup\": %s, ", num(p3route)
+		printf "\"warm_cache_speedup\": %s, ", num(p3cache)
+		printf "\"gbrt_fit_speedup\": %s, ", num(p4gbrt)
+		printf "\"gbrt_grid_search_speedup\": %s, ", num(p4grid)
+		printf "\"noop_overhead_check\": %s, ", num(p5noop)
+		printf "\"enabled_overhead\": %s, ", num(p5obs)
+		printf "\"store_overhead\": %s, ", num(p6store)
+		printf "\"resume_speedup\": %s, ", num(p6resume)
+		printf "\"serve_preds_per_sec_single_core\": %s, ", num(p7serve)
+		printf "\"http_preds_per_sec_single_core\": %s, ", num(p7http)
+		printf "\"serve_p99_us_bound\": %s},\n", num(p7p99)
 
-		printf "  \"benchmarks\": {\n"
-		for (i = 0; i < n; i++) {
-			name = order[i]
-			printf "    \"%s\": {\"preds_per_sec\": %s, \"allocs_per_op\": %s}%s\n",
-				name,
-				(name in best_pps ? best_pps[name] : "null"),
-				(name in best_apo ? best_apo[name] : "null"),
-				(i < n - 1 ? "," : "")
-		}
+		printf "  \"fleet\": {\n"
+		printf "    \"t_local_ms\": %d,\n", t_local
+		printf "    \"t_fleet_1w_ms\": %d,\n", t1
+		printf "    \"t_fleet_2w_ms\": %d,\n", t2
+		printf "    \"t_fleet_4w_ms\": %d,\n", t4
+		printf "    \"coordination_overhead_1w\": %.3f,\n", overhead
+		printf "    \"wall_ratio_2w\": %.3f,\n", speedup2
+		printf "    \"wall_ratio_4w\": %.3f,\n", speedup4
+		printf "    \"byte_identical_all_runs\": true\n"
 		printf "  },\n"
 
-		serve_pps = best_pps["BenchmarkServePredictBinary256"] + 0
-		printf "  \"serve_preds_per_sec_single_core\": %s,\n", (serve_pps > 0 ? serve_pps : "null")
-		printf "  \"http_preds_per_sec_single_core\": %s,\n", (http_pps != "" ? http_pps : "null")
-		printf "  \"http_p99_us_bulk\": %s,\n", (http_p99 != "" ? http_p99 : "null")
-		printf "  \"http_single_row_p50_us\": %s,\n", (lat_p50 != "" ? lat_p50 : "null")
-		printf "  \"http_single_row_p99_us\": %s,\n", (lat_p99 != "" ? lat_p99 : "null")
-		printf "  \"serve_p99_us_bound\": %s,\n", (serve_p99 != "" ? serve_p99 : "null")
-		printf "  \"window_us\": %d,\n", window_us
+		overhead_ok = (overhead <= 1.15) ? "true" : "false"
+		printf "  \"meets_overhead_1w_within_1_15x\": %s,\n", overhead_ok
 
-		target_met = (serve_pps >= 100000 && http_pps + 0 >= 100000) ? "true" : "false"
-		p99_ok = (serve_p99 != "" && serve_p99 + 0 > 0 && serve_p99 + 0 <= 2 * window_us) ? "true" : "false"
-		printf "  \"meets_100k_preds_per_sec\": %s,\n", target_met
-		printf "  \"serve_p99_within_2x_window\": %s\n", p99_ok
+		# Parallel-speedup claims need parallel hardware. On a host with
+		# fewer CPUs than workers the N processes time-slice one core, so
+		# the wall ratios above measure scheduling fairness, not scaling —
+		# claiming >=1.7x/>=3x from them would be dishonest (see the PR3
+		# GOMAXPROCS=1 precedent). Record them, claim nothing.
+		printf "  \"parallel_speedup_claims_refused\": %s,\n", refused
+		if (refused == "true") {
+			printf "  \"refusal_reason\": \"host has %d CPU(s); multi-worker wall ratios on one core measure time-slicing, not parallel scaling\",\n", cpus
+			printf "  \"meets_speedup_2w_1_7x\": null,\n"
+			printf "  \"meets_speedup_4w_3x\": null\n"
+		} else {
+			s2ok = (cpus >= 2 && speedup2 >= 1.7) ? "true" : "false"
+			s4ok = (cpus >= 4 && speedup4 >= 3.0) ? "true" : "false"
+			printf "  \"meets_speedup_2w_1_7x\": %s,\n", s2ok
+			printf "  \"meets_speedup_4w_3x\": %s\n", s4ok
+		}
 		printf "}\n"
 
-		if (target_met != "true") {
-			printf "WARNING: single-core serving below 100k preds/s (bench %s, http %s)\n",
-				serve_pps, http_pps > "/dev/stderr"
-			if (strict != 0) exit 1
-		}
-		if (p99_ok != "true") {
-			printf "WARNING: serve-side p99 bound %s us exceeds 2x the %d us window\n",
-				serve_p99, window_us > "/dev/stderr"
+		if (overhead_ok != "true") {
+			printf "WARNING: 1-worker fleet overhead %.2fx exceeds the 1.15x budget\n",
+				overhead > "/dev/stderr"
 			if (strict != 0) exit 1
 		}
 	}
-' /tmp/bench_serve.txt > "$OUT"
+' > "$OUT"
 
 echo "wrote $OUT:"
 cat "$OUT"

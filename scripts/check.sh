@@ -182,4 +182,62 @@ grep -q '"preds": [1-9]' "$SERVE_TMP/drain.json" || {
 	exit 1
 }
 
+# The fleet's reproduction contract, across real processes and a real
+# worker death: a coordinator shards the build over two worker processes
+# sharing one artifact store, one worker is SIGKILLed mid-cell, the lease
+# expires, the survivor reruns the orphaned cell, and the assembled
+# artifact is byte-identical to a sequential single-process build.
+echo "== fleet build (2 workers, one SIGKILLed, byte-identical) =="
+FLEET_TMP="$(mktemp -d)"
+FLEET_W1=""
+FLEET_W2=""
+FLEET_COORD=""
+trap 'rm -rf "$CRASH_TMP" "$SERVE_TMP" "$FLEET_TMP" /tmp/storecheck; [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2> /dev/null; for p in "$FLEET_COORD" "$FLEET_W1" "$FLEET_W2"; do [ -n "$p" ] && kill -9 "$p" 2> /dev/null; done; true' EXIT
+go build -o "$FLEET_TMP/hlscong" ./cmd/hlscong
+# The move budget makes each cell take seconds, so the SIGKILL at 1.5s
+# lands mid-cell with the doomed worker's lease still outstanding.
+FLEET_ARGS="-modules face_detection -label-runs 2 -moves 20000000"
+# shellcheck disable=SC2086
+"$FLEET_TMP/hlscong" -workers 1 $FLEET_ARGS -out "$FLEET_TMP/ref.art" build > /dev/null
+# shellcheck disable=SC2086
+"$FLEET_TMP/hlscong" -serve-builds 127.0.0.1:0 -fleet-addr-file "$FLEET_TMP/addr.txt" \
+	-fleet-lease 2s $FLEET_ARGS -out "$FLEET_TMP/fleet.art" build \
+	> /dev/null 2> "$FLEET_TMP/coord.log" &
+FLEET_COORD=$!
+i=0
+while [ ! -s "$FLEET_TMP/addr.txt" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "FAIL: fleet coordinator never wrote its address"; exit 1; }
+	sleep 0.1
+done
+FLEET_ADDR="$(cat "$FLEET_TMP/addr.txt")"
+"$FLEET_TMP/hlscong" -join "$FLEET_ADDR" -fleet-name doomed \
+	-store-dir "$FLEET_TMP/store" > /dev/null 2>&1 &
+FLEET_W1=$!
+"$FLEET_TMP/hlscong" -join "$FLEET_ADDR" -fleet-name survivor \
+	-store-dir "$FLEET_TMP/store" > /dev/null 2>&1 &
+FLEET_W2=$!
+sleep 1.5
+kill -9 "$FLEET_W1" 2> /dev/null || true
+FLEET_W1=""
+coord_rc=0
+wait "$FLEET_COORD" || coord_rc=$?
+FLEET_COORD=""
+wait "$FLEET_W2" 2> /dev/null || true
+FLEET_W2=""
+[ "$coord_rc" -eq 0 ] || {
+	echo "FAIL: fleet coordinator exited $coord_rc"
+	cat "$FLEET_TMP/coord.log"
+	exit 1
+}
+grep -Eq '[1-9][0-9]* leases expired' "$FLEET_TMP/coord.log" || {
+	echo "FAIL: no lease expired — the SIGKILLed worker's cell was never orphaned"
+	cat "$FLEET_TMP/coord.log"
+	exit 1
+}
+cmp "$FLEET_TMP/ref.art" "$FLEET_TMP/fleet.art" || {
+	echo "FAIL: fleet artifact differs from the sequential build"
+	exit 1
+}
+
 echo "tier-1 checks passed"
