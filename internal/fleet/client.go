@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"time"
 
 	"repro/internal/faults"
@@ -115,7 +117,7 @@ func (c *Client) Lease(worker string, max int) (*leaseResponse, error) {
 // verification rejection (HTTP 422) returns an error — the worker
 // produced a wrong artifact, which local rebuilds must surface loudly.
 func (c *Client) Complete(slot int, worker string, payload []byte) (duplicate bool, err error) {
-	path := fmt.Sprintf("/fleet/complete?slot=%d&worker=%s", slot, worker)
+	path := "/fleet/complete?" + slotWorkerQuery(slot, worker)
 	data, status, err := c.roundTrip(NetOpComplete, path, payload)
 	if err != nil {
 		return false, err
@@ -130,10 +132,20 @@ func (c *Client) Complete(slot int, worker string, payload []byte) (duplicate bo
 	return resp.Duplicate, nil
 }
 
+// slotWorkerQuery builds the ?slot&worker query with the worker name
+// escaped — names are user-chosen (-fleet-name) and may contain '&', '=',
+// spaces or '#', which would otherwise corrupt the request.
+func slotWorkerQuery(slot int, worker string) string {
+	return url.Values{
+		"slot":   {strconv.Itoa(slot)},
+		"worker": {worker},
+	}.Encode()
+}
+
 // Fail reports one terminal cell failure.
 func (c *Client) Fail(slot int, worker, errText string) error {
 	body, _ := json.Marshal(failRequest{Error: errText})
-	path := fmt.Sprintf("/fleet/fail?slot=%d&worker=%s", slot, worker)
+	path := "/fleet/fail?" + slotWorkerQuery(slot, worker)
 	_, status, err := c.roundTrip(NetOpFail, path, body)
 	if err != nil {
 		return err

@@ -47,8 +47,13 @@ const (
 )
 
 type cellSlot struct {
-	cell     core.Cell
-	key      string // flow.CacheKey the completion must verify against
+	cell core.Cell
+	// keys are the flow.CacheKeys a completion may verify against:
+	// keys[k] is the key of retry attempt k's escalated config (keys[0]
+	// the base config, which leases advertise). A worker's RunWithRetry
+	// returns the first attempt that succeeds, so the artifact may hash
+	// to any of them.
+	keys     []string
 	state    int
 	worker   string    // current lease holder (last one, when stolen)
 	deadline time.Time // lease expiry
@@ -73,9 +78,20 @@ type workerStats struct {
 // Construct with NewCoordinator, serve its Handler (or call Serve), then
 // run the build through Execute — the core.CellExecutor side of the
 // protocol.
+//
+// Completions are verified against the cell's full escalation key set:
+// the cache key of the base config plus one per retry attempt
+// (flow.RetryPolicy.Escalate re-rolls the seed and relaxes routing, so
+// every attempt has a distinct key, and a worker whose cell succeeded on
+// a retry legitimately delivers the escalated artifact — rejecting it
+// would re-queue the cell forever). Determinism is preserved: which
+// attempt first succeeds is a pure function of (module, config, policy),
+// so every worker — and the local reference build — produces the same
+// artifact for the cell.
 type Coordinator struct {
 	opts     CoordinatorOptions
 	specJSON []byte
+	retry    flow.RetryPolicy // the escalation workers run under
 
 	mu        sync.Mutex
 	slots     []cellSlot
@@ -121,6 +137,7 @@ func NewCoordinator(spec *BuildSpec, opts CoordinatorOptions) (*Coordinator, err
 	c := &Coordinator{
 		opts:      opts,
 		specJSON:  specJSON,
+		retry:     spec.Retry.policy(),
 		buildDone: make(chan struct{}),
 		workers:   make(map[string]*workerStats),
 		o:         o,
@@ -176,10 +193,15 @@ func (c *Coordinator) Execute(ctx context.Context, mods []*ir.Module, cells []co
 	c.started = true
 	c.slots = make([]cellSlot, len(cells))
 	c.pending = c.pending[:0]
+	attempts := c.retry.Attempts()
 	for i, cell := range cells {
+		keys := make([]string, attempts)
+		for k := range keys {
+			keys[k] = flow.CacheKey(mods[cell.Module], c.retry.Escalate(cfgs[i], k))
+		}
 		c.slots[i] = cellSlot{
 			cell:  cell,
-			key:   flow.CacheKey(mods[cell.Module], cfgs[i]),
+			keys:  keys,
 			state: cellPending,
 		}
 		c.pending = append(c.pending, i)
@@ -287,18 +309,21 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		s.state, s.worker = cellLeased, req.Worker
 		s.leasedAt, s.deadline = now, now.Add(c.opts.LeaseTTL)
 		resp.Cells = append(resp.Cells, leaseItem{
-			Slot: i, Module: s.cell.Module, Run: s.cell.Run, Key: s.key,
+			Slot: i, Module: s.cell.Module, Run: s.cell.Run, Key: s.keys[0],
 		})
 	}
 	if len(resp.Cells) == 0 && c.started && c.remaining > 0 {
 		// Nothing queued but the build is unfinished: steal the
-		// longest-held in-flight cell from another worker once it is old
-		// enough. Both workers then race; the first verified completion
-		// wins and the loser's lands on the idempotent-duplicate path.
+		// longest-held in-flight cell once it is old enough. Both workers
+		// then race; the first verified completion wins and the loser's
+		// lands on the idempotent-duplicate path. The holder itself may
+		// re-claim its own stale lease — after a dropped lease response the
+		// sole worker of a fleet is the only one who will ever ask, and
+		// without self-reclaim it would idle for the full LeaseTTL.
 		best := -1
 		for i := range c.slots {
 			s := &c.slots[i]
-			if s.state != cellLeased || s.worker == req.Worker {
+			if s.state != cellLeased {
 				continue
 			}
 			if now.Sub(s.leasedAt) < c.opts.StealAfter {
@@ -313,12 +338,19 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			from := s.worker
 			s.worker = req.Worker
 			s.leasedAt, s.deadline = now, now.Add(c.opts.LeaseTTL)
-			c.cSteal.Add(1)
+			stolen := from != req.Worker
+			if stolen {
+				c.cSteal.Add(1)
+			}
 			resp.Cells = append(resp.Cells, leaseItem{
-				Slot: best, Module: s.cell.Module, Run: s.cell.Run, Key: s.key, Stolen: true,
+				Slot: best, Module: s.cell.Module, Run: s.cell.Run, Key: s.keys[0], Stolen: stolen,
 			})
 			if l := c.o.Logger(); l != nil {
-				l.Info("fleet cell stolen", "slot", best, "from", from, "to", req.Worker)
+				if stolen {
+					l.Info("fleet cell stolen", "slot", best, "from", from, "to", req.Worker)
+				} else {
+					l.Info("fleet cell lease renewed by holder", "slot", best, "worker", req.Worker)
+				}
 			}
 		}
 	}
@@ -363,24 +395,43 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	payload, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	// Read one byte past the cap so an oversized payload is detected
+	// rather than silently truncated into a payload that fails decode for
+	// an unrelated-looking reason.
+	const maxCompletion = 64 << 20
+	payload, err := io.ReadAll(io.LimitReader(r.Body, maxCompletion+1))
 	if err != nil {
 		http.Error(w, "read body", http.StatusBadRequest)
 		return
 	}
+	if len(payload) > maxCompletion {
+		c.cBad.Add(1)
+		if l := c.o.Logger(); l != nil {
+			l.Warn("fleet rejected oversized completion", "slot", slot, "worker", worker, "cap_bytes", maxCompletion)
+		}
+		http.Error(w, "completion payload exceeds 64MiB cap", http.StatusRequestEntityTooLarge)
+		return
+	}
 	// Verify outside the lock: decode + re-hash is the expensive step, and
-	// it needs no queue state beyond the (immutable) key.
+	// it needs no queue state beyond the (immutable) key set.
 	c.mu.Lock()
-	key := c.slots[slot].key
+	keys := c.slots[slot].keys
 	c.mu.Unlock()
 	res, derr := store.DecodeResult(payload)
 	if derr == nil {
-		derr = store.VerifyResultKey(res, key)
+		// Any escalation attempt's key is acceptable: the worker delivers
+		// whichever attempt of RunWithRetry first succeeded, and that
+		// choice is deterministic (see Execute).
+		for _, key := range keys {
+			if derr = store.VerifyResultKey(res, key); derr == nil {
+				break
+			}
+		}
 	}
 	if derr != nil {
-		// The payload is not the artifact this cell's key names: reject it
-		// and let the lease/steal machinery rerun the cell. Accepting it
-		// would silently break byte-identity.
+		// The payload is not an artifact any of this cell's keys name:
+		// reject it and let the lease/steal machinery rerun the cell.
+		// Accepting it would silently break byte-identity.
 		c.cBad.Add(1)
 		if l := c.o.Logger(); l != nil {
 			l.Warn("fleet rejected unverified completion", "slot", slot, "worker", worker, "error", derr)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -54,8 +55,9 @@ func fleetOpts() core.BuildOptions {
 
 // runFleetBuild assembles a full in-process fleet — coordinator over real
 // HTTP (httptest), n workers with the given fault scripts — and runs one
-// distributed build, returning the canonical dataset bytes.
-func runFleetBuild(t *testing.T, n int, scripts []*faults.NetScript, copts CoordinatorOptions) ([]byte, *Coordinator, *core.BuildSummary) {
+// distributed build, returning the canonical dataset bytes. Workers are
+// named "A", "B", ... unless explicit names are given.
+func runFleetBuild(t *testing.T, n int, scripts []*faults.NetScript, copts CoordinatorOptions, names ...string) ([]byte, *Coordinator, *core.BuildSummary) {
 	t.Helper()
 	mods := fleetModules()
 	cfg := fleetFlow()
@@ -80,8 +82,12 @@ func runFleetBuild(t *testing.T, n int, scripts []*faults.NetScript, copts Coord
 		if i < len(scripts) {
 			script = scripts[i]
 		}
+		name := string(rune('A' + i))
+		if i < len(names) {
+			name = names[i]
+		}
 		w, err := Join(NewClient(addr, script), WorkerOptions{
-			Name:         string(rune('A' + i)),
+			Name:         name,
 			RetryBackoff: 10 * time.Millisecond,
 		})
 		if err != nil {
@@ -468,6 +474,330 @@ func TestFleetObserverCounters(t *testing.T) {
 	}
 	if perWorker != 4 {
 		t.Fatalf("per-worker gauges sum to %v, want 4", perWorker)
+	}
+}
+
+// TestFleetAcceptsRetriedCompletion is the regression for the
+// retried-success livelock: a cell that fails its first flow attempt and
+// succeeds on a retry delivers an artifact keyed by the *escalated*
+// config (re-rolled seed), not the base one. The coordinator used to
+// verify against the attempt-0 key only, so such a completion was 422'd,
+// the cell re-leased, and the identical rejection repeated forever. It
+// must be accepted, and the dataset must match the sequential build
+// under the same injected faults.
+func TestFleetAcceptsRetriedCompletion(t *testing.T) {
+	mods := fleetModules()
+	cfg := fleetFlow()
+	opts := fleetOpts()
+	inject := faults.ForDesign(mods[0].Name, faults.FailFirst(flow.StageRoute, 1, flow.ErrUnroutable))
+
+	// Sequential reference under the same per-attempt faults.
+	seqCfg := cfg
+	seqCfg.Faults = inject
+	seqOpts := opts
+	seqOpts.Workers = 1
+	seqDS, _, seqSum, err := core.BuildDatasetContext(context.Background(), mods, seqCfg, seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqSum.Succeeded != 2 {
+		t.Fatalf("sequential reference: %+v, want both modules to succeed via retry", seqSum)
+	}
+	want := store.EncodeDataset(seqDS)
+
+	spec, err := NewBuildSpec(mods, cfg, opts.LabelRuns, opts.Retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(spec, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := Join(NewClient(srv.Listener.Addr().String(), nil),
+		WorkerOptions{Name: "retrier", RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault injectors don't cross the wire (NewBuildSpec rejects them);
+	// plant the same injector directly in the joined worker, as a faulty
+	// environment would.
+	w.cfg.Faults = inject
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.Run(ctx)
+	}()
+	ds, _, sum, err := core.BuildDatasetExec(ctx, mods, cfg, opts, coord.Execute)
+	if err != nil {
+		t.Fatalf("fleet build with retried cells failed: %v", err)
+	}
+	cancel()
+	wg.Wait()
+	if !bytes.Equal(store.EncodeDataset(ds), want) {
+		t.Fatal("fleet build with retried cells differs from sequential build")
+	}
+	if sum.Succeeded != 2 {
+		t.Fatalf("summary: %+v, want 2 modules succeeded", sum)
+	}
+	st := coord.StatusSnapshot()
+	if st.Bad != 0 {
+		t.Fatalf("status %+v: retried completions were rejected as unverified", st)
+	}
+	if st.Done != 4 {
+		t.Fatalf("status %+v, want 4 cells done", st)
+	}
+}
+
+// TestSelfReclaimAfterDroppedLease pins the single-worker recovery path:
+// when a lease response is lost on the wire, the holder itself is the
+// only worker who will ever ask again — the steal scan must hand its own
+// stale cell back at StealAfter instead of stalling until the full
+// LeaseTTL.
+func TestSelfReclaimAfterDroppedLease(t *testing.T) {
+	var clock atomic.Int64
+	base := time.Now()
+	now := func() time.Time { return base.Add(time.Duration(clock.Load())) }
+
+	mods := fleetModules()
+	cfg := fleetFlow()
+	opts := fleetOpts()
+	opts.LabelRuns = 1 // 2 cells
+	spec, err := NewBuildSpec(mods, cfg, opts.LabelRuns, opts.Retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(spec, CoordinatorOptions{
+		LeaseTTL:   time.Hour, // expiry out of the picture: only self-reclaim can save this build
+		StealAfter: time.Minute,
+		Now:        now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	addr := srv.Listener.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buildDone := make(chan struct{})
+	var dsBytes []byte
+	go func() {
+		defer close(buildDone)
+		ds, _, _, err := core.BuildDatasetExec(ctx, mods, cfg, opts, coord.Execute)
+		if err == nil {
+			dsBytes = store.EncodeDataset(ds)
+		}
+	}()
+
+	// Both lease responses are "dropped": the worker claims the cells but
+	// never learns it holds them.
+	solo := NewClient(addr, nil)
+	grabbed := 0
+	for i := 0; i < 200 && grabbed < 2; i++ {
+		lease, err := solo.Lease("solo", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grabbed += len(lease.Cells)
+		if len(lease.Cells) == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if grabbed != 2 {
+		t.Fatalf("solo worker leased %d cells, want 2", grabbed)
+	}
+
+	// Before the steal age nothing comes back, own lease or not.
+	if resp, err := solo.Lease("solo", 1); err != nil {
+		t.Fatal(err)
+	} else if len(resp.Cells) != 0 {
+		t.Fatalf("own cell handed back before StealAfter: %+v", resp.Cells)
+	}
+
+	// Past the steal age the same worker re-claims its own cells and
+	// finishes the build alone.
+	clock.Store(int64(2 * time.Minute))
+	w, err := Join(NewClient(addr, nil), WorkerOptions{Name: "solo", RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-buildDone
+	if dsBytes == nil {
+		t.Fatal("single-worker fleet never recovered its dropped leases")
+	}
+	st := coord.StatusSnapshot()
+	if st.Steals != 0 {
+		t.Fatalf("status %+v: self-reclaim must not count as a steal", st)
+	}
+	if st.Done != 2 || st.Workers["solo"] != 2 {
+		t.Fatalf("status %+v: solo worker should have completed both cells", st)
+	}
+}
+
+// TestWorkerNameSurvivesURLEncoding runs a full build under a worker name
+// made of query-string metacharacters: reports must land under that exact
+// name instead of corrupting the request URL.
+func TestWorkerNameSurvivesURLEncoding(t *testing.T) {
+	const nasty = "w&eird=name #1"
+	want := sequentialBytes(t)
+	got, coord, sum := runFleetBuild(t, 1, nil, CoordinatorOptions{}, nasty)
+	if !bytes.Equal(got, want) {
+		t.Fatal("fleet build under a metacharacter worker name differs from sequential build")
+	}
+	if sum.Succeeded != 2 {
+		t.Fatalf("summary: %+v, want 2 modules succeeded", sum)
+	}
+	st := coord.StatusSnapshot()
+	if st.Workers[nasty] != 4 {
+		t.Fatalf("per-worker accounting %+v: want 4 cells under %q", st.Workers, nasty)
+	}
+}
+
+// TestOversizedCompletionRejectedDistinctly posts a payload one byte over
+// the 64MiB completion cap: the coordinator must answer 413 — not
+// silently truncate the body into an undiagnosable 422 decode failure —
+// and the build must still finish with the genuine artifact.
+func TestOversizedCompletionRejectedDistinctly(t *testing.T) {
+	mods := fleetModules()
+	cfg := fleetFlow()
+	opts := fleetOpts()
+	spec, err := NewBuildSpec(mods, cfg, opts.LabelRuns, opts.Retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(spec, CoordinatorOptions{StealAfter: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	addr := srv.Listener.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buildDone := make(chan struct{})
+	var dsBytes []byte
+	go func() {
+		defer close(buildDone)
+		ds, _, _, err := core.BuildDatasetExec(ctx, mods, cfg, opts, coord.Execute)
+		if err == nil {
+			dsBytes = store.EncodeDataset(ds)
+		}
+	}()
+
+	bloat := NewClient(addr, nil)
+	var lease *leaseResponse
+	for i := 0; i < 100; i++ {
+		lease, err = bloat.Lease("bloat", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lease.Cells) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(lease.Cells) == 0 {
+		t.Fatal("bloat worker never got a lease")
+	}
+	_, cerr := bloat.Complete(lease.Cells[0].Slot, "bloat", make([]byte, 64<<20+1))
+	if cerr == nil || !strings.Contains(cerr.Error(), "413") {
+		t.Fatalf("oversized completion error = %v, want HTTP 413", cerr)
+	}
+
+	w, err := Join(NewClient(addr, nil), WorkerOptions{Name: "honest", RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-buildDone
+	if dsBytes == nil {
+		t.Fatal("build failed after oversized completion")
+	}
+	if st := coord.StatusSnapshot(); st.Bad == 0 {
+		t.Fatalf("status %+v: oversized completion was not counted", st)
+	}
+}
+
+// TestDefectiveWorkerWithdrawsWithoutFailingCells corrupts one worker's
+// materialized spec: its Run must return the defect (withdrawing from the
+// fleet) rather than reporting Fail — which would terminally poison cells
+// healthy workers can complete — and a healthy worker must then finish
+// the build byte-identically.
+func TestDefectiveWorkerWithdrawsWithoutFailingCells(t *testing.T) {
+	mods := fleetModules()
+	cfg := fleetFlow()
+	opts := fleetOpts()
+	spec, err := NewBuildSpec(mods, cfg, opts.LabelRuns, opts.Retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(spec, CoordinatorOptions{StealAfter: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	addr := srv.Listener.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buildDone := make(chan struct{})
+	var dsBytes []byte
+	go func() {
+		defer close(buildDone)
+		ds, _, _, err := core.BuildDatasetExec(ctx, mods, cfg, opts, coord.Execute)
+		if err == nil {
+			dsBytes = store.EncodeDataset(ds)
+		}
+	}()
+
+	bad, err := Join(NewClient(addr, nil), WorkerOptions{Name: "bad", RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.cfg.Seed += 13 // skewed spec: every derived key now disagrees with the coordinator's
+	if _, err := bad.Run(ctx); err == nil || !strings.Contains(err.Error(), "stale spec") {
+		t.Fatalf("defective worker Run = %v, want stale-spec withdrawal", err)
+	}
+	// The other worker-local defect, a module index this worker doesn't
+	// have, withdraws the same way.
+	if _, err := bad.runCell(ctx, leaseItem{Slot: 0, Module: 99}); err == nil {
+		t.Fatal("out-of-range module index did not withdraw the worker")
+	}
+
+	good, err := Join(NewClient(addr, nil), WorkerOptions{Name: "good", RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := good.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-buildDone
+	if dsBytes == nil {
+		t.Fatal("build failed after a defective worker withdrew")
+	}
+	if want := sequentialBytes(t); !bytes.Equal(dsBytes, want) {
+		t.Fatal("dataset after defective-worker withdrawal differs from sequential build")
+	}
+	st := coord.StatusSnapshot()
+	if st.Failed != 0 {
+		t.Fatalf("status %+v: a defective worker terminally failed a cell", st)
+	}
+	if st.Done != 4 {
+		t.Fatalf("status %+v, want 4 cells done", st)
 	}
 }
 

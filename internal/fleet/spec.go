@@ -8,9 +8,12 @@
 //
 //   - Work is identified positionally (cell slot in the coordinator's
 //     grid) but verified content-addressed: every completion's payload
-//     must decode and re-hash to the cell's flow.CacheKey before it is
-//     accepted. A wrong, stale or corrupted artifact is rejected (HTTP
-//     422), never assembled.
+//     must decode and re-hash to one of the cell's expected
+//     flow.CacheKeys — the base config's key or any retry escalation of
+//     it (flow.RetryPolicy.Escalate), since a cell that fails
+//     transiently succeeds under an escalated config, exactly as in a
+//     local RunWithRetry. A wrong, stale or corrupted artifact is
+//     rejected (HTTP 422), never assembled.
 //   - Completion is idempotent by that same key: the first verified
 //     result wins, later duplicates (a retried request whose original
 //     landed, a stolen cell finished by both workers) are acknowledged
@@ -77,6 +80,19 @@ type RetrySpec struct {
 	RouteIterStep int     `json:"route_iter_step"`
 	CapacityRelax float64 `json:"capacity_relax"`
 	BackoffNs     int64   `json:"backoff_ns"`
+}
+
+// policy reconstructs the flow.RetryPolicy this spec mirrors — shared by
+// worker-side Materialize and the coordinator, which must derive the same
+// escalated configs (and so the same cache keys) the workers run under.
+func (rs RetrySpec) policy() flow.RetryPolicy {
+	return flow.RetryPolicy{
+		MaxAttempts:   rs.MaxAttempts,
+		SeedStride:    rs.SeedStride,
+		RouteIterStep: rs.RouteIterStep,
+		CapacityRelax: rs.CapacityRelax,
+		Backoff:       time.Duration(rs.BackoffNs),
+	}
 }
 
 // BuildSpec is everything a worker needs to run any cell of the build:
@@ -157,14 +173,7 @@ func (s *BuildSpec) Materialize() ([]*ir.Module, flow.Config, flow.RetryPolicy, 
 		Timing:            s.Config.Timing,
 		StrictConvergence: s.Config.StrictConvergence,
 	}
-	retry := flow.RetryPolicy{
-		MaxAttempts:   s.Retry.MaxAttempts,
-		SeedStride:    s.Retry.SeedStride,
-		RouteIterStep: s.Retry.RouteIterStep,
-		CapacityRelax: s.Retry.CapacityRelax,
-		Backoff:       time.Duration(s.Retry.BackoffNs),
-	}
-	return mods, cfg, retry, nil
+	return mods, cfg, s.Retry.policy(), nil
 }
 
 // EncodeSpec serializes a spec for the wire; DecodeSpec is its inverse.

@@ -79,7 +79,10 @@ func Join(client *Client, opts WorkerOptions) (*Worker, error) {
 // done or ctx is cancelled. It returns the number of cells this worker
 // completed (duplicates included). Per-cell flow failures are reported to
 // the coordinator, not returned — they are build results, not worker
-// errors.
+// errors. A worker-local defect (stale or corrupt spec: a leased module
+// this worker doesn't have, a cache-key mismatch) IS returned: the
+// defective worker withdraws from the fleet without failing the cell, its
+// lease expires, and a healthy worker reruns the work.
 func (w *Worker) Run(ctx context.Context) (completed int, err error) {
 	for {
 		if err := ctx.Err(); err != nil {
@@ -111,7 +114,11 @@ func (w *Worker) Run(ctx context.Context) (completed int, err error) {
 			if err := ctx.Err(); err != nil {
 				return completed, err
 			}
-			if w.runCell(ctx, item) {
+			delivered, cellErr := w.runCell(ctx, item)
+			if cellErr != nil {
+				return completed, cellErr
+			}
+			if delivered {
 				completed++
 			}
 		}
@@ -120,13 +127,17 @@ func (w *Worker) Run(ctx context.Context) (completed int, err error) {
 
 // runCell executes one leased cell and reports its outcome. Reporting is
 // best-effort: transport errors retry, then the cell is abandoned to the
-// lease-expiry path. Reports true when a completion was delivered.
-func (w *Worker) runCell(ctx context.Context, item leaseItem) bool {
+// lease-expiry path. delivered reports whether a completion landed. A
+// non-nil error is a worker-local defect (stale/corrupt spec) — the cell
+// is deliberately NOT failed at the coordinator, because other workers
+// with a healthy spec can still complete it; the caller withdraws this
+// worker and lets the lease expire. Fail is reserved for genuine flow
+// errors, which are functions of (module, config, seed) alone and so
+// would reproduce on every worker.
+func (w *Worker) runCell(ctx context.Context, item leaseItem) (delivered bool, err error) {
 	if item.Module < 0 || item.Module >= len(w.mods) {
-		w.report(func() error {
-			return w.client.Fail(item.Slot, w.opts.Name, fmt.Sprintf("worker has no module %d", item.Module))
-		})
-		return false
+		return false, fmt.Errorf("fleet: worker %s has no module %d for slot %d (stale spec?)",
+			w.opts.Name, item.Module, item.Slot)
 	}
 	runCfg := core.CellConfig(w.cfg, item.Run)
 	runCfg.Cache = w.opts.Cache
@@ -135,33 +146,31 @@ func (w *Worker) runCell(ctx context.Context, item leaseItem) bool {
 	// leased one, its spec is stale or corrupt — running the cell would
 	// only produce a completion the coordinator rejects.
 	if key := flow.CacheKey(w.mods[item.Module], runCfg); key != item.Key {
-		w.report(func() error {
-			return w.client.Fail(item.Slot, w.opts.Name,
-				fmt.Sprintf("worker %s derives key %s for slot %d, coordinator expects %s",
-					w.opts.Name, key[:12], item.Slot, item.Key[:12]))
-		})
-		return false
+		return false, fmt.Errorf("fleet: worker %s derives key %s for slot %d, coordinator expects %s (stale spec?)",
+			w.opts.Name, key[:12], item.Slot, item.Key[:12])
 	}
 	res, runErr := flow.RunWithRetry(ctx, w.mods[item.Module], runCfg, w.retry)
 	if ctx.Err() != nil {
 		// Cancelled mid-cell (drain, kill): report nothing — the lease
 		// expires and the cell reruns elsewhere.
-		return false
+		return false, nil
 	}
 	if runErr != nil {
 		w.report(func() error {
 			return w.client.Fail(item.Slot, w.opts.Name, runErr.Error())
 		})
-		return false
+		return false, nil
 	}
 	payload, encErr := store.EncodeResult(res)
 	if encErr != nil {
+		// Encoding is a pure function of the result, which is itself a pure
+		// function of the cell: every worker would fail identically, so
+		// this is terminal for the cell, like a flow error.
 		w.report(func() error {
 			return w.client.Fail(item.Slot, w.opts.Name, fmt.Sprintf("encode result: %v", encErr))
 		})
-		return false
+		return false, nil
 	}
-	delivered := false
 	w.report(func() error {
 		_, err := w.client.Complete(item.Slot, w.opts.Name, payload)
 		if err == nil {
@@ -169,7 +178,7 @@ func (w *Worker) runCell(ctx context.Context, item leaseItem) bool {
 		}
 		return err
 	})
-	return delivered
+	return delivered, nil
 }
 
 // lease claims one cell, retrying transport errors. Drop faults surface

@@ -59,16 +59,22 @@ func DefaultRetryPolicy() RetryPolicy {
 	}
 }
 
-// attempts normalizes MaxAttempts.
-func (p RetryPolicy) attempts() int {
+// Attempts normalizes MaxAttempts: the total attempt count RunWithRetry
+// will make, never below one.
+func (p RetryPolicy) Attempts() int {
 	if p.MaxAttempts < 1 {
 		return 1
 	}
 	return p.MaxAttempts
 }
 
-// escalate derives the config for a given zero-based attempt.
-func (p RetryPolicy) escalate(cfg Config, attempt int) Config {
+// Escalate derives the config for a given zero-based attempt. It is
+// exported so remote executors can reproduce the escalation a worker's
+// RunWithRetry performs — the fleet coordinator accepts a completion whose
+// artifact hashes to the cache key of any attempt's config, since a cell
+// that fails transiently succeeds under an escalated config, not the base
+// one.
+func (p RetryPolicy) Escalate(cfg Config, attempt int) Config {
 	cfg.Attempt = attempt
 	if attempt == 0 {
 		return cfg
@@ -90,7 +96,7 @@ func RunWithRetry(ctx context.Context, m *ir.Module, cfg Config, p RetryPolicy) 
 		ctx = context.Background()
 	}
 	o := cfg.Obs
-	n := p.attempts()
+	n := p.Attempts()
 	// One "flow.attempts" span wraps the whole escalation when retrying is
 	// possible, so each attempt's "flow" span nests under it and failed
 	// attempts show up as events on the wrapper.
@@ -111,7 +117,7 @@ func RunWithRetry(ctx context.Context, m *ir.Module, cfg Config, p RetryPolicy) 
 				return nil, err
 			}
 		}
-		res, err := RunContext(ctx, m, p.escalate(cfg, attempt))
+		res, err := RunContext(ctx, m, p.Escalate(cfg, attempt))
 		if err == nil {
 			if attempt > 0 {
 				sp.SetAttr(obs.Int("succeeded_on_attempt", int64(attempt)))
