@@ -1,11 +1,25 @@
-// congload is congserve's closed-loop load generator: N workers each keep
-// exactly one /predict request in flight against a running server,
-// measure per-request latency, and report throughput percentiles as a
-// parseable JSON document — the numbers behind BENCH_PR7.json.
+// congload is congserve's load generator, with two firing disciplines:
+//
+//   - Closed-loop (default): N workers each keep exactly one /predict
+//     request in flight. Throughput is what the server sustains; latency
+//     hides queueing because a slow server slows the arrival rate too
+//     (coordinated omission).
+//   - Open-loop (-rate R): requests fire on a fixed schedule of R per
+//     second regardless of how the server is doing, serviced by -conns
+//     workers. Latency is measured from each request's *scheduled* fire
+//     time, so server stalls show up as tail latency instead of vanishing
+//     into a slower offered rate. When every worker is busy, ticks queue
+//     in a bounded buffer; overflow is counted (dropped_ticks) rather
+//     than silently stretching the schedule.
+//
+// Both report throughput percentiles as a parseable JSON document — the
+// numbers behind BENCH_PR9.json (and PR7's before it).
 //
 // Usage:
 //
 //	congload -addr HOST:PORT [flags]
+//	congload -addr HOST:PORT -probe FILE    one deterministic request;
+//	                                        raw response body → FILE
 //
 // Flags:
 //
@@ -13,14 +27,21 @@
 //	-duration DUR     run length (default 3s; ignored when -n > 0)
 //	-n N              stop after N total requests instead of a duration
 //	-concurrency C    closed-loop workers (default 4)
+//	-rate R           open-loop offered load in req/s (0 = closed-loop)
+//	-conns C          open-loop service workers (0 = -concurrency)
 //	-rows R           feature rows per request (default 64)
 //	-format F         binary (ContentF64) or json (default binary)
 //	-warmup DUR       untimed warmup before measuring (default 200ms)
 //	-out FILE         write the JSON report to FILE too ("" = stdout only)
+//	-probe FILE       send one request built from the fixed seed, write
+//	                  the raw response bytes to FILE and exit — lets
+//	                  scripts diff responses across server configurations
+//	                  (byte-identity of sharded vs single-shard serving)
 //
-// The report: {"requests", "errors", "shed", "preds", "duration_sec",
-// "preds_per_sec", "requests_per_sec", "p50_us", "p90_us", "p99_us",
-// "max_us", "rows", "concurrency", "format", "server_p99_us_bound",
+// The report: {"mode", "requests", "errors", "shed", "preds",
+// "duration_sec", "preds_per_sec", "requests_per_sec", "p50_us",
+// "p90_us", "p99_us", "max_us", "rows", "concurrency", "format",
+// "offered_rate", "conns", "dropped_ticks", "server_p99_us_bound",
 // "server_shed", "server_reloads", "server_reload_errors"} — the server_*
 // fields mirror the server's own /debug/metrics counters so overload and
 // reload behaviour is diagnosable from the report alone.
@@ -51,6 +72,9 @@ func main() {
 }
 
 type report struct {
+	// Mode is "closed" or "open" (see the package comment for the
+	// difference in what the latency percentiles mean).
+	Mode        string  `json:"mode"`
 	Requests    int64   `json:"requests"`
 	Errors      int64   `json:"errors"`
 	Shed        int64   `json:"shed"`
@@ -65,6 +89,15 @@ type report struct {
 	Rows        int     `json:"rows"`
 	Concurrency int     `json:"concurrency"`
 	Format      string  `json:"format"`
+	// OfferedRate / Conns / DroppedTicks describe the open-loop schedule
+	// (zero in closed-loop mode): the configured req/s, the worker pool
+	// servicing the schedule, and the ticks dropped because the bounded
+	// tick queue was full — nonzero dropped_ticks means the measured rate
+	// undershot the offered rate and the percentiles describe a saturated
+	// server.
+	OfferedRate  float64 `json:"offered_rate"`
+	Conns        int     `json:"conns"`
+	DroppedTicks int64   `json:"dropped_ticks"`
 	// ServerP99UsBound is the tightest serve.latency_us histogram bucket
 	// bound covering ≥99% of the server's own ServeBytes observations —
 	// the serving-layer p99 with the HTTP and network cost stripped away
@@ -85,10 +118,13 @@ func realMain() int {
 	duration := flag.Duration("duration", 3*time.Second, "run length (ignored when -n > 0)")
 	totalN := flag.Int64("n", 0, "stop after N requests instead of a duration")
 	concurrency := flag.Int("concurrency", 4, "closed-loop workers")
+	rate := flag.Float64("rate", 0, "open-loop offered load in req/s (0 = closed-loop)")
+	conns := flag.Int("conns", 0, "open-loop service workers (0 = -concurrency)")
 	rows := flag.Int("rows", 64, "feature rows per request")
 	format := flag.String("format", "binary", "binary or json")
 	warmup := flag.Duration("warmup", 200*time.Millisecond, "untimed warmup")
 	out := flag.String("out", "", "also write the JSON report to FILE")
+	probe := flag.String("probe", "", "send one deterministic request, write the raw response body to FILE, exit")
 	flag.Parse()
 	if *addr == "" || flag.NArg() != 0 {
 		flag.Usage()
@@ -113,6 +149,28 @@ func realMain() int {
 		MaxIdleConns:        *concurrency * 2,
 		MaxIdleConnsPerHost: *concurrency * 2,
 	}}
+
+	if *probe != "" {
+		// Probe mode: one request from the fixed payload seed, raw response
+		// bytes to the file. Two servers are provably serving the same
+		// predictions iff their probe files compare byte-equal.
+		resp, err := client.Post(url, contentType, bytes.NewReader(payload))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "congload: probe:", err)
+			return 1
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "congload: probe status %d: %s\n", resp.StatusCode, body)
+			return 1
+		}
+		if err := os.WriteFile(*probe, body, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "congload:", err)
+			return 1
+		}
+		return 0
+	}
 
 	shoot := func(buf *bytes.Reader) (int, error) {
 		buf.Reset(payload)
@@ -142,48 +200,108 @@ func realMain() int {
 	}
 
 	var (
-		requests, errCount, shed atomic.Int64
-		mu                       sync.Mutex
-		latencies                []float64 // µs, merged per worker at the end
+		requests, errCount, shed, dropped atomic.Int64
+		mu                                sync.Mutex
+		latencies                         []float64 // µs, merged per worker at the end
 	)
-	deadline := time.Now().Add(*duration)
+	record := func(local *[]float64, status int, err error, lat float64) {
+		switch {
+		case err != nil:
+			errCount.Add(1)
+		case status == http.StatusTooManyRequests:
+			shed.Add(1)
+		case status != http.StatusOK:
+			errCount.Add(1)
+		default:
+			*local = append(*local, lat)
+		}
+	}
+	mode := "closed"
+	openWorkers := 0
+	if *rate > 0 {
+		mode = "open"
+		openWorkers = *conns
+		if openWorkers <= 0 {
+			openWorkers = *concurrency
+		}
+	}
 	start := time.Now()
+	deadline := start.Add(*duration)
 	var wg sync.WaitGroup
-	for w := 0; w < *concurrency; w++ {
-		wg.Add(1)
+	if mode == "open" {
+		// Open loop: the scheduler emits ticks on an absolute timetable —
+		// tick i fires at start + i/rate, immune to per-tick sleep drift —
+		// and workers service the bounded queue, measuring latency from the
+		// scheduled fire time so queueing delay counts against the server
+		// instead of being coordinated away.
+		interval := time.Duration(float64(time.Second) / *rate)
+		ticks := make(chan time.Time, 4*openWorkers)
 		go func() {
-			defer wg.Done()
-			buf := bytes.NewReader(payload)
-			local := make([]float64, 0, 1<<16)
-			for {
-				if *totalN > 0 {
-					if requests.Add(1) > *totalN {
-						break
-					}
-				} else {
-					if time.Now().After(deadline) {
-						break
-					}
-					requests.Add(1)
+			defer close(ticks)
+			for i := int64(0); ; i++ {
+				if *totalN > 0 && i >= *totalN {
+					return
 				}
-				t0 := time.Now()
-				status, err := shoot(buf)
-				lat := float64(time.Since(t0)) / float64(time.Microsecond)
-				switch {
-				case err != nil:
-					errCount.Add(1)
-				case status == http.StatusTooManyRequests:
-					shed.Add(1)
-				case status != http.StatusOK:
-					errCount.Add(1)
+				sched := start.Add(time.Duration(i) * interval)
+				if *totalN <= 0 && sched.After(deadline) {
+					return
+				}
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				select {
+				case ticks <- sched:
 				default:
-					local = append(local, lat)
+					// Queue full: every worker is busy and the buffer has
+					// absorbed what it can. Count the drop and hold the
+					// schedule — never block, or this becomes a closed loop.
+					dropped.Add(1)
 				}
 			}
-			mu.Lock()
-			latencies = append(latencies, local...)
-			mu.Unlock()
 		}()
+		for w := 0; w < openWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := bytes.NewReader(payload)
+				local := make([]float64, 0, 1<<16)
+				for sched := range ticks {
+					requests.Add(1)
+					status, err := shoot(buf)
+					record(&local, status, err, float64(time.Since(sched))/float64(time.Microsecond))
+				}
+				mu.Lock()
+				latencies = append(latencies, local...)
+				mu.Unlock()
+			}()
+		}
+	} else {
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := bytes.NewReader(payload)
+				local := make([]float64, 0, 1<<16)
+				for {
+					if *totalN > 0 {
+						if requests.Add(1) > *totalN {
+							break
+						}
+					} else {
+						if time.Now().After(deadline) {
+							break
+						}
+						requests.Add(1)
+					}
+					t0 := time.Now()
+					status, err := shoot(buf)
+					record(&local, status, err, float64(time.Since(t0))/float64(time.Microsecond))
+				}
+				mu.Lock()
+				latencies = append(latencies, local...)
+				mu.Unlock()
+			}()
+		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
@@ -194,14 +312,18 @@ func realMain() int {
 	}
 	ok := int64(len(latencies))
 	r := report{
-		Requests:    n,
-		Errors:      errCount.Load(),
-		Shed:        shed.Load(),
-		Preds:       ok * int64(*rows),
-		DurationSec: elapsed,
-		Rows:        *rows,
-		Concurrency: *concurrency,
-		Format:      *format,
+		Mode:         mode,
+		Requests:     n,
+		Errors:       errCount.Load(),
+		Shed:         shed.Load(),
+		Preds:        ok * int64(*rows),
+		DurationSec:  elapsed,
+		Rows:         *rows,
+		Concurrency:  *concurrency,
+		Format:       *format,
+		OfferedRate:  *rate,
+		Conns:        openWorkers,
+		DroppedTicks: dropped.Load(),
 	}
 	if elapsed > 0 {
 		r.PredsPerSec = float64(r.Preds) / elapsed

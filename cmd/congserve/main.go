@@ -22,7 +22,10 @@
 //	                    negative = never wait)
 //	-max-batch N        row cap of one coalesced batch (default 256)
 //	-max-inflight N     admission cap; excess requests get 429 (default
-//	                    4×GOMAXPROCS)
+//	                    4×GOMAXPROCS, rounded up to a multiple of -shards)
+//	-shards N           independent batcher lanes; requests are routed by
+//	                    affinity so lanes share nothing on the hot path
+//	                    (default GOMAXPROCS)
 //	-log-level LEVEL    debug, info, warn or error (default info)
 //
 // Train-quick flags:
@@ -72,6 +75,7 @@ func realMain() int {
 	window := flag.Duration("window", 200*time.Microsecond, "coalescing window (negative = never wait)")
 	maxBatch := flag.Int("max-batch", 256, "row cap of one coalesced batch")
 	maxInflight := flag.Int("max-inflight", 0, "admission cap (0 = 4×GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "batcher lanes (0 = GOMAXPROCS)")
 	logLevel := flag.String("log-level", "info", "debug, info, warn or error")
 	trainQuick := flag.Bool("train-quick", false, "train a quick artifact to -model and exit")
 	modules := flag.String("modules", "digit_recognition", "train-quick: benchmark designs, comma-separated")
@@ -103,6 +107,7 @@ func realMain() int {
 		MaxBatch:    *maxBatch,
 		Window:      *window,
 		MaxInflight: *maxInflight,
+		Shards:      *shards,
 		Obs:         o,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "congserve:", err)
@@ -169,6 +174,21 @@ func trainQuickArtifact(o *obs.Observer, path, modules, kindName string, moves i
 	return nil
 }
 
+// writeFileAtomic publishes content via temp-file + rename, so a script
+// polling the path never reads a partially written file: rename within a
+// directory is atomic and readers see either nothing or the whole address.
+func writeFileAtomic(path string, content []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, content, 0o666); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
 // run serves until SIGINT/SIGTERM, hot-reloading on SIGHUP.
 func run(o *obs.Observer, addr, addrFile, debugAddr, model string, opts serve.Options) error {
 	s := serve.New(opts)
@@ -183,7 +203,7 @@ func run(o *obs.Observer, addr, addrFile, debugAddr, model string, opts serve.Op
 	}
 	bound := ln.Addr().String()
 	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o666); err != nil {
+		if err := writeFileAtomic(addrFile, []byte(bound+"\n")); err != nil {
 			ln.Close()
 			return fmt.Errorf("writing -addr-file: %w", err)
 		}
@@ -208,7 +228,7 @@ func run(o *obs.Observer, addr, addrFile, debugAddr, model string, opts serve.Op
 		l.Info("congserve up", "addr", bound, "model", model,
 			"generation", m.Generation, "kind", m.Pred.Kind.String(),
 			"window", s.Options().Window.String(), "max_batch", s.Options().MaxBatch,
-			"max_inflight", s.Options().MaxInflight)
+			"max_inflight", s.Options().MaxInflight, "shards", s.Options().Shards)
 	}
 
 	sigs := make(chan os.Signal, 1)

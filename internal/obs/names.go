@@ -61,6 +61,13 @@ const (
 	// candidates per second.
 	MetricGridCandidatesPerSec = "ml.grid.candidates_per_sec"
 
+	// The serve.* request-path series (requests, shed, errors,
+	// predictions, batches, batch_rows, latency_us, inflight) are striped:
+	// each serving shard writes its own cache-line-padded stripe and
+	// Snapshot merges them back under these names (counters/histograms by
+	// sum, serve.inflight as a sum-merged gauge). Readers see one series
+	// per name either way. flowcache.hits/misses are striped the same way.
+	//
 	// MetricServeRequests counts /predict requests admitted past the
 	// inflight gate; MetricServeShed those rejected by it (HTTP 429);
 	// MetricServeErrors requests that failed after admission (bad payload,

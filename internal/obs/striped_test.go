@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestStripedSnapshotEquivalence is the striping contract: a recorded
+// operation sequence applied to a plain registry and to a striped one —
+// the striped ops scattered across stripes — must yield byte-identical
+// Snapshots. Readers (exporters, the debug endpoint, congload's report)
+// must never be able to tell that a series was striped. Observation
+// values are integers so float sums merge exactly regardless of the
+// per-stripe addition order.
+func TestStripedSnapshotEquivalence(t *testing.T) {
+	const stripes = 7
+	rng := rand.New(rand.NewSource(99))
+
+	plain := NewRegistry()
+	striped := NewRegistry()
+	pc := plain.Counter("eq.count")
+	sc := striped.StripedCounter("eq.count", stripes)
+	ph := plain.Histogram("eq.hist", SmallCountBuckets)
+	sh := striped.StripedHistogram("eq.hist", SmallCountBuckets, stripes)
+	pg := plain.Gauge("eq.gauge")
+	sg := striped.StripedGauge("eq.gauge", stripes)
+
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			n := int64(rng.Intn(10))
+			pc.Add(n)
+			sc.Stripe(rng.Intn(stripes)).Add(n)
+		case 1:
+			v := float64(rng.Intn(40))
+			ph.Observe(v)
+			sh.Stripe(rng.Intn(stripes)).Observe(v)
+		case 2:
+			// Gauges merge by sum, so equivalence holds when every write
+			// lands on one stripe: sum-of-stripes == last write.
+			v := float64(rng.Intn(100))
+			pg.Set(v)
+			sg.Stripe(3).Set(v)
+		}
+	}
+
+	want, got := plain.Snapshot(), striped.Snapshot()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("striped snapshot diverges from plain:\nplain:   %+v\nstriped: %+v", want, got)
+	}
+}
+
+// TestStripedHintPathCounts exercises the per-goroutine-hint writers: the
+// merged totals must be exact however the hints scatter the increments.
+func TestStripedHintPathCounts(t *testing.T) {
+	r := NewRegistry()
+	c := r.StripedCounter("hint.count", DefaultStripes())
+	h := r.StripedHistogram("hint.hist", RatioBuckets, DefaultStripes())
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*each {
+		t.Fatalf("striped counter total %d, want %d", got, goroutines*each)
+	}
+	snap := r.Snapshot()
+	if v, ok := snap.Counter("hint.count"); !ok || v != goroutines*each {
+		t.Fatalf("snapshot counter %d (ok=%v), want %d", v, ok, goroutines*each)
+	}
+	hs := snap.Histogram("hint.hist")
+	if hs == nil || hs.Count != goroutines*each || hs.Min != 0.5 || hs.Max != 0.5 {
+		t.Fatalf("snapshot histogram %+v, want count=%d min=max=0.5", hs, goroutines*each)
+	}
+}
+
+// TestStripedConcurrency hammers every striped surface from many
+// goroutines while snapshots race, for the race detector's benefit.
+func TestStripedConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.StripedCounter("conc.count", 4)
+			h := r.StripedHistogram("conc.hist", SmallCountBuckets, 4)
+			g := r.StripedGauge("conc.gauge", 4)
+			for i := 0; i < 500; i++ {
+				c.Stripe(w).Inc()
+				c.Add(2)
+				h.Stripe(w).Observe(float64(i % 16))
+				h.Observe(float64(i % 16))
+				g.Stripe(w).Set(float64(i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got, want := r.StripedCounter("conc.count", 4).Value(), int64(workers*500*3); got != want {
+		t.Fatalf("concurrent striped counter %d, want %d", got, want)
+	}
+}
+
+// TestStripedNilSafety: the nil registry and nil handles must accept every
+// call, like the rest of the package.
+func TestStripedNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.StripedCounter("x", 4)
+	c.Inc()
+	c.Add(3)
+	c.Stripe(1).Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil striped counter has a value")
+	}
+	h := r.StripedHistogram("x", RatioBuckets, 4)
+	h.Observe(1)
+	h.Stripe(0).Observe(1)
+	g := r.StripedGauge("x", 4)
+	g.Stripe(0).Set(1)
+	if g.Value() != 0 {
+		t.Fatal("nil striped gauge has a value")
+	}
+}
+
+// TestStripeOutOfRangeWraps: Stripe indexes beyond the stripe count must
+// wrap, not panic — shard counts and stripe counts are resolved
+// independently by different layers.
+func TestStripeOutOfRangeWraps(t *testing.T) {
+	r := NewRegistry()
+	c := r.StripedCounter("wrap", 2)
+	c.Stripe(0).Inc()
+	c.Stripe(5).Inc()
+	c.Stripe(-1).Inc()
+	if got := c.Value(); got != 3 {
+		t.Fatalf("wrapped stripes counted %d, want 3", got)
+	}
+}

@@ -30,6 +30,22 @@ func zeroAllocServer(t *testing.T) *Server {
 	return newTestServer(t, Options{Window: -1})
 }
 
+func TestServeBytesZeroAllocSharded(t *testing.T) {
+	// The sharded admission path — affinity hint, per-shard semaphore,
+	// per-shard batcher — must stay allocation-free too: the zero-alloc
+	// guarantee survives scale-out.
+	s := newTestServer(t, Options{Window: -1, Shards: 4})
+	req := binaryRequest(randRows(32, 41))
+	var dst []byte
+	requireZeroAllocs(t, "ServeBytes/sharded", func() {
+		out, err := s.ServeBytes(req, true, dst[:0])
+		if err != nil {
+			t.Fatalf("ServeBytes: %v", err)
+		}
+		dst = out
+	})
+}
+
 func TestServeBytesZeroAllocBinary(t *testing.T) {
 	s := zeroAllocServer(t)
 	req := binaryRequest(randRows(64, 17))
@@ -60,10 +76,11 @@ func TestServeBytesZeroAllocWindowed(t *testing.T) {
 	// A tiny real window exercises the timer Reset/Stop/drain path; it
 	// must reuse the runtime timer, not allocate one per batch. A phantom
 	// admission slot keeps allQueued false so the batcher actually waits
-	// out the window instead of early-flushing.
-	s := newTestServer(t, Options{Window: 20 * time.Microsecond})
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	// out the window instead of early-flushing (one shard, so the
+	// phantom and the requests share a lane).
+	s := newTestServer(t, Options{Window: 20 * time.Microsecond, Shards: 1})
+	s.shards[0].sem <- struct{}{}
+	defer func() { <-s.shards[0].sem }()
 	req := binaryRequest(randRows(8, 29))
 	var dst []byte
 	requireZeroAllocs(t, "ServeBytes/windowed", func() {
@@ -79,9 +96,9 @@ func TestShedPathZeroAlloc(t *testing.T) {
 	// Rejections must be even cheaper than service: the 429 path cannot
 	// allocate, or overload would cause collection pressure exactly when
 	// the server can least afford it.
-	s := newTestServer(t, Options{Window: -1, MaxInflight: 1})
-	s.sem <- struct{}{} // the one slot is taken: everything else sheds
-	defer func() { <-s.sem }()
+	s := newTestServer(t, Options{Window: -1, Shards: 1, MaxInflight: 1})
+	s.shards[0].sem <- struct{}{} // the one slot is taken: everything else sheds
+	defer func() { <-s.shards[0].sem }()
 	req := binaryRequest(randRows(1, 37))
 	requireZeroAllocs(t, "ServeBytes/shed", func() {
 		if _, err := s.ServeBytes(req, true, nil); err != ErrShed {

@@ -78,7 +78,34 @@ func BenchmarkServePredictJSON64(b *testing.B)    { benchServeBytes(b, 64, false
 // requests. RunParallel spreads clients over GOMAXPROCS; with
 // GOMAXPROCS=1 this is the single-core serving figure.
 func BenchmarkServeCoalesced(b *testing.B) {
-	s := benchServer(b, Options{Window: 50 * time.Microsecond})
+	s := benchServer(b, Options{Window: 50 * time.Microsecond, Shards: 1})
+	const rows = 32
+	req := binaryRequest(randRows(rows, 3))
+	b.ReportAllocs()
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var dst []byte
+		for pb.Next() {
+			out, err := s.ServeBytes(req, true, dst[:0])
+			if err != nil {
+				b.Fatalf("ServeBytes: %v", err)
+			}
+			dst = out
+		}
+	})
+	b.StopTimer()
+	preds := float64(rows) * float64(b.N)
+	b.ReportMetric(preds/b.Elapsed().Seconds(), "preds/s")
+}
+
+// BenchmarkServeCoalescedSharded is the multi-core pipeline: one batcher
+// lane per GOMAXPROCS, requests routed by affinity hint, striped metrics.
+// Compare with BenchmarkServeCoalesced at the same GOMAXPROCS for the
+// scale-out gain; scripts/bench.sh sweeps GOMAXPROCS over both to record
+// the throughput-vs-cores curve in BENCH_PR9.json.
+func BenchmarkServeCoalescedSharded(b *testing.B) {
+	s := benchServer(b, Options{Window: 50 * time.Microsecond, Shards: 0}) // 0 → GOMAXPROCS lanes
 	const rows = 32
 	req := binaryRequest(randRows(rows, 3))
 	b.ReportAllocs()

@@ -3,17 +3,18 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/ml"
 )
 
-// job carries one decoded /predict request through the coalescer: the
-// pooled feature matrix going in, the pooled result slices coming back,
-// and a one-slot completion channel. Jobs live in a sync.Pool with all
-// their buffers, so a warmed server admits, scores and answers requests
-// without allocating.
+// job carries one decoded /predict request through a shard's coalescer:
+// the pooled feature matrix going in, the pooled result slices coming
+// back, and a one-slot completion channel. Jobs live in a sync.Pool with
+// all their buffers, so a warmed server admits, scores and answers
+// requests without allocating.
 type job struct {
 	// m holds the decoded feature rows; rows are views into m's flat
 	// backing array, regenerated after each decode.
@@ -23,6 +24,14 @@ type job struct {
 	// batcher scatters the coalesced outputs into them so the handler can
 	// encode its response after the batch buffers have moved on.
 	vert, horiz, avg []float64
+	// shard is the affinity hint: the shard index this job was last
+	// admitted on (modulo the server's shard count — the pool is shared
+	// across servers). sync.Pool is per-P, so a core keeps drawing the
+	// same jobs and the hint routes its requests back to the same shard —
+	// same batcher goroutine, same warm buffers — without any shared
+	// routing state. New jobs start on round-robin shards so cold bursts
+	// spread out.
+	shard int32
 	// err is the batch outcome for this job (nil on success).
 	err error
 	// done receives exactly one value when the batcher has filled the
@@ -31,7 +40,11 @@ type job struct {
 	done chan struct{}
 }
 
-var jobPool = sync.Pool{New: func() any { return &job{done: make(chan struct{}, 1)} }}
+var jobShardRR atomic.Uint32
+
+var jobPool = sync.Pool{New: func() any {
+	return &job{done: make(chan struct{}, 1), shard: int32(jobShardRR.Add(1))}
+}}
 
 func getJob() *job { return jobPool.Get().(*job) }
 
@@ -56,51 +69,53 @@ func growFloats(s []float64, n int) []float64 {
 	return s[:n]
 }
 
-// batchLoop is the coalescing heart of the server: it drains the submit
-// channel, groups pending jobs into micro-batches and scores each batch
-// with one PredictBatchInto call. A batch closes when its row count
-// reaches Options.MaxBatch, when every admitted request is already in it
-// (see allQueued), or when Options.Window has elapsed since its first job
-// — the window bounds the latency a lone request pays for the chance to
-// share a batch, the cap bounds how much work one call hoards. All
-// scratch (pending slice, gathered row views, batch outputs, the window
-// timer) is reused across batches, so the loop itself never allocates in
-// steady state.
-func (s *Server) batchLoop() {
-	defer close(s.batcherDone)
+// batchLoop is the coalescing heart of one shard: it drains the shard's
+// submit channel, groups pending jobs into micro-batches and scores each
+// batch with one PredictBatchInto call. A batch closes when its row count
+// reaches Options.MaxBatch, when every request admitted on this shard is
+// already in it (see allQueued), or when Options.Window has elapsed since
+// its first job — the window bounds the latency a lone request pays for
+// the chance to share a batch, the cap bounds how much work one call
+// hoards. All scratch (pending slice, gathered row views, batch outputs,
+// the window timer) is owned by this shard and reused across batches, so
+// the loop itself never allocates in steady state and never touches
+// another shard's memory.
+func (sh *shard) batchLoop() {
+	defer close(sh.done)
 	var (
 		pending          = make([]*job, 0, 64)
 		rows             [][]float64
 		vert, horiz, avg []float64
 	)
+	opts := sh.srv.opts
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
 	}
 	open := true
 	for open {
-		j, ok := <-s.submit
+		j, ok := <-sh.submit
 		if !ok {
 			return
 		}
 		pending = append(pending[:0], j)
 		n := j.m.Rows
-		if n < s.opts.MaxBatch && !s.allQueued(len(pending)) {
-			if s.opts.Window > 0 {
+		if n < opts.MaxBatch && !sh.allQueued(len(pending)) {
+			if opts.Window > 0 {
 				// Windowed collection: wait up to Window for companions.
-				timer.Reset(s.opts.Window)
+				timer.Reset(opts.Window)
 				fired := false
 			collect:
-				for n < s.opts.MaxBatch {
+				for n < opts.MaxBatch {
 					select {
-					case j2, ok2 := <-s.submit:
+					case j2, ok2 := <-sh.submit:
 						if !ok2 {
 							open = false
 							break collect
 						}
 						pending = append(pending, j2)
 						n += j2.m.Rows
-						if s.allQueued(len(pending)) {
+						if sh.allQueued(len(pending)) {
 							break collect
 						}
 					case <-timer.C:
@@ -114,9 +129,9 @@ func (s *Server) batchLoop() {
 			} else {
 				// No window: greedily take whatever is already queued.
 			greedy:
-				for n < s.opts.MaxBatch {
+				for n < opts.MaxBatch {
 					select {
-					case j2, ok2 := <-s.submit:
+					case j2, ok2 := <-sh.submit:
 						if !ok2 {
 							open = false
 							break greedy
@@ -129,35 +144,40 @@ func (s *Server) batchLoop() {
 				}
 			}
 		}
-		rows, vert, horiz, avg = s.flush(pending, rows, vert, horiz, avg)
+		rows, vert, horiz, avg = sh.flush(pending, rows, vert, horiz, avg)
 	}
 }
 
-// allQueued reports whether every admitted request is already in the
-// batch. Each in-flight request holds exactly one admission slot from
-// before it submits until after its response is encoded, so len(s.sem)
-// bounds the jobs that could still join; once pending matches it the
-// submit queue is provably dry and waiting out the window is pure added
-// latency. The read races with new admissions, but only conservatively —
-// an overcount just means the batcher keeps waiting and the window still
+// allQueued reports whether every request admitted on this shard is
+// already in the batch. Each in-flight request holds exactly one slot of
+// the shard it submitted to, from before it submits until after its
+// response is encoded, so len(sh.sem) bounds the jobs that could still
+// join this shard's batch; once pending matches it the submit queue is
+// provably dry and waiting out the window is pure added latency. Splitting
+// MaxInflight into per-shard semaphores is what keeps this proof local:
+// requests on other shards hold other semaphores and can never land here.
+// The read races with new admissions, but only conservatively — an
+// overcount just means the batcher keeps waiting and the window still
 // bounds the wait. This is what keeps closed-loop p99 near the predict
 // time instead of near the timer's firing slop.
-func (s *Server) allQueued(pending int) bool { return pending >= len(s.sem) }
+func (sh *shard) allQueued(pending int) bool { return pending >= len(sh.sem) }
 
 // flush scores one coalesced batch and wakes every waiting job. The
 // single-job case predicts straight into the job's own output slices; a
-// multi-job batch gathers the row views, predicts once into the shared
-// batch outputs, and scatters each job's segment back. The scratch slices
+// multi-job batch gathers the row views, predicts once into the shard's
+// batch outputs, and scatters each job's segment back. The model pointer
+// is loaded exactly once per flush, so every row of a batch — whatever
+// requests it coalesced — is scored by one generation. The scratch slices
 // are threaded through and returned so the loop reuses their capacity.
-func (s *Server) flush(pending []*job, rows [][]float64, vert, horiz, avg []float64) ([][]float64, []float64, []float64, []float64) {
+func (sh *shard) flush(pending []*job, rows [][]float64, vert, horiz, avg []float64) ([][]float64, []float64, []float64, []float64) {
 	total := 0
 	for _, j := range pending {
 		total += j.m.Rows
 	}
-	s.met.batches.Inc()
-	s.met.batchRows.Observe(float64(total))
-	s.met.occupancy.Set(float64(total) / float64(s.opts.MaxBatch))
-	mdl := s.models.Load()
+	sh.met.batches.Inc()
+	sh.met.batchRows.Observe(float64(total))
+	sh.srv.occupancy.Set(float64(total) / float64(sh.srv.opts.MaxBatch))
+	mdl := sh.srv.models.Load()
 	if mdl == nil {
 		for _, j := range pending {
 			j.err = ErrNoModel
@@ -169,7 +189,7 @@ func (s *Server) flush(pending []*job, rows [][]float64, vert, horiz, avg []floa
 		j := pending[0]
 		j.err = predictGuarded(mdl.Pred, j.vert, j.horiz, j.avg, j.rows)
 		if j.err == nil {
-			s.met.predictions.Add(int64(total))
+			sh.met.predictions.Add(int64(total))
 		}
 		j.done <- struct{}{}
 		return rows, vert, horiz, avg
@@ -199,7 +219,7 @@ func (s *Server) flush(pending []*job, rows [][]float64, vert, horiz, avg []floa
 		j.done <- struct{}{}
 	}
 	if err == nil {
-		s.met.predictions.Add(int64(total))
+		sh.met.predictions.Add(int64(total))
 	}
 	return rows, vert, horiz, avg
 }

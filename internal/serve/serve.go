@@ -18,20 +18,33 @@
 //     admitted request is already in the batch (the admission semaphore
 //     proves no companion can arrive), so closed-loop clients never pay
 //     the window — only genuinely concurrent traffic does.
-//   - Admission control: a max-inflight semaphore sheds excess load with
-//     a fast 429 instead of queueing without bound.
-//   - Hot reload: models live behind an atomic pointer; SIGHUP or POST
-//     /reload loads and fully validates the artifact, then swaps. The old
-//     model serves every batch formed before the swap; an invalid
+//   - Multi-core scale-out: the server runs Options.Shards independent
+//     batcher shards (default GOMAXPROCS), each owning its own admission
+//     semaphore, submit queue, window timer and batch scratch. Requests
+//     route to a shard by a pooled affinity hint with a round-robin
+//     fallback under load, so the hot path shares no lock, channel or
+//     cache line between shards — throughput scales with cores instead
+//     of serializing on one batcher goroutine. Predictions are
+//     byte-identical across shard counts: sharding changes which rows
+//     share a PredictBatchInto call, never what a row scores.
+//   - Admission control: a max-inflight semaphore per shard sheds excess
+//     load with a fast 429 instead of queueing without bound; a request
+//     is shed only when every shard is saturated.
+//   - Hot reload: models live behind one atomic pointer shared by all
+//     shards; SIGHUP or POST /reload loads and fully validates the
+//     artifact, then swaps. Each batch loads the pointer exactly once, so
+//     a batch is always scored by a single generation; an invalid
 //     artifact is rejected with zero downtime.
-//   - Graceful drain: Stop admits no new work, waits for every in-flight
-//     request to complete (the batcher flushes its last window), then
-//     retires the coalescing goroutine.
+//   - Graceful drain: Stop admits no new work, then retires the shards in
+//     fixed index order — acquiring every admission slot of a shard
+//     proves no request is between admission and submit there, after
+//     which its batcher flushes its last window and exits.
 //
-// Every stage reports into the internal/obs registry (latency and
-// batch-size histograms, shed/reload counters, inflight/occupancy
-// gauges), visible on the same /debug endpoints the rest of the repo
-// uses.
+// Every stage reports into the internal/obs registry. The request-path
+// series (request/shed/error/prediction counters, latency and batch-rows
+// histograms, the inflight gauge) are striped per shard onto separate
+// cache lines and merged at Snapshot, so enabling metrics does not
+// re-serialize the cores the sharding just separated.
 package serve
 
 import (
@@ -65,13 +78,20 @@ var (
 type Options struct {
 	// MaxBatch caps the rows of one coalesced batch (default 256).
 	MaxBatch int
-	// Window is how long the batcher holds an open batch waiting for
-	// companions. The zero value selects the default 200µs; a negative
-	// value means "never wait" — a batch still coalesces whatever is
-	// already queued, but closes immediately.
+	// Window is how long a shard's batcher holds an open batch waiting
+	// for companions. The zero value selects the default 200µs; a
+	// negative value means "never wait" — a batch still coalesces
+	// whatever is already queued, but closes immediately.
 	Window time.Duration
-	// MaxInflight is the admission cap: requests beyond it are shed with
-	// 429 (default 4×GOMAXPROCS, min 16).
+	// Shards is the number of independent batcher shards (default
+	// GOMAXPROCS). Each shard owns its own admission slots, submit queue,
+	// window timer and batch scratch; coalescing happens within a shard.
+	Shards int
+	// MaxInflight is the total admission cap across all shards: requests
+	// beyond it are shed with 429 (default 4×GOMAXPROCS, min 16). It is
+	// rounded up to a multiple of Shards so every shard gets the same
+	// slot count — the per-shard semaphore is what keeps the allQueued
+	// early-flush proof local to a shard.
 	MaxInflight int
 	// MaxBodyBytes bounds one request body (default 16 MiB).
 	MaxBodyBytes int64
@@ -89,44 +109,69 @@ func (o Options) withDefaults() Options {
 	if o.Window < 0 {
 		o.Window = 0
 	}
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards < 1 {
+			o.Shards = 1
+		}
+	}
 	if o.MaxInflight <= 0 {
 		o.MaxInflight = 4 * runtime.GOMAXPROCS(0)
 		if o.MaxInflight < 16 {
 			o.MaxInflight = 16
 		}
 	}
+	// Round the cap up to a whole number of slots per shard.
+	perShard := (o.MaxInflight + o.Shards - 1) / o.Shards
+	o.MaxInflight = perShard * o.Shards
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 16 << 20
 	}
 	return o
 }
 
-// metricSet holds the resolved metric handles. Handles are looked up once
-// at construction — the registry's name map takes a lock, the handles are
-// lock-free atomics — and every field no-ops when observation is off.
-type metricSet struct {
+// shardMetrics holds one shard's resolved metric handles. The request-path
+// series are that shard's stripes of the registry's striped metrics —
+// resolved once at construction, so the hot path pays exactly one
+// un-contended atomic per event — and every field no-ops when observation
+// is off.
+type shardMetrics struct {
 	requests, shed, errs *obs.Counter
 	predictions, batches *obs.Counter
-	reloads, reloadErrs  *obs.Counter
 	batchRows, latency   *obs.Histogram
-	occupancy, inflight  *obs.Gauge
+	inflight             *obs.Gauge
 }
 
-func newMetricSet(o *obs.Observer) metricSet {
+func newShardMetrics(o *obs.Observer, shard, shards int) shardMetrics {
 	r := o.Metrics()
-	return metricSet{
-		requests:    r.Counter(obs.MetricServeRequests),
-		shed:        r.Counter(obs.MetricServeShed),
-		errs:        r.Counter(obs.MetricServeErrors),
-		predictions: r.Counter(obs.MetricServePredictions),
-		batches:     r.Counter(obs.MetricServeBatches),
-		reloads:     r.Counter(obs.MetricServeReloads),
-		reloadErrs:  r.Counter(obs.MetricServeReloadErrors),
-		batchRows:   r.Histogram(obs.MetricServeBatchRows, obs.BatchRowsBuckets),
-		latency:     r.Histogram(obs.MetricServeLatencyUs, obs.LatencyMicrosBuckets),
-		occupancy:   r.Gauge(obs.MetricServeBatchOccupancy),
-		inflight:    r.Gauge(obs.MetricServeInflight),
+	return shardMetrics{
+		requests:    r.StripedCounter(obs.MetricServeRequests, shards).Stripe(shard),
+		shed:        r.StripedCounter(obs.MetricServeShed, shards).Stripe(shard),
+		errs:        r.StripedCounter(obs.MetricServeErrors, shards).Stripe(shard),
+		predictions: r.StripedCounter(obs.MetricServePredictions, shards).Stripe(shard),
+		batches:     r.StripedCounter(obs.MetricServeBatches, shards).Stripe(shard),
+		batchRows:   r.StripedHistogram(obs.MetricServeBatchRows, obs.BatchRowsBuckets, shards).Stripe(shard),
+		latency:     r.StripedHistogram(obs.MetricServeLatencyUs, obs.LatencyMicrosBuckets, shards).Stripe(shard),
+		inflight:    r.StripedGauge(obs.MetricServeInflight, shards).Stripe(shard),
 	}
+}
+
+// shard is one independent coalescing lane: its own admission semaphore,
+// submit queue, batcher goroutine and metric stripes. Nothing on a
+// shard's request path touches another shard's state.
+type shard struct {
+	idx int
+	srv *Server
+	// sem is this shard's slice of the admission cap: one slot per
+	// in-flight request routed here. A request holds its slot from
+	// admission until after its response is encoded, which is what makes
+	// len(sem) an upper bound on the jobs that can still join this
+	// shard's open batch (see allQueued) and what lets Stop prove the
+	// shard quiescent by acquiring every slot.
+	sem    chan struct{}
+	submit chan *job
+	done   chan struct{}
+	met    shardMetrics
 }
 
 // Server is the prediction service core. Construct with New, publish a
@@ -135,34 +180,45 @@ func newMetricSet(o *obs.Observer) metricSet {
 type Server struct {
 	opts      Options
 	obs       *obs.Observer
-	met       metricSet
 	models    modelSlot
 	modelPath atomic.Pointer[string]
 
-	// sem is the admission semaphore: one slot per in-flight request.
-	// Stop acquires every slot to prove no request is between admission
-	// and release, which is what makes closing submit safe.
-	sem         chan struct{}
-	submit      chan *job
-	batcherDone chan struct{}
-	draining    atomic.Bool
-	stopOnce    sync.Once
-	stopErr     error
+	// shards are the independent batcher lanes; see Options.Shards.
+	shards []*shard
+	// reload/occupancy handles are off the request path and stay plain.
+	reloads, reloadErrs *obs.Counter
+	occupancy           *obs.Gauge
+
+	draining atomic.Bool
+	stopOnce sync.Once
+	stopErr  error
 }
 
-// New starts the coalescing loop and returns a server with no model
-// loaded (requests answer 503 until LoadModel succeeds).
+// New starts one coalescing loop per shard and returns a server with no
+// model loaded (requests answer 503 until LoadModel succeeds).
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:        opts,
-		obs:         opts.Obs,
-		met:         newMetricSet(opts.Obs),
-		sem:         make(chan struct{}, opts.MaxInflight),
-		submit:      make(chan *job, opts.MaxInflight),
-		batcherDone: make(chan struct{}),
+		opts:       opts,
+		obs:        opts.Obs,
+		reloads:    opts.Obs.Metrics().Counter(obs.MetricServeReloads),
+		reloadErrs: opts.Obs.Metrics().Counter(obs.MetricServeReloadErrors),
+		occupancy:  opts.Obs.Metrics().Gauge(obs.MetricServeBatchOccupancy),
 	}
-	go s.batchLoop()
+	perShard := opts.MaxInflight / opts.Shards
+	s.shards = make([]*shard, opts.Shards)
+	for i := range s.shards {
+		sh := &shard{
+			idx:    i,
+			srv:    s,
+			sem:    make(chan struct{}, perShard),
+			submit: make(chan *job, perShard),
+			done:   make(chan struct{}),
+			met:    newShardMetrics(opts.Obs, i, opts.Shards),
+		}
+		s.shards[i] = sh
+		go sh.batchLoop()
+	}
 	return s
 }
 
@@ -173,15 +229,17 @@ func (s *Server) Options() Options { return s.opts }
 func (s *Server) Model() *Model { return s.models.Load() }
 
 // LoadModel loads, validates and publishes the artifact at path, which
-// also becomes the path Reload re-reads.
+// also becomes the path Reload re-reads. The publish is one atomic
+// pointer store observed by every shard: no two batches formed after it
+// can disagree about the generation.
 func (s *Server) LoadModel(path string) (*Model, error) {
 	m, err := s.models.Reload(path)
 	if err != nil {
-		s.met.reloadErrs.Inc()
+		s.reloadErrs.Inc()
 		return nil, err
 	}
 	s.modelPath.Store(&path)
-	s.met.reloads.Inc()
+	s.reloads.Inc()
 	if l := s.obs.Logger(); l != nil {
 		l.Info("model loaded", "path", path, "generation", m.Generation, "kind", m.Pred.Kind.String())
 	}
@@ -198,6 +256,38 @@ func (s *Server) Reload() (*Model, error) {
 	return s.LoadModel(*p)
 }
 
+// admit routes a request to a shard: first the job's pooled affinity hint
+// (jobs live in a per-P sync.Pool, so a core keeps landing on the same
+// shard — its batcher, its warm buffers), then every other shard once,
+// round-robin from the hint. A successful pick holds one slot of that
+// shard's semaphore and updates the hint; nil means every shard is
+// saturated and the request must shed. The fallback probes are
+// non-blocking, so all-shards-full is a fast 429, never a wait.
+func (s *Server) admit(j *job) *shard {
+	n := len(s.shards)
+	h := int(uint32(j.shard)) % n
+	sh := s.shards[h]
+	select {
+	case sh.sem <- struct{}{}:
+		return sh
+	default:
+	}
+	for i := 1; i < n; i++ {
+		k := h + i
+		if k >= n {
+			k -= n
+		}
+		sh = s.shards[k]
+		select {
+		case sh.sem <- struct{}{}:
+			j.shard = int32(k)
+			return sh
+		default:
+		}
+	}
+	return nil
+}
+
 // ServeBytes runs the whole /predict hot path on one raw payload:
 // admission, pooled decode, coalesced prediction and response encoding
 // appended to dst. It exists apart from the HTTP handler so the
@@ -206,29 +296,29 @@ func (s *Server) Reload() (*Model, error) {
 // the ContentF64 codec; otherwise the payload is JSON.
 func (s *Server) ServeBytes(body []byte, binary bool, dst []byte) ([]byte, error) {
 	start := time.Now()
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		s.met.shed.Inc()
+	j := getJob()
+	sh := s.admit(j)
+	if sh == nil {
+		s.shards[int(uint32(j.shard))%len(s.shards)].met.shed.Inc()
+		putJob(j)
 		return dst, ErrShed
 	}
-	s.met.requests.Inc()
-	s.met.inflight.Set(float64(len(s.sem)))
-	j := getJob()
-	dst, err := s.serveJob(j, body, binary, dst)
+	sh.met.requests.Inc()
+	sh.met.inflight.Set(float64(len(sh.sem)))
+	dst, err := s.serveJob(sh, j, body, binary, dst)
 	if err != nil {
-		s.met.errs.Inc()
+		sh.met.errs.Inc()
 	}
 	putJob(j)
-	<-s.sem
-	s.met.latency.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	<-sh.sem
+	sh.met.latency.Observe(float64(time.Since(start)) / float64(time.Microsecond))
 	return dst, err
 }
 
-// serveJob decodes into the pooled job, routes it through the coalescer
-// and encodes the response. Split from ServeBytes so the semaphore slot
-// and job are released on every path.
-func (s *Server) serveJob(j *job, body []byte, binary bool, dst []byte) ([]byte, error) {
+// serveJob decodes into the pooled job, routes it through the shard's
+// coalescer and encodes the response. Split from ServeBytes so the
+// semaphore slot and job are released on every path.
+func (s *Server) serveJob(sh *shard, j *job, body []byte, binary bool, dst []byte) ([]byte, error) {
 	var err error
 	if binary {
 		err = decodeF64(body, &j.m)
@@ -250,7 +340,7 @@ func (s *Server) serveJob(j *job, body []byte, binary bool, dst []byte) ([]byte,
 		}
 		j.rows = j.m.RowViews(j.rows)
 		j.sizeOutputs()
-		s.submit <- j
+		sh.submit <- j
 		<-j.done
 		if j.err != nil {
 			return dst, j.err
@@ -265,26 +355,32 @@ func (s *Server) serveJob(j *job, body []byte, binary bool, dst []byte) ([]byte,
 }
 
 // Stop drains the server: new requests shed immediately, every admitted
-// request completes (the batcher flushes its final window), and the
-// coalescing goroutine exits. Stop is idempotent; ctx bounds the wait.
+// request completes (each batcher flushes its final window), and the
+// coalescing goroutines exit. Shards drain in fixed index order — the one
+// lock-ordering rule of the package, shared with any future multi-shard
+// acquirer — by taking every admission slot of a shard before closing its
+// submit queue: once Stop owns all slots, no request on that shard is
+// between admission and submit, so closing the channel is safe. Stop is
+// idempotent; ctx bounds the wait.
 func (s *Server) Stop(ctx contextLike) error {
 	s.stopOnce.Do(func() {
 		s.draining.Store(true)
-		// Hold every admission slot: once all are ours, no request is
-		// between admission and release, so nothing can send on submit.
-		for i := 0; i < cap(s.sem); i++ {
+		for _, sh := range s.shards {
+			for i := 0; i < cap(sh.sem); i++ {
+				select {
+				case sh.sem <- struct{}{}:
+				case <-ctx.Done():
+					s.stopErr = fmt.Errorf("serve: stop: %w", ctx.Err())
+					return
+				}
+			}
+			close(sh.submit)
 			select {
-			case s.sem <- struct{}{}:
+			case <-sh.done:
 			case <-ctx.Done():
 				s.stopErr = fmt.Errorf("serve: stop: %w", ctx.Err())
 				return
 			}
-		}
-		close(s.submit)
-		select {
-		case <-s.batcherDone:
-		case <-ctx.Done():
-			s.stopErr = fmt.Errorf("serve: stop: %w", ctx.Err())
 		}
 	})
 	return s.stopErr
@@ -410,11 +506,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "{\n  \"status\": \"no model\",\n  \"generation\": 0\n}\n")
 		return
 	}
-	fmt.Fprintf(w, "{\n  \"status\": %q,\n  \"generation\": %d,\n  \"model\": %q,\n  \"kind\": %q,\n  \"features\": %d,\n  \"loaded_at\": %q,\n  \"window_us\": %d,\n  \"max_batch\": %d\n}\n",
+	fmt.Fprintf(w, "{\n  \"status\": %q,\n  \"generation\": %d,\n  \"model\": %q,\n  \"kind\": %q,\n  \"features\": %d,\n  \"loaded_at\": %q,\n  \"window_us\": %d,\n  \"max_batch\": %d,\n  \"shards\": %d,\n  \"max_inflight\": %d\n}\n",
 		map[bool]string{false: "ok", true: "draining"}[s.draining.Load()],
 		m.Generation, m.Path, m.Pred.Kind.String(), m.Pred.NumFeatures(),
 		m.LoadedAt.UTC().Format(time.RFC3339Nano),
-		s.opts.Window.Microseconds(), s.opts.MaxBatch)
+		s.opts.Window.Microseconds(), s.opts.MaxBatch, s.opts.Shards, s.opts.MaxInflight)
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {

@@ -198,12 +198,13 @@ func TestServeBytesMatchesPredictSample(t *testing.T) {
 
 func TestCoalescingFormsOneBatch(t *testing.T) {
 	o := obs.New()
-	s := newTestServer(t, Options{Window: 40 * time.Millisecond, MaxBatch: 1024, Obs: o})
+	// One shard so every client funnels into the same batcher lane.
+	s := newTestServer(t, Options{Window: 40 * time.Millisecond, MaxBatch: 1024, Shards: 1, Obs: o})
 
 	// A phantom admission slot keeps allQueued false, so the batcher must
 	// wait out the window — every client then lands in the same batch.
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	s.shards[0].sem <- struct{}{}
+	defer func() { <-s.shards[0].sem }()
 
 	const clients = 8
 	var wg sync.WaitGroup
@@ -267,13 +268,13 @@ func TestBatchSizeCapClosesEarly(t *testing.T) {
 
 func TestAdmissionControlSheds(t *testing.T) {
 	o := obs.New()
-	s := newTestServer(t, Options{Window: 30 * time.Millisecond, MaxBatch: 1024, MaxInflight: 2, Obs: o})
+	s := newTestServer(t, Options{Window: 30 * time.Millisecond, MaxBatch: 1024, Shards: 1, MaxInflight: 2, Obs: o})
 
 	// Hold both admission slots — exactly the state two slow in-flight
 	// requests produce — so the next request is shed immediately instead
 	// of queueing.
-	s.sem <- struct{}{}
-	s.sem <- struct{}{}
+	s.shards[0].sem <- struct{}{}
+	s.shards[0].sem <- struct{}{}
 	_, err := s.ServeBytes(binaryRequest(randRows(1, 9)), true, nil)
 	if !errors.Is(err, ErrShed) {
 		t.Fatalf("request over the inflight cap got %v, want ErrShed", err)
@@ -283,11 +284,11 @@ func TestAdmissionControlSheds(t *testing.T) {
 	}
 
 	// Releasing one slot restores service.
-	<-s.sem
+	<-s.shards[0].sem
 	if _, err := s.ServeBytes(binaryRequest(randRows(1, 10)), true, nil); err != nil {
 		t.Fatalf("request after slot release: %v", err)
 	}
-	<-s.sem
+	<-s.shards[0].sem
 }
 
 func TestBatchShapeRejectedPerRequest(t *testing.T) {

@@ -59,6 +59,23 @@ go test -count=1 -run 'ZeroAlloc' ./internal/ml/
 echo "== serve zero-alloc guards =="
 go test -count=1 -run 'ZeroAlloc' ./internal/serve/
 
+# The striped-metrics contract: a registry fed an operation sequence
+# through striped counters/gauges/histograms must snapshot identically to
+# a plain registry fed the same sequence, and the stripes must be clean
+# and sum correctly under the race detector.
+echo "== striped metrics equivalence (-race) =="
+go test -count=1 -run 'TestStripedSnapshotEquivalence' ./internal/obs/
+go test -race -count=1 -run 'TestStripedConcurrency' ./internal/obs/
+
+# The multi-core serving contract, under the race detector: sharded
+# responses byte-identical to single-shard, all-shards-saturated bursts
+# shed fast with stripe-summed counters, and a reload mid-load never
+# serves two model generations in one batch.
+echo "== sharded serve invariants (-race) =="
+go test -race -count=1 \
+	-run 'TestShardedPredictionsMatchSingleShard|TestAllShardsSaturatedSheds|TestReloadSingleGenerationPerBatch|TestShardedGracefulDrain' \
+	./internal/serve/
+
 # The observability layer's contract, end to end: a quick observed run must
 # write a loadable Chrome trace containing a span per flow stage and a
 # metrics snapshot carrying the canonical flow series (obscheck validates
@@ -121,10 +138,12 @@ echo "== serve codec fuzz smoke (5s) =="
 go test -run '^$' -fuzz 'FuzzDecodeJSONRows' -fuzztime 5s ./internal/serve/ > /dev/null
 
 # The serving daemon's contract, end to end over real HTTP: train a quick
-# artifact, serve it, predict against it, hot-reload it (a valid swap bumps
-# the generation; a corrupt artifact is rejected with the old model still
-# serving), then drain gracefully on SIGTERM with load in flight.
-echo "== congserve smoke (serve, predict, hot-reload, graceful drain) =="
+# artifact, serve it multi-shard, predict against it, prove the sharded
+# server's responses byte-identical to a single-shard server's (congload
+# -probe), hot-reload it (a valid swap bumps the generation; a corrupt
+# artifact is rejected with the old model still serving), then drain
+# gracefully on SIGTERM with load in flight.
+echo "== congserve smoke (2 shards: serve, probe identity, hot-reload, drain) =="
 SERVE_TMP="$(mktemp -d)"
 SERVE_PID=""
 trap 'rm -rf "$CRASH_TMP" "$SERVE_TMP" /tmp/storecheck; [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2> /dev/null || true' EXIT
@@ -132,7 +151,7 @@ go build -o "$SERVE_TMP/congserve" ./cmd/congserve
 go build -o "$SERVE_TMP/congload" ./cmd/congload
 "$SERVE_TMP/congserve" -train-quick -model "$SERVE_TMP/model.json" -kind gbrt > /dev/null
 "$SERVE_TMP/congserve" -model "$SERVE_TMP/model.json" -addr 127.0.0.1:0 \
-	-addr-file "$SERVE_TMP/addr.txt" -log-level warn &
+	-addr-file "$SERVE_TMP/addr.txt" -log-level warn -shards 2 &
 SERVE_PID=$!
 i=0
 while [ ! -s "$SERVE_TMP/addr.txt" ]; do
@@ -148,6 +167,27 @@ curl -sf "http://$ADDR/healthz" | grep -q '"status": "ok"' || {
 "$SERVE_TMP/congload" -addr "$ADDR" -n 200 -concurrency 2 -rows 32 > "$SERVE_TMP/load.json"
 grep -q '"errors": 0' "$SERVE_TMP/load.json" || {
 	echo "FAIL: /predict load run had errors"
+	exit 1
+}
+# Byte-identity across shard counts: a 1-shard server over the same
+# artifact must answer the probe with the exact bytes the 2-shard one did.
+"$SERVE_TMP/congserve" -model "$SERVE_TMP/model.json" -addr 127.0.0.1:0 \
+	-addr-file "$SERVE_TMP/addr1.txt" -log-level warn -shards 1 &
+SERVE1_PID=$!
+i=0
+while [ ! -s "$SERVE_TMP/addr1.txt" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "FAIL: 1-shard congserve never wrote its address"; exit 1; }
+	sleep 0.1
+done
+"$SERVE_TMP/congload" -addr "$ADDR" -probe "$SERVE_TMP/probe2.bin"
+"$SERVE_TMP/congload" -addr "$(cat "$SERVE_TMP/addr1.txt")" -probe "$SERVE_TMP/probe1.bin"
+kill -TERM "$SERVE1_PID" && wait "$SERVE1_PID" || {
+	echo "FAIL: 1-shard congserve did not drain cleanly"
+	exit 1
+}
+cmp "$SERVE_TMP/probe1.bin" "$SERVE_TMP/probe2.bin" || {
+	echo "FAIL: sharded predictions differ from single-shard"
 	exit 1
 }
 curl -sf -X POST "http://$ADDR/reload" | grep -q '"generation": 2' || {
