@@ -42,9 +42,14 @@
 // "duration_sec", "preds_per_sec", "requests_per_sec", "p50_us",
 // "p90_us", "p99_us", "max_us", "rows", "concurrency", "format",
 // "offered_rate", "conns", "dropped_ticks", "server_p99_us_bound",
-// "server_shed", "server_reloads", "server_reload_errors"} — the server_*
-// fields mirror the server's own /debug/metrics counters so overload and
-// reload behaviour is diagnosable from the report alone.
+// "server_shed", "server_reloads", "server_reload_errors", "server"} —
+// the server_* fields mirror the server's own /debug/metrics counters
+// (lifetime totals) so overload and reload behaviour is diagnosable from
+// the report alone, and the "server" object is the *delta* of those
+// metrics across the measured window (a /debug/metrics snapshot taken
+// right before and right after): what the server itself saw THIS run —
+// requests, predictions, sheds, errors, batches, and the latency window's
+// count/p50/p99 interpolated from its histogram bucket deltas.
 package main
 
 import (
@@ -64,6 +69,7 @@ import (
 	"time"
 
 	"repro/internal/features"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -111,6 +117,57 @@ type report struct {
 	ServerShed         int64 `json:"server_shed"`
 	ServerReloads      int64 `json:"server_reloads"`
 	ServerReloadErrors int64 `json:"server_reload_errors"`
+	// Server is the delta of the server's own metrics across the measured
+	// window (nil when /debug/metrics was unavailable at either end) — the
+	// server-side account of this run, with queueing and network stripped
+	// to what ServeBytes itself observed.
+	Server *serverDelta `json:"server,omitempty"`
+}
+
+// serverDelta is the change in the server's /debug/metrics between a
+// snapshot taken just before the measured window and one just after.
+// Counter deltas follow the Prometheus reset rule (a shrunk total — the
+// server restarted mid-run — re-bases on the current value); the latency
+// fields are the serve.latency_us histogram's window activity with p50/p99
+// interpolated from its bucket deltas.
+type serverDelta struct {
+	Requests     int64   `json:"requests"`
+	Predictions  int64   `json:"predictions"`
+	Shed         int64   `json:"shed"`
+	Errors       int64   `json:"errors"`
+	Batches      int64   `json:"batches"`
+	LatencyCount int64   `json:"latency_count"`
+	LatencyP50Us float64 `json:"latency_p50_us"`
+	LatencyP99Us float64 `json:"latency_p99_us"`
+}
+
+// deltaReport derives the measured-window server delta from two snapshots.
+func deltaReport(before, after *obs.Snapshot) *serverDelta {
+	if before == nil || after == nil {
+		return nil
+	}
+	cd := func(name string) int64 {
+		prev, _ := before.Counter(name)
+		cur, _ := after.Counter(name)
+		if cur < prev { // reset: the server restarted behind the endpoint
+			return cur
+		}
+		return cur - prev
+	}
+	d := &serverDelta{
+		Requests:    cd(obs.MetricServeRequests),
+		Predictions: cd(obs.MetricServePredictions),
+		Shed:        cd(obs.MetricServeShed),
+		Errors:      cd(obs.MetricServeErrors),
+		Batches:     cd(obs.MetricServeBatches),
+	}
+	if cur := after.Histogram(obs.MetricServeLatencyUs); cur != nil {
+		hw := obs.HistogramWindow(before.Histogram(obs.MetricServeLatencyUs), cur)
+		d.LatencyCount = hw.Count
+		d.LatencyP50Us = hw.P50
+		d.LatencyP99Us = hw.P99
+	}
+	return d
 }
 
 func realMain() int {
@@ -198,6 +255,11 @@ func realMain() int {
 			return 1
 		}
 	}
+
+	// Bracket the measured window with server snapshots: the delta between
+	// them is what the server itself saw during this run, immune to earlier
+	// runs, the warmup and other clients inflating the lifetime totals.
+	before := fetchSnapshot(client, *addr)
 
 	var (
 		requests, errCount, shed, dropped atomic.Int64
@@ -336,8 +398,10 @@ func realMain() int {
 		r.P99Us = quantile(latencies, 0.99)
 		r.MaxUs = latencies[len(latencies)-1]
 	}
+	after := fetchSnapshot(client, *addr)
 	r.ServerP99UsBound, r.ServerShed, r.ServerReloads, r.ServerReloadErrors =
-		serverMetrics(client, *addr)
+		serverMetrics(after)
+	r.Server = deltaReport(before, after)
 	doc, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "congload:", err)
@@ -357,59 +421,46 @@ func realMain() int {
 	return 0
 }
 
-// serverMetrics reads the server's /debug/metrics snapshot once and
-// extracts everything the report mirrors: the tightest serve.latency_us
-// bucket bound covering at least 99% of observations (0 when the endpoint
-// or series is unavailable, -1 when only the +Inf overflow bucket covers
-// p99), plus the serve.shed / serve.reloads / serve.reload_errors
-// counters. Bucket bounds unmarshal loosely because the overflow bucket
-// serializes +Inf as a string.
-func serverMetrics(client *http.Client, addr string) (p99Bound float64, shed, reloads, reloadErrs int64) {
+// fetchSnapshot reads the server's /debug/metrics document into the obs
+// snapshot schema it was written from (the overflow bucket's "+Inf" bound
+// round-trips via BucketSnap's unmarshaller). Returns nil when the
+// endpoint is unavailable or the body does not parse — server metrics are
+// a diagnostic rider, never a reason to fail the run.
+func fetchSnapshot(client *http.Client, addr string) *obs.Snapshot {
 	resp, err := client.Get("http://" + addr + "/debug/metrics")
 	if err != nil {
-		return 0, 0, 0, 0
+		return nil
 	}
 	defer resp.Body.Close()
-	var snap struct {
-		Counters []struct {
-			Name  string `json:"name"`
-			Value int64  `json:"value"`
-		} `json:"counters"`
-		Histograms []struct {
-			Name    string `json:"name"`
-			Count   int64  `json:"count"`
-			Buckets []struct {
-				Le    json.RawMessage `json:"le"`
-				Count int64           `json:"count"`
-			} `json:"buckets"`
-		} `json:"histograms"`
+	var snap obs.Snapshot
+	if resp.StatusCode != http.StatusOK ||
+		json.NewDecoder(resp.Body).Decode(&snap) != nil {
+		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+	return &snap
+}
+
+// serverMetrics extracts the lifetime fields the report mirrors from one
+// snapshot: the tightest serve.latency_us bucket bound covering at least
+// 99% of observations (0 when the snapshot or series is unavailable, -1
+// when only the +Inf overflow bucket covers p99), plus the serve.shed /
+// serve.reloads / serve.reload_errors counters.
+func serverMetrics(snap *obs.Snapshot) (p99Bound float64, shed, reloads, reloadErrs int64) {
+	if snap == nil {
 		return 0, 0, 0, 0
 	}
-	for _, c := range snap.Counters {
-		switch c.Name {
-		case "serve.shed":
-			shed = c.Value
-		case "serve.reloads":
-			reloads = c.Value
-		case "serve.reload_errors":
-			reloadErrs = c.Value
-		}
-	}
-	for _, h := range snap.Histograms {
-		if h.Name != "serve.latency_us" || h.Count == 0 {
-			continue
-		}
+	shed, _ = snap.Counter(obs.MetricServeShed)
+	reloads, _ = snap.Counter(obs.MetricServeReloads)
+	reloadErrs, _ = snap.Counter(obs.MetricServeReloadErrors)
+	if h := snap.Histogram(obs.MetricServeLatencyUs); h != nil && h.Count > 0 {
 		var run int64
 		for _, b := range h.Buckets {
 			run += b.Count
 			if float64(run) >= 0.99*float64(h.Count) {
-				var le float64
-				if json.Unmarshal(b.Le, &le) != nil {
-					le = -1 // only the +Inf overflow bucket covers p99
+				if math.IsInf(b.UpperBound, 1) {
+					return -1, shed, reloads, reloadErrs
 				}
-				return le, shed, reloads, reloadErrs
+				return b.UpperBound, shed, reloads, reloadErrs
 			}
 		}
 	}

@@ -28,6 +28,18 @@
 //	                    (default GOMAXPROCS)
 //	-log-level LEVEL    debug, info, warn or error (default info)
 //
+// Observability flags:
+//
+//	-trace FILE         write a Chrome trace on exit (and on SIGHUP)
+//	-metrics FILE       write a JSON metrics snapshot on exit (and SIGHUP)
+//	-history-interval D time-series recorder sampling interval behind
+//	                    /debug/metrics/history (default 1s; 0 disables)
+//	-history-cap N      ring-buffer capacity in samples (default 300)
+//	-breach-dir DIR     write breach captures (pprof + history) here
+//	-breach-p99-us N    capture when a history window's serve.latency_us
+//	                    p99 exceeds N microseconds (0 disables)
+//	-breach-min-interval D  rate limit between captures (default 1m)
+//
 // Train-quick flags:
 //
 //	-modules A,B        benchmark designs to label (default
@@ -77,6 +89,13 @@ func realMain() int {
 	maxInflight := flag.Int("max-inflight", 0, "admission cap (0 = 4×GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "batcher lanes (0 = GOMAXPROCS)")
 	logLevel := flag.String("log-level", "info", "debug, info, warn or error")
+	traceFile := flag.String("trace", "", "write a Chrome trace here on exit and on SIGHUP")
+	metricsFile := flag.String("metrics", "", "write a JSON metrics snapshot here on exit and on SIGHUP")
+	historyInterval := flag.Duration("history-interval", time.Second, "metrics history sampling interval (0 disables the recorder)")
+	historyCap := flag.Int("history-cap", 300, "metrics history ring capacity in samples")
+	breachDir := flag.String("breach-dir", "", "directory for breach captures (pprof + metrics history)")
+	breachP99 := flag.Float64("breach-p99-us", 0, "capture when a window's serve.latency_us p99 exceeds this (0 disables)")
+	breachMinInterval := flag.Duration("breach-min-interval", time.Minute, "rate limit between breach captures")
 	trainQuick := flag.Bool("train-quick", false, "train a quick artifact to -model and exit")
 	modules := flag.String("modules", "digit_recognition", "train-quick: benchmark designs, comma-separated")
 	moves := flag.Int("moves", 3000, "train-quick: placer moves per run")
@@ -103,7 +122,16 @@ func realMain() int {
 		}
 		return 0
 	}
-	if err := run(o, *addr, *addrFile, *debugAddr, *model, serve.Options{
+	oc := obsConfig{
+		TraceFile:         *traceFile,
+		MetricsFile:       *metricsFile,
+		HistoryInterval:   *historyInterval,
+		HistoryCap:        *historyCap,
+		BreachDir:         *breachDir,
+		BreachP99Us:       *breachP99,
+		BreachMinInterval: *breachMinInterval,
+	}
+	if err := run(o, *addr, *addrFile, *debugAddr, *model, oc, serve.Options{
 		MaxBatch:    *maxBatch,
 		Window:      *window,
 		MaxInflight: *maxInflight,
@@ -114,6 +142,40 @@ func realMain() int {
 		return 1
 	}
 	return 0
+}
+
+// obsConfig groups the serving daemon's observability knobs.
+type obsConfig struct {
+	TraceFile         string
+	MetricsFile       string
+	HistoryInterval   time.Duration
+	HistoryCap        int
+	BreachDir         string
+	BreachP99Us       float64
+	BreachMinInterval time.Duration
+}
+
+// flushObs writes the -trace / -metrics artifacts. Called on SIGHUP and
+// on every exit path — including a drain started by SIGTERM — so an
+// interrupted run still leaves valid artifacts behind.
+func flushObs(o *obs.Observer, oc obsConfig) {
+	write := func(path string, emit func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = emit(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "congserve: writing %s: %v\n", path, err)
+		}
+	}
+	write(oc.TraceFile, func(f *os.File) error { return o.Trace.WriteChromeTrace(f) })
+	write(oc.MetricsFile, func(f *os.File) error { return o.WriteMetricsJSON(f) })
 }
 
 // trainQuickArtifact labels the named benchmark designs with a reduced
@@ -190,12 +252,35 @@ func writeFileAtomic(path string, content []byte) error {
 }
 
 // run serves until SIGINT/SIGTERM, hot-reloading on SIGHUP.
-func run(o *obs.Observer, addr, addrFile, debugAddr, model string, opts serve.Options) error {
+func run(o *obs.Observer, addr, addrFile, debugAddr, model string, oc obsConfig, opts serve.Options) error {
 	s := serve.New(opts)
 	m, err := s.LoadModel(model)
 	if err != nil {
 		return err
 	}
+
+	// Time-series recorder: samples the registry off the request path and
+	// feeds /debug/metrics/history and the breach watcher. The request
+	// path never touches it.
+	if oc.HistoryInterval > 0 {
+		rec := obs.NewRecorder(o.Reg, obs.RecorderOptions{
+			Interval: oc.HistoryInterval,
+			Capacity: oc.HistoryCap,
+		})
+		o.Rec = rec
+		if oc.BreachDir != "" && oc.BreachP99Us > 0 {
+			obs.NewBreachWatcher(rec,
+				[]obs.BreachRule{{Metric: obs.MetricServeLatencyUs, P99Above: oc.BreachP99Us}},
+				obs.BreachOptions{
+					Dir:         oc.BreachDir,
+					MinInterval: oc.BreachMinInterval,
+					Log:         o.Logger(),
+				})
+		}
+		rec.Start()
+		defer rec.Stop()
+	}
+	defer flushObs(o, oc)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -252,6 +337,9 @@ func run(o *obs.Observer, addr, addrFile, debugAddr, model string, opts serve.Op
 				} else if l := o.Logger(); l != nil {
 					l.Info("SIGHUP reload done", "generation", m.Generation)
 				}
+				// Checkpoint the exporters too: a long-lived daemon's trace
+				// and metrics files stay readable mid-run.
+				flushObs(o, oc)
 				continue
 			}
 			// Graceful drain: stop accepting connections and let every

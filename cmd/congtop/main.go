@@ -1,0 +1,276 @@
+// congtop is the terminal dashboard over the /debug observability
+// surface: it polls a process's /debug/metrics/history ring (congserve or
+// an hlscong coordinator run with -history-interval / -debug-addr) and
+// repaints a live view of what the flight recorder sees — counter rates,
+// gauges, histogram window p50/p99 — plus, when -fleet points at a
+// coordinator, the build's cell progress and per-worker balance.
+//
+// congtop reads the derived series the recorder already computed; it does
+// no rate math of its own, so what it shows is exactly what a breach
+// capture would have dumped to disk at that moment.
+//
+// Usage:
+//
+//	congtop -addr HOST:PORT [flags]
+//
+// Flags:
+//
+//	-addr HOST:PORT   /debug endpoint to poll (required)
+//	-fleet HOST:PORT  also poll this fleet coordinator's /fleet/status
+//	-interval DUR     poll interval (default 1s)
+//	-frames N         exit after N frames (0 = run until interrupted)
+//	-once             one frame, no screen control, then exit
+//	                  (exit 1 when the endpoint is unreachable)
+//	-plain            no ANSI escapes: frames append instead of repainting
+//
+// A metric with no window activity is elided, so an idle process renders
+// a short frame rather than a wall of zeros.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	addr := flag.String("addr", "", "debug endpoint HOST:PORT (required)")
+	fleetAddr := flag.String("fleet", "", "also poll this coordinator's /fleet/status")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	frames := flag.Int("frames", 0, "exit after N frames (0 = until interrupted)")
+	once := flag.Bool("once", false, "render one frame and exit (1 on fetch failure)")
+	plain := flag.Bool("plain", false, "no ANSI escapes; append frames instead of repainting")
+	flag.Parse()
+	if *addr == "" || flag.NArg() != 0 {
+		flag.Usage()
+		return 2
+	}
+	if *once {
+		*frames = 1
+		*plain = true
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+
+	painted := false
+	for n := 0; *frames == 0 || n < *frames; n++ {
+		if n > 0 {
+			select {
+			case <-sig:
+				return 0
+			case <-time.After(*interval):
+			}
+		}
+		hist, err := fetchHistory(client, *addr)
+		frame := renderFrame(*addr, hist, err, fetchStatus(client, *fleetAddr))
+		if *plain {
+			os.Stdout.WriteString(frame)
+		} else {
+			// Home the cursor and clear below rather than clearing the whole
+			// screen per frame — no flicker, and partial lines from a
+			// previous, taller frame never linger.
+			if !painted {
+				os.Stdout.WriteString("\x1b[2J")
+				painted = true
+			}
+			os.Stdout.WriteString("\x1b[H" + frame + "\x1b[J")
+		}
+		if *once && err != nil {
+			fmt.Fprintln(os.Stderr, "congtop:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// fetchHistory pulls the recorder ring from /debug/metrics/history.
+func fetchHistory(client *http.Client, addr string) (*obs.RecorderHistory, error) {
+	resp, err := client.Get("http://" + addr + "/debug/metrics/history")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/metrics/history: HTTP %d", resp.StatusCode)
+	}
+	var env obs.RecorderHistory
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, fmt.Errorf("decoding history: %w", err)
+	}
+	return &env, nil
+}
+
+// fetchStatus polls the coordinator, returning nil when -fleet is unset or
+// the poll fails — fleet progress is an optional pane, never an error.
+func fetchStatus(client *http.Client, addr string) *fleet.Status {
+	if addr == "" {
+		return nil
+	}
+	resp, err := client.Get("http://" + addr + "/fleet/status")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var st fleet.Status
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return nil
+	}
+	return &st
+}
+
+// renderFrame formats one full screen of output.
+func renderFrame(addr string, hist *obs.RecorderHistory, err error, st *fleet.Status) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "congtop  %s  %s\n", addr, time.Now().Format("15:04:05"))
+	switch {
+	case err != nil:
+		fmt.Fprintf(&b, "  (unreachable: %v)\n", err)
+	case hist == nil || len(hist.Samples) == 0:
+		b.WriteString("  (no samples yet — is the recorder running? -history-interval)\n")
+	default:
+		s := hist.Samples[len(hist.Samples)-1]
+		fmt.Fprintf(&b, "sample #%d  window %dms  ring %d/%d @ %dms\n",
+			s.Seq, s.WindowMs, len(hist.Samples), hist.Capacity, hist.IntervalMs)
+		renderCounters(&b, s)
+		renderGauges(&b, s)
+		renderHists(&b, s)
+		renderWorkerBalance(&b, s)
+	}
+	if st != nil {
+		renderFleet(&b, st)
+	}
+	return b.String()
+}
+
+func renderCounters(b *strings.Builder, s obs.RecorderSample) {
+	active := make([]obs.CounterRate, 0, len(s.Counters))
+	for _, c := range s.Counters {
+		if c.Delta != 0 || c.PerSec != 0 {
+			active = append(active, c)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].PerSec > active[j].PerSec })
+	fmt.Fprintf(b, "\n%-28s %12s %10s %12s\n", "COUNTER", "total", "delta", "per-sec")
+	for _, c := range active {
+		fmt.Fprintf(b, "%-28s %12d %10d %12.1f\n", clip(c.Name, 28), c.Total, c.Delta, c.PerSec)
+	}
+}
+
+func renderGauges(b *strings.Builder, s obs.RecorderSample) {
+	shown := false
+	for _, g := range s.Gauges {
+		if strings.HasPrefix(g.Name, obs.MetricFleetWorkerCellsPrefix) {
+			continue // rendered as the balance pane below
+		}
+		if !shown {
+			fmt.Fprintf(b, "\n%-28s %12s\n", "GAUGE", "value")
+			shown = true
+		}
+		fmt.Fprintf(b, "%-28s %12.2f\n", clip(g.Name, 28), g.Value)
+	}
+}
+
+func renderHists(b *strings.Builder, s obs.RecorderSample) {
+	shown := false
+	for _, h := range s.Hists {
+		if h.Count == 0 {
+			continue
+		}
+		if !shown {
+			fmt.Fprintf(b, "\n%-28s %10s %12s %12s\n", "HISTOGRAM (window)", "count", "p50", "p99")
+			shown = true
+		}
+		fmt.Fprintf(b, "%-28s %10d %12.1f %12.1f\n", clip(h.Name, 28), h.Count, h.P50, h.P99)
+	}
+}
+
+// renderWorkerBalance bar-charts the per-worker completed-cell gauges the
+// coordinator maintains, so a stalled or slow worker is visible at a
+// glance without a /fleet/status round trip.
+func renderWorkerBalance(b *strings.Builder, s obs.RecorderSample) {
+	type wc struct {
+		name  string
+		cells float64
+	}
+	var workers []wc
+	max := 0.0
+	for _, g := range s.Gauges {
+		name, ok := strings.CutPrefix(g.Name, obs.MetricFleetWorkerCellsPrefix)
+		if !ok {
+			continue
+		}
+		name = strings.TrimSuffix(name, ".cells_done")
+		workers = append(workers, wc{name, g.Value})
+		if g.Value > max {
+			max = g.Value
+		}
+	}
+	if len(workers) == 0 {
+		return
+	}
+	sort.Slice(workers, func(i, j int) bool { return workers[i].name < workers[j].name })
+	b.WriteString("\nWORKER BALANCE (cells done)\n")
+	for _, w := range workers {
+		width := 0
+		if max > 0 {
+			width = int(w.cells / max * 30)
+		}
+		fmt.Fprintf(b, "%-20s %6.0f %s\n", clip(w.name, 20), w.cells, strings.Repeat("#", width))
+	}
+}
+
+func renderFleet(b *strings.Builder, st *fleet.Status) {
+	b.WriteString("\nFLEET BUILD\n")
+	done := 0.0
+	if st.Cells > 0 {
+		done = float64(st.Done) / float64(st.Cells)
+	}
+	bar := int(done * 30)
+	fmt.Fprintf(b, "  [%s%s] %d/%d cells", strings.Repeat("=", bar), strings.Repeat(" ", 30-bar), st.Done, st.Cells)
+	if st.BuildDone {
+		b.WriteString("  DONE")
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "  leased %d  pending %d  failed %d  steals %d  lost %d  dup %d  bad %d\n",
+		st.Leased, st.Pending, st.Failed, st.Steals, st.Lost, st.Dups, st.Bad)
+	if len(st.Workers) > 0 {
+		names := make([]string, 0, len(st.Workers))
+		for n := range st.Workers {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(b, "  worker %-20s %d cells\n", clip(n, 20), st.Workers[n])
+		}
+	}
+}
+
+// clip shortens s to fit an n-column field, marking the cut with an
+// ellipsis so columns stay aligned under arbitrary metric names.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 3 {
+		return s[:n]
+	}
+	return s[:n-3] + "..."
+}

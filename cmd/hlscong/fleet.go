@@ -30,6 +30,7 @@ type fleetFlags struct {
 	leaseTTL    time.Duration // coordinator lease expiry
 	name        string        // worker name ("" = worker-<pid>)
 	addrFile    string        // coordinator writes its bound address here
+	breachDir   string        // breach captures land here (the -store-dir, when set)
 	modules     string        // comma-separated bench.Catalog names ("" = training set)
 	labelRuns   int           // placement seeds averaged per label
 	moves       int           // placer move budget override (0 = default)
@@ -103,6 +104,23 @@ func runBuild(ctx context.Context, cfg experiments.Config, ff fleetFlags) error 
 			return err
 		}
 		defer shutdown()
+		// An observed coordinator also runs the flight recorder, so
+		// /debug/metrics/history shows worker cell rates live and a breach
+		// watcher can turn a lost worker into a profile capture on disk
+		// (under the artifact store, next to the checkpoints it orphaned).
+		if o := fcfg.Obs; o != nil {
+			rec := obs.NewRecorder(o.Metrics(), obs.RecorderOptions{})
+			o.Rec = rec
+			rec.Start()
+			defer rec.Stop()
+			if ff.breachDir != "" {
+				rules := []obs.BreachRule{{Metric: obs.MetricFleetWorkerLost, DeltaAtLeast: 1}}
+				if obs.NewBreachWatcher(rec, rules, obs.BreachOptions{Dir: ff.breachDir, Log: o.Logger()}) != nil {
+					fmt.Fprintf(os.Stderr, "hlscong: breach watcher armed: %s -> %s\n",
+						obs.MetricFleetWorkerLost, ff.breachDir)
+				}
+			}
+		}
 		if ff.addrFile != "" {
 			if err := os.WriteFile(ff.addrFile, []byte(bound), 0o644); err != nil {
 				return fmt.Errorf("write -fleet-addr-file: %w", err)

@@ -95,6 +95,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/backtrace"
@@ -189,7 +190,10 @@ func realMain() (code int) {
 		}()
 	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM gets the same graceful treatment as ^C: the context cancels,
+	// flow runs stop at the next iteration boundary, and the deferred
+	// exporter flushes below still write their files on the way out.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	if *timeout > 0 {
 		var tcancel context.CancelFunc
@@ -258,6 +262,20 @@ func realMain() (code int) {
 			}
 			fmt.Fprintf(os.Stderr, "hlscong: debug endpoint: http://%s/debug/metrics\n", addr)
 		}
+		// SIGHUP flushes the exporters mid-run — a long dataset build can be
+		// inspected in chrome://tracing without waiting for (or killing) the
+		// process. The final deferred flush below still rewrites the files
+		// with the complete picture on exit.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				if err := writeObsOutputs(o, *traceFile, *metricsFile); err != nil {
+					fmt.Fprintln(os.Stderr, "hlscong:", err)
+				}
+			}
+		}()
 		// Flush trace/metrics and print the stage summary even when the
 		// command fails — a failed run's trace is the one you want most.
 		defer func() {
@@ -270,6 +288,8 @@ func realMain() (code int) {
 			fmt.Fprint(os.Stderr, stageSummary(o, cache, st))
 		}()
 	}
+
+	ff.breachDir = *storeDir // breach captures live with the build artifacts
 
 	var err error
 	switch {

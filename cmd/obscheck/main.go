@@ -5,50 +5,87 @@
 // scripts/check.sh runs it after a quick observed run; exit status is
 // non-zero with a diagnostic when an expectation fails.
 //
+// With -stitched the trace is validated as a multi-process fleet trace
+// instead: exactly one fleet.build root on the local (pid 1) lane, at
+// least -lanes named worker lanes (process_name metadata), one or more
+// flow spans per worker lane, all worker events inside the root's
+// interval (with scheduling slack), and per-lane timestamps in order.
+//
+// -prom validates a Prometheus text-format exposition (the
+// /debug/metrics/prom body): TYPE declared before samples, histogram
+// buckets cumulative and ascending with a trailing +Inf bucket equal to
+// the count, sum/count series present, and no duplicate series.
+//
 // Usage:
 //
 //	obscheck -trace trace.json -metrics metrics.json
+//	obscheck -trace fleet.json -stitched -lanes 2
+//	obscheck -prom metrics.prom
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/flow"
 	"repro/internal/obs"
 )
 
-// traceFile mirrors the subset of the Chrome trace_event envelope the
-// validator cares about.
+// traceEvent mirrors the subset of a Chrome trace_event record the
+// validator cares about, including the "M" process_name metadata that
+// labels stitched worker lanes.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+// traceFile mirrors the envelope.
 type traceFile struct {
-	TraceEvents []struct {
-		Name  string  `json:"name"`
-		Phase string  `json:"ph"`
-		TS    float64 `json:"ts"`
-		Dur   float64 `json:"dur"`
-		PID   int     `json:"pid"`
-		TID   int     `json:"tid"`
-	} `json:"traceEvents"`
-	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
 func main() {
 	tracePath := flag.String("trace", "", "Chrome trace JSON to validate")
 	metricsPath := flag.String("metrics", "", "metrics snapshot JSON to validate")
+	stitched := flag.Bool("stitched", false, "validate -trace as a stitched multi-process fleet trace")
+	lanes := flag.Int("lanes", 2, "with -stitched: minimum named worker lanes")
+	promPath := flag.String("prom", "", "Prometheus text exposition to validate")
 	flag.Parse()
-	if *tracePath == "" && *metricsPath == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: need -trace and/or -metrics")
+	if *tracePath == "" && *metricsPath == "" && *promPath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: need -trace, -metrics and/or -prom")
 		os.Exit(2)
 	}
 	fail := false
 	if *tracePath != "" {
-		if err := checkTrace(*tracePath); err != nil {
-			fmt.Fprintln(os.Stderr, "obscheck: trace:", err)
+		check, kind := checkTrace, "trace"
+		if *stitched {
+			check = func(path string) error { return checkStitched(path, *lanes) }
+			kind = "stitched trace"
+		}
+		if err := check(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", kind, err)
 			fail = true
 		} else {
-			fmt.Printf("obscheck: trace %s ok\n", *tracePath)
+			fmt.Printf("obscheck: %s %s ok\n", kind, *tracePath)
+		}
+	}
+	if *promPath != "" {
+		if err := checkProm(*promPath); err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck: prom:", err)
+			fail = true
+		} else {
+			fmt.Printf("obscheck: prom %s ok\n", *promPath)
 		}
 	}
 	if *metricsPath != "" {
@@ -127,4 +164,294 @@ func checkMetrics(path string) error {
 		return fmt.Errorf("counter %s missing", obs.MetricCacheMisses)
 	}
 	return nil
+}
+
+// stitchSlackUs absorbs the wall-clock skew Tracer.Import tolerates
+// between the coordinator's epoch and a worker's: spans may legitimately
+// start slightly before the root span did (the worker's clock read raced
+// the coordinator's) without the stitch being wrong.
+const stitchSlackUs = 1e6
+
+// checkStitched validates a coordinator trace assembled from shipped
+// worker span batches — the artifact a `build -serve-builds -trace` run
+// writes. The properties checked are exactly what stitching promises:
+// one build root on the local lane, named worker lanes, every worker's
+// work inside the build's interval, and time moving forward within each
+// lane's track.
+func checkStitched(path string, lanes int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+
+	// Lane names come from the process_name metadata records the exporter
+	// emits for every imported proc; the local lane (pid 1) has none.
+	laneName := map[int]string{}
+	var roots []traceEvent
+	for _, ev := range tf.TraceEvents {
+		switch {
+		case ev.Phase == "M" && ev.Name == "process_name":
+			name, _ := ev.Args["name"].(string)
+			if name == "" {
+				return fmt.Errorf("process_name metadata for pid %d has no name", ev.PID)
+			}
+			if prev, dup := laneName[ev.PID]; dup {
+				return fmt.Errorf("pid %d named twice (%q, %q)", ev.PID, prev, name)
+			}
+			if ev.PID == 1 {
+				return fmt.Errorf("pid 1 is the local lane but has process_name %q", name)
+			}
+			laneName[ev.PID] = name
+		case ev.Phase == "X":
+			if ev.TS < 0 || ev.Dur < 0 {
+				return fmt.Errorf("event %q has negative ts/dur", ev.Name)
+			}
+			if ev.Name == "fleet.build" {
+				roots = append(roots, ev)
+			}
+		}
+	}
+	if len(roots) != 1 {
+		return fmt.Errorf("%d fleet.build roots, want exactly 1", len(roots))
+	}
+	root := roots[0]
+	if root.PID != 1 {
+		return fmt.Errorf("fleet.build root on pid %d, want the local lane (pid 1)", root.PID)
+	}
+	if len(laneName) < lanes {
+		return fmt.Errorf("%d named worker lanes, want at least %d", len(laneName), lanes)
+	}
+
+	// Worker events sit inside the build interval (modulo clock slack) and
+	// each lane's tracks move forward in time; each worker ran at least one
+	// full flow.
+	flowsPerLane := map[int]int{}
+	lastTS := map[[2]int]float64{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Phase != "X" {
+			continue
+		}
+		track := [2]int{ev.PID, ev.TID}
+		if ev.TS < lastTS[track] {
+			return fmt.Errorf("lane pid %d tid %d goes backwards in time at %q", ev.PID, ev.TID, ev.Name)
+		}
+		lastTS[track] = ev.TS
+		if _, worker := laneName[ev.PID]; !worker {
+			continue
+		}
+		if ev.TS < root.TS-stitchSlackUs || ev.TS+ev.Dur > root.TS+root.Dur+stitchSlackUs {
+			return fmt.Errorf("worker %s event %q [%f, %f] outside the build span [%f, %f]",
+				laneName[ev.PID], ev.Name, ev.TS, ev.TS+ev.Dur, root.TS, root.TS+root.Dur)
+		}
+		if ev.Name == "flow" {
+			flowsPerLane[ev.PID]++
+		}
+	}
+	for pid, name := range laneName {
+		if flowsPerLane[pid] == 0 {
+			return fmt.Errorf("worker lane %q has no flow span", name)
+		}
+	}
+	return nil
+}
+
+// promHist accumulates one histogram family's series while scanning.
+type promHist struct {
+	buckets  int
+	lastLe   float64
+	lastCum  int64
+	infCum   int64
+	sawInf   bool
+	sum      bool
+	count    bool
+	countVal int64
+}
+
+// checkProm validates a Prometheus text-format exposition the way a
+// strict ingester would: every sample's family is TYPE-declared first,
+// names are in the legal charset, values parse, no series repeats, and
+// histogram families are internally consistent — buckets cumulative with
+// ascending bounds, a trailing +Inf bucket equal to _count, and _sum and
+// _count present.
+func checkProm(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	types := map[string]string{}
+	series := map[string]bool{}
+	samples := map[string]int{}
+	hists := map[string]*promHist{}
+	for i, line := range strings.Split(string(data), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) < 2 || f[1] != "TYPE" {
+				continue // HELP and free comments pass through
+			}
+			if len(f) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+			}
+			name, typ := f[2], f[3]
+			if !validPromName(name) {
+				return fmt.Errorf("line %d: illegal metric name %q", lineNo, name)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				return fmt.Errorf("line %d: unknown type %q for %s", lineNo, typ, name)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: %s TYPE declared twice", lineNo, name)
+			}
+			types[name] = typ
+			if typ == "histogram" {
+				hists[name] = &promHist{}
+			}
+			continue
+		}
+		name, labels, value, err := splitPromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !validPromName(name) {
+			return fmt.Errorf("line %d: illegal metric name %q", lineNo, name)
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: value %q does not parse", lineNo, value)
+		}
+		if series[name+labels] {
+			return fmt.Errorf("line %d: duplicate series %s%s", lineNo, name, labels)
+		}
+		series[name+labels] = true
+
+		base, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(name, s); trimmed != name && types[trimmed] == "histogram" {
+				base, suffix = trimmed, s
+				break
+			}
+		}
+		typ, declared := types[base]
+		if !declared {
+			return fmt.Errorf("line %d: sample %s has no TYPE declaration above it", lineNo, name)
+		}
+		samples[base]++
+		if typ != "histogram" {
+			if labels != "" {
+				return fmt.Errorf("line %d: unexpected labels on %s %s", lineNo, typ, name)
+			}
+			continue
+		}
+		h := hists[base]
+		switch suffix {
+		case "_bucket":
+			le, ok := strings.CutPrefix(labels, `{le="`)
+			le, ok2 := strings.CutSuffix(le, `"}`)
+			if !ok || !ok2 {
+				return fmt.Errorf("line %d: bucket labels %q are not {le=\"...\"}", lineNo, labels)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("line %d: bucket bound %q does not parse", lineNo, le)
+				}
+			}
+			cum := int64(v)
+			if h.sawInf {
+				return fmt.Errorf("line %d: bucket after the +Inf bucket of %s", lineNo, base)
+			}
+			if h.buckets > 0 && bound <= h.lastLe {
+				return fmt.Errorf("line %d: %s bucket bounds not ascending (%v after %v)", lineNo, base, bound, h.lastLe)
+			}
+			if cum < h.lastCum {
+				return fmt.Errorf("line %d: %s buckets not cumulative (%d after %d)", lineNo, base, cum, h.lastCum)
+			}
+			h.buckets++
+			h.lastLe, h.lastCum = bound, cum
+			if math.IsInf(bound, 1) {
+				h.sawInf, h.infCum = true, cum
+			}
+		case "_sum":
+			if h.sum {
+				return fmt.Errorf("line %d: duplicate %s_sum", lineNo, base)
+			}
+			h.sum = true
+		case "_count":
+			if h.count {
+				return fmt.Errorf("line %d: duplicate %s_count", lineNo, base)
+			}
+			h.count, h.countVal = true, int64(v)
+		default:
+			return fmt.Errorf("line %d: bare sample %s for histogram %s", lineNo, name, base)
+		}
+	}
+	if len(types) == 0 {
+		// A zero-family exposition is technically legal Prometheus text,
+		// but here it means a truncated download, not a healthy server.
+		return fmt.Errorf("no metric families: empty or truncated exposition")
+	}
+	for name, typ := range types {
+		if samples[name] == 0 {
+			return fmt.Errorf("%s declared %s but has no samples", name, typ)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		h := hists[name]
+		switch {
+		case h.buckets == 0:
+			return fmt.Errorf("histogram %s has no buckets", name)
+		case !h.sawInf:
+			return fmt.Errorf("histogram %s has no +Inf bucket", name)
+		case !h.sum || !h.count:
+			return fmt.Errorf("histogram %s is missing _sum or _count", name)
+		case h.infCum != h.countVal:
+			return fmt.Errorf("histogram %s +Inf bucket %d != count %d", name, h.infCum, h.countVal)
+		}
+	}
+	return nil
+}
+
+// splitPromSample splits `name[{labels}] value [timestamp]`.
+func splitPromSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, labels, rest = line[:i], line[i:j+1], line[j+1:]
+	} else if sp := strings.IndexByte(line, ' '); sp >= 0 {
+		name, rest = line[:sp], line[sp:]
+	} else {
+		return "", "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	f := strings.Fields(rest)
+	if len(f) < 1 || len(f) > 2 {
+		return "", "", "", fmt.Errorf("sample %q is not `name value [timestamp]`", line)
+	}
+	return name, labels, f[0], nil
+}
+
+// validPromName reports whether name is in [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		digit := r >= '0' && r <= '9'
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (digit && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
 }

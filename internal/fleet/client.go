@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // Net-operation classes a NetScript can target on the fleet client.
@@ -30,6 +32,9 @@ type Client struct {
 	base string
 	hc   *http.Client
 	net  *faults.NetScript
+
+	mu sync.Mutex
+	tc obs.TraceContext // last trace context advertised on a lease
 }
 
 // NewClient returns a client for the coordinator at addr (host:port, no
@@ -42,42 +47,64 @@ func NewClient(addr string, script *faults.NetScript) *Client {
 	}
 }
 
+// TraceContext returns the trace context the coordinator advertised on the
+// most recent lease response (zero when the build is untraced). Workers
+// read it to decide whether to record and ship spans for a cell.
+func (c *Client) TraceContext() obs.TraceContext {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tc
+}
+
 // roundTrip performs one faulted POST (or GET when body is nil) and
-// returns the response body. Injected drops surface faults.ErrNetDropped;
-// an injected duplicate sends the request twice and returns the second
-// response — the server must have made both deliveries safe.
-func (c *Client) roundTrip(op, path string, body []byte) ([]byte, int, error) {
-	send := func() ([]byte, int, error) {
+// returns the response body and headers. reqHdr entries are added to the
+// request. Injected drops surface faults.ErrNetDropped; an injected
+// duplicate sends the request twice and returns the second response — the
+// server must have made both deliveries safe.
+func (c *Client) roundTrip(op, path string, body []byte, reqHdr http.Header) ([]byte, http.Header, int, error) {
+	send := func() ([]byte, http.Header, int, error) {
 		var (
-			resp *http.Response
-			err  error
+			req *http.Request
+			err error
 		)
 		if body == nil {
-			resp, err = c.hc.Get(c.base + path)
+			req, err = http.NewRequest(http.MethodGet, c.base+path, nil)
 		} else {
-			resp, err = c.hc.Post(c.base+path, "application/octet-stream", bytes.NewReader(body))
+			req, err = http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(body))
+			if err == nil {
+				req.Header.Set("Content-Type", "application/octet-stream")
+			}
 		}
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
+		}
+		for k, vs := range reqHdr {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, nil, 0, err
 		}
 		defer resp.Body.Close()
 		data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
-		return data, resp.StatusCode, nil
+		return data, resp.Header, resp.StatusCode, nil
 	}
 	switch c.net.Next(op) {
 	case faults.NetDropRequest:
-		return nil, 0, fmt.Errorf("fleet %s: %w", op, faults.ErrNetDropped)
+		return nil, nil, 0, fmt.Errorf("fleet %s: %w", op, faults.ErrNetDropped)
 	case faults.NetDropResponse:
-		if _, _, err := send(); err != nil {
-			return nil, 0, err
+		if _, _, _, err := send(); err != nil {
+			return nil, nil, 0, err
 		}
-		return nil, 0, fmt.Errorf("fleet %s: %w", op, faults.ErrNetDropped)
+		return nil, nil, 0, fmt.Errorf("fleet %s: %w", op, faults.ErrNetDropped)
 	case faults.NetDuplicate:
-		if _, _, err := send(); err != nil {
-			return nil, 0, err
+		if _, _, _, err := send(); err != nil {
+			return nil, nil, 0, err
 		}
 	}
 	return send()
@@ -85,7 +112,7 @@ func (c *Client) roundTrip(op, path string, body []byte) ([]byte, int, error) {
 
 // Spec fetches and decodes the coordinator's build spec.
 func (c *Client) Spec() (*BuildSpec, error) {
-	data, status, err := c.roundTrip(NetOpSpec, "/fleet/spec", nil)
+	data, _, status, err := c.roundTrip(NetOpSpec, "/fleet/spec", nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -95,10 +122,11 @@ func (c *Client) Spec() (*BuildSpec, error) {
 	return DecodeSpec(data)
 }
 
-// Lease claims up to max cells for the named worker.
+// Lease claims up to max cells for the named worker, capturing any trace
+// context the coordinator advertises alongside.
 func (c *Client) Lease(worker string, max int) (*leaseResponse, error) {
 	req, _ := json.Marshal(leaseRequest{Worker: worker, Max: max})
-	data, status, err := c.roundTrip(NetOpLease, "/fleet/lease", req)
+	data, hdr, status, err := c.roundTrip(NetOpLease, "/fleet/lease", req, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -109,16 +137,32 @@ func (c *Client) Lease(worker string, max int) (*leaseResponse, error) {
 	if err := json.Unmarshal(data, &resp); err != nil {
 		return nil, fmt.Errorf("fleet lease: %w", err)
 	}
+	if tc := obs.TraceContextFromHeader(hdr); tc.Valid() {
+		c.mu.Lock()
+		c.tc = tc
+		c.mu.Unlock()
+	}
 	return &resp, nil
 }
 
-// Complete submits one encoded flow result for a leased slot. A duplicate
-// acknowledgement (the cell was already resolved) returns (true, nil); a
-// verification rejection (HTTP 422) returns an error — the worker
-// produced a wrong artifact, which local rebuilds must surface loudly.
-func (c *Client) Complete(slot int, worker string, payload []byte) (duplicate bool, err error) {
+// Complete submits one encoded flow result for a leased slot, optionally
+// with an encoded span batch riding in front of it (framed by the
+// X-Cong-Span-Bytes header) — the worker's half of trace stitching. A
+// duplicate acknowledgement (the cell was already resolved) returns
+// (true, nil); a verification rejection (HTTP 422) returns an error — the
+// worker produced a wrong artifact, which local rebuilds must surface
+// loudly.
+func (c *Client) Complete(slot int, worker string, payload, spans []byte) (duplicate bool, err error) {
 	path := "/fleet/complete?" + slotWorkerQuery(slot, worker)
-	data, status, err := c.roundTrip(NetOpComplete, path, payload)
+	body := payload
+	var hdr http.Header
+	if len(spans) > 0 {
+		hdr = http.Header{obs.HeaderSpanBytes: {strconv.Itoa(len(spans))}}
+		body = make([]byte, 0, len(spans)+len(payload))
+		body = append(body, spans...)
+		body = append(body, payload...)
+	}
+	data, _, status, err := c.roundTrip(NetOpComplete, path, body, hdr)
 	if err != nil {
 		return false, err
 	}
@@ -146,7 +190,7 @@ func slotWorkerQuery(slot int, worker string) string {
 func (c *Client) Fail(slot int, worker, errText string) error {
 	body, _ := json.Marshal(failRequest{Error: errText})
 	path := "/fleet/fail?" + slotWorkerQuery(slot, worker)
-	_, status, err := c.roundTrip(NetOpFail, path, body)
+	_, _, status, err := c.roundTrip(NetOpFail, path, body, nil)
 	if err != nil {
 		return err
 	}
@@ -158,7 +202,7 @@ func (c *Client) Fail(slot int, worker, errText string) error {
 
 // Status fetches the coordinator's progress snapshot.
 func (c *Client) Status() (*Status, error) {
-	data, status, err := c.roundTrip("status", "/fleet/status", nil)
+	data, _, status, err := c.roundTrip("status", "/fleet/status", nil, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -2,12 +2,15 @@ package fleet
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -93,6 +96,12 @@ type Coordinator struct {
 	specJSON []byte
 	retry    flow.RetryPolicy // the escalation workers run under
 
+	// traceID names the fleet-wide trace (a digest of the spec, so it is
+	// stable across coordinator restarts of the same build). It is only
+	// advertised once tracing is armed and Execute has opened the root
+	// span.
+	traceID string
+
 	mu        sync.Mutex
 	slots     []cellSlot
 	pending   []int // queue of slot indices, FIFO
@@ -100,6 +109,7 @@ type Coordinator struct {
 	started   bool
 	buildDone chan struct{} // closed when remaining hits 0
 	workers   map[string]*workerStats
+	root      *obs.Span // the fleet.build span worker lanes parent under
 
 	cDone, cFailed, cSteal, cLost, cDup, cBad *obs.Counter
 	gWorkers                                  *obs.Gauge
@@ -134,9 +144,11 @@ func NewCoordinator(spec *BuildSpec, opts CoordinatorOptions) (*Coordinator, err
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	sum := sha256.Sum256(specJSON)
 	c := &Coordinator{
 		opts:      opts,
 		specJSON:  specJSON,
+		traceID:   hex.EncodeToString(sum[:8]),
 		retry:     spec.Retry.policy(),
 		buildDone: make(chan struct{}),
 		workers:   make(map[string]*workerStats),
@@ -185,12 +197,23 @@ func (c *Coordinator) Serve(addr string) (bound string, shutdown func(), err err
 // per-cell configs the build uses, so worker results verify against the
 // same content addresses a local build would produce.
 func (c *Coordinator) Execute(ctx context.Context, mods []*ir.Module, cells []core.Cell, cfgs []flow.Config) ([]core.CellOutcome, error) {
+	// The root span of the stitched trace. Started before leases go out
+	// (its ID travels in the lease headers) and ended when the build
+	// resolves; nil when the coordinator is untraced, which disables the
+	// whole propagation path.
+	var root *obs.Span
+	if c.o.Tracing() {
+		root = c.o.Start("fleet.build",
+			obs.String("trace", c.traceID), obs.Int("cells", int64(len(cells))))
+	}
 	c.mu.Lock()
 	if c.started {
 		c.mu.Unlock()
+		root.End()
 		return nil, fmt.Errorf("fleet: coordinator already executed a build")
 	}
 	c.started = true
+	c.root = root
 	c.slots = make([]cellSlot, len(cells))
 	c.pending = c.pending[:0]
 	attempts := c.retry.Attempts()
@@ -215,9 +238,12 @@ func (c *Coordinator) Execute(ctx context.Context, mods []*ir.Module, cells []co
 
 	select {
 	case <-ctx.Done():
+		root.SetError(ctx.Err())
+		root.End()
 		return nil, ctx.Err()
 	case <-done:
 	}
+	root.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]core.CellOutcome, len(c.slots))
@@ -358,8 +384,14 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	if len(resp.Cells) == 0 && !resp.Done {
 		resp.WaitMs = 50
 	}
+	root := c.root
 	c.mu.Unlock()
 
+	// Advertise the trace context once the build's root span exists, so
+	// workers record and ship spans for the cells they just leased.
+	if root != nil {
+		obs.TraceContext{TraceID: c.traceID, SpanID: root.SpanID()}.SetHeader(w.Header())
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
@@ -412,6 +444,13 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "completion payload exceeds 64MiB cap", http.StatusRequestEntityTooLarge)
 		return
 	}
+	// Peel off the span batch a tracing worker prefixed to the artifact
+	// (X-Cong-Span-Bytes framing) before verification sees the payload.
+	spanBlock, payload, ferr := splitSpanBlock(r.Header, payload)
+	if ferr != nil {
+		http.Error(w, ferr.Error(), http.StatusBadRequest)
+		return
+	}
 	// Verify outside the lock: decode + re-hash is the expensive step, and
 	// it needs no queue state beyond the (immutable) key set.
 	c.mu.Lock()
@@ -462,10 +501,67 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 			close(c.buildDone)
 		}
 	}
+	root := c.root
 	c.mu.Unlock()
+
+	// Stitch the worker's spans under the build span — first verified
+	// completion only, so a stolen cell's duplicate doesn't draw the same
+	// work twice in the trace. Import takes the tracer's own lock, not the
+	// queue's.
+	if !resp.Duplicate && len(spanBlock) > 0 && root != nil {
+		c.importSpans(worker, spanBlock, root)
+	}
 
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// splitSpanBlock separates an optional span-batch prefix (framed by the
+// X-Cong-Span-Bytes header) from the artifact payload. A malformed length
+// is a protocol error; a block past the batch cap is dropped — the
+// artifact is still processed, a trace lane is not worth a rebuild.
+func splitSpanBlock(h http.Header, body []byte) (spans, artifact []byte, err error) {
+	v := h.Get(obs.HeaderSpanBytes)
+	if v == "" {
+		return nil, body, nil
+	}
+	n, perr := strconv.Atoi(v)
+	if perr != nil || n < 0 || n > len(body) {
+		return nil, nil, fmt.Errorf("bad span block length %q", v)
+	}
+	if n > obs.MaxSpanBatchBytes {
+		return nil, body[n:], nil
+	}
+	return body[:n], body[n:], nil
+}
+
+// importSpans decodes one worker's span batch and splices it into the
+// coordinator's tracer. Best-effort by design: a batch that fails to
+// decode, or that belongs to another trace (a worker that wandered in
+// from a previous build), is logged and dropped.
+func (c *Coordinator) importSpans(worker string, block []byte, root *obs.Span) {
+	if c.o == nil || c.o.Trace == nil {
+		return
+	}
+	batch, spans, err := obs.DecodeSpanBatch(block)
+	if err != nil || batch.TraceID != c.traceID {
+		if l := c.o.Logger(); l != nil {
+			l.Warn("fleet dropped span batch", "worker", worker, "trace", batch.TraceID, "error", err)
+		}
+		return
+	}
+	// Shift the worker's epoch-relative offsets into the coordinator's
+	// timebase via the wall-clock epoch delta (same-host clocks; Import
+	// clamps at zero if skew pushes a span before the local epoch).
+	var shift time.Duration
+	if epoch, ok := c.o.Trace.EpochWall(); ok {
+		shift = time.Unix(0, batch.EpochUnixNs).Sub(epoch)
+	}
+	proc := batch.Proc
+	if proc == "" {
+		proc = worker
+	}
+	c.o.Trace.Import(spans, proc, root, shift)
 }
 
 type failRequest struct {

@@ -3,6 +3,7 @@ package fleet
 import (
 	"bytes"
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -431,7 +432,7 @@ func TestRejectsUnverifiedCompletion(t *testing.T) {
 	if len(lease.Cells) == 0 {
 		t.Fatal("forger never got a lease")
 	}
-	if _, err := forger.Complete(lease.Cells[0].Slot, "forger", []byte("not an artifact")); err == nil {
+	if _, err := forger.Complete(lease.Cells[0].Slot, "forger", []byte("not an artifact"), nil); err == nil {
 		t.Fatal("forged completion was accepted")
 	}
 
@@ -710,7 +711,7 @@ func TestOversizedCompletionRejectedDistinctly(t *testing.T) {
 	if len(lease.Cells) == 0 {
 		t.Fatal("bloat worker never got a lease")
 	}
-	_, cerr := bloat.Complete(lease.Cells[0].Slot, "bloat", make([]byte, 64<<20+1))
+	_, cerr := bloat.Complete(lease.Cells[0].Slot, "bloat", make([]byte, 64<<20+1), nil)
 	if cerr == nil || !strings.Contains(cerr.Error(), "413") {
 		t.Fatalf("oversized completion error = %v, want HTTP 413", cerr)
 	}
@@ -827,5 +828,153 @@ func TestWorkerCancelledMidBuild(t *testing.T) {
 	cancel()
 	if _, err := w.Run(ctx); err != context.Canceled {
 		t.Fatalf("cancelled Run = %v, want context.Canceled", err)
+	}
+}
+
+// A traced coordinator stitches worker spans into one trace: every
+// imported span carries a worker lane, parents resolve to the fleet.build
+// root, and the shifted times land inside the build span.
+func TestFleetStitchedTrace(t *testing.T) {
+	o := obs.New()
+	_, _, _ = runFleetBuild(t, 2, nil, CoordinatorOptions{Obs: o}, "wA", "wB")
+	spans := o.Trace.Spans()
+
+	var build *obs.SpanData
+	ids := make(map[int64]bool, len(spans))
+	for i := range spans {
+		ids[spans[i].ID] = true
+		if spans[i].Name == "fleet.build" {
+			if build != nil {
+				t.Fatal("more than one fleet.build root span")
+			}
+			build = &spans[i]
+		}
+	}
+	if build == nil {
+		t.Fatal("no fleet.build root span")
+	}
+	if build.Proc != "" {
+		t.Errorf("root span is on lane %q, want the local lane", build.Proc)
+	}
+
+	lanes := make(map[string]int)
+	flows := 0
+	for _, s := range spans {
+		if s.Proc == "" {
+			continue
+		}
+		lanes[s.Proc]++
+		if s.Name == "flow" {
+			flows++
+		}
+		if s.ParentID == 0 {
+			t.Errorf("imported span %q has no parent", s.Name)
+		} else if !ids[s.ParentID] {
+			t.Errorf("imported span %q parented on unknown ID %d", s.Name, s.ParentID)
+		}
+		const slack = 500 * time.Millisecond
+		if s.Start < build.Start-slack || s.End > build.End+slack {
+			t.Errorf("imported span %q [%v, %v] outside build span [%v, %v]",
+				s.Name, s.Start, s.End, build.Start, build.End)
+		}
+		if s.Proc != "wA" && s.Proc != "wB" {
+			t.Errorf("unexpected lane %q", s.Proc)
+		}
+	}
+	if len(lanes) == 0 {
+		t.Fatal("no worker lanes in the stitched trace")
+	}
+	// 4 cells ran; every one must have shipped a flow span from some lane.
+	if flows != 4 {
+		t.Errorf("stitched trace has %d flow spans, want 4 (one per cell)", flows)
+	}
+}
+
+// An untraced coordinator advertises no trace context, and workers ship
+// no spans — the propagation path stays completely dark.
+func TestFleetUntracedShipsNothing(t *testing.T) {
+	mods := fleetModules()
+	cfg := fleetFlow()
+	opts := fleetOpts()
+	spec, err := NewBuildSpec(mods, cfg, opts.LabelRuns, opts.Retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(spec, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	client := NewClient(srv.Listener.Addr().String(), nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := Join(client, WorkerOptions{Name: "solo", RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	if _, _, _, err := core.BuildDatasetExec(ctx, mods, cfg, opts, coord.Execute); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-done
+	if tc := client.TraceContext(); tc.Valid() {
+		t.Errorf("untraced build advertised trace context %+v", tc)
+	}
+}
+
+// A malformed span-framing header is a protocol error (400), and the
+// artifact is not consumed.
+func TestCompleteRejectsBadSpanFraming(t *testing.T) {
+	mods := fleetModules()
+	spec, err := NewBuildSpec(mods, fleetFlow(), 1, flow.RetryPolicy{MaxAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(spec, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// Enqueue cells so slot 0 exists.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go core.BuildDatasetExec(ctx, mods, fleetFlow(), fleetOpts(), coord.Execute)
+	deadline := time.Now().Add(2 * time.Second)
+	for coord.StatusSnapshot().Cells == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cells never enqueued")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/fleet/complete?slot=0&worker=w",
+		bytes.NewReader([]byte("payload")))
+	req.Header.Set(obs.HeaderSpanBytes, "banana")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad framing status = %d, want 400", resp.StatusCode)
+	}
+
+	// A length past the body is equally malformed.
+	req2, _ := http.NewRequest(http.MethodPost, srv.URL+"/fleet/complete?slot=0&worker=w",
+		bytes.NewReader([]byte("x")))
+	req2.Header.Set(obs.HeaderSpanBytes, "999")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversize framing status = %d, want 400", resp2.StatusCode)
 	}
 }

@@ -142,6 +142,18 @@ func (w *Worker) runCell(ctx context.Context, item leaseItem) (delivered bool, e
 	runCfg := core.CellConfig(w.cfg, item.Run)
 	runCfg.Cache = w.opts.Cache
 	runCfg.Obs = w.opts.Obs
+	// When the coordinator advertises a trace context, record this cell's
+	// spans into a private per-cell tracer and ship them back with the
+	// completion — the coordinator stitches them under its build span. The
+	// worker's own metrics/log sinks still apply; only the span sink is
+	// redirected. An untraced build takes none of this path (and allocates
+	// nothing for it).
+	var cellTracer *obs.Tracer
+	tc := w.client.TraceContext()
+	if tc.Valid() {
+		cellTracer = obs.NewTracer()
+		runCfg.Obs = &obs.Observer{Trace: cellTracer, Reg: w.opts.Obs.Metrics(), Log: w.opts.Obs.Logger()}
+	}
 	// Defense in depth: if the worker's derived key disagrees with the
 	// leased one, its spec is stale or corrupt — running the cell would
 	// only produce a completion the coordinator rejects.
@@ -171,8 +183,11 @@ func (w *Worker) runCell(ctx context.Context, item leaseItem) (delivered bool, e
 		})
 		return false, nil
 	}
+	// Encode the cell's spans once; a batch past the size cap encodes to
+	// nil and the lane is dropped — tracing never fails the completion.
+	spans := obs.EncodeSpanBatch(cellTracer, tc.TraceID, w.opts.Name)
 	w.report(func() error {
-		_, err := w.client.Complete(item.Slot, w.opts.Name, payload)
+		_, err := w.client.Complete(item.Slot, w.opts.Name, payload, spans)
 		if err == nil {
 			delivered = true
 		}

@@ -9,7 +9,13 @@ import (
 // Handler returns the observer's debug endpoint, in the spirit of
 // expvar's /debug/vars:
 //
-//	/debug/metrics  — JSON metrics snapshot (Snapshot schema)
+//	/debug/metrics          — JSON metrics snapshot (Snapshot schema)
+//	/debug/metrics/prom     — the same snapshot in Prometheus text
+//	                          exposition format (version 0.0.4), for
+//	                          standard scrapers
+//	/debug/metrics/history  — the attached Recorder's ring buffer
+//	                          (RecorderHistory schema): rates, deltas and
+//	                          window quantiles over time
 //	/debug/trace    — Chrome trace_event JSON of the spans finished so far
 //	/debug/vars     — flat expvar-style name→value object (counters and
 //	                  gauges only), for scrapers that want one number per
@@ -22,6 +28,18 @@ func (o *Observer) Handler() http.Handler {
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		o.WriteMetricsJSON(w)
+	})
+	mux.HandleFunc("/debug/metrics/prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, o.Metrics().Snapshot())
+	})
+	mux.HandleFunc("/debug/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var rec *Recorder
+		if o != nil {
+			rec = o.Rec
+		}
+		rec.WriteHistoryJSON(w)
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -41,6 +41,11 @@ type Observer struct {
 	Reg *Registry
 	// Log receives structured log records; nil disables logging.
 	Log *slog.Logger
+	// Rec, when set, is the time-series recorder behind the
+	// /debug/metrics/history endpoint; nil serves an empty history. The
+	// recorder samples Reg from its own goroutine — nothing on the
+	// instrumented path ever touches it.
+	Rec *Recorder
 }
 
 // New returns an Observer with a fresh Tracer and Registry and no logger.

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.requests").Add(42)
+	reg.Gauge("serve.inflight").Set(3.5)
+	h := reg.Histogram("serve.latency_us", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := []string{
+		"# TYPE serve_requests counter\n",
+		"serve_requests 42\n",
+		"# TYPE serve_inflight gauge\n",
+		"serve_inflight 3.5\n",
+		"# TYPE serve_latency_us histogram\n",
+		`serve_latency_us_bucket{le="10"} 1` + "\n",
+		`serve_latency_us_bucket{le="100"} 2` + "\n",
+		`serve_latency_us_bucket{le="+Inf"} 3` + "\n",
+		"serve_latency_us_sum 5055\n",
+		"serve_latency_us_count 3\n",
+	}
+	for _, w := range want {
+		if !strings.Contains(got, w) {
+			t.Errorf("prom output missing %q\n---\n%s", w, got)
+		}
+	}
+	// Buckets must be cumulative: the +Inf bucket equals the count.
+	if strings.Contains(got, `le="+Inf"} 0`) {
+		t.Error("+Inf bucket is not cumulative")
+	}
+}
+
+func TestPromNameSanitize(t *testing.T) {
+	cases := map[string]string{
+		"serve.latency_us":          "serve_latency_us",
+		"fleet.worker.A.cells_done": "fleet_worker_A_cells_done",
+		"9lives":                    "_9lives",
+		"ok:colon":                  "ok:colon",
+		"":                          "_",
+		"sp ace":                    "sp_ace",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Names that collide after sanitizing keep the first series only — a
+// scraper rejects duplicate series outright.
+func TestPromCollision(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.b").Add(1)
+	reg.Counter("a_b").Add(2)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "# TYPE a_b counter"); n != 1 {
+		t.Errorf("collision produced %d TYPE lines, want 1\n%s", n, buf.String())
+	}
+	if n := strings.Count(buf.String(), "\na_b "); n != 1 {
+		t.Errorf("collision produced %d samples, want 1\n%s", n, buf.String())
+	}
+}

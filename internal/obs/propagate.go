@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Cross-process trace propagation. The coordinator of a distributed build
+// mints one trace ID and advertises it — with the span ID of its root
+// build span — on every lease response. Workers that see the headers
+// record their cell's spans into a private tracer and ship the finished
+// batch back piggybacked on the completion upload; the coordinator splices
+// them into its own tracer (Tracer.Import) so a single Chrome trace shows
+// the whole fleet, one lane per worker.
+const (
+	// HeaderTrace carries the fleet-wide trace ID (response header on
+	// /fleet/lease).
+	HeaderTrace = "X-Cong-Trace"
+	// HeaderSpan carries the coordinator's root span ID, the parent for
+	// every shipped worker span.
+	HeaderSpan = "X-Cong-Span"
+	// HeaderSpanBytes, on a completion upload, gives the byte length of
+	// the encoded SpanBatch prefixed to the artifact payload.
+	HeaderSpanBytes = "X-Cong-Span-Bytes"
+)
+
+// MaxSpanBatchBytes bounds a shipped span batch. A batch past the bound is
+// dropped by the sender (and ignored by a defensive receiver) — losing a
+// trace lane must never fail a build or bloat a completion upload.
+const MaxSpanBatchBytes = 1 << 20
+
+// TraceContext identifies the distributed trace a piece of work belongs
+// to: the fleet-wide trace ID and the span to parent remote spans under.
+// The zero value means "not traced".
+type TraceContext struct {
+	TraceID string
+	SpanID  int64
+}
+
+// Valid reports whether the context identifies a trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" }
+
+// SetHeader writes the context's propagation headers. Invalid contexts
+// write nothing, so untraced builds stay byte-identical on the wire.
+func (tc TraceContext) SetHeader(h http.Header) {
+	if !tc.Valid() {
+		return
+	}
+	h.Set(HeaderTrace, tc.TraceID)
+	h.Set(HeaderSpan, strconv.FormatInt(tc.SpanID, 10))
+}
+
+// TraceContextFromHeader extracts a propagated context, returning the zero
+// value when the headers are absent or malformed. Allocation-free for the
+// (common) untraced case — the disabled-path guard pins this.
+func TraceContextFromHeader(h http.Header) TraceContext {
+	id := h.Get(HeaderTrace)
+	if id == "" {
+		return TraceContext{}
+	}
+	span, err := strconv.ParseInt(h.Get(HeaderSpan), 10, 64)
+	if err != nil || span <= 0 {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: id, SpanID: span}
+}
+
+// SpanBatch is the wire form of one process's finished spans: who recorded
+// them (Proc becomes the lane name), under which trace, and the wall-clock
+// instant of the sender's epoch so the receiver can shift the offsets into
+// its own timebase.
+type SpanBatch struct {
+	TraceID     string     `json:"trace"`
+	Proc        string     `json:"proc"`
+	EpochUnixNs int64      `json:"epoch_ns"`
+	Spans       []wireSpan `json:"spans"`
+}
+
+// wireSpan mirrors SpanData with explicit attr typing: JSON alone would
+// collapse int64 attrs to float64 on the way back.
+type wireSpan struct {
+	ID       int64       `json:"id"`
+	ParentID int64       `json:"parent,omitempty"`
+	RootID   int64       `json:"root"`
+	Name     string      `json:"name"`
+	StartNs  int64       `json:"start_ns"`
+	EndNs    int64       `json:"end_ns"`
+	Attrs    []wireAttr  `json:"attrs,omitempty"`
+	Events   []wireEvent `json:"events,omitempty"`
+}
+
+type wireEvent struct {
+	Name  string     `json:"name"`
+	AtNs  int64      `json:"at_ns"`
+	Attrs []wireAttr `json:"attrs,omitempty"`
+}
+
+// wireAttr carries exactly one of the four supported value kinds in its
+// own field, preserving the dynamic type across the wire.
+type wireAttr struct {
+	K string   `json:"k"`
+	S *string  `json:"s,omitempty"`
+	I *int64   `json:"i,omitempty"`
+	F *float64 `json:"f,omitempty"`
+	B *bool    `json:"b,omitempty"`
+}
+
+func toWireAttrs(attrs []Attr) []wireAttr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]wireAttr, 0, len(attrs))
+	for _, a := range attrs {
+		w := wireAttr{K: a.Key}
+		switch v := a.Value.(type) {
+		case string:
+			w.S = &v
+		case int64:
+			w.I = &v
+		case int:
+			x := int64(v)
+			w.I = &x
+		case float64:
+			w.F = &v
+		case bool:
+			w.B = &v
+		default:
+			s := fmt.Sprint(v)
+			w.S = &s
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func fromWireAttrs(attrs []wireAttr) []Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]Attr, 0, len(attrs))
+	for _, w := range attrs {
+		a := Attr{Key: w.K}
+		switch {
+		case w.S != nil:
+			a.Value = *w.S
+		case w.I != nil:
+			a.Value = *w.I
+		case w.F != nil:
+			a.Value = *w.F
+		case w.B != nil:
+			a.Value = *w.B
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// EncodeSpanBatch serializes the tracer's finished spans for shipping
+// under the given trace. It returns nil when there is nothing to ship —
+// no tracer, no spans, or an encoding larger than MaxSpanBatchBytes (a
+// dropped lane, not an error: tracing must never fail the work it rides
+// on).
+func EncodeSpanBatch(t *Tracer, traceID, proc string) []byte {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	epoch, ok := t.EpochWall()
+	if !ok {
+		return nil
+	}
+	batch := SpanBatch{
+		TraceID:     traceID,
+		Proc:        proc,
+		EpochUnixNs: epoch.UnixNano(),
+		Spans:       make([]wireSpan, 0, len(spans)),
+	}
+	for _, s := range spans {
+		ws := wireSpan{
+			ID:       s.ID,
+			ParentID: s.ParentID,
+			RootID:   s.RootID,
+			Name:     s.Name,
+			StartNs:  int64(s.Start),
+			EndNs:    int64(s.End),
+			Attrs:    toWireAttrs(s.Attrs),
+		}
+		for _, e := range s.Events {
+			ws.Events = append(ws.Events, wireEvent{Name: e.Name, AtNs: int64(e.At), Attrs: toWireAttrs(e.Attrs)})
+		}
+		batch.Spans = append(batch.Spans, ws)
+	}
+	data, err := json.Marshal(batch)
+	if err != nil || len(data) > MaxSpanBatchBytes {
+		return nil
+	}
+	return data
+}
+
+// DecodeSpanBatch parses an encoded batch back into SpanData offsets
+// (relative to the sender's epoch) plus the batch envelope.
+func DecodeSpanBatch(data []byte) (SpanBatch, []SpanData, error) {
+	var batch SpanBatch
+	if len(data) > MaxSpanBatchBytes {
+		return batch, nil, fmt.Errorf("obs: span batch %d bytes exceeds cap %d", len(data), MaxSpanBatchBytes)
+	}
+	if err := json.Unmarshal(data, &batch); err != nil {
+		return batch, nil, fmt.Errorf("obs: decoding span batch: %w", err)
+	}
+	spans := make([]SpanData, 0, len(batch.Spans))
+	for _, ws := range batch.Spans {
+		s := SpanData{
+			ID:       ws.ID,
+			ParentID: ws.ParentID,
+			RootID:   ws.RootID,
+			Name:     ws.Name,
+			Start:    time.Duration(ws.StartNs),
+			End:      time.Duration(ws.EndNs),
+			Attrs:    fromWireAttrs(ws.Attrs),
+		}
+		for _, we := range ws.Events {
+			s.Events = append(s.Events, EventData{Name: we.Name, At: time.Duration(we.AtNs), Attrs: fromWireAttrs(we.Attrs)})
+		}
+		spans = append(spans, s)
+	}
+	return batch, spans, nil
+}

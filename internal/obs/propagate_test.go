@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceContextHeaderRoundTrip(t *testing.T) {
+	h := make(http.Header)
+	tc := TraceContext{TraceID: "deadbeefcafe0123", SpanID: 7}
+	tc.SetHeader(h)
+	if got := TraceContextFromHeader(h); got != tc {
+		t.Errorf("round trip = %+v, want %+v", got, tc)
+	}
+
+	// Invalid contexts write nothing.
+	h2 := make(http.Header)
+	TraceContext{}.SetHeader(h2)
+	if len(h2) != 0 {
+		t.Errorf("zero context wrote headers: %v", h2)
+	}
+
+	// Malformed span IDs are rejected whole.
+	h3 := make(http.Header)
+	h3.Set(HeaderTrace, "abc")
+	h3.Set(HeaderSpan, "not-a-number")
+	if got := TraceContextFromHeader(h3); got.Valid() {
+		t.Errorf("malformed header parsed as %+v", got)
+	}
+}
+
+// The untraced path — every fleet request when the coordinator has no
+// tracer — must not allocate while checking for propagation headers.
+func TestTraceContextFromHeaderZeroAlloc(t *testing.T) {
+	h := make(http.Header)
+	h.Set("Content-Type", "application/octet-stream")
+	if avg := testing.AllocsPerRun(100, func() {
+		if tc := TraceContextFromHeader(h); tc.Valid() {
+			t.Fatal("unexpected trace context")
+		}
+	}); avg != 0 {
+		t.Errorf("untraced header check: %v allocs/op, want 0", avg)
+	}
+}
+
+func TestSpanBatchRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	base := time.Date(2026, 8, 1, 9, 0, 0, 0, time.UTC)
+	step := 0
+	tr.SetClock(func() time.Time { step++; return base.Add(time.Duration(step) * time.Millisecond) })
+
+	root := tr.start(nil, "flow", []Attr{String("module", "m"), Int("run", 3)})
+	child := root.Child("place", Float("score", 1.5), Bool("ok", true))
+	child.Event("retry", Int("attempt", 2))
+	child.End()
+	root.End()
+
+	data := EncodeSpanBatch(tr, "trace123", "workerA")
+	if data == nil {
+		t.Fatal("encode returned nil for a non-empty tracer")
+	}
+	batch, spans, err := DecodeSpanBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.TraceID != "trace123" || batch.Proc != "workerA" {
+		t.Errorf("envelope = %+v", batch)
+	}
+	if epoch, _ := tr.EpochWall(); batch.EpochUnixNs != epoch.UnixNano() {
+		t.Errorf("epoch = %d, want %d", batch.EpochUnixNs, epoch.UnixNano())
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Spans arrive in completion order: child first.
+	got := spans[0]
+	if got.Name != "place" || got.ParentID != spans[1].ID || got.RootID != spans[1].ID {
+		t.Errorf("child span = %+v", got)
+	}
+	// Attr dynamic types survive the wire — int64 stays int64.
+	want := []Attr{Float("score", 1.5), Bool("ok", true)}
+	for i, a := range got.Attrs {
+		if a != want[i] {
+			t.Errorf("attr[%d] = %#v, want %#v", i, a, want[i])
+		}
+	}
+	if len(got.Events) != 1 || got.Events[0].Name != "retry" || got.Events[0].Attrs[0] != Int("attempt", 2) {
+		t.Errorf("events = %+v", got.Events)
+	}
+	if spans[1].Attrs[1] != Int("run", 3) {
+		t.Errorf("root attr = %#v, want int64 3", spans[1].Attrs[1])
+	}
+}
+
+func TestEncodeSpanBatchEmpty(t *testing.T) {
+	if EncodeSpanBatch(nil, "t", "p") != nil {
+		t.Error("nil tracer must encode to nil")
+	}
+	if EncodeSpanBatch(NewTracer(), "t", "p") != nil {
+		t.Error("empty tracer must encode to nil")
+	}
+}
+
+func TestDecodeSpanBatchRejects(t *testing.T) {
+	if _, _, err := DecodeSpanBatch([]byte("{broken")); err == nil {
+		t.Error("malformed JSON must fail to decode")
+	}
+	big := bytes.Repeat([]byte("x"), MaxSpanBatchBytes+1)
+	if _, _, err := DecodeSpanBatch(big); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("oversize batch error = %v, want cap violation", err)
+	}
+}
+
+// Import remaps IDs, re-parents batch roots, shifts times and tags lanes.
+func TestTracerImport(t *testing.T) {
+	local := NewTracer()
+	base := time.Date(2026, 8, 1, 9, 0, 0, 0, time.UTC)
+	n := 0
+	local.SetClock(func() time.Time { n++; return base.Add(time.Duration(n) * time.Second) })
+	root := local.start(nil, "fleet.build", nil)
+
+	remote := []SpanData{
+		{ID: 1, RootID: 1, Name: "flow", Start: 10 * time.Millisecond, End: 90 * time.Millisecond},
+		{ID: 2, ParentID: 1, RootID: 1, Name: "place", Start: 20 * time.Millisecond, End: 40 * time.Millisecond,
+			Events: []EventData{{Name: "e", At: 30 * time.Millisecond}}},
+	}
+	local.Import(remote, "workerA", root, 2*time.Second)
+	root.End()
+
+	spans := local.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	var flow, place, build *SpanData
+	for i := range spans {
+		switch spans[i].Name {
+		case "flow":
+			flow = &spans[i]
+		case "place":
+			place = &spans[i]
+		case "fleet.build":
+			build = &spans[i]
+		}
+	}
+	if flow == nil || place == nil || build == nil {
+		t.Fatalf("missing spans: %+v", spans)
+	}
+	if flow.ParentID != build.ID {
+		t.Errorf("batch root parent = %d, want coordinator span %d", flow.ParentID, build.ID)
+	}
+	if place.ParentID != flow.ID || place.RootID != flow.ID {
+		t.Errorf("in-batch hierarchy broken: %+v under flow %d", place, flow.ID)
+	}
+	if flow.Proc != "workerA" || place.Proc != "workerA" {
+		t.Errorf("lanes = %q/%q, want workerA", flow.Proc, place.Proc)
+	}
+	if flow.Start != 2*time.Second+10*time.Millisecond {
+		t.Errorf("shifted start = %v", flow.Start)
+	}
+	if place.Events[0].At != 2*time.Second+30*time.Millisecond {
+		t.Errorf("shifted event = %v", place.Events[0].At)
+	}
+
+	// Negative shifted times clamp to zero instead of going negative.
+	local.Import([]SpanData{{ID: 9, RootID: 9, Name: "early", Start: time.Millisecond, End: 2 * time.Millisecond}},
+		"workerB", root, -time.Hour)
+	for _, s := range local.Spans() {
+		if s.Name == "early" && (s.Start < 0 || s.End < 0) {
+			t.Errorf("clamp failed: %+v", s)
+		}
+	}
+}
+
+// A stitched trace renders imported lanes as their own pid with a
+// process_name record, while a purely local span set keeps the exact
+// pre-stitching bytes (the golden file pins that separately).
+func TestChromeTraceLanes(t *testing.T) {
+	tr := NewTracer()
+	base := time.Date(2026, 8, 1, 9, 0, 0, 0, time.UTC)
+	n := 0
+	tr.SetClock(func() time.Time { n++; return base.Add(time.Duration(n) * time.Second) })
+	root := tr.start(nil, "fleet.build", nil)
+	tr.Import([]SpanData{{ID: 1, RootID: 1, Name: "flow", Start: time.Second, End: 2 * time.Second}}, "workerA", root, 0)
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`{"name":"process_name","ph":"M","pid":2,"args":{"name":"workerA"}}`,
+		`"pid":2`,
+		`"pid":1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stitched trace missing %q\n%s", want, out)
+		}
+	}
+}

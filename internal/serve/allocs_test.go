@@ -8,6 +8,8 @@ package serve
 import (
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func requireZeroAllocs(t *testing.T, name string, fn func()) {
@@ -90,6 +92,40 @@ func TestServeBytesZeroAllocWindowed(t *testing.T) {
 		}
 		dst = out
 	})
+}
+
+func TestServeBytesZeroAllocWithRecorder(t *testing.T) {
+	// The flight recorder observes the registry from outside the request
+	// path: with a recorder attached (and having sampled), ServeBytes must
+	// still be allocation-free — the hot path writes the same atomics
+	// whether or not anything is reading them. Samples are taken manually
+	// around the measurement, not concurrently, because AllocsPerRun counts
+	// mallocs process-wide and a background sampler would pollute it.
+	o := obs.New()
+	s := newTestServer(t, Options{Window: -1, Shards: 2, Obs: o})
+	rec := obs.NewRecorder(o.Metrics(), obs.RecorderOptions{Capacity: 16})
+	o.Rec = rec
+	req := binaryRequest(randRows(32, 53))
+	var dst []byte
+	rec.Sample() // a populated ring, as in production
+	requireZeroAllocs(t, "ServeBytes/recorder", func() {
+		out, err := s.ServeBytes(req, true, dst[:0])
+		if err != nil {
+			t.Fatalf("ServeBytes: %v", err)
+		}
+		dst = out
+	})
+	// The recorder saw the traffic the measurement generated.
+	s2 := rec.Sample()
+	found := false
+	for _, c := range s2.Counters {
+		if c.Name == obs.MetricServeRequests && c.Delta > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("recorder window shows no serve.requests delta after the measured traffic")
+	}
 }
 
 func TestShedPathZeroAlloc(t *testing.T) {

@@ -1,34 +1,30 @@
 #!/usr/bin/env sh
-# Benchmark harness for the multi-core serving scale-out: measures the
-# /predict throughput-vs-cores curve behind BENCH_PR9.json.
+# Benchmark harness for the observability PR: measures what the flight
+# recorder costs the serving hot path, behind BENCH_PR10.json.
 #
-# For each core count c in 1, 2, 4 (filtered to the host's CPUs), the
-# server runs with GOMAXPROCS=c and -shards c — one batcher lane per
-# core — under a closed-loop congload run; at the highest core count a
-# single-shard server is measured too, so the sharded-vs-single ratio
-# isolates what the shards buy at equal GOMAXPROCS. One open-loop point
-# (-rate) records tail latency at a fixed offered load. Before any
-# timing, the two configurations are proven byte-identical with congload
-# -probe: a scale-out that changed the predictions is a failed run.
+# The recorder samples the metrics registry from a background goroutine;
+# the request path writes the same atomics whether or not anyone reads
+# them, so serving throughput with the recorder on (100ms sampling, an
+# armed-but-quiet breach watcher) must stay within 2% of the recorder-off
+# figure. Both configurations are measured closed-loop, best of three
+# runs each, on the same host in the same process configuration — the
+# A/B is fair at any core count because both sides share it. Before any
+# timing, congload -probe proves the two configurations byte-identical:
+# observation that changed a prediction would be a failed run, not an
+# overhead.
 #
-#   serve_preds_per_sec_Nc    closed-loop preds/s at GOMAXPROCS=N with N
-#                             shards (the scaling curve).
-#   sharded_vs_single_shard   preds/s(N shards) / preds/s(1 shard), both
-#                             at the max core count — the tentpole claim,
-#                             only made when the host has >= 4 CPUs. On
-#                             fewer CPUs the lanes time-slice one core and
-#                             the ratio measures scheduling fairness, not
-#                             scaling, so the claim is refused (the
-#                             PR3/PR8 precedent), never faked.
+#   recorder_overhead        preds/s(recorder on) / preds/s(recorder off),
+#                            best-of-3 each side. The tentpole claim is
+#                            >= 0.98 (within 2%).
 #
-# The PR3-PR8 figures are carried forward from BENCH_PR8.json so one file
+# The PR3-PR9 figures are carried forward from BENCH_PR9.json so one file
 # still summarizes the repo's performance story.
 #
 # Usage: scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_PR9.json
+OUT=BENCH_PR10.json
 CPUS="$(nproc)"
 TMP="$(mktemp -d)"
 SRV_PID=""
@@ -40,15 +36,17 @@ go build -o "$TMP/congload" ./cmd/congload
 echo "== training quick artifact =="
 "$TMP/congserve" -train-quick -model "$TMP/model.json" -kind gbrt > /dev/null
 
-# start_server GOMAXPROCS SHARDS: launches congserve in the background
-# (output to a log so it never holds this script's pipes), waits for the
-# bound address (written atomically via temp+rename), and sets SRV_PID and
-# ADDR. Runs in this shell, not a substitution, so SRV_PID survives for
-# stop_server.
+# start_server SHARDS [extra flags...]: launches congserve in the
+# background (output to a log so it never holds this script's pipes),
+# waits for the bound address (written atomically via temp+rename), and
+# sets SRV_PID and ADDR. Runs in this shell, not a substitution, so
+# SRV_PID survives for stop_server.
 start_server() {
 	rm -f "$TMP/addr.txt"
-	GOMAXPROCS="$1" "$TMP/congserve" -model "$TMP/model.json" -addr 127.0.0.1:0 \
-		-addr-file "$TMP/addr.txt" -log-level warn -shards "$2" \
+	shards="$1"
+	shift
+	"$TMP/congserve" -model "$TMP/model.json" -addr 127.0.0.1:0 \
+		-addr-file "$TMP/addr.txt" -log-level warn -shards "$shards" "$@" \
 		> "$TMP/server.log" 2>&1 &
 	SRV_PID=$!
 	i=0
@@ -71,15 +69,25 @@ carry() {
 	sed -n "s/.*\"$2\": \(-\{0,1\}[0-9.]*\).*/\1/p" "$1" 2> /dev/null | head -1
 }
 
-echo "== prediction byte-identity (1 shard vs 4 shards) =="
-start_server "$CPUS" 1
-"$TMP/congload" -addr "$ADDR" -probe "$TMP/probe1.bin"
+# Recorder-off and recorder-on server configurations. The "on" side is
+# the full PR 10 stack: 100ms sampling (10x the production default, to
+# give the sampler every chance to show up in the numbers) and a breach
+# watcher armed at an unreachable threshold, so the rule evaluation runs
+# every tick but never captures.
+OFF_ARGS="-history-interval 0"
+ON_ARGS="-history-interval 100ms -history-cap 300 -breach-dir $TMP/breach -breach-p99-us 1000000000"
+
+echo "== prediction byte-identity (recorder off vs on) =="
+# shellcheck disable=SC2086
+start_server 2 $OFF_ARGS
+"$TMP/congload" -addr "$ADDR" -probe "$TMP/probe_off.bin"
 stop_server
-start_server "$CPUS" 4
-"$TMP/congload" -addr "$ADDR" -probe "$TMP/probe4.bin"
+# shellcheck disable=SC2086
+start_server 2 $ON_ARGS
+"$TMP/congload" -addr "$ADDR" -probe "$TMP/probe_on.bin"
 stop_server
-cmp "$TMP/probe1.bin" "$TMP/probe4.bin" || {
-	echo "FAIL: sharded predictions differ from single-shard"
+cmp "$TMP/probe_off.bin" "$TMP/probe_on.bin" || {
+	echo "FAIL: predictions differ with the recorder attached"
 	exit 1
 }
 echo "  byte-identical"
@@ -88,72 +96,73 @@ echo "  byte-identical"
 # enough to dominate warmup jitter.
 LOAD_ARGS="-duration 3s -warmup 300ms -concurrency 8 -rows 32"
 
-CMAX=1
-CURVE_1C="null"; CURVE_2C="null"; CURVE_4C="null"
-for c in 1 2 4; do
-	if [ "$c" -gt "$CPUS" ]; then
-		echo "== skipping ${c}-core point: host has $CPUS CPU(s) =="
-		continue
-	fi
-	echo "== closed-loop sweep: GOMAXPROCS=$c, $c shard(s) =="
-	start_server "$c" "$c"
-	# shellcheck disable=SC2086
-	"$TMP/congload" -addr "$ADDR" $LOAD_ARGS > "$TMP/sweep$c.json"
-	stop_server
-	pps="$(carry "$TMP/sweep$c.json" preds_per_sec)"
-	echo "  preds/s: $pps"
-	case "$c" in
-	1) CURVE_1C="$pps" ;;
-	2) CURVE_2C="$pps" ;;
-	4) CURVE_4C="$pps" ;;
-	esac
-	CMAX="$c"
-done
+# measure LABEL [server flags...]: best-of-3 closed-loop preds/s into
+# BEST (awk handles the float compare; sh arithmetic is integer-only).
+measure() {
+	label="$1"
+	shift
+	BEST=0
+	for run in 1 2 3; do
+		start_server 2 "$@"
+		# shellcheck disable=SC2086
+		"$TMP/congload" -addr "$ADDR" $LOAD_ARGS > "$TMP/load.json"
+		stop_server
+		pps="$(carry "$TMP/load.json" preds_per_sec)"
+		echo "  $label run $run: $pps preds/s"
+		BEST="$(awk -v a="$BEST" -v b="$pps" 'BEGIN { print (b + 0 > a + 0) ? b : a }')"
+	done
+	echo "  $label best: $BEST"
+}
 
-echo "== single-shard baseline at GOMAXPROCS=$CMAX =="
-start_server "$CMAX" 1
+echo "== closed-loop, recorder off =="
 # shellcheck disable=SC2086
-"$TMP/congload" -addr "$ADDR" $LOAD_ARGS > "$TMP/single.json"
-stop_server
-SINGLE_PPS="$(carry "$TMP/single.json" preds_per_sec)"
-echo "  preds/s: $SINGLE_PPS"
+measure "off" $OFF_ARGS
+OFF_PPS="$BEST"
 
-echo "== open-loop point: fixed offered rate, $CMAX shard(s) =="
-start_server "$CMAX" "$CMAX"
-"$TMP/congload" -addr "$ADDR" -rate 2000 -conns 8 -duration 3s \
-	-warmup 300ms -rows 32 > "$TMP/open.json"
-stop_server
-OPEN_P99="$(carry "$TMP/open.json" p99_us)"
-OPEN_DROPPED="$(carry "$TMP/open.json" dropped_ticks)"
-echo "  p99: ${OPEN_P99}us, dropped ticks: $OPEN_DROPPED"
+echo "== closed-loop, recorder on (100ms sampling, armed watcher) =="
+# shellcheck disable=SC2086
+measure "on" $ON_ARGS
+ON_PPS="$BEST"
 
-SHARDED_MAX="$CURVE_1C"
-[ "$CMAX" = 2 ] && SHARDED_MAX="$CURVE_2C"
-[ "$CMAX" = 4 ] && SHARDED_MAX="$CURVE_4C"
+# The "on" side must actually have been observing, or the ratio is
+# measuring nothing: the last load report carries the server-side delta
+# congload reads from /debug/metrics, and the recorder must have seen
+# the traffic.
+grep -q '"server"' "$TMP/load.json" || {
+	echo "FAIL: recorder-on run has no server-side delta in the load report"
+	exit 1
+}
+captures="$(ls -d "$TMP"/breach/breach-* 2> /dev/null | wc -l)"
+[ "$captures" -eq 0 ] || {
+	echo "FAIL: the unreachable breach threshold captured $captures time(s)"
+	exit 1
+}
 
-awk -v cpus="$CPUS" -v strict="${BENCH_STRICT:-0}" -v cmax="$CMAX" \
-	-v c1="$CURVE_1C" -v c2="$CURVE_2C" -v c4="$CURVE_4C" \
-	-v single="$SINGLE_PPS" -v sharded="$SHARDED_MAX" \
-	-v openp99="$OPEN_P99" -v opendrop="$OPEN_DROPPED" \
-	-v p3place="$(carry BENCH_PR8.json place_speedup)" \
-	-v p3route="$(carry BENCH_PR8.json route_speedup)" \
-	-v p3cache="$(carry BENCH_PR8.json warm_cache_speedup)" \
-	-v p4gbrt="$(carry BENCH_PR8.json gbrt_fit_speedup)" \
-	-v p4grid="$(carry BENCH_PR8.json gbrt_grid_search_speedup)" \
-	-v p5noop="$(carry BENCH_PR8.json noop_overhead_check)" \
-	-v p5obs="$(carry BENCH_PR8.json enabled_overhead)" \
-	-v p6store="$(carry BENCH_PR8.json store_overhead)" \
-	-v p6resume="$(carry BENCH_PR8.json resume_speedup)" \
-	-v p7serve="$(carry BENCH_PR8.json serve_preds_per_sec_single_core)" \
-	-v p7http="$(carry BENCH_PR8.json http_preds_per_sec_single_core)" \
-	-v p7p99="$(carry BENCH_PR8.json serve_p99_us_bound)" \
-	-v p8over="$(carry BENCH_PR8.json coordination_overhead_1w)" \
-	-v p8w2="$(carry BENCH_PR8.json wall_ratio_2w)" \
-	-v p8w4="$(carry BENCH_PR8.json wall_ratio_4w)" '
+awk -v cpus="$CPUS" -v strict="${BENCH_STRICT:-0}" \
+	-v offp="$OFF_PPS" -v onp="$ON_PPS" \
+	-v p3place="$(carry BENCH_PR9.json place_speedup)" \
+	-v p3route="$(carry BENCH_PR9.json route_speedup)" \
+	-v p3cache="$(carry BENCH_PR9.json warm_cache_speedup)" \
+	-v p4gbrt="$(carry BENCH_PR9.json gbrt_fit_speedup)" \
+	-v p4grid="$(carry BENCH_PR9.json gbrt_grid_search_speedup)" \
+	-v p5noop="$(carry BENCH_PR9.json noop_overhead_check)" \
+	-v p5obs="$(carry BENCH_PR9.json enabled_overhead)" \
+	-v p6store="$(carry BENCH_PR9.json store_overhead)" \
+	-v p6resume="$(carry BENCH_PR9.json resume_speedup)" \
+	-v p7serve="$(carry BENCH_PR9.json serve_preds_per_sec_single_core)" \
+	-v p7http="$(carry BENCH_PR9.json http_preds_per_sec_single_core)" \
+	-v p7p99="$(carry BENCH_PR9.json serve_p99_us_bound)" \
+	-v p8over="$(carry BENCH_PR9.json fleet_coordination_overhead_1w)" \
+	-v p8w2="$(carry BENCH_PR9.json fleet_wall_ratio_2w)" \
+	-v p8w4="$(carry BENCH_PR9.json fleet_wall_ratio_4w)" \
+	-v p9c1="$(carry BENCH_PR9.json serve_preds_per_sec_1c)" \
+	-v p9c2="$(carry BENCH_PR9.json serve_preds_per_sec_2c)" \
+	-v p9c4="$(carry BENCH_PR9.json serve_preds_per_sec_4c)" \
+	-v p9shard="$(carry BENCH_PR9.json 'sharded_vs_single_shard_at_[0-9]c')" \
+	-v p9p99="$(carry BENCH_PR9.json p99_us)" \
+	-v p9drop="$(carry BENCH_PR9.json dropped_ticks)" '
 	function num(v) { return (v != "" ? v : "null") }
 	BEGIN {
-		refused = (cpus < 4) ? "true" : "false"
-
 		printf "{\n"
 		printf "  \"host\": {\"cpus\": %d},\n", cpus
 
@@ -172,41 +181,36 @@ awk -v cpus="$CPUS" -v strict="${BENCH_STRICT:-0}" -v cmax="$CMAX" \
 		printf "\"serve_p99_us_bound\": %s, ", num(p7p99)
 		printf "\"fleet_coordination_overhead_1w\": %s, ", num(p8over)
 		printf "\"fleet_wall_ratio_2w\": %s, ", num(p8w2)
-		printf "\"fleet_wall_ratio_4w\": %s},\n", num(p8w4)
+		printf "\"fleet_wall_ratio_4w\": %s, ", num(p8w4)
+		printf "\"serve_preds_per_sec_1c\": %s, ", num(p9c1)
+		printf "\"serve_preds_per_sec_2c\": %s, ", num(p9c2)
+		printf "\"serve_preds_per_sec_4c\": %s, ", num(p9c4)
+		printf "\"sharded_vs_single_shard\": %s, ", num(p9shard)
+		printf "\"open_loop_p99_us\": %s, ", num(p9p99)
+		printf "\"open_loop_dropped_ticks\": %s},\n", num(p9drop)
 
-		printf "  \"serving_scale_out\": {\n"
-		printf "    \"predictions_byte_identical_across_shards\": true,\n"
-		printf "    \"serve_preds_per_sec_1c\": %s,\n", num(c1)
-		printf "    \"serve_preds_per_sec_2c\": %s,\n", num(c2)
-		printf "    \"serve_preds_per_sec_4c\": %s,\n", num(c4)
-		printf "    \"single_shard_preds_per_sec_at_%dc\": %s,\n", cmax, num(single)
-		if (single != "" && sharded != "" && single + 0 > 0)
-			printf "    \"sharded_vs_single_shard_at_%dc\": %.3f,\n", cmax, sharded / single
-		else
-			printf "    \"sharded_vs_single_shard_at_%dc\": null,\n", cmax
-		printf "    \"open_loop\": {\"offered_rate\": 2000, \"p99_us\": %s, \"dropped_ticks\": %s}\n", \
-			num(openp99), num(opendrop)
-		printf "  },\n"
-
-		# The tentpole claim needs the cores to back it: with fewer than 4
-		# CPUs the lanes time-slice and the ratio measures scheduling
-		# fairness, not multi-core scaling — record the curve, claim nothing
-		# (the PR3/PR8 refusal precedent).
-		printf "  \"scaling_claims_refused\": %s,\n", refused
-		if (refused == "true") {
-			printf "  \"refusal_reason\": \"host has %d CPU(s); the 4-core scaling claim needs >= 4 CPUs — measured points above are recorded, the claim is not made\",\n", cpus
-			printf "  \"meets_sharded_2_5x_at_4_cores\": null\n"
+		printf "  \"flight_recorder\": {\n"
+		printf "    \"predictions_byte_identical_with_recorder\": true,\n"
+		printf "    \"sampling_interval_ms\": 100,\n"
+		printf "    \"preds_per_sec_recorder_off\": %s,\n", num(offp)
+		printf "    \"preds_per_sec_recorder_on\": %s,\n", num(onp)
+		ratio = 0
+		if (offp != "" && onp != "" && offp + 0 > 0) {
+			ratio = onp / offp
+			printf "    \"recorder_overhead\": %.4f,\n", ratio
+			ok = (ratio >= 0.98) ? "true" : "false"
 		} else {
-			ratio = (single + 0 > 0) ? c4 / single : 0
-			ok = (ratio >= 2.5) ? "true" : "false"
-			printf "  \"meets_sharded_2_5x_at_4_cores\": %s\n", ok
-			if (ok != "true") {
-				printf "WARNING: sharded/single ratio %.2fx below the 2.5x target\n", \
-					ratio > "/dev/stderr"
-				if (strict != 0) exit 1
-			}
+			printf "    \"recorder_overhead\": null,\n"
+			ok = "false"
 		}
+		printf "    \"recorder_within_2pct\": %s\n", ok
+		printf "  }\n"
 		printf "}\n"
+		if (ok != "true") {
+			printf "WARNING: recorder-on throughput %.2f%% of recorder-off, below the 98%% target\n", \
+				ratio * 100 > "/dev/stderr"
+			if (strict != 0) exit 1
+		}
 	}
 ' > "$OUT"
 

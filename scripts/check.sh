@@ -93,6 +93,15 @@ go test -count=1 -run 'TestDisabledSpanZeroAlloc|TestChromeTraceGolden' ./intern
 go test -race -count=1 -run 'TestRegistryConcurrency|TestTracerConcurrency' ./internal/obs/
 go test -race -count=1 -run 'ObserverInert|DoesNotChangeResult' ./internal/core/ ./internal/flow/
 
+# The telemetry layer's derivation rules: counter-reset handling, empty
+# and first-sample windows, ring wraparound, Prometheus text rendering,
+# breach-capture rate limiting, and the span-batch codec + Import remap
+# that trace stitching is built on.
+echo "== recorder / prom / breach / stitching unit tests =="
+go test -count=1 \
+	-run 'TestRecorder|TestBucketQuantile|TestProm|TestBreach|TestTraceContext|TestSpanBatch|TestEncodeSpanBatch|TestDecodeSpanBatch|TestTracerImport|TestChromeTraceLanes' \
+	./internal/obs/
+
 # The persistence layer's reproduction contract, across a real process
 # kill: a checkpointed build is SIGKILLed mid-sweep (right after its second
 # store put — results persisted, no module block yet), then rerun against
@@ -149,9 +158,16 @@ SERVE_PID=""
 trap 'rm -rf "$CRASH_TMP" "$SERVE_TMP" /tmp/storecheck; [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2> /dev/null || true' EXIT
 go build -o "$SERVE_TMP/congserve" ./cmd/congserve
 go build -o "$SERVE_TMP/congload" ./cmd/congload
+go build -o "$SERVE_TMP/congtop" ./cmd/congtop
+go build -o "$SERVE_TMP/obscheck" ./cmd/obscheck
 "$SERVE_TMP/congserve" -train-quick -model "$SERVE_TMP/model.json" -kind gbrt > /dev/null
+# The recorder samples every 100ms and the breach threshold (p99 > 1µs) is
+# below any real request latency, so the first busy window triggers a
+# capture; the 10m rate limit then pins the capture count at exactly one.
 "$SERVE_TMP/congserve" -model "$SERVE_TMP/model.json" -addr 127.0.0.1:0 \
-	-addr-file "$SERVE_TMP/addr.txt" -log-level warn -shards 2 &
+	-addr-file "$SERVE_TMP/addr.txt" -log-level warn -shards 2 \
+	-history-interval 100ms -breach-dir "$SERVE_TMP/breach" \
+	-breach-p99-us 1 -breach-min-interval 10m &
 SERVE_PID=$!
 i=0
 while [ ! -s "$SERVE_TMP/addr.txt" ]; do
@@ -169,6 +185,40 @@ grep -q '"errors": 0' "$SERVE_TMP/load.json" || {
 	echo "FAIL: /predict load run had errors"
 	exit 1
 }
+grep -q '"server"' "$SERVE_TMP/load.json" || {
+	echo "FAIL: congload report carries no server-side metrics delta"
+	exit 1
+}
+# Telemetry surface over the same live server: the Prometheus exposition
+# must pass the strict checker, the history ring must have samples,
+# congtop must render a frame from it, and the sub-microsecond breach
+# threshold must have produced exactly one capture — the rate limit turns
+# a sustained breach into one directory, not one per sample.
+sleep 0.3
+curl -sf "http://$ADDR/debug/metrics/prom" > "$SERVE_TMP/metrics.prom"
+"$SERVE_TMP/obscheck" -prom "$SERVE_TMP/metrics.prom"
+curl -sf "http://$ADDR/debug/metrics/history" | grep -q '"seq"' || {
+	echo "FAIL: /debug/metrics/history has no samples"
+	exit 1
+}
+"$SERVE_TMP/congtop" -addr "$ADDR" -once > "$SERVE_TMP/congtop.txt"
+grep -q 'sample #' "$SERVE_TMP/congtop.txt" || {
+	echo "FAIL: congtop -once did not render a recorder sample"
+	cat "$SERVE_TMP/congtop.txt"
+	exit 1
+}
+captures="$(ls -d "$SERVE_TMP"/breach/breach-* 2> /dev/null | wc -l)"
+[ "$captures" -eq 1 ] || {
+	echo "FAIL: $captures breach captures, want exactly 1 (rate-limited)"
+	exit 1
+}
+for f in reason.json history.json heap.pprof; do
+	# shellcheck disable=SC2144
+	[ -s "$SERVE_TMP"/breach/breach-*/"$f" ] || {
+		echo "FAIL: breach capture is missing $f"
+		exit 1
+	}
+done
 # Byte-identity across shard counts: a 1-shard server over the same
 # artifact must answer the probe with the exact bytes the 2-shard one did.
 "$SERVE_TMP/congserve" -model "$SERVE_TMP/model.json" -addr 127.0.0.1:0 \
@@ -279,5 +329,48 @@ cmp "$FLEET_TMP/ref.art" "$FLEET_TMP/fleet.art" || {
 	echo "FAIL: fleet artifact differs from the sequential build"
 	exit 1
 }
+
+# The distributed-tracing contract, across real processes: a traced
+# 2-worker fleet build must produce ONE stitched Chrome trace on the
+# coordinator — a single fleet.build root on the local lane, a named lane
+# per worker (trace context propagated over the lease header, span
+# batches shipped back on completions), every worker span inside the
+# build interval, and one flow span per cell. obscheck -stitched asserts
+# all of it.
+echo "== stitched fleet trace (2 workers, one trace, lanes validated) =="
+STITCH_COORD=""
+STITCH_W1=""
+STITCH_W2=""
+trap 'rm -rf "$CRASH_TMP" "$SERVE_TMP" "$FLEET_TMP" /tmp/storecheck; [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2> /dev/null; for p in "$FLEET_COORD" "$FLEET_W1" "$FLEET_W2" "$STITCH_COORD" "$STITCH_W1" "$STITCH_W2"; do [ -n "$p" ] && kill -9 "$p" 2> /dev/null; done; true' EXIT
+rm -f "$FLEET_TMP/addr.txt"
+"$FLEET_TMP/hlscong" -serve-builds 127.0.0.1:0 -fleet-addr-file "$FLEET_TMP/addr.txt" \
+	-modules digit_recognition -label-runs 4 -moves 3000 \
+	-trace "$FLEET_TMP/fleet_trace.json" -metrics "$FLEET_TMP/fleet_metrics.json" \
+	build > /dev/null 2> "$FLEET_TMP/stitch.log" &
+STITCH_COORD=$!
+i=0
+while [ ! -s "$FLEET_TMP/addr.txt" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "FAIL: stitched coordinator never wrote its address"; exit 1; }
+	sleep 0.1
+done
+STITCH_ADDR="$(cat "$FLEET_TMP/addr.txt")"
+"$FLEET_TMP/hlscong" -join "$STITCH_ADDR" -fleet-name wA > /dev/null 2>&1 &
+STITCH_W1=$!
+"$FLEET_TMP/hlscong" -join "$STITCH_ADDR" -fleet-name wB > /dev/null 2>&1 &
+STITCH_W2=$!
+stitch_rc=0
+wait "$STITCH_COORD" || stitch_rc=$?
+STITCH_COORD=""
+wait "$STITCH_W1" 2> /dev/null || true
+STITCH_W1=""
+wait "$STITCH_W2" 2> /dev/null || true
+STITCH_W2=""
+[ "$stitch_rc" -eq 0 ] || {
+	echo "FAIL: stitched-trace coordinator exited $stitch_rc"
+	cat "$FLEET_TMP/stitch.log"
+	exit 1
+}
+"$SERVE_TMP/obscheck" -trace "$FLEET_TMP/fleet_trace.json" -stitched -lanes 2
 
 echo "tier-1 checks passed"
